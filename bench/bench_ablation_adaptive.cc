@@ -1,0 +1,75 @@
+// Ablation (not a paper figure): the adaptive shuffle selector vs each
+// fixed scheme over a mixed workload spanning all three shuffle-size
+// classes. Fig. 12 shows each class in isolation; this shows that on a
+// real mix adaptive matches the per-class winner everywhere.
+
+#include "baselines/baseline_configs.h"
+#include "bench/bench_util.h"
+#include "dag/dag_builder.h"
+
+namespace {
+
+swift::SimJobSpec TwoStage(int tasks, double mb, int id) {
+  using namespace swift;
+  using OK = OperatorKind;
+  DagBuilder b("mix");
+  StageDef map;
+  map.name = "map";
+  map.task_count = tasks;
+  map.operators = {OK::kTableScan, OK::kShuffleWrite};
+  map.input_bytes_per_task = mb * 1e6;
+  map.output_bytes_per_task = mb * 1e6;
+  map.cpu_cost_factor = 0.15;
+  StageId m = b.AddStage(map);
+  StageDef red = map;
+  red.name = "reduce";
+  red.operators = {OK::kShuffleRead, OK::kStreamLine, OK::kAdhocSink};
+  red.output_bytes_per_task = 0;
+  StageId r = b.AddStage(red);
+  b.AddEdge(m, r);
+  SimJobSpec job;
+  job.name = "mix-" + std::to_string(id);
+  job.dag = std::move(b.Build()).ValueOrDie();
+  return job;
+}
+
+}  // namespace
+
+int main() {
+  using namespace swift;
+  using namespace swift::bench;
+  Header("Ablation", "Adaptive selector vs fixed schemes on a mixed load",
+         "expectation: adaptive ~= best fixed scheme per class, best "
+         "overall total");
+  // A mix of small / medium / large shuffle-edge jobs.
+  std::vector<SimJobSpec> jobs;
+  int id = 0;
+  for (int rep = 0; rep < 4; ++rep) {
+    jobs.push_back(TwoStage(60, 600, id++));    // small
+    jobs.push_back(TwoStage(200, 600, id++));   // medium
+    jobs.push_back(TwoStage(700, 600, id++));   // large
+  }
+
+  Row({"Scheme", "Total latency(s)"});
+  struct Mode {
+    const char* name;
+    std::optional<ShuffleKind> force;
+  };
+  const Mode modes[] = {{"adaptive", std::nullopt},
+                        {"direct", ShuffleKind::kDirect},
+                        {"local", ShuffleKind::kLocal},
+                        {"remote", ShuffleKind::kRemote}};
+  for (const Mode& m : modes) {
+    double total = 0.0;
+    for (const SimJobSpec& job : jobs) {
+      SimConfig cfg = MakeSwiftSimConfig(2000, 40);
+      if (m.force.has_value()) {
+        cfg.medium = ShuffleMedium::kMemoryForcedKind;
+        cfg.forced_kind = *m.force;
+      }
+      total += RunSingleJob(cfg, job).Latency();
+    }
+    Row({m.name, F(total, 1)});
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation (not a paper figure): isolates the scheduling-granularity
+// choice by running the SAME workload with the SAME in-memory adaptive
+// shuffle and warm launch under all four partitioning policies. Paper
+// comparisons (Figs. 10/11) vary shuffle medium and launch together;
+// this ablation shows how much graphlet scheduling alone buys.
+
+#include "baselines/baseline_configs.h"
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "trace/production_trace.h"
+
+int main() {
+  using namespace swift;
+  using namespace swift::bench;
+  Header("Ablation", "Partitioning policy alone (same shuffle, same launch)",
+         "expectation: whole-job worst (gang idle), bubble pays its "
+         "partitioning overhead + idle, graphlet ~ per-stage. Swift's "
+         "full win over Spark (Fig. 9) additionally needs warm launch + "
+         "memory shuffle, which this ablation holds fixed");
+  TraceConfig tc;
+  tc.num_jobs = 1500;
+  tc.mean_interarrival = 0.0;
+  tc.extra_stage_p = 0.68;
+  auto jobs = GenerateProductionTrace(tc);
+
+  struct Policy {
+    const char* name;
+    SchedulingPolicy policy;
+  };
+  const Policy policies[] = {
+      {"swift-graphlet", SchedulingPolicy::kSwiftGraphlet},
+      {"bubble-datasize", SchedulingPolicy::kDataSizeBubble},
+      {"per-stage", SchedulingPolicy::kPerStage},
+      {"whole-job", SchedulingPolicy::kWholeJob},
+  };
+  Row({"Policy", "Makespan(s)", "MeanLat(s)", "P90Lat(s)", "IdleRatio%"});
+  for (const Policy& p : policies) {
+    SimConfig cfg = MakeSwiftSimConfig(100, 10);
+    cfg.policy = p.policy;
+    SimReport report = RunTrace(cfg, jobs);
+    std::vector<double> lat, idle;
+    for (const SimJobResult& r : report.jobs) {
+      if (!r.completed) continue;
+      lat.push_back(r.Latency());
+      idle.push_back(100.0 * r.mean_idle_ratio);
+    }
+    Row({p.name, F(report.makespan, 1), F(Mean(lat), 1),
+         F(Quantile(lat, 0.9), 1), F(Mean(idle), 2)});
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Reproduces Fig. 4: shuffle-mode-aware partitioning of the TPC-H Q9
+// job DAG into graphlets.
+//
+// Paper: Q9's 12 stages partition into exactly 4 graphlets —
+// {M1,M2,M3,J4}, {M5,J6}, {M7,M8,R9,J10}, {R11,R12} — with trigger
+// stages J4, J6, J10; the barrier edges are J4->J6, J6->J10, J10->R11.
+
+#include "bench/bench_util.h"
+#include "partition/partitioners.h"
+#include "trace/tpch_jobs.h"
+
+int main() {
+  using namespace swift;
+  using namespace swift::bench;
+  Header("Fig. 4", "TPC-H Q9 job partitioning",
+         "4 graphlets: {M1,M2,M3,J4} {M5,J6} {M7,M8,R9,J10} {R11,R12}");
+  auto job = BuildTpchJob(9);
+  if (!job.ok()) return 1;
+  std::printf("%s\n", job->dag.ToString().c_str());
+  ShuffleModeAwarePartitioner partitioner;
+  auto plan = partitioner.Partition(job->dag);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", plan->ToString(job->dag).c_str());
+  std::printf("\nSubmission order:");
+  for (GraphletId g : plan->SubmissionOrder()) std::printf(" %d", g);
+  std::printf("\ngraphlets=%zu (paper: 4)\n", plan->graphlets.size());
+  return 0;
+}

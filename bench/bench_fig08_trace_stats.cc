@@ -1,0 +1,63 @@
+// Reproduces Fig. 8: the characteristics of the production job trace.
+//
+// Paper: 2,000 jobs; average runtime ~30 s, >90% complete within 120 s
+// (Fig. 8(a)); >80% of jobs have <=80 tasks and <=4 stages (Fig. 8(b)),
+// with tails to ~2,000 tasks and ~200 stages.
+
+#include <algorithm>
+
+#include "baselines/baseline_configs.h"
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "trace/production_trace.h"
+
+int main() {
+  using namespace swift;
+  using namespace swift::bench;
+  Header("Fig. 8", "Production trace characteristics",
+         "avg runtime ~30 s, >90% < 120 s; >80% of jobs <= 80 tasks and "
+         "<= 4 stages");
+  TraceConfig tc;
+  auto jobs = GenerateProductionTrace(tc);
+
+  // Fig. 8(b): job size distribution straight from the trace.
+  std::vector<double> tasks, stages;
+  for (const SimJobSpec& job : jobs) {
+    tasks.push_back(static_cast<double>(job.dag.TotalTasks()));
+    stages.push_back(static_cast<double>(job.dag.stages().size()));
+  }
+  std::sort(tasks.begin(), tasks.end());
+  std::sort(stages.begin(), stages.end());
+  std::printf("Job size distribution (%zu jobs):\n", jobs.size());
+  Row({"", "p50", "p80", "p90", "p99", "max"});
+  Row({"tasks", F(Quantile(tasks, 0.5), 0), F(Quantile(tasks, 0.8), 0),
+       F(Quantile(tasks, 0.9), 0), F(Quantile(tasks, 0.99), 0),
+       F(tasks.back(), 0)});
+  Row({"stages", F(Quantile(stages, 0.5), 0), F(Quantile(stages, 0.8), 0),
+       F(Quantile(stages, 0.9), 0), F(Quantile(stages, 0.99), 0),
+       F(stages.back(), 0)});
+  std::printf("share of jobs with <=80 tasks: %.1f%% (paper: >80%%)\n",
+              100.0 * EmpiricalCdf(tasks, 80.0));
+  std::printf("share of jobs with <=4 stages: %.1f%% (paper: >80%%)\n",
+              100.0 * EmpiricalCdf(stages, 4.0));
+
+  // Fig. 8(a): runtime distribution of the replayed trace on an
+  // uncontended Swift cluster.
+  SimConfig cfg = MakeSwiftSimConfig(500, 40);
+  SimReport report = RunTrace(cfg, jobs);
+  std::vector<double> runtimes;
+  for (const SimJobResult& r : report.jobs) {
+    if (r.completed) runtimes.push_back(r.finish_time - r.first_alloc_time);
+  }
+  std::sort(runtimes.begin(), runtimes.end());
+  std::printf("\nJob runtime distribution (simulated, %zu jobs):\n",
+              runtimes.size());
+  Row({"", "mean", "p50", "p90", "p99", "max"});
+  Row({"runtime(s)", F(Mean(runtimes), 1), F(Quantile(runtimes, 0.5), 1),
+       F(Quantile(runtimes, 0.9), 1), F(Quantile(runtimes, 0.99), 1),
+       F(runtimes.back(), 1)});
+  std::printf("share of jobs finishing within 120 s: %.1f%% (paper: >90%%)\n",
+              100.0 * EmpiricalCdf(runtimes, 120.0));
+  std::printf("mean runtime: %.1f s (paper: ~30 s)\n", Mean(runtimes));
+  return 0;
+}

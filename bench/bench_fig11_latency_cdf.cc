@@ -1,0 +1,54 @@
+// Reproduces Fig. 11: CDF of job latency under JetScope and Bubble
+// Execution, normalized per job to Swift's latency for the same job.
+//
+// Paper: more than 60% of JetScope jobs have latency >= 2x Swift;
+// nearly 90% of Bubble jobs are within 1.5x of Swift.
+
+#include <algorithm>
+
+#include "baselines/baseline_configs.h"
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "trace/production_trace.h"
+
+int main() {
+  using namespace swift;
+  using namespace swift::bench;
+  Header("Fig. 11", "Normalized job latency CDF vs Swift",
+         ">60% of JetScope jobs at >=2x Swift; ~90% of Bubble jobs "
+         "within 1.5x");
+  TraceConfig tc;
+  tc.num_jobs = 2000;
+  tc.mean_interarrival = 0.0;
+  tc.max_stages = 40;
+  tc.tasks_log_sigma = 1.1;
+  tc.extra_stage_p = 0.68;  // median ~3 stages (Fig. 8(b))
+  auto jobs = GenerateProductionTrace(tc);
+
+  SimReport jet = RunTrace(MakeJetScopeSimConfig(100, 10), jobs);
+  SimReport bub = RunTrace(MakeBubbleSimConfig(100, 10), jobs);
+  SimReport swf = RunTrace(MakeSwiftSimConfig(100, 10), jobs);
+
+  std::vector<double> jet_norm, bub_norm;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!swf.jobs[i].completed) continue;
+    const double base = swf.jobs[i].Latency();
+    if (base <= 0) continue;
+    if (jet.jobs[i].completed) jet_norm.push_back(jet.jobs[i].Latency() / base);
+    if (bub.jobs[i].completed) bub_norm.push_back(bub.jobs[i].Latency() / base);
+  }
+  std::sort(jet_norm.begin(), jet_norm.end());
+  std::sort(bub_norm.begin(), bub_norm.end());
+
+  std::printf("Cumulative %% of jobs with normalized latency <= x:\n");
+  Row({"x", "JetScope", "Bubble"});
+  for (double x : {1.0, 1.25, 1.5, 2.0, 2.5, 3.0, 4.0, 6.0, 10.0}) {
+    Row({F(x, 2), F(100.0 * EmpiricalCdf(jet_norm, x), 1),
+         F(100.0 * EmpiricalCdf(bub_norm, x), 1)});
+  }
+  std::printf("\nJetScope jobs at >=2x Swift: %.1f%% (paper: >60%%)\n",
+              100.0 * (1.0 - EmpiricalCdf(jet_norm, 2.0)));
+  std::printf("Bubble jobs within 1.5x of Swift: %.1f%% (paper: ~90%%)\n",
+              100.0 * EmpiricalCdf(bub_norm, 1.5));
+  return 0;
+}

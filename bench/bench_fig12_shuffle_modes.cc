@@ -1,0 +1,99 @@
+// Reproduces Fig. 12: normalized average job execution time when
+// Direct, Local, and Remote Shuffle are each forced for jobs of small,
+// medium, and large shuffle edge size (replayed on the 2,000-node
+// cluster). Direct Shuffle is normalized to 1 per category.
+//
+// Paper: small -> Direct best (Local +4%, Remote +3%); medium -> Remote
+// best (Direct +25%, Local +3.8% over Remote); large -> Local best
+// (Direct +108.3%, Remote +47.9% over Local).
+
+#include "baselines/baseline_configs.h"
+#include "bench/bench_util.h"
+#include "dag/dag_builder.h"
+
+namespace {
+
+// A shuffle-dominated 2-stage job (the paper's Fig. 12 jobs are chosen
+// by shuffle edge size, where data movement is the bottleneck).
+swift::SimJobSpec ShuffleHeavyJob(int tasks, double mb_per_task,
+                                  uint64_t variant) {
+  using namespace swift;
+  using OK = OperatorKind;
+  DagBuilder b("shuffle-heavy");
+  StageDef map;
+  map.name = "map";
+  map.task_count = tasks;
+  map.operators = {OK::kTableScan, OK::kShuffleWrite};
+  map.input_bytes_per_task = mb_per_task * 1e6;
+  map.output_bytes_per_task = mb_per_task * 1e6;
+  map.cpu_cost_factor = 0.15;
+  StageId m = b.AddStage(map);
+  StageDef red;
+  red.name = "reduce";
+  red.task_count = tasks;
+  red.operators = {OK::kShuffleRead, OK::kStreamLine, OK::kAdhocSink};
+  red.input_bytes_per_task = mb_per_task * 1e6;
+  red.output_bytes_per_task = 0.0;
+  red.cpu_cost_factor = 0.15;
+  StageId r = b.AddStage(red);
+  b.AddEdge(m, r);
+  SimJobSpec job;
+  job.name = "shuffle-heavy-" + std::to_string(tasks) + "-" +
+             std::to_string(variant);
+  job.dag = std::move(b.Build()).ValueOrDie();
+  return job;
+}
+
+}  // namespace
+
+int main() {
+  using namespace swift;
+  using namespace swift::bench;
+  Header("Fig. 12", "Forced shuffle scheme vs shuffle edge size",
+         "small: Direct best; medium: Remote best; large: Local best "
+         "(Direct +108.3%, Remote +47.9%)");
+
+  struct Category {
+    const char* name;
+    int tasks;       // M = N
+    double mb_per_task;
+  };
+  // Edge sizes: 60^2=3.6k (small), 200^2=40k (medium), 700^2=490k (large).
+  const Category cats[] = {
+      {"small", 60, 600}, {"medium", 200, 600}, {"large", 700, 600}};
+
+  Row({"Category", "Direct", "Local", "Remote", "Best", "Paper best"});
+  const char* paper_best[] = {"direct", "remote", "local"};
+  int ci = 0;
+  for (const Category& cat : cats) {
+    double t[3] = {0, 0, 0};
+    const ShuffleKind kinds[] = {ShuffleKind::kDirect, ShuffleKind::kLocal,
+                                 ShuffleKind::kRemote};
+    for (int k = 0; k < 3; ++k) {
+      SimConfig cfg = MakeSwiftSimConfig(2000, 40);
+      cfg.medium = ShuffleMedium::kMemoryForcedKind;
+      cfg.forced_kind = kinds[k];
+      // Average over a few job shapes per category.
+      double total = 0.0;
+      for (int rep = 0; rep < 5; ++rep) {
+        total += RunSingleJob(
+                     cfg, ShuffleHeavyJob(cat.tasks, cat.mb_per_task,
+                                          static_cast<uint64_t>(rep)))
+                     .Latency();
+      }
+      t[k] = total / 5.0;
+    }
+    const double base = t[0];  // Direct normalized to 1
+    const char* best = t[0] <= t[1] && t[0] <= t[2]
+                           ? "direct"
+                           : (t[1] <= t[2] ? "local" : "remote");
+    Row({cat.name, F(t[0] / base, 3), F(t[1] / base, 3), F(t[2] / base, 3),
+         best, paper_best[ci++]});
+  }
+  std::printf(
+      "\npaper normalized-to-direct values:\n"
+      "  small : direct 1.000  local 1.040  remote 1.030\n"
+      "  medium: direct 1.000  local 0.830  remote 0.800\n"
+      "  large : direct 1.000  local 0.480  remote 0.710\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Reproduces Fig. 13: the stage-level detail of the TPC-H Q13 job used
+// by the fault-tolerance experiment.
+//
+// Paper: M1 498 tasks (3,012,048 records / 76 MB per task), M2 72
+// tasks (262,697 / 5 MB), then J3, R4, R5, R6 shrinking to KB-sized
+// aggregates.
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "partition/partitioners.h"
+#include "trace/tpch_jobs.h"
+
+int main() {
+  using namespace swift;
+  using namespace swift::bench;
+  Header("Fig. 13", "TPC-H Q13 job detail",
+         "M1: 498 tasks, 76 MB/task; M2: 72 tasks, 5 MB/task; chain "
+         "J3 -> R4 -> R5 -> R6 shrinking to ~1 KB");
+  auto job = BuildTpchJob(13);
+  if (!job.ok()) return 1;
+  Row({"Stage", "Tasks", "Records/task", "Input/task"});
+  for (StageId sid : job->dag.topological_order()) {
+    const StageDef& s = job->dag.stage(sid);
+    Row({s.name, std::to_string(s.task_count),
+         F(s.input_records_per_task, 0),
+         FormatBytes(s.input_bytes_per_task)});
+  }
+  auto plan = ShuffleModeAwarePartitioner().Partition(job->dag);
+  if (plan.ok()) std::printf("\n%s", plan->ToString(job->dag).c_str());
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces Fig. 16: strong scaling of Swift from 10,000 to 140,000
+// executors replaying the same production-trace workload.
+//
+// Paper: near-linear speedup across the whole range.
+
+#include "baselines/baseline_configs.h"
+#include "bench/bench_util.h"
+#include "trace/production_trace.h"
+
+int main() {
+  using namespace swift;
+  using namespace swift::bench;
+  Header("Fig. 16", "Strong scaling 10k -> 140k executors",
+         "near-linear speedup (ideal = x-fold executors)");
+  // A heavy replay that saturates even the largest configuration.
+  TraceConfig tc;
+  tc.num_jobs = 20000;
+  tc.mean_interarrival = 0.0;
+  tc.tasks_log_mu = 4.0;       // wider jobs so 140k executors stay busy
+  tc.runtime_log_sigma = 0.5;  // short critical paths: work-bound run
+  tc.max_stages = 8;
+  auto jobs = GenerateProductionTrace(tc);
+
+  const int executors[] = {10000, 20000, 40000, 80000, 120000, 140000};
+  double base_makespan = 0.0;
+  Row({"Executors", "Makespan(s)", "Speedup", "Ideal"});
+  for (int e : executors) {
+    SimConfig cfg = MakeSwiftSimConfig(e / 40, 40);
+    SimReport report = RunTrace(cfg, jobs);
+    if (e == executors[0]) base_makespan = report.makespan;
+    Row({std::to_string(e), F(report.makespan, 1),
+         F(base_makespan / report.makespan, 2),
+         F(static_cast<double>(e) / executors[0], 2)});
+  }
+  return 0;
+}

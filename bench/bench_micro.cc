@@ -1,0 +1,216 @@
+// Google-benchmark micro-benchmarks of the library's hot components:
+// DAG construction, graphlet partitioning, expression evaluation, batch
+// serde, hash partitioning, Cache Worker operations, the event engine,
+// SQL parsing/planning, and the sort/aggregate operators.
+
+#include <benchmark/benchmark.h>
+
+#include "dag/dag_builder.h"
+#include "exec/operators.h"
+#include "exec/serde.h"
+#include "exec/tpch.h"
+#include "partition/partitioners.h"
+#include "shuffle/cache_worker.h"
+#include "sim/event_engine.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+#include "trace/tpch_jobs.h"
+
+namespace swift {
+namespace {
+
+void BM_JobDagCreate(benchmark::State& state) {
+  const int stages = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    DagBuilder b("chain");
+    for (int s = 0; s < stages; ++s) {
+      b.AddStage("s" + std::to_string(s), 4,
+                 {OperatorKind::kShuffleRead, OperatorKind::kMergeSort,
+                  OperatorKind::kShuffleWrite});
+    }
+    for (int s = 0; s + 1 < stages; ++s) b.AddEdge(s, s + 1);
+    auto dag = b.Build();
+    benchmark::DoNotOptimize(dag);
+  }
+}
+BENCHMARK(BM_JobDagCreate)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_GraphletPartition_Q9(benchmark::State& state) {
+  auto job = BuildTpchJob(9);
+  ShuffleModeAwarePartitioner p;
+  for (auto _ : state) {
+    auto plan = p.Partition(job->dag);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_GraphletPartition_Q9);
+
+void BM_ExpressionEval(benchmark::State& state) {
+  Schema schema({{"a", DataType::kFloat64}, {"b", DataType::kFloat64}});
+  Row row = {Value(3.5), Value(0.1)};
+  // l_extendedprice * (1 - l_discount) style expression.
+  auto e = Expr::Binary(
+      BinaryOp::kMul, Expr::Column("a"),
+      Expr::Binary(BinaryOp::kSub, Expr::Literal(Value(1.0)),
+                   Expr::Column("b")));
+  for (auto _ : state) {
+    auto v = e->Evaluate(schema, row);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_ExpressionEval);
+
+Batch MakeBatch(int rows) {
+  Batch b;
+  b.schema = Schema({{"k", DataType::kInt64},
+                     {"v", DataType::kFloat64},
+                     {"s", DataType::kString}});
+  for (int i = 0; i < rows; ++i) {
+    b.rows.push_back({Value(static_cast<int64_t>(i)), Value(i * 0.5),
+                      Value("payload-" + std::to_string(i % 100))});
+  }
+  return b;
+}
+
+void BM_SerializeBatch(benchmark::State& state) {
+  Batch b = MakeBatch(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::string bytes = SerializeBatch(b);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(SerializedBatchSize(b)));
+}
+BENCHMARK(BM_SerializeBatch)->Arg(100)->Arg(10000);
+
+void BM_DeserializeBatch(benchmark::State& state) {
+  std::string bytes = SerializeBatch(MakeBatch(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto b = DeserializeBatch(bytes);
+    benchmark::DoNotOptimize(b);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_DeserializeBatch)->Arg(100)->Arg(10000);
+
+void BM_HashPartition(benchmark::State& state) {
+  Batch b = MakeBatch(static_cast<int>(state.range(0)));
+  std::vector<ExprPtr> keys = {Expr::Column("k")};
+  for (auto _ : state) {
+    auto parts = HashPartition(b, keys, 16);
+    benchmark::DoNotOptimize(parts);
+  }
+}
+BENCHMARK(BM_HashPartition)->Arg(1000)->Arg(10000);
+
+void BM_CacheWorkerPutGet(benchmark::State& state) {
+  CacheWorker cw(1LL << 30, "");
+  std::string payload(4096, 'x');
+  int64_t i = 0;
+  for (auto _ : state) {
+    ShuffleSlotKey key{1, 0, static_cast<int>(i % 1024), 1,
+                       static_cast<int>(i / 1024)};
+    (void)cw.Put(key, payload, 1);
+    auto got = cw.Get(key);
+    benchmark::DoNotOptimize(got);
+    ++i;
+  }
+}
+BENCHMARK(BM_CacheWorkerPutGet);
+
+void BM_EventEngine(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    EventEngine e;
+    int64_t count = 0;
+    for (int i = 0; i < n; ++i) {
+      e.ScheduleAt((i * 37) % n, [&count] { ++count; });
+    }
+    e.Run();
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_EventEngine)->Arg(1000)->Arg(100000);
+
+void BM_ParseQ9(benchmark::State& state) {
+  const std::string q9 =
+      "select nation, o_year, sum(amount) as sum_profit from ("
+      " select n_name as nation, substr(o_orderdate, 1, 4) as o_year,"
+      "  l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity as amount"
+      " from tpch_supplier s"
+      " join tpch_lineitem l on s.s_suppkey = l.l_suppkey"
+      " join tpch_partsupp ps on ps.ps_suppkey = l.l_suppkey and "
+      "   ps.ps_partkey = l.l_partkey"
+      " join tpch_part p on p.p_partkey = l.l_partkey"
+      " join tpch_orders o on o.o_orderkey = l.l_orderkey"
+      " join tpch_nation n on s.s_nationkey = n.n_nationkey"
+      " where p_name like '%green%'"
+      ") group by nation, o_year order by nation, o_year desc limit 999999";
+  for (auto _ : state) {
+    auto stmt = ParseSelect(q9);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseQ9);
+
+void BM_PlanQ9(benchmark::State& state) {
+  Catalog catalog;
+  TpchConfig cfg;
+  cfg.scale_factor = 0.001;
+  (void)GenerateTpch(cfg, &catalog);
+  auto stmt = ParseSelect(
+      "select n_name, count(*) as n from tpch_nation n "
+      "join tpch_supplier s on n.n_nationkey = s.s_nationkey "
+      "group by n_name order by n desc limit 10");
+  for (auto _ : state) {
+    auto plan = PlanQuery(**stmt, catalog, PlannerConfig{});
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_PlanQ9);
+
+void BM_SortOperator(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Batch b = MakeBatch(rows);
+    // Shuffle rows deterministically.
+    for (std::size_t i = b.rows.size(); i > 1; --i) {
+      std::swap(b.rows[i - 1], b.rows[(i * 7919) % i]);
+    }
+    std::vector<Batch> batches;
+    Schema schema = b.schema;
+    batches.push_back(std::move(b));
+    state.ResumeTiming();
+    auto op = MakeSort(MakeBatchSource(schema, std::move(batches)),
+                       {SortKey{Expr::Column("k"), true}});
+    auto out = CollectAll(op.get());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SortOperator)->Arg(1000)->Arg(20000);
+
+void BM_HashAggregateOperator(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Batch b = MakeBatch(rows);
+    std::vector<Batch> batches;
+    Schema schema = b.schema;
+    batches.push_back(std::move(b));
+    state.ResumeTiming();
+    auto op = MakeHashAggregate(
+        MakeBatchSource(schema, std::move(batches)), {Expr::Column("s")},
+        {"s"}, {AggSpec{AggKind::kSum, Expr::Column("v"), "total"}});
+    auto out = CollectAll(op.get());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_HashAggregateOperator)->Arg(1000)->Arg(20000);
+
+}  // namespace
+}  // namespace swift
+
+BENCHMARK_MAIN();

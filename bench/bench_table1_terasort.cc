@@ -1,0 +1,44 @@
+// Reproduces Table I: Terasort jobs of M x N tasks (200 MB per map
+// task) on the 100-node cluster, Spark vs Swift.
+//
+// Paper: Spark 61/103/233/539 s, Swift 19/26/33/38 s, speedup
+// 3.07/3.96/7.06/14.18 for sizes 250/500/1000/1500. The reproduction
+// targets the *shape*: Swift nearly flat, Spark super-linear, speedup
+// growing with job size.
+
+#include "baselines/baseline_configs.h"
+#include "bench/bench_util.h"
+#include "trace/terasort_job.h"
+
+
+namespace {
+// The paper's TPC-H/Terasort runs own the whole cluster: tasks spread
+// over every machine.
+swift::SimConfig Dedicated(swift::SimConfig cfg) {
+  cfg.machine_spread_multiplier = 1e9;
+  return cfg;
+}
+}  // namespace
+
+int main() {
+  using namespace swift;
+  using namespace swift::bench;
+  Header("Table I", "Terasort: Spark vs Swift",
+         "speedup 3.07x -> 14.18x as job size grows 250x250 -> 1500x1500");
+  Row({"Job Size", "Spark (s)", "Swift (s)", "Speedup", "Paper"});
+  const int sizes[] = {250, 500, 1000, 1500};
+  const double paper_speedup[] = {3.07, 3.96, 7.06, 14.18};
+  for (int i = 0; i < 4; ++i) {
+    const int n = sizes[i];
+    SimJobSpec job = BuildTerasortJob(n, n);
+    const SimJobResult spark =
+        RunSingleJob(Dedicated(MakeSparkSimConfig(100, 40)), job);
+    const SimJobResult swift_r =
+        RunSingleJob(Dedicated(MakeSwiftSimConfig(100, 40)), job);
+    Row({std::to_string(n) + "x" + std::to_string(n),
+         F(spark.Latency(), 1), F(swift_r.Latency(), 1),
+         F(spark.Latency() / swift_r.Latency(), 2),
+         F(paper_speedup[i], 2)});
+  }
+  return 0;
+}

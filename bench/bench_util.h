@@ -1,0 +1,73 @@
+#ifndef SWIFT_BENCH_BENCH_UTIL_H_
+#define SWIFT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/cluster_sim.h"
+
+namespace swift {
+namespace bench {
+
+inline void Header(const std::string& id, const std::string& title,
+                   const std::string& paper) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("Paper reports: %s\n", paper.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Row(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string F(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+/// \brief Runs one job alone on a simulated cluster; returns its result.
+inline SimJobResult RunSingleJob(const SimConfig& config,
+                                 const SimJobSpec& job) {
+  ClusterSim sim(config);
+  auto st = sim.SubmitJob(job);
+  if (!st.ok()) {
+    std::fprintf(stderr, "submit failed: %s\n", st.ToString().c_str());
+    return SimJobResult{};
+  }
+  auto report = sim.Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 report.status().ToString().c_str());
+    return SimJobResult{};
+  }
+  return report->jobs[0];
+}
+
+/// \brief Replays a whole trace; returns the full report.
+inline SimReport RunTrace(const SimConfig& config,
+                          const std::vector<SimJobSpec>& jobs) {
+  ClusterSim sim(config);
+  for (const SimJobSpec& job : jobs) {
+    auto st = sim.SubmitJob(job);
+    if (!st.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n", st.ToString().c_str());
+      return SimReport{};
+    }
+  }
+  auto report = sim.Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 report.status().ToString().c_str());
+    return SimReport{};
+  }
+  return *std::move(report);
+}
+
+}  // namespace bench
+}  // namespace swift
+
+#endif  // SWIFT_BENCH_BENCH_UTIL_H_

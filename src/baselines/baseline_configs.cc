@@ -1,0 +1,52 @@
+#include "baselines/baseline_configs.h"
+
+namespace swift {
+
+SimConfig MakeSwiftSimConfig(int machines, int executors_per_machine) {
+  SimConfig c;
+  c.machines = machines;
+  c.executors_per_machine = executors_per_machine;
+  c.policy = SchedulingPolicy::kSwiftGraphlet;
+  c.medium = ShuffleMedium::kMemoryAdaptive;
+  c.cold_launch = false;
+  c.fine_grained_recovery = true;
+  return c;
+}
+
+SimConfig MakeSparkSimConfig(int machines, int executors_per_machine) {
+  SimConfig c;
+  c.machines = machines;
+  c.executors_per_machine = executors_per_machine;
+  c.policy = SchedulingPolicy::kPerStage;
+  c.medium = ShuffleMedium::kDisk;
+  c.cold_launch = true;
+  c.fine_grained_recovery = true;  // Spark retries failed tasks too
+  return c;
+}
+
+SimConfig MakeJetScopeSimConfig(int machines, int executors_per_machine) {
+  SimConfig c;
+  c.machines = machines;
+  c.executors_per_machine = executors_per_machine;
+  c.policy = SchedulingPolicy::kWholeJob;
+  c.medium = ShuffleMedium::kMemoryForcedKind;
+  c.forced_kind = ShuffleKind::kDirect;  // direct streaming channels
+  c.cold_launch = false;
+  c.fine_grained_recovery = true;
+  return c;
+}
+
+SimConfig MakeBubbleSimConfig(int machines, int executors_per_machine) {
+  SimConfig c;
+  c.machines = machines;
+  c.executors_per_machine = executors_per_machine;
+  c.policy = SchedulingPolicy::kDataSizeBubble;
+  c.medium = ShuffleMedium::kDisk;  // dumps intermediate data to disk
+  c.cold_launch = false;
+  c.bubble_data_budget = 2.0e9;
+  c.bubble_partition_overhead = 0.3;
+  c.fine_grained_recovery = true;
+  return c;
+}
+
+}  // namespace swift

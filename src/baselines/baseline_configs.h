@@ -1,0 +1,33 @@
+#ifndef SWIFT_BASELINES_BASELINE_CONFIGS_H_
+#define SWIFT_BASELINES_BASELINE_CONFIGS_H_
+
+#include "sim/cluster_sim.h"
+
+namespace swift {
+
+/// \brief Swift itself: graphlet gang scheduling over pre-launched
+/// executors, adaptive memory-based in-network shuffle, fine-grained
+/// recovery.
+SimConfig MakeSwiftSimConfig(int machines = 100,
+                             int executors_per_machine = 40);
+
+/// \brief Spark-like baseline: stage-at-a-time scheduling, cold task
+/// launch (package download + executor start), file-based shuffle,
+/// whole-stage retry on failure.
+SimConfig MakeSparkSimConfig(int machines = 100,
+                             int executors_per_machine = 40);
+
+/// \brief JetScope-like baseline: whole-job gang scheduling over
+/// pre-launched executors with direct task-to-task streaming channels.
+SimConfig MakeJetScopeSimConfig(int machines = 100,
+                                int executors_per_machine = 40);
+
+/// \brief Bubble-Execution-like baseline: data-size "bubbles" with
+/// extra partitioning overhead, disk-based shuffle between bubbles,
+/// pre-launched executors.
+SimConfig MakeBubbleSimConfig(int machines = 100,
+                              int executors_per_machine = 40);
+
+}  // namespace swift
+
+#endif  // SWIFT_BASELINES_BASELINE_CONFIGS_H_

@@ -1,0 +1,47 @@
+#ifndef SWIFT_COMMON_CLOCK_H_
+#define SWIFT_COMMON_CLOCK_H_
+
+#include <chrono>
+
+namespace swift {
+
+/// \brief Time source abstraction so scheduler/fault code runs unchanged
+/// on wall-clock time (local runtime) and simulated time (sim).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in seconds.
+  virtual double Now() const = 0;
+};
+
+/// \brief Wall-clock time, seconds since an arbitrary steady epoch.
+class SystemClock : public Clock {
+ public:
+  SystemClock() : epoch_(std::chrono::steady_clock::now()) {}
+  double Now() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// \brief Manually-advanced clock owned by the discrete-event engine.
+class VirtualClock : public Clock {
+ public:
+  double Now() const override { return now_; }
+  /// Advances to `t` (monotone; earlier values are ignored).
+  void AdvanceTo(double t) {
+    if (t > now_) now_ = t;
+  }
+  void Reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_COMMON_CLOCK_H_

@@ -1,0 +1,61 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+
+namespace swift {
+
+namespace {
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() : level_(LogLevel::kWarn) {
+  if (const char* env = std::getenv("SWIFT_LOG_LEVEL")) {
+    std::string v(env);
+    if (v == "debug") level_ = LogLevel::kDebug;
+    else if (v == "info") level_ = LogLevel::kInfo;
+    else if (v == "warn") level_ = LogLevel::kWarn;
+    else if (v == "error") level_ = LogLevel::kError;
+  }
+}
+
+void Logger::Write(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::cerr << "[" << LevelName(level) << "] " << msg << "\n";
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << base << ":" << line << " ";
+}
+
+LogMessage::~LogMessage() {
+  Logger::Instance().Write(level_, stream_.str());
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace swift

@@ -1,0 +1,66 @@
+#ifndef SWIFT_COMMON_LOGGING_H_
+#define SWIFT_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace swift {
+
+/// \brief Severity levels for the process-wide logger.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+/// \brief Minimal process-wide leveled logger writing to stderr.
+///
+/// Swift Admin in production logs through a structured pipeline; for the
+/// reproduction a synchronized stderr sink is sufficient and keeps the
+/// library dependency-free.
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void Write(LogLevel level, const std::string& msg);
+
+ private:
+  Logger();
+  LogLevel level_;
+  std::mutex mu_;
+};
+
+/// \brief RAII line builder; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace swift
+
+#define SWIFT_LOG(severity)                                                 \
+  if (static_cast<int>(::swift::LogLevel::k##severity) <                    \
+      static_cast<int>(::swift::Logger::Instance().level())) {              \
+  } else                                                                    \
+    ::swift::LogMessage(::swift::LogLevel::k##severity, __FILE__, __LINE__)
+
+#define SWIFT_CHECK(cond)                                                   \
+  if (cond) {                                                               \
+  } else                                                                    \
+    ::swift::LogMessage(::swift::LogLevel::kFatal, __FILE__, __LINE__)      \
+        << "Check failed: " #cond " "
+
+#endif  // SWIFT_COMMON_LOGGING_H_

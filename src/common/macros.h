@@ -1,0 +1,25 @@
+#ifndef SWIFT_COMMON_MACROS_H_
+#define SWIFT_COMMON_MACROS_H_
+
+/// Propagates a non-OK Status from the current function.
+#define SWIFT_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::swift::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#define SWIFT_CONCAT_IMPL(x, y) x##y
+#define SWIFT_CONCAT(x, y) SWIFT_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// Status, otherwise moves the value into `lhs`.
+#define SWIFT_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                \
+  if (!result_name.ok()) return result_name.status();        \
+  lhs = std::move(result_name).ValueOrDie()
+
+#define SWIFT_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  SWIFT_ASSIGN_OR_RETURN_IMPL(SWIFT_CONCAT(_swift_result_, __COUNTER__), lhs, \
+                              rexpr)
+
+#endif  // SWIFT_COMMON_MACROS_H_

@@ -1,0 +1,70 @@
+#ifndef SWIFT_COMMON_RESULT_H_
+#define SWIFT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace swift {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Modeled on arrow::Result. A Result constructed from an OK status is a
+/// programming error and is converted to an Internal error.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from an error status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// Constructs from a value.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(value)) {}
+
+  /// \brief True when a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// \brief The status: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// \brief Borrow the value; requires ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  /// \brief Move the value out; requires ok().
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// \brief Moves the value out, or returns `alternative` on error.
+  T ValueOr(T alternative) && {
+    return ok() ? std::move(std::get<T>(repr_)) : std::move(alternative);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_COMMON_RESULT_H_

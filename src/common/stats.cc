@@ -1,0 +1,86 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace swift {
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (q <= 0.0) return values.front();
+  if (q >= 1.0) return values.back();
+  const double h = (static_cast<double>(values.size()) - 1.0) * q;
+  const std::size_t lo = static_cast<std::size_t>(std::floor(h));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(h));
+  const double frac = h - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+QuartileSummary Quartiles(std::vector<double> values) {
+  QuartileSummary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  s.mean = Mean(values);
+  auto interp = [&](double q) {
+    const double h = (static_cast<double>(values.size()) - 1.0) * q;
+    const std::size_t lo = static_cast<std::size_t>(std::floor(h));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(h));
+    const double frac = h - static_cast<double>(lo);
+    return values[lo] + frac * (values[hi] - values[lo]);
+  };
+  s.q1 = interp(0.25);
+  s.median = interp(0.5);
+  s.q3 = interp(0.75);
+  return s;
+}
+
+double EmpiricalCdf(const std::vector<double>& sorted_values, double x) {
+  if (sorted_values.empty()) return 0.0;
+  auto it = std::upper_bound(sorted_values.begin(), sorted_values.end(), x);
+  return static_cast<double>(it - sorted_values.begin()) /
+         static_cast<double>(sorted_values.size());
+}
+
+std::vector<CdfPoint> BuildCdf(std::vector<double> values) {
+  std::vector<CdfPoint> out;
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  out.reserve(values.size());
+  const double n = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out.push_back({values[i], static_cast<double>(i + 1) / n});
+  }
+  return out;
+}
+
+std::vector<std::size_t> Histogram(const std::vector<double>& values,
+                                   double lo, double hi, std::size_t bins) {
+  std::vector<std::size_t> out(bins, 0);
+  if (bins == 0 || hi <= lo) return out;
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double v : values) {
+    double idx = (v - lo) / width;
+    std::size_t b;
+    if (idx < 0.0) {
+      b = 0;
+    } else if (idx >= static_cast<double>(bins)) {
+      b = bins - 1;
+    } else {
+      b = static_cast<std::size_t>(idx);
+    }
+    ++out[b];
+  }
+  return out;
+}
+
+}  // namespace swift

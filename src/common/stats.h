@@ -1,0 +1,49 @@
+#ifndef SWIFT_COMMON_STATS_H_
+#define SWIFT_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace swift {
+
+/// \brief Summary produced by the "four quartile method" the paper cites
+/// (Hyndman & Fan [26]) for reporting cluster-wide measurements.
+struct QuartileSummary {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// \brief Linear-interpolation sample quantile (Hyndman-Fan type 7, the
+/// default of R/NumPy). `q` in [0,1]. Input need not be sorted.
+double Quantile(std::vector<double> values, double q);
+
+/// \brief Computes min/Q1/median/Q3/max/mean of a sample.
+QuartileSummary Quartiles(std::vector<double> values);
+
+/// \brief Arithmetic mean; 0 for an empty sample.
+double Mean(const std::vector<double>& values);
+
+/// \brief Empirical CDF evaluated at `x`: fraction of samples <= x.
+double EmpiricalCdf(const std::vector<double>& sorted_values, double x);
+
+/// \brief One (x, F(x)) point of an empirical CDF.
+struct CdfPoint {
+  double x;
+  double cdf;  ///< in [0, 1]
+};
+
+/// \brief Full empirical CDF as a step function (one point per sample).
+std::vector<CdfPoint> BuildCdf(std::vector<double> values);
+
+/// \brief Fixed-width histogram over [lo, hi) with `bins` buckets;
+/// out-of-range samples clamp to the first/last bucket.
+std::vector<std::size_t> Histogram(const std::vector<double>& values,
+                                   double lo, double hi, std::size_t bins);
+
+}  // namespace swift
+
+#endif  // SWIFT_COMMON_STATS_H_

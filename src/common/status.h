@@ -1,0 +1,144 @@
+#ifndef SWIFT_COMMON_STATUS_H_
+#define SWIFT_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace swift {
+
+/// \brief Machine-readable category of a Status.
+///
+/// The taxonomy mirrors the failure classes Swift distinguishes at
+/// runtime (Sec. IV of the paper): transient infrastructure failures are
+/// recoverable, while application-logic failures (kApplication) must not
+/// trigger recovery ("useless failure recovery" avoidance, Sec. IV-C).
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kIOError = 7,
+  kResourceExhausted = 8,
+  kCancelled = 9,
+  kTimeout = 10,
+  kParseError = 11,
+  kPlanError = 12,
+  kExecutorLost = 13,
+  kMachineUnhealthy = 14,
+  kApplication = 15,
+};
+
+/// \brief Returns a stable human-readable name for a StatusCode.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: either OK or a code + message.
+///
+/// Modeled on arrow::Status / rocksdb::Status: cheap to pass by value
+/// (a single pointer that is null in the OK case), no exceptions.
+class Status {
+ public:
+  /// Creates an OK status.
+  Status() noexcept = default;
+
+  /// Creates a status with the given code and message.
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  /// \brief True when the operation succeeded.
+  bool ok() const noexcept { return state_ == nullptr; }
+
+  /// \brief The status code (kOk when ok()).
+  StatusCode code() const noexcept {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+
+  /// \brief The error message (empty when ok()).
+  const std::string& message() const noexcept {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->msg;
+  }
+
+  /// \brief Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// \brief Returns this status with extra context prepended to the message.
+  Status WithContext(std::string_view context) const;
+
+  bool operator==(const Status& other) const noexcept {
+    return code() == other.code() && message() == other.message();
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status ExecutorLost(std::string msg) {
+    return Status(StatusCode::kExecutorLost, std::move(msg));
+  }
+  static Status MachineUnhealthy(std::string msg) {
+    return Status(StatusCode::kMachineUnhealthy, std::move(msg));
+  }
+  static Status Application(std::string msg) {
+    return Status(StatusCode::kApplication, std::move(msg));
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsApplication() const { return code() == StatusCode::kApplication; }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+#ifndef SWIFT_COMMON_STRING_UTIL_H_
+#define SWIFT_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swift {
+
+/// \brief Splits `s` on `sep` (empty fields preserved).
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// \brief Joins parts with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// \brief Strips ASCII whitespace from both ends.
+std::string_view TrimView(std::string_view s);
+
+/// \brief ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// \brief Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// \brief SQL LIKE match supporting '%' (any run) and '_' (any char).
+bool SqlLikeMatch(std::string_view value, std::string_view pattern);
+
+/// \brief Renders a byte count as "1.5 GB"-style text.
+std::string FormatBytes(double bytes);
+
+/// \brief printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace swift
+
+#endif  // SWIFT_COMMON_STRING_UTIL_H_

@@ -1,0 +1,51 @@
+#ifndef SWIFT_COMMON_THREAD_POOL_H_
+#define SWIFT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace swift {
+
+/// \brief Fixed-size worker pool used by the local runtime's Executor
+/// Manager (the "dedicated thread pool" of Fig. 2) and by Swift Executors
+/// themselves.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues a task; returns false after Shutdown().
+  bool Submit(std::function<void()> task);
+
+  /// \brief Blocks until the queue drains and all in-flight tasks finish.
+  void Wait();
+
+  /// \brief Stops accepting tasks and joins the workers (drains the queue
+  /// first).
+  void Shutdown();
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_COMMON_THREAD_POOL_H_

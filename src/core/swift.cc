@@ -1,0 +1,88 @@
+#include "core/swift.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/macros.h"
+#include "partition/partitioners.h"
+
+namespace swift {
+
+SwiftSystem::SwiftSystem(LocalRuntimeConfig config)
+    : runtime_(std::move(config)) {}
+
+Catalog* SwiftSystem::catalog() { return runtime_.catalog(); }
+
+Result<Batch> SwiftSystem::Query(const std::string& sql,
+                                 const PlannerConfig& planner) {
+  return runtime_.ExecuteSql(sql, planner);
+}
+
+Result<JobRunReport> SwiftSystem::QueryWithStats(const std::string& sql,
+                                                 const PlannerConfig& planner) {
+  return runtime_.RunSql(sql, planner);
+}
+
+Result<DistributedPlan> SwiftSystem::Plan(const std::string& sql,
+                                          const PlannerConfig& planner) {
+  return PlanSql(sql, *runtime_.catalog(), planner);
+}
+
+Result<std::string> SwiftSystem::Explain(const std::string& sql,
+                                         const PlannerConfig& planner) {
+  SWIFT_ASSIGN_OR_RETURN(DistributedPlan plan, Plan(sql, planner));
+  ShuffleModeAwarePartitioner partitioner;
+  SWIFT_ASSIGN_OR_RETURN(GraphletPlan graphlets,
+                         partitioner.Partition(plan.dag));
+  std::ostringstream os;
+  os << plan.ToString() << graphlets.ToString(plan.dag);
+  return os.str();
+}
+
+void SwiftSystem::InjectFailureOnce(const TaskRef& task, FailureKind kind) {
+  runtime_.InjectFailureOnce(task, kind);
+}
+
+std::string FormatBatch(const Batch& batch, std::size_t max_rows) {
+  std::vector<std::size_t> widths;
+  std::vector<std::vector<std::string>> cells;
+  std::vector<std::string> header;
+  for (const Field& f : batch.schema.fields()) {
+    header.push_back(f.name);
+    widths.push_back(f.name.size());
+  }
+  const std::size_t n = std::min(max_rows, batch.rows.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::string> row;
+    for (std::size_t c = 0; c < batch.rows[i].size(); ++c) {
+      std::string s = batch.rows[i][c].ToString();
+      if (c < widths.size()) widths[c] = std::max(widths[c], s.size());
+      row.push_back(std::move(s));
+    }
+    cells.push_back(std::move(row));
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      std::string v = c < row.size() ? row[c] : "";
+      os << " " << v << std::string(widths[c] - std::min(widths[c], v.size()),
+                                    ' ')
+         << " |";
+    }
+    os << "\n";
+  };
+  emit_row(header);
+  os << "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : cells) emit_row(row);
+  if (batch.rows.size() > n) {
+    os << "... (" << batch.rows.size() - n << " more rows)\n";
+  }
+  return os.str();
+}
+
+}  // namespace swift

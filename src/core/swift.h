@@ -1,0 +1,62 @@
+#ifndef SWIFT_CORE_SWIFT_H_
+#define SWIFT_CORE_SWIFT_H_
+
+/// \file
+/// Umbrella public API of the Swift reproduction.
+///
+/// Two entry points:
+///  * SwiftSystem — an in-process Swift deployment executing real SQL
+///    jobs end-to-end (parse -> plan -> graphlets -> gang scheduling ->
+///    in-network shuffle -> result), with failure injection.
+///  * ClusterSim (sim/cluster_sim.h) — the discrete-event cluster
+///    simulator behind the paper's evaluation figures.
+
+#include <memory>
+#include <string>
+
+#include "runtime/local_runtime.h"
+#include "sql/planner.h"
+
+namespace swift {
+
+/// \brief Facade over the local runtime: the quickest way to run a
+/// query (see examples/quickstart.cc).
+class SwiftSystem {
+ public:
+  explicit SwiftSystem(LocalRuntimeConfig config = {});
+
+  /// \brief Table registry to populate before querying.
+  Catalog* catalog();
+
+  /// \brief Runs a SQL query and returns the result rows.
+  Result<Batch> Query(const std::string& sql,
+                      const PlannerConfig& planner = {});
+
+  /// \brief Runs a SQL query and returns rows plus execution stats.
+  Result<JobRunReport> QueryWithStats(const std::string& sql,
+                                      const PlannerConfig& planner = {});
+
+  /// \brief Plans without executing.
+  Result<DistributedPlan> Plan(const std::string& sql,
+                               const PlannerConfig& planner = {});
+
+  /// \brief Human-readable plan + graphlet partitioning (EXPLAIN).
+  Result<std::string> Explain(const std::string& sql,
+                              const PlannerConfig& planner = {});
+
+  /// \brief Schedules a one-shot failure for fault-tolerance demos.
+  void InjectFailureOnce(const TaskRef& task, FailureKind kind);
+
+  LocalRuntime* runtime() { return &runtime_; }
+
+ private:
+  LocalRuntime runtime_;
+};
+
+/// \brief Renders a result batch as an aligned text table (for the
+/// examples and the AdhocSink of interactive queries).
+std::string FormatBatch(const Batch& batch, std::size_t max_rows = 50);
+
+}  // namespace swift
+
+#endif  // SWIFT_CORE_SWIFT_H_

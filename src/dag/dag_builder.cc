@@ -1,0 +1,42 @@
+#include "dag/dag_builder.h"
+
+#include "common/logging.h"
+
+namespace swift {
+
+StageId DagBuilder::AddStage(std::string name, int task_count,
+                             std::vector<OperatorKind> operators) {
+  StageDef def;
+  def.name = std::move(name);
+  def.task_count = task_count;
+  def.operators = std::move(operators);
+  return AddStage(std::move(def));
+}
+
+StageId DagBuilder::AddStage(StageDef def) {
+  def.id = static_cast<StageId>(stages_.size());
+  stages_.push_back(std::move(def));
+  return stages_.back().id;
+}
+
+DagBuilder& DagBuilder::AddEdge(StageId src, StageId dst) {
+  edges_.push_back(EdgeDef{src, dst, std::nullopt});
+  return *this;
+}
+
+DagBuilder& DagBuilder::AddEdge(StageId src, StageId dst, EdgeKind kind) {
+  edges_.push_back(EdgeDef{src, dst, kind});
+  return *this;
+}
+
+StageDef& DagBuilder::MutableStage(StageId id) {
+  SWIFT_CHECK(id >= 0 && static_cast<std::size_t>(id) < stages_.size())
+      << "unknown stage id " << id;
+  return stages_[static_cast<std::size_t>(id)];
+}
+
+Result<JobDag> DagBuilder::Build() const {
+  return JobDag::Create(name_, stages_, edges_);
+}
+
+}  // namespace swift

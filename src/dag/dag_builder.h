@@ -1,0 +1,58 @@
+#ifndef SWIFT_DAG_DAG_BUILDER_H_
+#define SWIFT_DAG_DAG_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dag/job_dag.h"
+
+namespace swift {
+
+/// \brief Fluent construction of JobDags for workload descriptors, tests,
+/// and the SQL planner.
+///
+/// Example (the paper's two-stage sort job):
+/// \code
+///   DagBuilder b("sort");
+///   StageId map = b.AddStage("map", 250, {OperatorKind::kTableScan,
+///                                         OperatorKind::kSortBy,
+///                                         OperatorKind::kShuffleWrite});
+///   StageId red = b.AddStage("reduce", 250, {OperatorKind::kShuffleRead,
+///                                            OperatorKind::kMergeSort,
+///                                            OperatorKind::kAdhocSink});
+///   b.AddEdge(map, red);
+///   Result<JobDag> dag = b.Build();
+/// \endcode
+class DagBuilder {
+ public:
+  explicit DagBuilder(std::string job_name) : name_(std::move(job_name)) {}
+
+  /// \brief Adds a stage with an auto-assigned id; returns the id.
+  StageId AddStage(std::string name, int task_count,
+                   std::vector<OperatorKind> operators);
+
+  /// \brief Adds a fully specified stage with an auto-assigned id.
+  StageId AddStage(StageDef def);
+
+  /// \brief Adds an edge whose kind derives from the producer's operators.
+  DagBuilder& AddEdge(StageId src, StageId dst);
+
+  /// \brief Adds an edge with an explicit kind (trace-driven jobs).
+  DagBuilder& AddEdge(StageId src, StageId dst, EdgeKind kind);
+
+  /// \brief Mutable access to a stage already added (by id).
+  StageDef& MutableStage(StageId id);
+
+  /// \brief Validates and produces the immutable JobDag.
+  Result<JobDag> Build() const;
+
+ private:
+  std::string name_;
+  std::vector<StageDef> stages_;
+  std::vector<EdgeDef> edges_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_DAG_DAG_BUILDER_H_

@@ -1,0 +1,163 @@
+#include "dag/job_dag.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace swift {
+
+std::string_view EdgeKindToString(EdgeKind kind) {
+  return kind == EdgeKind::kPipeline ? "pipeline" : "barrier";
+}
+
+bool StageDef::HasGlobalSortOperator() const {
+  for (OperatorKind op : operators) {
+    if (IsGlobalSortOperator(op)) return true;
+  }
+  return false;
+}
+
+Result<JobDag> JobDag::Create(std::string name, std::vector<StageDef> stages,
+                              std::vector<EdgeDef> edges) {
+  JobDag dag;
+  dag.name_ = std::move(name);
+  if (stages.empty()) {
+    return Status::InvalidArgument("job DAG must have at least one stage");
+  }
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageDef& s = stages[i];
+    if (s.id < 0) {
+      return Status::InvalidArgument(
+          StrFormat("stage '%s' has negative id %d", s.name.c_str(), s.id));
+    }
+    if (s.task_count <= 0) {
+      return Status::InvalidArgument(StrFormat(
+          "stage '%s' has non-positive task count %d", s.name.c_str(),
+          s.task_count));
+    }
+    if (!dag.stage_index_.emplace(s.id, i).second) {
+      return Status::InvalidArgument(StrFormat("duplicate stage id %d", s.id));
+    }
+  }
+
+  std::set<std::pair<StageId, StageId>> seen_edges;
+  for (const EdgeDef& e : edges) {
+    if (dag.stage_index_.count(e.src) == 0 ||
+        dag.stage_index_.count(e.dst) == 0) {
+      return Status::InvalidArgument(
+          StrFormat("edge %d->%d references unknown stage", e.src, e.dst));
+    }
+    if (e.src == e.dst) {
+      return Status::InvalidArgument(
+          StrFormat("self edge on stage %d", e.src));
+    }
+    if (!seen_edges.insert({e.src, e.dst}).second) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate edge %d->%d", e.src, e.dst));
+    }
+  }
+
+  dag.stages_ = std::move(stages);
+  dag.edges_ = std::move(edges);
+
+  for (const StageDef& s : dag.stages_) {
+    dag.outputs_[s.id];
+    dag.inputs_[s.id];
+  }
+  for (const EdgeDef& e : dag.edges_) {
+    dag.outputs_[e.src].push_back(e.dst);
+    dag.inputs_[e.dst].push_back(e.src);
+    dag.edge_kind_[{e.src, e.dst}] = e.kind_override;
+  }
+  for (auto& [id, v] : dag.outputs_) std::sort(v.begin(), v.end());
+  for (auto& [id, v] : dag.inputs_) std::sort(v.begin(), v.end());
+
+  // Kahn's algorithm with a min-id frontier for deterministic order.
+  std::map<StageId, int> indegree;
+  for (const StageDef& s : dag.stages_) indegree[s.id] = 0;
+  for (const EdgeDef& e : dag.edges_) ++indegree[e.dst];
+  std::set<StageId> frontier;
+  for (const auto& [id, deg] : indegree) {
+    if (deg == 0) frontier.insert(id);
+  }
+  while (!frontier.empty()) {
+    StageId id = *frontier.begin();
+    frontier.erase(frontier.begin());
+    dag.topo_.push_back(id);
+    for (StageId out : dag.outputs_[id]) {
+      if (--indegree[out] == 0) frontier.insert(out);
+    }
+  }
+  if (dag.topo_.size() != dag.stages_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("job DAG '%s' contains a cycle", dag.name_.c_str()));
+  }
+  return dag;
+}
+
+const StageDef& JobDag::stage(StageId id) const {
+  auto it = stage_index_.find(id);
+  SWIFT_CHECK(it != stage_index_.end()) << "unknown stage id " << id;
+  return stages_[it->second];
+}
+
+bool JobDag::HasStage(StageId id) const { return stage_index_.count(id) > 0; }
+
+const std::vector<StageId>& JobDag::outputs(StageId id) const {
+  auto it = outputs_.find(id);
+  SWIFT_CHECK(it != outputs_.end()) << "unknown stage id " << id;
+  return it->second;
+}
+
+const std::vector<StageId>& JobDag::inputs(StageId id) const {
+  auto it = inputs_.find(id);
+  SWIFT_CHECK(it != inputs_.end()) << "unknown stage id " << id;
+  return it->second;
+}
+
+EdgeKind JobDag::EdgeKindOf(StageId src, StageId dst) const {
+  auto it = edge_kind_.find({src, dst});
+  SWIFT_CHECK(it != edge_kind_.end()) << "unknown edge " << src << "->" << dst;
+  if (it->second.has_value()) return *it->second;
+  return stage(src).HasGlobalSortOperator() ? EdgeKind::kBarrier
+                                            : EdgeKind::kPipeline;
+}
+
+int64_t JobDag::ShuffleEdgeSize(StageId src, StageId dst) const {
+  return static_cast<int64_t>(stage(src).task_count) *
+         static_cast<int64_t>(stage(dst).task_count);
+}
+
+int64_t JobDag::TotalTasks() const {
+  int64_t total = 0;
+  for (const StageDef& s : stages_) total += s.task_count;
+  return total;
+}
+
+std::string JobDag::ToString() const {
+  std::ostringstream os;
+  os << "JobDag '" << name_ << "' (" << stages_.size() << " stages, "
+     << edges_.size() << " edges)\n";
+  for (StageId id : topo_) {
+    const StageDef& s = stage(id);
+    os << "  stage " << id << " '" << s.name << "' tasks=" << s.task_count
+       << " ops=[";
+    for (std::size_t i = 0; i < s.operators.size(); ++i) {
+      if (i > 0) os << ",";
+      os << OperatorKindToString(s.operators[i]);
+    }
+    os << "]\n";
+  }
+  for (const EdgeDef& e : edges_) {
+    os << "  edge " << e.src << "->" << e.dst << " ("
+       << EdgeKindToString(EdgeKindOf(e.src, e.dst))
+       << ", size=" << ShuffleEdgeSize(e.src, e.dst) << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace swift

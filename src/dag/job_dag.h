@@ -1,0 +1,123 @@
+#ifndef SWIFT_DAG_JOB_DAG_H_
+#define SWIFT_DAG_JOB_DAG_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dag/operator_kind.h"
+
+namespace swift {
+
+using StageId = int32_t;
+using JobId = int64_t;
+
+/// \brief Classification of an inter-stage shuffle edge (Sec. III-A).
+///
+/// A *barrier* edge carries data whose production involves a global sort,
+/// so it cannot be streamlined into the consumer stage; a *pipeline* edge
+/// can. Barrier edges are the graphlet cut points.
+enum class EdgeKind : int { kPipeline = 0, kBarrier = 1 };
+
+std::string_view EdgeKindToString(EdgeKind kind);
+
+/// \brief One vertex of the job DAG: a stage running `task_count`
+/// identical tasks over disjoint partitions.
+struct StageDef {
+  StageId id = -1;
+  std::string name;
+  int task_count = 1;
+  std::vector<OperatorKind> operators;
+
+  /// True when re-running the task reproduces byte-identical output in
+  /// the same order (Sec. IV-B); drives the recovery strategy.
+  bool idempotent = true;
+
+  /// Per-task simulation metadata (ignored by the local runtime, which
+  /// measures real sizes).
+  double input_records_per_task = 0.0;
+  double input_bytes_per_task = 0.0;
+  double output_bytes_per_task = 0.0;
+  /// Relative CPU weight of processing one input byte (1.0 = default).
+  double cpu_cost_factor = 1.0;
+
+  /// \brief True if any operator is a global-sort operator.
+  bool HasGlobalSortOperator() const;
+};
+
+/// \brief One inter-stage edge (an all-to-all shuffle from src to dst).
+struct EdgeDef {
+  StageId src = -1;
+  StageId dst = -1;
+  /// When unset the kind is derived from the producer stage's operators.
+  std::optional<EdgeKind> kind_override;
+};
+
+/// \brief An immutable, validated job DAG.
+///
+/// Construction validates referential integrity and acyclicity and
+/// precomputes adjacency plus a deterministic topological order (the
+/// "topology order" Algorithm 1 consumes stages in).
+class JobDag {
+ public:
+  /// \brief Constructs an empty placeholder; only Create() yields a
+  /// usable DAG. Provided so JobDag can live in aggregates that are
+  /// filled in after construction.
+  JobDag() = default;
+
+  /// \brief Validates and builds a JobDag.
+  static Result<JobDag> Create(std::string name, std::vector<StageDef> stages,
+                               std::vector<EdgeDef> edges);
+
+  const std::string& name() const { return name_; }
+  const std::vector<StageDef>& stages() const { return stages_; }
+  const std::vector<EdgeDef>& edges() const { return edges_; }
+
+  /// \brief Stage lookup by id; dies on unknown id (validated at Create).
+  const StageDef& stage(StageId id) const;
+
+  bool HasStage(StageId id) const;
+
+  /// \brief Stages ordered so every edge goes from earlier to later, ties
+  /// broken by ascending stage id (deterministic).
+  const std::vector<StageId>& topological_order() const { return topo_; }
+
+  /// \brief Successor stage ids of `id` (deduplicated, ascending).
+  const std::vector<StageId>& outputs(StageId id) const;
+  /// \brief Predecessor stage ids of `id` (deduplicated, ascending).
+  const std::vector<StageId>& inputs(StageId id) const;
+
+  /// \brief Effective kind of the edge src->dst: the override when
+  /// present, else kBarrier iff the producer stage contains a global-sort
+  /// operator (the paper's heuristic, Sec. III-A-1).
+  EdgeKind EdgeKindOf(StageId src, StageId dst) const;
+
+  /// \brief Shuffle edge size of edge src->dst: the number of
+  /// producer-task x consumer-task pairs (M x N), the quantity the
+  /// adaptive shuffle selector thresholds on (Sec. III-B).
+  int64_t ShuffleEdgeSize(StageId src, StageId dst) const;
+
+  /// \brief Total task count across stages.
+  int64_t TotalTasks() const;
+
+  /// \brief Multi-line human-readable rendering.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<StageDef> stages_;
+  std::vector<EdgeDef> edges_;
+  std::map<StageId, std::size_t> stage_index_;
+  std::map<StageId, std::vector<StageId>> outputs_;
+  std::map<StageId, std::vector<StageId>> inputs_;
+  std::map<std::pair<StageId, StageId>, std::optional<EdgeKind>> edge_kind_;
+  std::vector<StageId> topo_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_DAG_JOB_DAG_H_

@@ -1,0 +1,46 @@
+#ifndef SWIFT_EXEC_CSV_H_
+#define SWIFT_EXEC_CSV_H_
+
+#include <istream>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "exec/table.h"
+
+namespace swift {
+
+/// \brief CSV ingestion options.
+struct CsvOptions {
+  char delimiter = ',';
+  /// First row holds column names; otherwise columns are c0, c1, ...
+  bool header = true;
+  /// Values equal to this string (after unquoting) become NULL.
+  std::string null_token = "";
+  /// When true, column types are inferred from the data (int64 if every
+  /// non-null value parses as an integer, else float64 if numeric, else
+  /// string); when false everything is a string.
+  bool infer_types = true;
+};
+
+/// \brief Parses CSV text into a Table named `table_name`.
+///
+/// Supports RFC-4180-style double-quoted fields (embedded delimiters,
+/// escaped quotes "" and embedded newlines). Rows whose field count
+/// differs from the header are an InvalidArgument error.
+Result<std::shared_ptr<Table>> ReadCsv(const std::string& table_name,
+                                       std::istream& in,
+                                       const CsvOptions& options = {});
+
+/// \brief Convenience: parse from a string.
+Result<std::shared_ptr<Table>> ReadCsvString(const std::string& table_name,
+                                             const std::string& text,
+                                             const CsvOptions& options = {});
+
+/// \brief Loads a CSV file into the catalog (table name = `table_name`).
+Status LoadCsvFile(const std::string& table_name, const std::string& path,
+                   Catalog* catalog, const CsvOptions& options = {});
+
+}  // namespace swift
+
+#endif  // SWIFT_EXEC_CSV_H_

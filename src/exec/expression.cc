@@ -1,0 +1,465 @@
+#include "exec/expression.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace swift {
+
+std::string_view BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kOr:
+      return "or";
+    case BinaryOp::kLike:
+      return "like";
+  }
+  return "?";
+}
+
+namespace {
+
+class ColumnExpr final : public Expr {
+ public:
+  explicit ColumnExpr(std::string name) : name_(std::move(name)) {}
+  ExprKind kind() const override { return ExprKind::kColumn; }
+
+  Result<Value> Evaluate(const Schema& schema, const Row& row) const override {
+    SWIFT_ASSIGN_OR_RETURN(std::size_t idx, schema.IndexOf(name_));
+    if (idx >= row.size()) {
+      return Status::Internal(
+          StrFormat("row narrower than schema at column '%s'", name_.c_str()));
+    }
+    return row[idx];
+  }
+
+  Result<DataType> OutputType(const Schema& schema) const override {
+    SWIFT_ASSIGN_OR_RETURN(std::size_t idx, schema.IndexOf(name_));
+    return schema.field(idx).type;
+  }
+
+  std::string ToString() const override { return name_; }
+  void CollectColumns(std::vector<std::string>* out) const override {
+    out->push_back(name_);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value v) : v_(std::move(v)) {}
+  ExprKind kind() const override { return ExprKind::kLiteral; }
+
+  Result<Value> Evaluate(const Schema&, const Row&) const override {
+    return v_;
+  }
+  Result<DataType> OutputType(const Schema&) const override {
+    return v_.type();
+  }
+  std::string ToString() const override {
+    return v_.is_string() ? "'" + v_.str() + "'" : v_.ToString();
+  }
+  void CollectColumns(std::vector<std::string>*) const override {}
+
+ private:
+  Value v_;
+};
+
+Result<Value> Arith(BinaryOp op, const Value& l, const Value& r) {
+  if (!l.is_numeric() || !r.is_numeric()) {
+    return Status::Application(StrFormat(
+        "arithmetic '%s' on non-numeric operands (%s, %s)",
+        std::string(BinaryOpToString(op)).c_str(), l.ToString().c_str(),
+        r.ToString().c_str()));
+  }
+  if (l.is_int64() && r.is_int64() && op != BinaryOp::kDiv) {
+    const int64_t a = l.int64();
+    const int64_t b = r.int64();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value(a + b);
+      case BinaryOp::kSub:
+        return Value(a - b);
+      case BinaryOp::kMul:
+        return Value(a * b);
+      default:
+        break;
+    }
+  }
+  const double a = l.AsDouble();
+  const double b = r.AsDouble();
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value(a + b);
+    case BinaryOp::kSub:
+      return Value(a - b);
+    case BinaryOp::kMul:
+      return Value(a * b);
+    case BinaryOp::kDiv:
+      if (b == 0.0) {
+        return Status::Application("division by zero");
+      }
+      return Value(a / b);
+    default:
+      return Status::Internal("non-arithmetic op in Arith");
+  }
+}
+
+Result<Value> Compare(BinaryOp op, const Value& l, const Value& r) {
+  if ((l.is_numeric() && r.is_string()) || (l.is_string() && r.is_numeric())) {
+    return Status::Application(StrFormat(
+        "cannot compare %s with %s", std::string(DataTypeToString(l.type())).c_str(),
+        std::string(DataTypeToString(r.type())).c_str()));
+  }
+  const int c = l.Compare(r);
+  bool out = false;
+  switch (op) {
+    case BinaryOp::kEq:
+      out = c == 0;
+      break;
+    case BinaryOp::kNe:
+      out = c != 0;
+      break;
+    case BinaryOp::kLt:
+      out = c < 0;
+      break;
+    case BinaryOp::kLe:
+      out = c <= 0;
+      break;
+    case BinaryOp::kGt:
+      out = c > 0;
+      break;
+    case BinaryOp::kGe:
+      out = c >= 0;
+      break;
+    default:
+      return Status::Internal("non-comparison op in Compare");
+  }
+  return Value(static_cast<int64_t>(out ? 1 : 0));
+}
+
+// Kleene truth value: 0 false, 1 true, -1 unknown(NULL).
+int Truth(const Value& v) {
+  if (v.is_null()) return -1;
+  if (v.is_int64()) return v.int64() != 0 ? 1 : 0;
+  if (v.is_float64()) return v.float64() != 0.0 ? 1 : 0;
+  return v.str().empty() ? 0 : 1;
+}
+
+Value FromTruth(int t) {
+  if (t < 0) return Value::Null();
+  return Value(static_cast<int64_t>(t));
+}
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  ExprKind kind() const override { return ExprKind::kBinary; }
+
+  BinaryOp op() const { return op_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+
+  Result<Value> Evaluate(const Schema& schema, const Row& row) const override {
+    if (op_ == BinaryOp::kAnd || op_ == BinaryOp::kOr) {
+      SWIFT_ASSIGN_OR_RETURN(Value lv, lhs_->Evaluate(schema, row));
+      const int lt = Truth(lv);
+      // Short-circuit on the dominating value.
+      if (op_ == BinaryOp::kAnd && lt == 0) return Value(int64_t{0});
+      if (op_ == BinaryOp::kOr && lt == 1) return Value(int64_t{1});
+      SWIFT_ASSIGN_OR_RETURN(Value rv, rhs_->Evaluate(schema, row));
+      const int rt = Truth(rv);
+      if (op_ == BinaryOp::kAnd) {
+        if (rt == 0) return Value(int64_t{0});
+        return FromTruth((lt == 1 && rt == 1) ? 1 : -1);
+      }
+      if (rt == 1) return Value(int64_t{1});
+      return FromTruth((lt == 0 && rt == 0) ? 0 : -1);
+    }
+
+    SWIFT_ASSIGN_OR_RETURN(Value lv, lhs_->Evaluate(schema, row));
+    SWIFT_ASSIGN_OR_RETURN(Value rv, rhs_->Evaluate(schema, row));
+    if (lv.is_null() || rv.is_null()) return Value::Null();
+    switch (op_) {
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+      case BinaryOp::kDiv:
+        return Arith(op_, lv, rv);
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        return Compare(op_, lv, rv);
+      case BinaryOp::kLike: {
+        if (!lv.is_string() || !rv.is_string()) {
+          return Status::Application("LIKE requires string operands");
+        }
+        return Value(
+            static_cast<int64_t>(SqlLikeMatch(lv.str(), rv.str()) ? 1 : 0));
+      }
+      default:
+        return Status::Internal("unhandled binary op");
+    }
+  }
+
+  Result<DataType> OutputType(const Schema& schema) const override {
+    switch (op_) {
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+      case BinaryOp::kMul: {
+        SWIFT_ASSIGN_OR_RETURN(DataType lt, lhs_->OutputType(schema));
+        SWIFT_ASSIGN_OR_RETURN(DataType rt, rhs_->OutputType(schema));
+        return (lt == DataType::kFloat64 || rt == DataType::kFloat64)
+                   ? DataType::kFloat64
+                   : DataType::kInt64;
+      }
+      case BinaryOp::kDiv:
+        return DataType::kFloat64;
+      default:
+        return DataType::kInt64;  // boolean-as-int
+    }
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " " +
+           std::string(BinaryOpToString(op_)) + " " + rhs_->ToString() + ")";
+  }
+  void CollectColumns(std::vector<std::string>* out) const override {
+    lhs_->CollectColumns(out);
+    rhs_->CollectColumns(out);
+  }
+
+ private:
+  BinaryOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(UnaryOp op, ExprPtr operand)
+      : op_(op), operand_(std::move(operand)) {}
+  ExprKind kind() const override { return ExprKind::kUnary; }
+
+  Result<Value> Evaluate(const Schema& schema, const Row& row) const override {
+    SWIFT_ASSIGN_OR_RETURN(Value v, operand_->Evaluate(schema, row));
+    if (v.is_null()) return Value::Null();
+    if (op_ == UnaryOp::kNot) {
+      return FromTruth(Truth(v) == 1 ? 0 : 1);
+    }
+    if (!v.is_numeric()) {
+      return Status::Application("negation of non-numeric value");
+    }
+    if (v.is_int64()) return Value(-v.int64());
+    return Value(-v.float64());
+  }
+
+  Result<DataType> OutputType(const Schema& schema) const override {
+    if (op_ == UnaryOp::kNot) return DataType::kInt64;
+    return operand_->OutputType(schema);
+  }
+
+  std::string ToString() const override {
+    return std::string(op_ == UnaryOp::kNot ? "not " : "-") +
+           operand_->ToString();
+  }
+  void CollectColumns(std::vector<std::string>* out) const override {
+    operand_->CollectColumns(out);
+  }
+
+ private:
+  UnaryOp op_;
+  ExprPtr operand_;
+};
+
+class FunctionExpr final : public Expr {
+ public:
+  FunctionExpr(std::string name, std::vector<ExprPtr> args)
+      : name_(ToLower(name)), args_(std::move(args)) {}
+  ExprKind kind() const override { return ExprKind::kFunction; }
+
+  Result<Value> Evaluate(const Schema& schema, const Row& row) const override {
+    std::vector<Value> vals;
+    vals.reserve(args_.size());
+    for (const ExprPtr& a : args_) {
+      SWIFT_ASSIGN_OR_RETURN(Value v, a->Evaluate(schema, row));
+      vals.push_back(std::move(v));
+    }
+    // NULL-aware functions evaluate before NULL propagation.
+    if (name_ == "is_null") {
+      if (vals.size() != 1) {
+        return Status::Application("is_null(x) expected");
+      }
+      return Value(static_cast<int64_t>(vals[0].is_null() ? 1 : 0));
+    }
+    if (name_ == "coalesce") {
+      for (const Value& v : vals) {
+        if (!v.is_null()) return v;
+      }
+      return Value::Null();
+    }
+    for (const Value& v : vals) {
+      if (v.is_null()) return Value::Null();
+    }
+    if (name_ == "substr" || name_ == "substring") {
+      if (vals.size() != 3 || !vals[0].is_string() || !vals[1].is_numeric() ||
+          !vals[2].is_numeric()) {
+        return Status::Application("substr(str, start, len) expected");
+      }
+      const std::string& s = vals[0].str();
+      int64_t start = static_cast<int64_t>(vals[1].AsDouble());
+      int64_t len = static_cast<int64_t>(vals[2].AsDouble());
+      if (start < 1) start = 1;
+      if (len < 0) len = 0;
+      if (static_cast<std::size_t>(start - 1) >= s.size()) {
+        return Value(std::string());
+      }
+      return Value(s.substr(static_cast<std::size_t>(start - 1),
+                            static_cast<std::size_t>(len)));
+    }
+    if (name_ == "lower" || name_ == "upper") {
+      if (vals.size() != 1 || !vals[0].is_string()) {
+        return Status::Application(name_ + "(str) expected");
+      }
+      std::string s = vals[0].str();
+      for (char& c : s) {
+        c = name_ == "lower"
+                ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+                : static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      }
+      return Value(std::move(s));
+    }
+    if (name_ == "abs") {
+      if (vals.size() != 1 || !vals[0].is_numeric()) {
+        return Status::Application("abs(x) expected");
+      }
+      if (vals[0].is_int64()) {
+        return Value(vals[0].int64() < 0 ? -vals[0].int64() : vals[0].int64());
+      }
+      return Value(std::fabs(vals[0].float64()));
+    }
+    return Status::Application(
+        StrFormat("unknown function '%s'", name_.c_str()));
+  }
+
+  Result<DataType> OutputType(const Schema& schema) const override {
+    if (name_ == "substr" || name_ == "substring" || name_ == "lower" ||
+        name_ == "upper") {
+      return DataType::kString;
+    }
+    if (name_ == "is_null") return DataType::kInt64;
+    if ((name_ == "abs" || name_ == "coalesce") && !args_.empty()) {
+      return args_[0]->OutputType(schema);
+    }
+    return DataType::kNull;
+  }
+
+  std::string ToString() const override {
+    std::string s = name_ + "(";
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += args_[i]->ToString();
+    }
+    return s + ")";
+  }
+  void CollectColumns(std::vector<std::string>* out) const override {
+    for (const ExprPtr& a : args_) a->CollectColumns(out);
+  }
+
+ private:
+  std::string name_;
+  std::vector<ExprPtr> args_;
+};
+
+}  // namespace
+
+ExprPtr Expr::Column(std::string name) {
+  return std::make_shared<ColumnExpr>(std::move(name));
+}
+ExprPtr Expr::Literal(Value v) {
+  return std::make_shared<LiteralExpr>(std::move(v));
+}
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+}
+ExprPtr Expr::Unary(UnaryOp op, ExprPtr operand) {
+  return std::make_shared<UnaryExpr>(op, std::move(operand));
+}
+ExprPtr Expr::Function(std::string name, std::vector<ExprPtr> args) {
+  return std::make_shared<FunctionExpr>(std::move(name), std::move(args));
+}
+
+Result<bool> EvaluatePredicate(const Expr& expr, const Schema& schema,
+                               const Row& row) {
+  SWIFT_ASSIGN_OR_RETURN(Value v, expr.Evaluate(schema, row));
+  if (v.is_null()) return false;
+  if (v.is_int64()) return v.int64() != 0;
+  if (v.is_float64()) return v.float64() != 0.0;
+  return !v.str().empty();
+}
+
+const std::string* AsColumnName(const Expr& expr) {
+  if (expr.kind() != ExprKind::kColumn) return nullptr;
+  return &static_cast<const ColumnExpr&>(expr).name();
+}
+
+std::optional<BinaryParts> AsBinary(const ExprPtr& expr) {
+  if (expr == nullptr || expr->kind() != ExprKind::kBinary) {
+    return std::nullopt;
+  }
+  const auto& b = static_cast<const BinaryExpr&>(*expr);
+  return BinaryParts{b.op(), b.lhs(), b.rhs()};
+}
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr) {
+  std::vector<ExprPtr> out;
+  if (expr == nullptr) return out;
+  std::vector<ExprPtr> work = {expr};
+  while (!work.empty()) {
+    ExprPtr e = work.back();
+    work.pop_back();
+    auto parts = AsBinary(e);
+    if (parts.has_value() && parts->op == BinaryOp::kAnd) {
+      work.push_back(parts->rhs);
+      work.push_back(parts->lhs);
+    } else {
+      out.push_back(std::move(e));
+    }
+  }
+  // Restore left-to-right order (the worklist emits lhs-first already
+  // because lhs is pushed last).
+  return out;
+}
+
+}  // namespace swift

@@ -1,0 +1,98 @@
+#ifndef SWIFT_EXEC_EXPRESSION_H_
+#define SWIFT_EXEC_EXPRESSION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/schema.h"
+#include "exec/value.h"
+
+namespace swift {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class ExprKind : int { kColumn, kLiteral, kBinary, kUnary, kFunction };
+
+enum class BinaryOp : int {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kLike,
+};
+
+enum class UnaryOp : int { kNot, kNeg };
+
+std::string_view BinaryOpToString(BinaryOp op);
+
+/// \brief Immutable scalar expression tree evaluated per row.
+///
+/// SQL three-valued logic: any NULL operand of an arithmetic/comparison/
+/// LIKE node yields NULL; AND/OR use Kleene semantics; predicates treat a
+/// NULL result as false.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  virtual ExprKind kind() const = 0;
+
+  /// \brief Evaluates against one row. Type errors return
+  /// Status::Application (the paper's non-recoverable failure class).
+  virtual Result<Value> Evaluate(const Schema& schema, const Row& row) const = 0;
+
+  /// \brief Output type given an input schema (best effort; kNull when
+  /// data dependent).
+  virtual Result<DataType> OutputType(const Schema& schema) const = 0;
+
+  virtual std::string ToString() const = 0;
+
+  /// \brief Appends the names of all referenced columns.
+  virtual void CollectColumns(std::vector<std::string>* out) const = 0;
+
+  // -- Factories ------------------------------------------------------
+  static ExprPtr Column(std::string name);
+  static ExprPtr Literal(Value v);
+  static ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Unary(UnaryOp op, ExprPtr operand);
+  /// Supported: substr(s, start_1based, len), lower(s), upper(s),
+  /// abs(x), is_null(x), coalesce(x, ...). All except is_null/coalesce
+  /// propagate NULL arguments.
+  static ExprPtr Function(std::string name, std::vector<ExprPtr> args);
+};
+
+/// \brief Evaluates `expr` as a predicate: NULL and non-boolean-false
+/// results are false; numeric nonzero is true.
+Result<bool> EvaluatePredicate(const Expr& expr, const Schema& schema,
+                               const Row& row);
+
+/// \brief Column reference accessor (for planner introspection).
+const std::string* AsColumnName(const Expr& expr);
+
+/// \brief Binary-node introspection for the planner.
+struct BinaryParts {
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+/// \brief Returns the parts of a binary node, or nullopt.
+std::optional<BinaryParts> AsBinary(const ExprPtr& expr);
+
+/// \brief Splits `expr` into its top-level AND conjuncts (a single
+/// non-AND expression yields one conjunct; null yields none).
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr);
+
+}  // namespace swift
+
+#endif  // SWIFT_EXEC_EXPRESSION_H_

@@ -1,0 +1,857 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace swift {
+
+namespace {
+
+constexpr std::size_t kBatchRows = 1024;
+
+std::string_view KindName(AggKind k) {
+  switch (k) {
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+// Drains `child` into `rows` (schema must already be open).
+Status Drain(PhysicalOperator* child, std::vector<Row>* rows) {
+  for (;;) {
+    SWIFT_ASSIGN_OR_RETURN(std::optional<Batch> b, child->Next());
+    if (!b.has_value()) return Status::OK();
+    for (Row& r : b->rows) rows->push_back(std::move(r));
+  }
+}
+
+// Base for operators that fully materialize their output at Open() and
+// then emit it in fixed-size chunks.
+class MaterializedOperator : public PhysicalOperator {
+ public:
+  Result<std::optional<Batch>> Next() override {
+    if (cursor_ >= out_rows_.size()) return std::optional<Batch>();
+    Batch b;
+    b.schema = output_schema_;
+    const std::size_t end = std::min(out_rows_.size(), cursor_ + kBatchRows);
+    b.rows.reserve(end - cursor_);
+    for (std::size_t i = cursor_; i < end; ++i) {
+      b.rows.push_back(std::move(out_rows_[i]));
+    }
+    cursor_ = end;
+    return std::optional<Batch>(std::move(b));
+  }
+
+ protected:
+  std::vector<Row> out_rows_;
+  std::size_t cursor_ = 0;
+};
+
+class BatchSource final : public PhysicalOperator {
+ public:
+  BatchSource(Schema schema, std::vector<Batch> batches)
+      : batches_(std::move(batches)) {
+    output_schema_ = std::move(schema);
+  }
+  Status Open() override { return Status::OK(); }
+  Result<std::optional<Batch>> Next() override {
+    if (idx_ >= batches_.size()) return std::optional<Batch>();
+    Batch b = std::move(batches_[idx_++]);
+    b.schema = output_schema_;
+    return std::optional<Batch>(std::move(b));
+  }
+
+ private:
+  std::vector<Batch> batches_;
+  std::size_t idx_ = 0;
+};
+
+class FilterOp final : public PhysicalOperator {
+ public:
+  FilterOp(OperatorPtr child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+  Status Open() override {
+    SWIFT_RETURN_NOT_OK(child_->Open());
+    output_schema_ = child_->output_schema();
+    return Status::OK();
+  }
+  Result<std::optional<Batch>> Next() override {
+    for (;;) {
+      SWIFT_ASSIGN_OR_RETURN(std::optional<Batch> in, child_->Next());
+      if (!in.has_value()) return std::optional<Batch>();
+      Batch out;
+      out.schema = output_schema_;
+      for (Row& r : in->rows) {
+        SWIFT_ASSIGN_OR_RETURN(bool keep,
+                               EvaluatePredicate(*predicate_, output_schema_, r));
+        if (keep) out.rows.push_back(std::move(r));
+      }
+      if (!out.rows.empty()) return std::optional<Batch>(std::move(out));
+      // Fully-filtered batch: keep pulling.
+    }
+  }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+class ProjectOp final : public PhysicalOperator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
+            std::vector<std::string> names)
+      : child_(std::move(child)),
+        exprs_(std::move(exprs)),
+        names_(std::move(names)) {}
+  Status Open() override {
+    if (exprs_.size() != names_.size()) {
+      return Status::InvalidArgument("project exprs/names size mismatch");
+    }
+    SWIFT_RETURN_NOT_OK(child_->Open());
+    in_schema_ = child_->output_schema();
+    std::vector<Field> fields;
+    fields.reserve(exprs_.size());
+    for (std::size_t i = 0; i < exprs_.size(); ++i) {
+      SWIFT_ASSIGN_OR_RETURN(DataType t, exprs_[i]->OutputType(in_schema_));
+      fields.push_back(Field{names_[i], t});
+    }
+    output_schema_ = Schema(std::move(fields));
+    return Status::OK();
+  }
+  Result<std::optional<Batch>> Next() override {
+    SWIFT_ASSIGN_OR_RETURN(std::optional<Batch> in, child_->Next());
+    if (!in.has_value()) return std::optional<Batch>();
+    Batch out;
+    out.schema = output_schema_;
+    out.rows.reserve(in->rows.size());
+    for (const Row& r : in->rows) {
+      Row o;
+      o.reserve(exprs_.size());
+      for (const ExprPtr& e : exprs_) {
+        SWIFT_ASSIGN_OR_RETURN(Value v, e->Evaluate(in_schema_, r));
+        o.push_back(std::move(v));
+      }
+      out.rows.push_back(std::move(o));
+    }
+    return std::optional<Batch>(std::move(out));
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+  std::vector<std::string> names_;
+  Schema in_schema_;
+};
+
+class LimitOp final : public PhysicalOperator {
+ public:
+  LimitOp(OperatorPtr child, int64_t limit)
+      : child_(std::move(child)), remaining_(limit) {}
+  Status Open() override {
+    if (remaining_ < 0) {
+      return Status::InvalidArgument("negative LIMIT");
+    }
+    SWIFT_RETURN_NOT_OK(child_->Open());
+    output_schema_ = child_->output_schema();
+    return Status::OK();
+  }
+  Result<std::optional<Batch>> Next() override {
+    if (remaining_ == 0) return std::optional<Batch>();
+    SWIFT_ASSIGN_OR_RETURN(std::optional<Batch> in, child_->Next());
+    if (!in.has_value()) return std::optional<Batch>();
+    if (static_cast<int64_t>(in->rows.size()) > remaining_) {
+      in->rows.resize(static_cast<std::size_t>(remaining_));
+    }
+    remaining_ -= static_cast<int64_t>(in->rows.size());
+    return in;
+  }
+
+ private:
+  OperatorPtr child_;
+  int64_t remaining_;
+};
+
+Result<Row> EvalKeys(const std::vector<ExprPtr>& keys, const Schema& schema,
+                     const Row& row) {
+  Row k;
+  k.reserve(keys.size());
+  for (const ExprPtr& e : keys) {
+    SWIFT_ASSIGN_OR_RETURN(Value v, e->Evaluate(schema, row));
+    k.push_back(std::move(v));
+  }
+  return k;
+}
+
+bool RowsEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].Compare(b[i]) != 0) return false;
+  }
+  return true;
+}
+
+int CompareKeyRows(const Row& a, const Row& b) {
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    const int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+bool KeyHasNull(const Row& k) {
+  for (const Value& v : k) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+struct RowHash {
+  std::size_t operator()(const Row& r) const { return HashRow(r); }
+};
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const { return RowsEqual(a, b); }
+};
+
+class HashJoinOp final : public MaterializedOperator {
+ public:
+  HashJoinOp(OperatorPtr left, OperatorPtr right, std::vector<ExprPtr> lk,
+             std::vector<ExprPtr> rk, JoinType join_type)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_keys_(std::move(lk)),
+        right_keys_(std::move(rk)),
+        join_type_(join_type) {}
+
+  Status Open() override {
+    if (left_keys_.size() != right_keys_.size() || left_keys_.empty()) {
+      return Status::InvalidArgument("join key arity mismatch");
+    }
+    SWIFT_RETURN_NOT_OK(left_->Open());
+    SWIFT_RETURN_NOT_OK(right_->Open());
+    output_schema_ = left_->output_schema().Concat(right_->output_schema());
+
+    std::unordered_multimap<Row, Row, RowHash, RowEq> build;
+    {
+      std::vector<Row> rows;
+      SWIFT_RETURN_NOT_OK(Drain(right_.get(), &rows));
+      for (Row& r : rows) {
+        SWIFT_ASSIGN_OR_RETURN(
+            Row key, EvalKeys(right_keys_, right_->output_schema(), r));
+        if (KeyHasNull(key)) continue;
+        build.emplace(std::move(key), std::move(r));
+      }
+    }
+    const std::size_t right_width = right_->output_schema().num_fields();
+    std::vector<Row> probe;
+    SWIFT_RETURN_NOT_OK(Drain(left_.get(), &probe));
+    for (const Row& l : probe) {
+      SWIFT_ASSIGN_OR_RETURN(Row key,
+                             EvalKeys(left_keys_, left_->output_schema(), l));
+      bool matched = false;
+      if (!KeyHasNull(key)) {
+        auto [lo, hi] = build.equal_range(key);
+        for (auto it = lo; it != hi; ++it) {
+          Row out = l;
+          out.insert(out.end(), it->second.begin(), it->second.end());
+          out_rows_.push_back(std::move(out));
+          matched = true;
+        }
+      }
+      if (!matched && join_type_ == JoinType::kLeftOuter) {
+        Row out = l;
+        out.resize(out.size() + right_width, Value::Null());
+        out_rows_.push_back(std::move(out));
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  JoinType join_type_;
+};
+
+class MergeJoinOp final : public MaterializedOperator {
+ public:
+  MergeJoinOp(OperatorPtr left, OperatorPtr right, std::vector<ExprPtr> lk,
+              std::vector<ExprPtr> rk, JoinType join_type)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_keys_(std::move(lk)),
+        right_keys_(std::move(rk)),
+        join_type_(join_type) {}
+
+  Status Open() override {
+    if (left_keys_.size() != right_keys_.size() || left_keys_.empty()) {
+      return Status::InvalidArgument("join key arity mismatch");
+    }
+    SWIFT_RETURN_NOT_OK(left_->Open());
+    SWIFT_RETURN_NOT_OK(right_->Open());
+    output_schema_ = left_->output_schema().Concat(right_->output_schema());
+
+    std::vector<Row> lrows, rrows;
+    SWIFT_RETURN_NOT_OK(Drain(left_.get(), &lrows));
+    SWIFT_RETURN_NOT_OK(Drain(right_.get(), &rrows));
+    std::vector<Row> lkeys, rkeys;
+    lkeys.reserve(lrows.size());
+    rkeys.reserve(rrows.size());
+    for (const Row& r : lrows) {
+      SWIFT_ASSIGN_OR_RETURN(Row k,
+                             EvalKeys(left_keys_, left_->output_schema(), r));
+      lkeys.push_back(std::move(k));
+    }
+    for (const Row& r : rrows) {
+      SWIFT_ASSIGN_OR_RETURN(Row k,
+                             EvalKeys(right_keys_, right_->output_schema(), r));
+      rkeys.push_back(std::move(k));
+    }
+    for (std::size_t i = 1; i < lkeys.size(); ++i) {
+      if (CompareKeyRows(lkeys[i - 1], lkeys[i]) > 0) {
+        return Status::Internal("MergeJoin left input not sorted");
+      }
+    }
+    for (std::size_t i = 1; i < rkeys.size(); ++i) {
+      if (CompareKeyRows(rkeys[i - 1], rkeys[i]) > 0) {
+        return Status::Internal("MergeJoin right input not sorted");
+      }
+    }
+
+    const std::size_t right_width = right_->output_schema().num_fields();
+    auto emit_padded = [&](const Row& l) {
+      Row out = l;
+      out.resize(out.size() + right_width, Value::Null());
+      out_rows_.push_back(std::move(out));
+    };
+    std::size_t li = 0, ri = 0;
+    while (li < lrows.size() && ri < rrows.size()) {
+      if (KeyHasNull(lkeys[li])) {
+        if (join_type_ == JoinType::kLeftOuter) emit_padded(lrows[li]);
+        ++li;
+        continue;
+      }
+      if (KeyHasNull(rkeys[ri])) {
+        ++ri;
+        continue;
+      }
+      const int c = CompareKeyRows(lkeys[li], rkeys[ri]);
+      if (c < 0) {
+        if (join_type_ == JoinType::kLeftOuter) emit_padded(lrows[li]);
+        ++li;
+      } else if (c > 0) {
+        ++ri;
+      } else {
+        // Emit the cross product of the equal-key runs.
+        std::size_t lend = li;
+        while (lend < lrows.size() && CompareKeyRows(lkeys[lend], lkeys[li]) == 0) {
+          ++lend;
+        }
+        std::size_t rend = ri;
+        while (rend < rrows.size() && CompareKeyRows(rkeys[rend], rkeys[ri]) == 0) {
+          ++rend;
+        }
+        for (std::size_t i = li; i < lend; ++i) {
+          for (std::size_t j = ri; j < rend; ++j) {
+            Row out = lrows[i];
+            out.insert(out.end(), rrows[j].begin(), rrows[j].end());
+            out_rows_.push_back(std::move(out));
+          }
+        }
+        li = lend;
+        ri = rend;
+      }
+    }
+    if (join_type_ == JoinType::kLeftOuter) {
+      for (; li < lrows.size(); ++li) emit_padded(lrows[li]);
+    }
+    return Status::OK();
+  }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  JoinType join_type_;
+};
+
+class SortOp final : public MaterializedOperator {
+ public:
+  SortOp(OperatorPtr child, std::vector<SortKey> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {}
+
+  Status Open() override {
+    SWIFT_RETURN_NOT_OK(child_->Open());
+    output_schema_ = child_->output_schema();
+    SWIFT_RETURN_NOT_OK(Drain(child_.get(), &out_rows_));
+    // Precompute key tuples, then stable-sort an index permutation so
+    // expression evaluation is O(n), not O(n log n).
+    std::vector<Row> keyrows;
+    keyrows.reserve(out_rows_.size());
+    for (const Row& r : out_rows_) {
+      SWIFT_ASSIGN_OR_RETURN(Row k, EvalKeysOf(r));
+      keyrows.push_back(std::move(k));
+    }
+    std::vector<std::size_t> perm(out_rows_.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    std::stable_sort(perm.begin(), perm.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       for (std::size_t k = 0; k < keys_.size(); ++k) {
+                         int c = keyrows[a][k].Compare(keyrows[b][k]);
+                         if (!keys_[k].ascending) c = -c;
+                         if (c != 0) return c < 0;
+                       }
+                       return false;
+                     });
+    std::vector<Row> sorted;
+    sorted.reserve(out_rows_.size());
+    for (std::size_t i : perm) sorted.push_back(std::move(out_rows_[i]));
+    out_rows_ = std::move(sorted);
+    return Status::OK();
+  }
+
+ private:
+  Result<Row> EvalKeysOf(const Row& r) {
+    Row k;
+    k.reserve(keys_.size());
+    for (const SortKey& key : keys_) {
+      SWIFT_ASSIGN_OR_RETURN(Value v, key.expr->Evaluate(output_schema_, r));
+      k.push_back(std::move(v));
+    }
+    return k;
+  }
+
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+};
+
+// Incremental aggregate state shared by hash and streamed variants.
+struct AggState {
+  double sum = 0.0;
+  int64_t count = 0;
+  bool all_int = true;
+  Value min;
+  Value max;
+
+  void Update(AggKind kind, const Value& v) {
+    if (kind == AggKind::kCount) {
+      // COUNT(*) passes a non-null marker; COUNT(x) skips nulls upstream.
+      ++count;
+      return;
+    }
+    if (v.is_null()) return;
+    ++count;
+    if (v.is_numeric()) {
+      sum += v.AsDouble();
+      if (!v.is_int64()) all_int = false;
+    } else {
+      all_int = false;
+    }
+    if (min.is_null() || v.Compare(min) < 0) min = v;
+    if (max.is_null() || v.Compare(max) > 0) max = v;
+  }
+
+  Value Finish(AggKind kind) const {
+    switch (kind) {
+      case AggKind::kCount:
+        return Value(count);
+      case AggKind::kSum:
+        if (count == 0) return Value::Null();
+        return all_int ? Value(static_cast<int64_t>(sum)) : Value(sum);
+      case AggKind::kMin:
+        return min;
+      case AggKind::kMax:
+        return max;
+      case AggKind::kAvg:
+        if (count == 0) return Value::Null();
+        return Value(sum / static_cast<double>(count));
+    }
+    return Value::Null();
+  }
+};
+
+Result<Schema> AggOutputSchema(const Schema& in,
+                               const std::vector<ExprPtr>& groups,
+                               const std::vector<std::string>& group_names,
+                               const std::vector<AggSpec>& aggs) {
+  std::vector<Field> fields;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    SWIFT_ASSIGN_OR_RETURN(DataType t, groups[i]->OutputType(in));
+    fields.push_back(Field{group_names[i], t});
+  }
+  for (const AggSpec& a : aggs) {
+    DataType t = DataType::kFloat64;
+    if (a.kind == AggKind::kCount) {
+      t = DataType::kInt64;
+    } else if (a.arg != nullptr) {
+      SWIFT_ASSIGN_OR_RETURN(DataType at, a.arg->OutputType(in));
+      t = (a.kind == AggKind::kMin || a.kind == AggKind::kMax)
+              ? at
+              : (a.kind == AggKind::kAvg ? DataType::kFloat64 : at);
+    }
+    fields.push_back(Field{a.output_name, t});
+  }
+  return Schema(std::move(fields));
+}
+
+Result<Value> AggInput(const AggSpec& spec, const Schema& schema,
+                       const Row& row) {
+  if (spec.arg == nullptr) return Value(int64_t{1});  // COUNT(*) marker
+  SWIFT_ASSIGN_OR_RETURN(Value v, spec.arg->Evaluate(schema, row));
+  if (spec.kind == AggKind::kCount && v.is_null()) {
+    // COUNT(x) ignores NULL: represent as "no update" via null marker.
+    return Value::Null();
+  }
+  return v;
+}
+
+class HashAggregateOp final : public MaterializedOperator {
+ public:
+  HashAggregateOp(OperatorPtr child, std::vector<ExprPtr> groups,
+                  std::vector<std::string> group_names,
+                  std::vector<AggSpec> aggs)
+      : child_(std::move(child)),
+        groups_(std::move(groups)),
+        group_names_(std::move(group_names)),
+        aggs_(std::move(aggs)) {}
+
+  Status Open() override {
+    if (groups_.size() != group_names_.size()) {
+      return Status::InvalidArgument("group exprs/names size mismatch");
+    }
+    SWIFT_RETURN_NOT_OK(child_->Open());
+    const Schema& in = child_->output_schema();
+    SWIFT_ASSIGN_OR_RETURN(output_schema_,
+                           AggOutputSchema(in, groups_, group_names_, aggs_));
+
+    std::unordered_map<Row, std::vector<AggState>, RowHash, RowEq> table;
+    std::vector<Row> key_order;  // first-seen order for determinism
+    std::vector<Row> rows;
+    SWIFT_RETURN_NOT_OK(Drain(child_.get(), &rows));
+    for (const Row& r : rows) {
+      SWIFT_ASSIGN_OR_RETURN(Row key, EvalKeys(groups_, in, r));
+      auto it = table.find(key);
+      if (it == table.end()) {
+        it = table.emplace(key, std::vector<AggState>(aggs_.size())).first;
+        key_order.push_back(key);
+      }
+      for (std::size_t a = 0; a < aggs_.size(); ++a) {
+        SWIFT_ASSIGN_OR_RETURN(Value v, AggInput(aggs_[a], in, r));
+        if (aggs_[a].kind == AggKind::kCount && v.is_null()) continue;
+        it->second[a].Update(aggs_[a].kind, v);
+      }
+    }
+    if (groups_.empty() && table.empty()) {
+      // Global aggregate over empty input: one all-default row.
+      table.emplace(Row{}, std::vector<AggState>(aggs_.size()));
+      key_order.push_back(Row{});
+    }
+    for (const Row& key : key_order) {
+      const auto& states = table[key];
+      Row out = key;
+      for (std::size_t a = 0; a < aggs_.size(); ++a) {
+        out.push_back(states[a].Finish(aggs_[a].kind));
+      }
+      out_rows_.push_back(std::move(out));
+    }
+    return Status::OK();
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> groups_;
+  std::vector<std::string> group_names_;
+  std::vector<AggSpec> aggs_;
+};
+
+class StreamedAggregateOp final : public MaterializedOperator {
+ public:
+  StreamedAggregateOp(OperatorPtr child, std::vector<ExprPtr> groups,
+                      std::vector<std::string> group_names,
+                      std::vector<AggSpec> aggs)
+      : child_(std::move(child)),
+        groups_(std::move(groups)),
+        group_names_(std::move(group_names)),
+        aggs_(std::move(aggs)) {}
+
+  Status Open() override {
+    if (groups_.size() != group_names_.size()) {
+      return Status::InvalidArgument("group exprs/names size mismatch");
+    }
+    SWIFT_RETURN_NOT_OK(child_->Open());
+    const Schema& in = child_->output_schema();
+    SWIFT_ASSIGN_OR_RETURN(output_schema_,
+                           AggOutputSchema(in, groups_, group_names_, aggs_));
+
+    bool have_group = false;
+    Row current_key;
+    std::vector<AggState> states(aggs_.size());
+    auto flush = [&]() {
+      Row out = current_key;
+      for (std::size_t a = 0; a < aggs_.size(); ++a) {
+        out.push_back(states[a].Finish(aggs_[a].kind));
+      }
+      out_rows_.push_back(std::move(out));
+      states.assign(aggs_.size(), AggState{});
+    };
+
+    for (;;) {
+      SWIFT_ASSIGN_OR_RETURN(std::optional<Batch> b, child_->Next());
+      if (!b.has_value()) break;
+      for (const Row& r : b->rows) {
+        SWIFT_ASSIGN_OR_RETURN(Row key, EvalKeys(groups_, in, r));
+        if (have_group && !RowsEqual(key, current_key)) {
+          if (CompareKeyRows(current_key, key) > 0) {
+            return Status::Internal(
+                "StreamedAggregate input not sorted by group keys");
+          }
+          flush();
+          current_key = key;
+        } else if (!have_group) {
+          current_key = key;
+          have_group = true;
+        }
+        for (std::size_t a = 0; a < aggs_.size(); ++a) {
+          SWIFT_ASSIGN_OR_RETURN(Value v, AggInput(aggs_[a], in, r));
+          if (aggs_[a].kind == AggKind::kCount && v.is_null()) continue;
+          states[a].Update(aggs_[a].kind, v);
+        }
+      }
+    }
+    if (have_group) {
+      flush();
+    } else if (groups_.empty()) {
+      flush();  // global aggregate over empty input
+    }
+    return Status::OK();
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> groups_;
+  std::vector<std::string> group_names_;
+  std::vector<AggSpec> aggs_;
+};
+
+class WindowOp final : public MaterializedOperator {
+ public:
+  WindowOp(OperatorPtr child, std::vector<ExprPtr> partition_by,
+           std::vector<SortKey> order_by, WindowFunc func, ExprPtr arg,
+           std::string output_name)
+      : child_(std::move(child)),
+        partition_by_(std::move(partition_by)),
+        order_by_(std::move(order_by)),
+        func_(func),
+        arg_(std::move(arg)),
+        output_name_(std::move(output_name)) {}
+
+  Status Open() override {
+    SWIFT_RETURN_NOT_OK(child_->Open());
+    const Schema in = child_->output_schema();
+    std::vector<Field> fields = in.fields();
+    fields.push_back(Field{output_name_, func_ == WindowFunc::kSum
+                                             ? DataType::kFloat64
+                                             : DataType::kInt64});
+    output_schema_ = Schema(std::move(fields));
+
+    SWIFT_RETURN_NOT_OK(Drain(child_.get(), &out_rows_));
+
+    struct Decorated {
+      Row key;
+      Row order;
+      std::size_t idx;
+    };
+    std::vector<Decorated> dec;
+    dec.reserve(out_rows_.size());
+    for (std::size_t i = 0; i < out_rows_.size(); ++i) {
+      SWIFT_ASSIGN_OR_RETURN(Row k, EvalKeys(partition_by_, in, out_rows_[i]));
+      Row o;
+      o.reserve(order_by_.size());
+      for (const SortKey& sk : order_by_) {
+        SWIFT_ASSIGN_OR_RETURN(Value v, sk.expr->Evaluate(in, out_rows_[i]));
+        o.push_back(std::move(v));
+      }
+      dec.push_back(Decorated{std::move(k), std::move(o), i});
+    }
+    std::stable_sort(dec.begin(), dec.end(), [&](const Decorated& a,
+                                                 const Decorated& b) {
+      const int c = CompareKeyRows(a.key, b.key);
+      if (c != 0) return c < 0;
+      for (std::size_t k = 0; k < order_by_.size(); ++k) {
+        int oc = a.order[k].Compare(b.order[k]);
+        if (!order_by_[k].ascending) oc = -oc;
+        if (oc != 0) return oc < 0;
+      }
+      return false;
+    });
+
+    std::vector<Row> result;
+    result.reserve(out_rows_.size());
+    std::size_t i = 0;
+    while (i < dec.size()) {
+      std::size_t end = i;
+      while (end < dec.size() && CompareKeyRows(dec[end].key, dec[i].key) == 0) {
+        ++end;
+      }
+      int64_t row_number = 0;
+      int64_t rank = 0;
+      double running_sum = 0.0;
+      for (std::size_t j = i; j < end; ++j) {
+        Row r = std::move(out_rows_[dec[j].idx]);
+        ++row_number;
+        if (j == i || CompareKeyRows(dec[j].order, dec[j - 1].order) != 0) {
+          rank = row_number;
+        }
+        Value v;
+        switch (func_) {
+          case WindowFunc::kRowNumber:
+            v = Value(row_number);
+            break;
+          case WindowFunc::kRank:
+            v = Value(rank);
+            break;
+          case WindowFunc::kSum: {
+            if (arg_ == nullptr) {
+              return Status::InvalidArgument("window sum requires an argument");
+            }
+            SWIFT_ASSIGN_OR_RETURN(Value a, arg_->Evaluate(in, r));
+            if (!a.is_null()) running_sum += a.AsDouble();
+            v = Value(running_sum);
+            break;
+          }
+        }
+        r.push_back(std::move(v));
+        result.push_back(std::move(r));
+      }
+      i = end;
+    }
+    out_rows_ = std::move(result);
+    return Status::OK();
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> partition_by_;
+  std::vector<SortKey> order_by_;
+  WindowFunc func_;
+  ExprPtr arg_;
+  std::string output_name_;
+};
+
+}  // namespace
+
+std::string_view AggKindToString(AggKind kind) { return KindName(kind); }
+
+OperatorPtr MakeBatchSource(Schema schema, std::vector<Batch> batches) {
+  return std::make_unique<BatchSource>(std::move(schema), std::move(batches));
+}
+OperatorPtr MakeFilter(OperatorPtr child, ExprPtr predicate) {
+  return std::make_unique<FilterOp>(std::move(child), std::move(predicate));
+}
+OperatorPtr MakeProject(OperatorPtr child, std::vector<ExprPtr> exprs,
+                        std::vector<std::string> names) {
+  return std::make_unique<ProjectOp>(std::move(child), std::move(exprs),
+                                     std::move(names));
+}
+OperatorPtr MakeLimit(OperatorPtr child, int64_t limit) {
+  return std::make_unique<LimitOp>(std::move(child), limit);
+}
+OperatorPtr MakeHashJoin(OperatorPtr left, OperatorPtr right,
+                         std::vector<ExprPtr> left_keys,
+                         std::vector<ExprPtr> right_keys,
+                         JoinType join_type) {
+  return std::make_unique<HashJoinOp>(std::move(left), std::move(right),
+                                      std::move(left_keys),
+                                      std::move(right_keys), join_type);
+}
+OperatorPtr MakeMergeJoin(OperatorPtr left, OperatorPtr right,
+                          std::vector<ExprPtr> left_keys,
+                          std::vector<ExprPtr> right_keys,
+                          JoinType join_type) {
+  return std::make_unique<MergeJoinOp>(std::move(left), std::move(right),
+                                       std::move(left_keys),
+                                       std::move(right_keys), join_type);
+}
+OperatorPtr MakeSort(OperatorPtr child, std::vector<SortKey> keys) {
+  return std::make_unique<SortOp>(std::move(child), std::move(keys));
+}
+OperatorPtr MakeHashAggregate(OperatorPtr child, std::vector<ExprPtr> groups,
+                              std::vector<std::string> group_names,
+                              std::vector<AggSpec> aggs) {
+  return std::make_unique<HashAggregateOp>(std::move(child), std::move(groups),
+                                           std::move(group_names),
+                                           std::move(aggs));
+}
+OperatorPtr MakeStreamedAggregate(OperatorPtr child,
+                                  std::vector<ExprPtr> groups,
+                                  std::vector<std::string> group_names,
+                                  std::vector<AggSpec> aggs) {
+  return std::make_unique<StreamedAggregateOp>(
+      std::move(child), std::move(groups), std::move(group_names),
+      std::move(aggs));
+}
+OperatorPtr MakeWindow(OperatorPtr child, std::vector<ExprPtr> partition_by,
+                       std::vector<SortKey> order_by, WindowFunc func,
+                       ExprPtr arg, std::string output_name) {
+  return std::make_unique<WindowOp>(std::move(child), std::move(partition_by),
+                                    std::move(order_by), func, std::move(arg),
+                                    std::move(output_name));
+}
+
+Result<Batch> CollectAll(PhysicalOperator* op) {
+  SWIFT_RETURN_NOT_OK(op->Open());
+  Batch out;
+  out.schema = op->output_schema();
+  SWIFT_RETURN_NOT_OK(Drain(op, &out.rows));
+  return out;
+}
+
+Result<std::vector<Batch>> HashPartition(const Batch& batch,
+                                         const std::vector<ExprPtr>& keys,
+                                         int num_partitions) {
+  if (num_partitions <= 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  std::vector<Batch> out(static_cast<std::size_t>(num_partitions));
+  for (auto& b : out) b.schema = batch.schema;
+  for (const Row& r : batch.rows) {
+    SWIFT_ASSIGN_OR_RETURN(Row key, EvalKeys(keys, batch.schema, r));
+    const std::size_t p =
+        (keys.empty() || KeyHasNull(key))
+            ? 0
+            : HashRow(key) % static_cast<std::size_t>(num_partitions);
+    out[p].rows.push_back(r);
+  }
+  return out;
+}
+
+Result<bool> IsSorted(const Schema& schema, const std::vector<Row>& rows,
+                      const std::vector<SortKey>& keys) {
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    for (const SortKey& k : keys) {
+      SWIFT_ASSIGN_OR_RETURN(Value a, k.expr->Evaluate(schema, rows[i - 1]));
+      SWIFT_ASSIGN_OR_RETURN(Value b, k.expr->Evaluate(schema, rows[i]));
+      int c = a.Compare(b);
+      if (!k.ascending) c = -c;
+      if (c < 0) break;
+      if (c > 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace swift

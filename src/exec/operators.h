@@ -1,0 +1,139 @@
+#ifndef SWIFT_EXEC_OPERATORS_H_
+#define SWIFT_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/expression.h"
+#include "exec/schema.h"
+
+namespace swift {
+
+/// \brief Pull-based physical operator: Open() then Next() until
+/// std::nullopt. Output schema is valid after Open().
+class PhysicalOperator {
+ public:
+  virtual ~PhysicalOperator() = default;
+
+  virtual Status Open() = 0;
+  /// \brief Next output batch, or nullopt at end of stream.
+  virtual Result<std::optional<Batch>> Next() = 0;
+
+  const Schema& output_schema() const { return output_schema_; }
+
+ protected:
+  Schema output_schema_;
+};
+
+using OperatorPtr = std::unique_ptr<PhysicalOperator>;
+
+/// \brief One ORDER BY key.
+struct SortKey {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// \brief Aggregate functions of the runtime.
+enum class AggKind : int { kSum, kCount, kMin, kMax, kAvg };
+
+std::string_view AggKindToString(AggKind kind);
+
+/// \brief One aggregate in a GROUP BY: kind(arg) AS output_name; a null
+/// arg means COUNT(*).
+struct AggSpec {
+  AggKind kind = AggKind::kCount;
+  ExprPtr arg;
+  std::string output_name;
+};
+
+// ---- Sources --------------------------------------------------------
+
+/// \brief Emits pre-materialized batches (table slices, shuffle input).
+OperatorPtr MakeBatchSource(Schema schema, std::vector<Batch> batches);
+
+// ---- Row-at-a-time transforms ---------------------------------------
+
+/// \brief Keeps rows where `predicate` is true.
+OperatorPtr MakeFilter(OperatorPtr child, ExprPtr predicate);
+
+/// \brief Computes one output column per (expr, name) pair.
+OperatorPtr MakeProject(OperatorPtr child, std::vector<ExprPtr> exprs,
+                        std::vector<std::string> names);
+
+/// \brief Emits at most `limit` rows.
+OperatorPtr MakeLimit(OperatorPtr child, int64_t limit);
+
+// ---- Joins ----------------------------------------------------------
+
+/// \brief Join flavors of the runtime.
+enum class JoinType : int { kInner = 0, kLeftOuter = 1 };
+
+/// \brief Equi-join: builds a hash table on `right`, probes with
+/// `left`. Output schema = left ++ right. NULL keys never match; with
+/// kLeftOuter, unmatched (and NULL-key) left rows are emitted padded
+/// with NULLs.
+OperatorPtr MakeHashJoin(OperatorPtr left, OperatorPtr right,
+                         std::vector<ExprPtr> left_keys,
+                         std::vector<ExprPtr> right_keys,
+                         JoinType join_type = JoinType::kInner);
+
+/// \brief Equi-join over inputs already sorted ascending by their keys
+/// (the paper's MergeJoin / sort-merge-join operator). Inputs that are
+/// not sorted yield Status::Internal. kLeftOuter pads unmatched left
+/// rows with NULLs.
+OperatorPtr MakeMergeJoin(OperatorPtr left, OperatorPtr right,
+                          std::vector<ExprPtr> left_keys,
+                          std::vector<ExprPtr> right_keys,
+                          JoinType join_type = JoinType::kInner);
+
+// ---- Sorting & aggregation ------------------------------------------
+
+/// \brief Full materializing sort (the paper's SortBy / MergeSort).
+OperatorPtr MakeSort(OperatorPtr child, std::vector<SortKey> keys);
+
+/// \brief Hash GROUP BY. Output schema: group columns then aggregates.
+/// With no group keys emits exactly one global-aggregate row.
+OperatorPtr MakeHashAggregate(OperatorPtr child, std::vector<ExprPtr> groups,
+                              std::vector<std::string> group_names,
+                              std::vector<AggSpec> aggs);
+
+/// \brief GROUP BY over input sorted by the group keys (the paper's
+/// StreamedAggregate): O(1) state, emits groups in key order.
+OperatorPtr MakeStreamedAggregate(OperatorPtr child,
+                                  std::vector<ExprPtr> groups,
+                                  std::vector<std::string> group_names,
+                                  std::vector<AggSpec> aggs);
+
+// ---- Window ---------------------------------------------------------
+
+/// \brief Window functions computable per partition.
+enum class WindowFunc : int { kRowNumber, kRank, kSum };
+
+/// \brief Appends one column `output_name` computed over partitions of
+/// `partition_by`, ordered by `order_by` (the paper's Window operator).
+/// kSum computes a running (cumulative) sum of `arg`.
+OperatorPtr MakeWindow(OperatorPtr child, std::vector<ExprPtr> partition_by,
+                       std::vector<SortKey> order_by, WindowFunc func,
+                       ExprPtr arg, std::string output_name);
+
+// ---- Helpers --------------------------------------------------------
+
+/// \brief Drains an operator tree into one materialized batch.
+Result<Batch> CollectAll(PhysicalOperator* op);
+
+/// \brief Hash-partitions `batch` into `num_partitions` by key columns
+/// (shuffle-write partitioning). NULL keys go to partition 0.
+Result<std::vector<Batch>> HashPartition(const Batch& batch,
+                                         const std::vector<ExprPtr>& keys,
+                                         int num_partitions);
+
+/// \brief True when `rows` is non-descending under `keys`.
+Result<bool> IsSorted(const Schema& schema, const std::vector<Row>& rows,
+                      const std::vector<SortKey>& keys);
+
+}  // namespace swift
+
+#endif  // SWIFT_EXEC_OPERATORS_H_

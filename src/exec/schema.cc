@@ -1,0 +1,62 @@
+#include "exec/schema.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace swift {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    by_name_[ToLower(fields_[i].name)].push_back(i);
+  }
+}
+
+Result<std::size_t> Schema::IndexOf(const std::string& name) const {
+  const std::string key = ToLower(name);
+  auto it = by_name_.find(key);
+  if (it != by_name_.end()) {
+    if (it->second.size() > 1) {
+      return Status::InvalidArgument(
+          StrFormat("ambiguous column reference '%s'", name.c_str()));
+    }
+    return it->second[0];
+  }
+  // Unqualified lookup against qualified names: match suffix ".<key>".
+  std::size_t hit = 0;
+  int matches = 0;
+  for (const auto& [qualified, idxs] : by_name_) {
+    const std::size_t dot = qualified.rfind('.');
+    if (dot != std::string::npos && qualified.substr(dot + 1) == key) {
+      for (std::size_t idx : idxs) {
+        hit = idx;
+        ++matches;
+      }
+    }
+  }
+  if (matches == 1) return hit;
+  if (matches > 1) {
+    return Status::InvalidArgument(
+        StrFormat("ambiguous column reference '%s'", name.c_str()));
+  }
+  return Status::NotFound(StrFormat("no column named '%s'", name.c_str()));
+}
+
+Schema Schema::Concat(const Schema& right) const {
+  std::vector<Field> all = fields_;
+  all.insert(all.end(), right.fields_.begin(), right.fields_.end());
+  return Schema(std::move(all));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << fields_[i].name << ":" << DataTypeToString(fields_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace swift

@@ -1,0 +1,68 @@
+#ifndef SWIFT_EXEC_SCHEMA_H_
+#define SWIFT_EXEC_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/value.h"
+
+namespace swift {
+
+/// \brief One named, typed column.
+struct Field {
+  std::string name;
+  DataType type = DataType::kNull;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief Ordered list of fields with O(1) name resolution.
+///
+/// Names resolve case-insensitively; an unqualified name also matches a
+/// qualified field ("l_suppkey" matches "l.l_suppkey") when unambiguous,
+/// mirroring SQL scoping for the planner.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  const std::vector<Field>& fields() const { return fields_; }
+  std::size_t num_fields() const { return fields_.size(); }
+  const Field& field(std::size_t i) const { return fields_[i]; }
+
+  /// \brief Index of column `name`; NotFound / InvalidArgument(ambiguous).
+  Result<std::size_t> IndexOf(const std::string& name) const;
+
+  bool HasField(const std::string& name) const {
+    return IndexOf(name).ok();
+  }
+
+  /// \brief Concatenation (for joins).
+  Schema Concat(const Schema& right) const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::map<std::string, std::vector<std::size_t>> by_name_;  // lower-cased
+};
+
+/// \brief A schema plus its rows: the unit operators exchange.
+struct Batch {
+  Schema schema;
+  std::vector<Row> rows;
+
+  std::size_t num_rows() const { return rows.size(); }
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_EXEC_SCHEMA_H_

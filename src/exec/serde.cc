@@ -1,0 +1,224 @@
+#include "exec/serde.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace swift {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x53574654;  // "SWFT"
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+void PutStr(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::string& buf) : buf_(buf) {}
+
+  Result<uint8_t> U8() {
+    if (pos_ + 1 > buf_.size()) return Truncated();
+    return static_cast<uint8_t>(buf_[pos_++]);
+  }
+  Result<uint32_t> U32() {
+    if (pos_ + 4 > buf_.size()) return Truncated();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(buf_[pos_++])) << (8 * i);
+    }
+    return v;
+  }
+  Result<uint64_t> U64() {
+    if (pos_ + 8 > buf_.size()) return Truncated();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(buf_[pos_++])) << (8 * i);
+    }
+    return v;
+  }
+  Result<std::string> Str() {
+    SWIFT_ASSIGN_OR_RETURN(uint32_t len, U32());
+    if (pos_ + len > buf_.size()) return Truncated();
+    std::string s = buf_.substr(pos_, len);
+    pos_ += len;
+    return s;
+  }
+  bool AtEnd() const { return pos_ == buf_.size(); }
+  std::size_t Remaining() const { return buf_.size() - pos_; }
+
+ private:
+  Status Truncated() const {
+    return Status::IOError(
+        StrFormat("truncated batch buffer at offset %zu", pos_));
+  }
+  const std::string& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SerializeBatch(const Batch& batch) {
+  std::string out;
+  out.reserve(SerializedBatchSize(batch));
+  PutU32(&out, kMagic);
+  PutU32(&out, static_cast<uint32_t>(batch.schema.num_fields()));
+  for (const Field& f : batch.schema.fields()) {
+    PutStr(&out, f.name);
+    PutU8(&out, static_cast<uint8_t>(f.type));
+  }
+  PutU64(&out, batch.rows.size());
+  for (const Row& r : batch.rows) {
+    PutU32(&out, static_cast<uint32_t>(r.size()));
+    for (const Value& v : r) {
+      PutU8(&out, static_cast<uint8_t>(v.type()));
+      switch (v.type()) {
+        case DataType::kNull:
+          break;
+        case DataType::kInt64:
+          PutI64(&out, v.int64());
+          break;
+        case DataType::kFloat64:
+          PutF64(&out, v.float64());
+          break;
+        case DataType::kString:
+          PutStr(&out, v.str());
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+// GCC 12 reports a spurious -Wmaybe-uninitialized inside std::variant's
+// move machinery when Value temporaries are pushed into the row vector
+// (GCC PR 105593 family); the values are fully constructed.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+Result<Batch> DeserializeBatch(const std::string& bytes) {
+  Reader rd(bytes);
+  SWIFT_ASSIGN_OR_RETURN(uint32_t magic, rd.U32());
+  if (magic != kMagic) {
+    return Status::IOError("bad batch magic");
+  }
+  SWIFT_ASSIGN_OR_RETURN(uint32_t nfields, rd.U32());
+  // Every field needs at least 5 bytes (name length + type tag); reject
+  // counts the buffer cannot possibly hold (corruption guard).
+  if (nfields > rd.Remaining() / 5) {
+    return Status::IOError("field count exceeds buffer");
+  }
+  std::vector<Field> fields;
+  fields.reserve(nfields);
+  for (uint32_t i = 0; i < nfields; ++i) {
+    Field f;
+    SWIFT_ASSIGN_OR_RETURN(f.name, rd.Str());
+    SWIFT_ASSIGN_OR_RETURN(uint8_t t, rd.U8());
+    if (t > static_cast<uint8_t>(DataType::kString)) {
+      return Status::IOError("bad field type tag");
+    }
+    f.type = static_cast<DataType>(t);
+    fields.push_back(std::move(f));
+  }
+  Batch batch;
+  batch.schema = Schema(std::move(fields));
+  SWIFT_ASSIGN_OR_RETURN(uint64_t nrows, rd.U64());
+  // Every row needs at least 4 bytes (its column count).
+  if (nrows > rd.Remaining() / 4) {
+    return Status::IOError("row count exceeds buffer");
+  }
+  batch.rows.reserve(nrows);
+  for (uint64_t i = 0; i < nrows; ++i) {
+    SWIFT_ASSIGN_OR_RETURN(uint32_t ncols, rd.U32());
+    // Every value needs at least its 1-byte type tag.
+    if (ncols > rd.Remaining()) {
+      return Status::IOError("column count exceeds buffer");
+    }
+    Row row;
+    row.reserve(ncols);
+    for (uint32_t c = 0; c < ncols; ++c) {
+      SWIFT_ASSIGN_OR_RETURN(uint8_t tag, rd.U8());
+      switch (static_cast<DataType>(tag)) {
+        case DataType::kNull:
+          row.push_back(Value::Null());
+          break;
+        case DataType::kInt64: {
+          SWIFT_ASSIGN_OR_RETURN(uint64_t v, rd.U64());
+          row.push_back(Value(static_cast<int64_t>(v)));
+          break;
+        }
+        case DataType::kFloat64: {
+          SWIFT_ASSIGN_OR_RETURN(uint64_t bits, rd.U64());
+          double d;
+          std::memcpy(&d, &bits, sizeof(d));
+          row.push_back(Value(d));
+          break;
+        }
+        case DataType::kString: {
+          SWIFT_ASSIGN_OR_RETURN(std::string s, rd.Str());
+          row.push_back(Value(std::move(s)));
+          break;
+        }
+        default:
+          return Status::IOError("bad value type tag");
+      }
+    }
+    batch.rows.push_back(std::move(row));
+  }
+  if (!rd.AtEnd()) {
+    return Status::IOError("trailing bytes after batch");
+  }
+  return batch;
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+std::size_t SerializedBatchSize(const Batch& batch) {
+  std::size_t n = 4 + 4;
+  for (const Field& f : batch.schema.fields()) n += 4 + f.name.size() + 1;
+  n += 8;
+  for (const Row& r : batch.rows) {
+    n += 4;
+    for (const Value& v : r) {
+      n += 1;
+      switch (v.type()) {
+        case DataType::kNull:
+          break;
+        case DataType::kInt64:
+        case DataType::kFloat64:
+          n += 8;
+          break;
+        case DataType::kString:
+          n += 4 + v.str().size();
+          break;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace swift

@@ -1,0 +1,26 @@
+#ifndef SWIFT_EXEC_SERDE_H_
+#define SWIFT_EXEC_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/schema.h"
+
+namespace swift {
+
+/// \brief Serializes a batch to a self-describing byte buffer (the wire
+/// and spill format of shuffle partitions in the local runtime).
+std::string SerializeBatch(const Batch& batch);
+
+/// \brief Inverse of SerializeBatch; rejects truncated/corrupt buffers.
+Result<Batch> DeserializeBatch(const std::string& bytes);
+
+/// \brief Serialized size without building the buffer (for memory
+/// accounting in the Cache Worker).
+std::size_t SerializedBatchSize(const Batch& batch);
+
+}  // namespace swift
+
+#endif  // SWIFT_EXEC_SERDE_H_

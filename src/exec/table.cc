@@ -1,0 +1,53 @@
+#include "exec/table.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace swift {
+
+Batch Table::TaskSlice(int task_index, int task_count) const {
+  Batch out;
+  out.schema = schema;
+  if (task_count <= 0 || task_index < 0 || task_index >= task_count) {
+    return out;
+  }
+  const std::size_t n = rows.size();
+  const std::size_t per = (n + static_cast<std::size_t>(task_count) - 1) /
+                          static_cast<std::size_t>(task_count);
+  const std::size_t begin =
+      std::min(n, per * static_cast<std::size_t>(task_index));
+  const std::size_t end = std::min(n, begin + per);
+  out.rows.assign(rows.begin() + static_cast<std::ptrdiff_t>(begin),
+                  rows.begin() + static_cast<std::ptrdiff_t>(end));
+  return out;
+}
+
+Status Catalog::Register(std::shared_ptr<Table> table) {
+  const std::string key = ToLower(table->name);
+  if (!tables_.emplace(key, std::move(table)).second) {
+    return Status::AlreadyExists(StrFormat("table '%s'", key.c_str()));
+  }
+  return Status::OK();
+}
+
+void Catalog::Put(std::shared_ptr<Table> table) {
+  tables_[ToLower(table->name)] = std::move(table);
+}
+
+Result<std::shared_ptr<Table>> Catalog::Lookup(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound(StrFormat("table '%s'", name.c_str()));
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [k, v] : tables_) out.push_back(k);
+  return out;
+}
+
+}  // namespace swift

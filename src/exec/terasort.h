@@ -1,0 +1,31 @@
+#ifndef SWIFT_EXEC_TERASORT_H_
+#define SWIFT_EXEC_TERASORT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "exec/table.h"
+
+namespace swift {
+
+/// \brief Generates `num_records` Terasort-style records: a 10-character
+/// random key and a payload of `payload_bytes` characters (the classic
+/// benchmark uses 10+90-byte records; Table I of the paper sorts 200 MB
+/// per map task of such records).
+std::shared_ptr<Table> GenerateTerasort(int64_t num_records,
+                                        int payload_bytes = 90,
+                                        uint64_t seed = 1);
+
+/// \brief Range-partition boundary keys for `num_partitions` partitions
+/// of the uniform Terasort key space (what the sampler stage of a real
+/// Terasort computes).
+std::vector<std::string> TerasortSplitPoints(int num_partitions);
+
+/// \brief Partition index of `key` given split points from
+/// TerasortSplitPoints (upper_bound semantics).
+int TerasortPartitionOf(const std::string& key,
+                        const std::vector<std::string>& splits);
+
+}  // namespace swift
+
+#endif  // SWIFT_EXEC_TERASORT_H_

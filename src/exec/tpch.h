@@ -1,0 +1,44 @@
+#ifndef SWIFT_EXEC_TPCH_H_
+#define SWIFT_EXEC_TPCH_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+#include "exec/table.h"
+
+namespace swift {
+
+/// \brief Configuration of the synthetic TPC-H data generator.
+///
+/// The paper evaluates TPC-H at 1 TB (scale factor 1000); the local
+/// runtime generates the same schema at laptop scale. Row counts follow
+/// the TPC-H proportions: per unit of scale, 10,000 suppliers, 200,000
+/// parts, 800,000 partsupps, 150,000 customers, 1.5 M orders and ~6 M
+/// lineitems — multiplied by `scale_factor` (default 0.001).
+struct TpchConfig {
+  double scale_factor = 0.001;
+  uint64_t seed = 20210421;  // ICDE'21 presentation date
+};
+
+/// \brief Generates all eight TPC-H tables into `catalog` under their
+/// canonical names prefixed "tpch_" (the paper's Fig. 1 uses e.g.
+/// "tpch_lineitem").
+Status GenerateTpch(const TpchConfig& config, Catalog* catalog);
+
+/// \brief Individual table generators (exposed for focused tests).
+std::shared_ptr<Table> TpchNation();
+std::shared_ptr<Table> TpchRegion();
+std::shared_ptr<Table> TpchSupplier(const TpchConfig& config);
+std::shared_ptr<Table> TpchPart(const TpchConfig& config);
+std::shared_ptr<Table> TpchPartsupp(const TpchConfig& config);
+std::shared_ptr<Table> TpchCustomer(const TpchConfig& config);
+std::shared_ptr<Table> TpchOrders(const TpchConfig& config);
+std::shared_ptr<Table> TpchLineitem(const TpchConfig& config);
+
+/// \brief Row count of table `name` ("supplier", ...) at `scale_factor`.
+int64_t TpchRowCount(const std::string& name, double scale_factor);
+
+}  // namespace swift
+
+#endif  // SWIFT_EXEC_TPCH_H_

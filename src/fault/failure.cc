@@ -1,0 +1,25 @@
+#include "fault/failure.h"
+
+#include "common/string_util.h"
+
+namespace swift {
+
+std::string_view FailureKindToString(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kProcessCrash:
+      return "process-crash";
+    case FailureKind::kMachineFailure:
+      return "machine-failure";
+    case FailureKind::kNetworkTimeout:
+      return "network-timeout";
+    case FailureKind::kApplicationError:
+      return "application-error";
+  }
+  return "?";
+}
+
+std::string TaskRef::ToString() const {
+  return StrFormat("s%d.t%d", stage, task);
+}
+
+}  // namespace swift

@@ -1,0 +1,34 @@
+#ifndef SWIFT_FAULT_FAILURE_H_
+#define SWIFT_FAULT_FAILURE_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dag/job_dag.h"
+
+namespace swift {
+
+/// \brief Failure classes Swift distinguishes (Sec. IV).
+enum class FailureKind : int {
+  kProcessCrash = 0,     ///< executor process died and re-registered
+  kMachineFailure = 1,   ///< machine lost (heartbeats stopped)
+  kNetworkTimeout = 2,   ///< transient connectivity loss
+  kApplicationError = 3, ///< deterministic app bug: recovery is useless
+};
+
+std::string_view FailureKindToString(FailureKind kind);
+
+/// \brief One task instance: (stage, task index).
+struct TaskRef {
+  StageId stage = -1;
+  int task = 0;
+
+  auto operator<=>(const TaskRef&) const = default;
+  std::string ToString() const;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_FAULT_FAILURE_H_

@@ -1,0 +1,70 @@
+#include "fault/heartbeat.h"
+
+#include <algorithm>
+
+namespace swift {
+
+HeartbeatMonitor::HeartbeatMonitor(int machines, int miss_threshold)
+    : interval_(IntervalForClusterSize(machines)),
+      miss_threshold_(miss_threshold) {}
+
+double HeartbeatMonitor::IntervalForClusterSize(int machines) {
+  if (machines <= 200) return 5.0;
+  if (machines <= 2000) return 10.0;
+  return 15.0;
+}
+
+void HeartbeatMonitor::ReportHeartbeat(int machine, double now) {
+  last_beat_[machine] = now;
+}
+
+void HeartbeatMonitor::Remove(int machine) { last_beat_.erase(machine); }
+
+std::vector<int> HeartbeatMonitor::DetectFailed(double now) const {
+  std::vector<int> failed;
+  const double deadline = interval_ * static_cast<double>(miss_threshold_);
+  for (const auto& [machine, last] : last_beat_) {
+    if (now - last > deadline) failed.push_back(machine);
+  }
+  return failed;
+}
+
+MachineHealthMonitor::MachineHealthMonitor(int failure_threshold,
+                                           double window_seconds)
+    : failure_threshold_(failure_threshold), window_(window_seconds) {}
+
+void MachineHealthMonitor::RecordTaskFailure(int machine, double now) {
+  auto& times = failures_[machine];
+  times.push_back(now);
+  // Drop entries outside the sliding window.
+  times.erase(std::remove_if(times.begin(), times.end(),
+                             [&](double t) { return now - t > window_; }),
+              times.end());
+  if (static_cast<int>(times.size()) >= failure_threshold_) {
+    read_only_[machine] = true;
+  }
+}
+
+bool MachineHealthMonitor::IsReadOnly(int machine) const {
+  auto it = read_only_.find(machine);
+  return it != read_only_.end() && it->second;
+}
+
+void MachineHealthMonitor::MarkReadOnly(int machine) {
+  read_only_[machine] = true;
+}
+
+void MachineHealthMonitor::Clear(int machine) {
+  read_only_.erase(machine);
+  failures_.erase(machine);
+}
+
+std::vector<int> MachineHealthMonitor::ReadOnlyMachines() const {
+  std::vector<int> out;
+  for (const auto& [m, ro] : read_only_) {
+    if (ro) out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace swift

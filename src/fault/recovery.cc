@@ -1,0 +1,149 @@
+#include "fault/recovery.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace swift {
+
+std::string_view RecoveryCaseToString(RecoveryCase c) {
+  switch (c) {
+    case RecoveryCase::kNone:
+      return "none";
+    case RecoveryCase::kIntraIdempotent:
+      return "intra-idempotent";
+    case RecoveryCase::kIntraNonIdempotent:
+      return "intra-non-idempotent";
+    case RecoveryCase::kInputFailure:
+      return "input-failure";
+    case RecoveryCase::kOutputFailure:
+      return "output-failure";
+    case RecoveryCase::kUseless:
+      return "useless";
+  }
+  return "?";
+}
+
+std::vector<TaskRef> RecoveryPlanner::TasksOf(StageId stage) const {
+  std::vector<TaskRef> out;
+  const int n = dag_->stage(stage).task_count;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) out.push_back(TaskRef{stage, t});
+  return out;
+}
+
+std::vector<TaskRef> RecoveryPlanner::ExecutedSuccessors(
+    const TaskRef& failed, const RecoveryContext& ctx) const {
+  // Shuffles are all-to-all, so every task of every transitive successor
+  // stage depends on the failed task's output.
+  std::vector<TaskRef> out;
+  std::set<StageId> visited;
+  std::deque<StageId> work(dag_->outputs(failed.stage).begin(),
+                           dag_->outputs(failed.stage).end());
+  while (!work.empty()) {
+    const StageId s = work.front();
+    work.pop_front();
+    if (!visited.insert(s).second) continue;
+    for (const TaskRef& t : TasksOf(s)) {
+      if (ctx.executed.count(t) > 0) out.push_back(t);
+    }
+    for (StageId next : dag_->outputs(s)) work.push_back(next);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+RecoveryDecision RecoveryPlanner::Plan(const TaskRef& failed,
+                                       FailureKind kind,
+                                       const RecoveryContext& ctx) const {
+  RecoveryDecision d;
+  if (kind == FailureKind::kApplicationError) {
+    // Sec. IV-C: re-running cannot fix a deterministic application bug;
+    // report to the Job Monitor and stop.
+    d.kase = RecoveryCase::kUseless;
+    d.report_only = true;
+    return d;
+  }
+
+  const StageDef& stage = dag_->stage(failed.stage);
+  const GraphletId g = plan_->GraphletOf(failed.stage);
+
+  // Classify by where predecessors/successors live (Figs. 6 and 7).
+  bool has_intra_pred = false, has_cross_pred = false;
+  for (StageId p : dag_->inputs(failed.stage)) {
+    (plan_->GraphletOf(p) == g ? has_intra_pred : has_cross_pred) = true;
+  }
+  bool has_intra_succ = false, has_cross_succ = false;
+  for (StageId s : dag_->outputs(failed.stage)) {
+    (plan_->GraphletOf(s) == g ? has_intra_succ : has_cross_succ) = true;
+  }
+
+  if (stage.idempotent) {
+    // Fig. 6(a): if every consumer of the failed task's output is
+    // already satisfied — intra-graphlet successors received the data,
+    // cross-graphlet successors can still pull it from the Cache Worker
+    // — no step is taken at all.
+    bool all_satisfied = !dag_->outputs(failed.stage).empty();
+    for (StageId s : dag_->outputs(failed.stage)) {
+      if (plan_->GraphletOf(s) != g) {
+        // Barrier consumer: satisfied iff the retained output survives.
+        if (!ctx.failed_output_available) all_satisfied = false;
+        continue;
+      }
+      for (const TaskRef& t : TasksOf(s)) {
+        // "If T6 and T7 have received the desired data from T4, no step
+        // will be taken" — reception is the criterion.
+        if (ctx.received_output.count(t) == 0) all_satisfied = false;
+      }
+    }
+    if (all_satisfied) {
+      d.kase = RecoveryCase::kNone;
+      return d;
+    }
+    d.rerun.push_back(failed);
+    // Same-graphlet predecessors re-send retained output to the new
+    // instance without re-running; cross-graphlet inputs are re-fetched
+    // from Cache Workers (Fig. 7(a)), needing no notification.
+    for (StageId p : dag_->inputs(failed.stage)) {
+      if (plan_->GraphletOf(p) == g) {
+        for (const TaskRef& t : TasksOf(p)) d.resend_upstream.push_back(t);
+      }
+    }
+    if (!has_intra_pred && has_cross_pred) {
+      d.kase = RecoveryCase::kInputFailure;
+    } else if (!has_intra_succ && has_cross_succ) {
+      d.kase = RecoveryCase::kOutputFailure;
+    } else {
+      d.kase = RecoveryCase::kIntraIdempotent;
+    }
+    return d;
+  }
+
+  // Non-idempotent: output of a re-run differs, so every executed
+  // transitive successor is poisoned and must re-run too (Fig. 6(b)).
+  d.kase = RecoveryCase::kIntraNonIdempotent;
+  d.rerun.push_back(failed);
+  for (const TaskRef& t : ExecutedSuccessors(failed, ctx)) {
+    d.rerun.push_back(t);
+  }
+  d.invalidate_outputs.push_back(failed.stage);
+  for (StageId s : dag_->outputs(failed.stage)) {
+    d.invalidate_outputs.push_back(s);
+  }
+  std::sort(d.invalidate_outputs.begin(), d.invalidate_outputs.end());
+  d.invalidate_outputs.erase(
+      std::unique(d.invalidate_outputs.begin(), d.invalidate_outputs.end()),
+      d.invalidate_outputs.end());
+  for (StageId p : dag_->inputs(failed.stage)) {
+    if (plan_->GraphletOf(p) == g) {
+      for (const TaskRef& t : TasksOf(p)) d.resend_upstream.push_back(t);
+    }
+  }
+  return d;
+}
+
+std::vector<TaskRef> RecoveryPlanner::JobRestartRerunSet(
+    const RecoveryContext& ctx) const {
+  return {ctx.executed.begin(), ctx.executed.end()};
+}
+
+}  // namespace swift

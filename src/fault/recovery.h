@@ -1,0 +1,77 @@
+#ifndef SWIFT_FAULT_RECOVERY_H_
+#define SWIFT_FAULT_RECOVERY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fault/failure.h"
+#include "partition/graphlet.h"
+
+namespace swift {
+
+/// \brief Which Sec. IV-B scenario a failure falls into.
+enum class RecoveryCase : int {
+  kNone = 0,                ///< successors already have the data: no-op
+  kIntraIdempotent = 1,     ///< Fig. 6(a): replace task, upstream re-sends
+  kIntraNonIdempotent = 2,  ///< Fig. 6(b): re-run task + executed successors
+  kInputFailure = 3,        ///< Fig. 7(a): refetch from Cache Workers
+  kOutputFailure = 4,       ///< Fig. 7(b): rewrite to local Cache Worker
+  kUseless = 5,             ///< Sec. IV-C: application bug, report only
+};
+
+std::string_view RecoveryCaseToString(RecoveryCase c);
+
+/// \brief The actions the Failure Handler issues for one failure.
+struct RecoveryDecision {
+  RecoveryCase kase = RecoveryCase::kNone;
+  /// Tasks to re-execute, failed task first (deterministic order).
+  std::vector<TaskRef> rerun;
+  /// Same-graphlet upstream tasks asked to re-send their retained
+  /// shuffle output to the replacement task — without re-running.
+  std::vector<TaskRef> resend_upstream;
+  /// Retained outputs to invalidate (non-idempotent re-runs).
+  std::vector<StageId> invalidate_outputs;
+  bool report_only = false;
+};
+
+/// \brief Runtime state snapshot the planner decides against.
+struct RecoveryContext {
+  /// Tasks that finished successfully before the failure.
+  std::set<TaskRef> executed;
+  /// Tasks known to have fully received the failed task's output.
+  std::set<TaskRef> received_output;
+  /// True when the failed task had completed and its retained output is
+  /// still readable (e.g. parked in a surviving Cache Worker); lets
+  /// cross-graphlet consumers proceed without re-running the task.
+  bool failed_output_available = false;
+};
+
+/// \brief Implements the paper's fine-grained failure recovery on top of
+/// a graphlet plan (Sec. IV-B, IV-C). Pure decision logic — both the
+/// local runtime and the cluster simulator execute its decisions.
+class RecoveryPlanner {
+ public:
+  RecoveryPlanner(const JobDag* dag, const GraphletPlan* plan)
+      : dag_(dag), plan_(plan) {}
+
+  RecoveryDecision Plan(const TaskRef& failed, FailureKind kind,
+                        const RecoveryContext& ctx) const;
+
+  /// \brief Cost of the job-restart baseline: every executed task.
+  std::vector<TaskRef> JobRestartRerunSet(const RecoveryContext& ctx) const;
+
+ private:
+  /// All task refs of `stage`.
+  std::vector<TaskRef> TasksOf(StageId stage) const;
+  /// Transitively executed successors of `failed` (excluding it).
+  std::vector<TaskRef> ExecutedSuccessors(const TaskRef& failed,
+                                          const RecoveryContext& ctx) const;
+
+  const JobDag* dag_;
+  const GraphletPlan* plan_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_FAULT_RECOVERY_H_

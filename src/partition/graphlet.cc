@@ -1,0 +1,136 @@
+#include "partition/graphlet.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace swift {
+
+bool Graphlet::Contains(StageId stage) const {
+  return std::binary_search(stages.begin(), stages.end(), stage);
+}
+
+int64_t Graphlet::TotalTasks(const JobDag& dag) const {
+  int64_t total = 0;
+  for (StageId s : stages) total += dag.stage(s).task_count;
+  return total;
+}
+
+GraphletId GraphletPlan::GraphletOf(StageId stage) const {
+  for (const Graphlet& g : graphlets) {
+    if (g.Contains(stage)) return g.id;
+  }
+  return -1;
+}
+
+std::vector<GraphletId> GraphletPlan::SubmissionOrder() const {
+  // Kahn's algorithm over the graphlet dependency DAG, min-id frontier.
+  std::vector<int> indegree(graphlets.size(), 0);
+  std::vector<std::vector<GraphletId>> dependents(graphlets.size());
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    indegree[i] = static_cast<int>(deps[i].size());
+    for (GraphletId d : deps[i]) {
+      dependents[static_cast<std::size_t>(d)].push_back(
+          static_cast<GraphletId>(i));
+    }
+  }
+  std::set<GraphletId> frontier;
+  for (std::size_t i = 0; i < graphlets.size(); ++i) {
+    if (indegree[i] == 0) frontier.insert(static_cast<GraphletId>(i));
+  }
+  std::vector<GraphletId> order;
+  while (!frontier.empty()) {
+    GraphletId g = *frontier.begin();
+    frontier.erase(frontier.begin());
+    order.push_back(g);
+    for (GraphletId dep : dependents[static_cast<std::size_t>(g)]) {
+      if (--indegree[static_cast<std::size_t>(dep)] == 0) frontier.insert(dep);
+    }
+  }
+  return order;
+}
+
+std::string GraphletPlan::ToString(const JobDag& dag) const {
+  std::ostringstream os;
+  os << "GraphletPlan for '" << dag.name() << "' (" << graphlets.size()
+     << " graphlets)\n";
+  for (const Graphlet& g : graphlets) {
+    os << "  graphlet " << g.id << " stages=[";
+    for (std::size_t i = 0; i < g.stages.size(); ++i) {
+      if (i > 0) os << ",";
+      os << dag.stage(g.stages[i]).name;
+    }
+    os << "] trigger="
+       << (g.trigger_stage >= 0 ? dag.stage(g.trigger_stage).name
+                                : std::string("-"))
+       << " deps=[";
+    const auto& d = deps[static_cast<std::size_t>(g.id)];
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      if (i > 0) os << ",";
+      os << d[i];
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+Status FinalizePlan(const JobDag& dag, GraphletPlan* plan,
+                    bool forbid_pipeline_cuts) {
+  // Coverage check: every stage in exactly one graphlet.
+  std::map<StageId, GraphletId> owner;
+  for (Graphlet& g : plan->graphlets) {
+    std::sort(g.stages.begin(), g.stages.end());
+    for (StageId s : g.stages) {
+      if (!dag.HasStage(s)) {
+        return Status::Internal(
+            StrFormat("graphlet %d references unknown stage %d", g.id, s));
+      }
+      if (!owner.emplace(s, g.id).second) {
+        return Status::Internal(
+            StrFormat("stage %d assigned to multiple graphlets", s));
+      }
+    }
+  }
+  if (owner.size() != dag.stages().size()) {
+    return Status::Internal(StrFormat(
+        "partition covers %zu of %zu stages", owner.size(),
+        dag.stages().size()));
+  }
+
+  // Dependency edges + boundary validation + trigger stages.
+  std::vector<std::set<GraphletId>> deps(plan->graphlets.size());
+  for (const EdgeDef& e : dag.edges()) {
+    GraphletId gs = owner[e.src];
+    GraphletId gd = owner[e.dst];
+    EdgeKind kind = dag.EdgeKindOf(e.src, e.dst);
+    if (gs == gd) continue;
+    if (forbid_pipeline_cuts && kind == EdgeKind::kPipeline) {
+      return Status::Internal(StrFormat(
+          "pipeline edge %d->%d crosses graphlet boundary %d->%d", e.src,
+          e.dst, gs, gd));
+    }
+    deps[static_cast<std::size_t>(gd)].insert(gs);
+    // The producing stage of a crossing edge is a trigger stage of its
+    // graphlet; keep the topologically-last one for display parity with
+    // Fig. 4 (there is at most one in Algorithm-1 plans of tree DAGs,
+    // and any is correct for scheduling since the whole graphlet must
+    // finish before dependents launch).
+    Graphlet& g = plan->graphlets[static_cast<std::size_t>(gs)];
+    if (g.trigger_stage < 0 || e.src > g.trigger_stage) {
+      g.trigger_stage = e.src;
+    }
+  }
+  plan->deps.assign(plan->graphlets.size(), {});
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    plan->deps[i].assign(deps[i].begin(), deps[i].end());
+  }
+  // Note: the dependency graph can be cyclic for adversarial DAGs (see
+  // ShuffleModeAwarePartitioner); callers detect this via
+  // SubmissionOrder().size() and condense when needed.
+  return Status::OK();
+}
+
+}  // namespace swift

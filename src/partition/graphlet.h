@@ -1,0 +1,68 @@
+#ifndef SWIFT_PARTITION_GRAPHLET_H_
+#define SWIFT_PARTITION_GRAPHLET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dag/job_dag.h"
+
+namespace swift {
+
+using GraphletId = int32_t;
+
+/// \brief A sub-graph of the job DAG that is gang-scheduled as one unit
+/// (Sec. III-A-2). All internal edges are pipeline edges; every edge that
+/// crosses a graphlet boundary is a barrier edge.
+struct Graphlet {
+  GraphletId id = -1;
+  /// Member stages in ascending id order.
+  std::vector<StageId> stages;
+  /// The stage whose completion releases the graphlet's outgoing barrier
+  /// data ("Trigger Stage" in Fig. 4); -1 when the graphlet has no
+  /// outgoing barrier edge (terminal graphlet).
+  StageId trigger_stage = -1;
+
+  bool Contains(StageId stage) const;
+  /// Total task count over member stages.
+  int64_t TotalTasks(const JobDag& dag) const;
+};
+
+/// \brief The partitioning result: graphlets plus their dependency graph.
+///
+/// Graphlet B depends on graphlet A when some barrier edge runs from a
+/// stage of A to a stage of B. The DAG Scheduler submits a graphlet only
+/// when every dependency has completed ("all its input data are ready").
+struct GraphletPlan {
+  std::vector<Graphlet> graphlets;
+  /// deps[i] = ids of graphlets that graphlet i depends on (ascending).
+  std::vector<std::vector<GraphletId>> deps;
+
+  /// \brief Graphlet containing `stage`; -1 if none.
+  GraphletId GraphletOf(StageId stage) const;
+
+  /// \brief Graphlet ids in a deterministic dependency-respecting order.
+  std::vector<GraphletId> SubmissionOrder() const;
+
+  std::string ToString(const JobDag& dag) const;
+};
+
+/// \brief Strategy interface: how a job DAG is cut into schedulable units.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual Result<GraphletPlan> Partition(const JobDag& dag) const = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// \brief Computes the dependency lists of a plan from the DAG's barrier
+/// edges and validates that the plan covers every stage exactly once and
+/// that no pipeline edge crosses a boundary is required=false mode.
+/// Shared by all partitioners.
+Status FinalizePlan(const JobDag& dag, GraphletPlan* plan,
+                    bool forbid_pipeline_cuts);
+
+}  // namespace swift
+
+#endif  // SWIFT_PARTITION_GRAPHLET_H_

@@ -1,0 +1,178 @@
+#include "partition/partitioners.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace swift {
+
+namespace {
+
+// Algorithm 2: scanAndAddStages. Pulls `seed` plus everything reachable
+// from it over pipeline edges (both directions) out of `remaining` and
+// into `member_out`. Implemented with an explicit worklist: production
+// DAGs are shallow, but trace-generated ones need not be.
+void ScanAndAddStages(const JobDag& dag, StageId seed,
+                      std::set<StageId>* remaining,
+                      std::vector<StageId>* member_out) {
+  std::deque<StageId> work;
+  work.push_back(seed);
+  while (!work.empty()) {
+    StageId stage = work.front();
+    work.pop_front();
+    member_out->push_back(stage);
+    for (StageId out : dag.outputs(stage)) {
+      if (remaining->count(out) > 0 &&
+          dag.EdgeKindOf(stage, out) == EdgeKind::kPipeline) {
+        remaining->erase(out);
+        work.push_back(out);
+      }
+    }
+    for (StageId in : dag.inputs(stage)) {
+      if (remaining->count(in) > 0 &&
+          dag.EdgeKindOf(in, stage) == EdgeKind::kPipeline) {
+        remaining->erase(in);
+        work.push_back(in);
+      }
+    }
+  }
+}
+
+// Merges graphlets participating in dependency cycles until the
+// contracted graph is acyclic (union-find over strongly connected
+// components via iterative condensation). Rarely needed; see header.
+GraphletPlan CondenseCycles(const JobDag& dag, GraphletPlan plan) {
+  for (;;) {
+    // Detect a cycle with Kahn's algorithm.
+    std::vector<int> indegree(plan.graphlets.size(), 0);
+    std::vector<std::vector<GraphletId>> dependents(plan.graphlets.size());
+    for (std::size_t i = 0; i < plan.deps.size(); ++i) {
+      indegree[i] = static_cast<int>(plan.deps[i].size());
+      for (GraphletId d : plan.deps[i]) {
+        dependents[static_cast<std::size_t>(d)].push_back(
+            static_cast<GraphletId>(i));
+      }
+    }
+    std::deque<GraphletId> frontier;
+    for (std::size_t i = 0; i < plan.graphlets.size(); ++i) {
+      if (indegree[i] == 0) frontier.push_back(static_cast<GraphletId>(i));
+    }
+    std::size_t visited = 0;
+    std::vector<bool> done(plan.graphlets.size(), false);
+    while (!frontier.empty()) {
+      GraphletId g = frontier.front();
+      frontier.pop_front();
+      done[static_cast<std::size_t>(g)] = true;
+      ++visited;
+      for (GraphletId dep : dependents[static_cast<std::size_t>(g)]) {
+        if (--indegree[static_cast<std::size_t>(dep)] == 0) {
+          frontier.push_back(dep);
+        }
+      }
+    }
+    if (visited == plan.graphlets.size()) return plan;
+
+    // Merge ALL unfinished graphlets (a superset of the cycle) into one.
+    GraphletPlan merged;
+    Graphlet fused;
+    for (std::size_t i = 0; i < plan.graphlets.size(); ++i) {
+      if (done[i]) {
+        Graphlet g = plan.graphlets[i];
+        g.id = static_cast<GraphletId>(merged.graphlets.size());
+        g.trigger_stage = -1;
+        merged.graphlets.push_back(std::move(g));
+      } else {
+        fused.stages.insert(fused.stages.end(), plan.graphlets[i].stages.begin(),
+                            plan.graphlets[i].stages.end());
+      }
+    }
+    fused.id = static_cast<GraphletId>(merged.graphlets.size());
+    std::sort(fused.stages.begin(), fused.stages.end());
+    merged.graphlets.push_back(std::move(fused));
+    (void)FinalizePlan(dag, &merged, /*forbid_pipeline_cuts=*/false);
+    plan = std::move(merged);
+  }
+}
+
+}  // namespace
+
+Result<GraphletPlan> ShuffleModeAwarePartitioner::Partition(
+    const JobDag& dag) const {
+  GraphletPlan plan;
+  // `remaining` plays the role of Job_DAG in Algorithm 1; stages are
+  // consumed in topological order.
+  std::set<StageId> remaining(dag.topological_order().begin(),
+                              dag.topological_order().end());
+  for (StageId stage : dag.topological_order()) {
+    if (remaining.count(stage) == 0) continue;
+    remaining.erase(stage);
+    Graphlet g;
+    g.id = static_cast<GraphletId>(plan.graphlets.size());
+    ScanAndAddStages(dag, stage, &remaining, &g.stages);
+    plan.graphlets.push_back(std::move(g));
+  }
+  Status st = FinalizePlan(dag, &plan, /*forbid_pipeline_cuts=*/true);
+  if (!st.ok()) return st;
+  if (plan.SubmissionOrder().size() != plan.graphlets.size()) {
+    plan = CondenseCycles(dag, std::move(plan));
+  }
+  return plan;
+}
+
+Result<GraphletPlan> WholeJobPartitioner::Partition(const JobDag& dag) const {
+  GraphletPlan plan;
+  Graphlet g;
+  g.id = 0;
+  g.stages = dag.topological_order();
+  plan.graphlets.push_back(std::move(g));
+  Status st = FinalizePlan(dag, &plan, /*forbid_pipeline_cuts=*/false);
+  if (!st.ok()) return st;
+  return plan;
+}
+
+Result<GraphletPlan> PerStagePartitioner::Partition(const JobDag& dag) const {
+  GraphletPlan plan;
+  for (StageId stage : dag.topological_order()) {
+    Graphlet g;
+    g.id = static_cast<GraphletId>(plan.graphlets.size());
+    g.stages = {stage};
+    plan.graphlets.push_back(std::move(g));
+  }
+  Status st = FinalizePlan(dag, &plan, /*forbid_pipeline_cuts=*/false);
+  if (!st.ok()) return st;
+  return plan;
+}
+
+Result<GraphletPlan> DataSizePartitioner::Partition(const JobDag& dag) const {
+  GraphletPlan plan;
+  Graphlet current;
+  current.id = 0;
+  double bubble_bytes = 0.0;
+  for (StageId stage : dag.topological_order()) {
+    const StageDef& s = dag.stage(stage);
+    const double stage_out =
+        s.output_bytes_per_task * static_cast<double>(s.task_count);
+    if (!current.stages.empty() &&
+        bubble_bytes + stage_out > max_bubble_bytes_) {
+      plan.graphlets.push_back(std::move(current));
+      current = Graphlet{};
+      current.id = static_cast<GraphletId>(plan.graphlets.size());
+      bubble_bytes = 0.0;
+    }
+    current.stages.push_back(stage);
+    bubble_bytes += stage_out;
+  }
+  if (!current.stages.empty()) plan.graphlets.push_back(std::move(current));
+  Status st = FinalizePlan(dag, &plan, /*forbid_pipeline_cuts=*/false);
+  if (!st.ok()) return st;
+  // Contiguous topological chunks can still contract to a cyclic graph on
+  // wide DAGs; condense defensively.
+  if (plan.SubmissionOrder().size() != plan.graphlets.size()) {
+    plan = CondenseCycles(dag, std::move(plan));
+  }
+  return plan;
+}
+
+}  // namespace swift

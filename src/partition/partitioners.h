@@ -1,0 +1,55 @@
+#ifndef SWIFT_PARTITION_PARTITIONERS_H_
+#define SWIFT_PARTITION_PARTITIONERS_H_
+
+#include "partition/graphlet.h"
+
+namespace swift {
+
+/// \brief Swift's shuffle-mode-aware partitioner (Algorithm 1 + 2).
+///
+/// Repeatedly takes the first remaining stage in topological order, opens
+/// a new graphlet, and transitively pulls in every stage reachable over
+/// *pipeline* edges in either direction (scanAndAddStages). Barrier edges
+/// become graphlet boundaries. When contracting pipeline-connected
+/// components would make the graphlet dependency graph cyclic (possible
+/// on adversarial DAGs the paper does not consider), the offending
+/// graphlets are merged so the plan is always schedulable.
+class ShuffleModeAwarePartitioner : public Partitioner {
+ public:
+  Result<GraphletPlan> Partition(const JobDag& dag) const override;
+  std::string_view name() const override { return "swift-graphlet"; }
+};
+
+/// \brief JetScope/Impala-style baseline: the whole job is one gang unit.
+class WholeJobPartitioner : public Partitioner {
+ public:
+  Result<GraphletPlan> Partition(const JobDag& dag) const override;
+  std::string_view name() const override { return "whole-job"; }
+};
+
+/// \brief Spark-style baseline: every stage is its own scheduling unit.
+class PerStagePartitioner : public Partitioner {
+ public:
+  Result<GraphletPlan> Partition(const JobDag& dag) const override;
+  std::string_view name() const override { return "per-stage"; }
+};
+
+/// \brief Bubble-Execution-style baseline: grows "bubbles" along the
+/// topological order until the accumulated intermediate data volume
+/// exceeds `max_bubble_bytes`, then cuts — regardless of shuffle mode
+/// (the paper's Sec. V-D critique: data-size-driven cuts leave executors
+/// idle waiting for inputs and the partitioning itself costs more).
+class DataSizePartitioner : public Partitioner {
+ public:
+  explicit DataSizePartitioner(double max_bubble_bytes)
+      : max_bubble_bytes_(max_bubble_bytes) {}
+  Result<GraphletPlan> Partition(const JobDag& dag) const override;
+  std::string_view name() const override { return "bubble-datasize"; }
+
+ private:
+  double max_bubble_bytes_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_PARTITION_PARTITIONERS_H_

@@ -1,0 +1,482 @@
+#include "runtime/local_runtime.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "exec/serde.h"
+#include "scheduler/graphlet_tracker.h"
+#include "scheduler/task_tracker.h"
+
+namespace swift {
+
+namespace {
+
+Status StatusForFailure(FailureKind kind, const TaskRef& task) {
+  const std::string what =
+      StrFormat("injected %s on %s",
+                std::string(FailureKindToString(kind)).c_str(),
+                task.ToString().c_str());
+  switch (kind) {
+    case FailureKind::kProcessCrash:
+      return Status::ExecutorLost(what);
+    case FailureKind::kMachineFailure:
+      return Status::MachineUnhealthy(what);
+    case FailureKind::kNetworkTimeout:
+      return Status::Timeout(what);
+    case FailureKind::kApplicationError:
+      return Status::Application(what);
+  }
+  return Status::Internal(what);
+}
+
+FailureKind FailureKindOf(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kExecutorLost:
+      return FailureKind::kProcessCrash;
+    case StatusCode::kMachineUnhealthy:
+      return FailureKind::kMachineFailure;
+    case StatusCode::kTimeout:
+      return FailureKind::kNetworkTimeout;
+    default:
+      return FailureKind::kApplicationError;
+  }
+}
+
+std::vector<SortKey> AscendingKeys(const std::vector<ExprPtr>& exprs) {
+  std::vector<SortKey> keys;
+  keys.reserve(exprs.size());
+  for (const ExprPtr& e : exprs) keys.push_back(SortKey{e, true});
+  return keys;
+}
+
+}  // namespace
+
+struct LocalRuntime::JobContext {
+  JobContext(JobId job_id, const DistributedPlan* p, GraphletPlan g,
+             int machines, int executors_per_machine)
+      : job(job_id),
+        plan(p),
+        graphlets(std::move(g)),
+        recovery(&p->dag, &graphlets),
+        tracker(&p->dag),
+        pool(machines, executors_per_machine) {}
+
+  JobId job;
+  const DistributedPlan* plan;
+  GraphletPlan graphlets;
+  RecoveryPlanner recovery;
+  TaskTracker tracker;
+  ResourcePool pool;
+  std::map<TaskRef, ExecutorId> placement;
+  std::map<TaskRef, int> writer_machine;
+  std::map<TaskRef, int> attempts;
+  Batch final_result;
+  bool has_result = false;
+  JobRunStats stats;
+  std::mutex mu;  // worker-thread shared state
+};
+
+LocalRuntime::LocalRuntime(LocalRuntimeConfig config)
+    : config_(std::move(config)) {
+  ShuffleService::Config sc;
+  sc.machines = config_.machines;
+  sc.cache_memory_per_worker = config_.cache_memory_per_worker;
+  sc.spill_root = config_.spill_root;
+  sc.thresholds = config_.shuffle_thresholds;
+  sc.force_kind = config_.force_shuffle_kind;
+  sc.retain_for_recovery = true;
+  shuffle_ = std::make_unique<ShuffleService>(sc);
+  pool_ = std::make_unique<ThreadPool>(
+      static_cast<std::size_t>(config_.worker_threads));
+}
+
+Result<Batch> LocalRuntime::ExecuteSql(const std::string& sql,
+                                       const PlannerConfig& planner_config) {
+  SWIFT_ASSIGN_OR_RETURN(JobRunReport report, RunSql(sql, planner_config));
+  return report.result;
+}
+
+Result<JobRunReport> LocalRuntime::RunSql(const std::string& sql,
+                                          const PlannerConfig& planner_config) {
+  SWIFT_ASSIGN_OR_RETURN(DistributedPlan plan,
+                         PlanSql(sql, catalog_, planner_config));
+  return RunPlan(plan);
+}
+
+void LocalRuntime::InjectFailureOnce(const TaskRef& task, FailureKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  injected_[task] = kind;
+}
+
+Result<JobRunReport> LocalRuntime::RunPlan(const DistributedPlan& plan) {
+  ShuffleModeAwarePartitioner partitioner;
+  SWIFT_ASSIGN_OR_RETURN(GraphletPlan graphlets,
+                         partitioner.Partition(plan.dag));
+  JobId job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job = next_job_id_++;
+  }
+  JobContext ctx(job, &plan, std::move(graphlets), config_.machines,
+                 config_.executors_per_machine);
+  ctx.stats.graphlets = static_cast<int>(ctx.graphlets.graphlets.size());
+  for (const EdgeDef& e : plan.dag.edges()) {
+    ctx.stats.edges_by_kind[shuffle_->KindFor(
+        plan.dag.ShuffleEdgeSize(e.src, e.dst))] += 1;
+  }
+
+  GraphletTracker gtracker(&ctx.graphlets);
+  Status failure = Status::OK();
+  while (!gtracker.AllComplete() && failure.ok()) {
+    std::vector<GraphletId> ready = gtracker.Submittable();
+    if (ready.empty()) {
+      failure = Status::Internal("no submittable graphlet but job incomplete");
+      break;
+    }
+    // Submit in dependency order, one at a time (the paper's
+    // conservative submission order, Sec. III-A-2).
+    for (GraphletId gid : ready) {
+      gtracker.MarkSubmitted(gid);
+      Status st = RunGraphlet(&ctx, gid);
+      if (!st.ok()) {
+        failure = st;
+        break;
+      }
+      gtracker.MarkComplete(gid);
+    }
+  }
+
+  shuffle_->RemoveJob(job);
+  if (!failure.ok()) return failure;
+  if (!ctx.tracker.AllComplete()) {
+    return Status::Internal("job ended with incomplete tasks");
+  }
+  JobRunReport report;
+  report.result = std::move(ctx.final_result);
+  report.stats = ctx.stats;
+  report.stats.shuffle = shuffle_->stats();
+  return report;
+}
+
+Status LocalRuntime::RunGraphlet(JobContext* ctx, GraphletId gid) {
+  const Graphlet& g =
+      ctx->graphlets.graphlets[static_cast<std::size_t>(gid)];
+  const JobDag& dag = ctx->plan->dag;
+
+  // Gang allocation: one executor per task of the graphlet, with
+  // synthetic data locality for scan tasks (spread across machines).
+  std::vector<TaskRef> members;
+  std::vector<LocalityPref> prefs;
+  for (StageId sid : g.stages) {
+    const StageProgram& prog = ctx->plan->program(sid);
+    for (int t = 0; t < prog.task_count; ++t) {
+      members.push_back(TaskRef{sid, t});
+      if (!prog.scan_table.empty()) {
+        prefs.push_back({t % config_.machines});
+      } else {
+        prefs.push_back({});
+      }
+    }
+  }
+  auto gang = ctx->pool.AllocateGang(prefs);
+  if (!gang.ok()) {
+    return gang.status().WithContext(StrFormat(
+        "gang-scheduling graphlet %d (%zu tasks); raise "
+        "executors_per_machine", gid, members.size()));
+  }
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    ctx->placement[members[i]] = (*gang)[i];
+  }
+
+  // Stage waves in topological order, re-looping while recovery resets
+  // tasks. Intra-graphlet edges are pipeline edges; wave granularity is
+  // the batch-level pipelining of the reproduction.
+  std::vector<StageId> order;
+  for (StageId s : dag.topological_order()) {
+    if (g.Contains(s)) order.push_back(s);
+  }
+  for (;;) {
+    bool all_done = true;
+    bool progressed = false;
+    for (StageId sid : order) {
+      std::vector<int> pending;
+      const StageProgram& prog = ctx->plan->program(sid);
+      for (int t = 0; t < prog.task_count; ++t) {
+        if (ctx->tracker.state(TaskRef{sid, t}) != TaskState::kCompleted) {
+          pending.push_back(t);
+        }
+      }
+      if (pending.empty()) continue;
+      all_done = false;
+      if (!ctx->tracker.StagesComplete(dag.inputs(sid))) continue;
+      Status st = RunStageWave(ctx, sid, pending);
+      if (!st.ok()) {
+        ctx->pool.ReleaseAll(*gang);
+        return st;
+      }
+      progressed = true;
+    }
+    if (all_done) break;
+    if (!progressed) {
+      ctx->pool.ReleaseAll(*gang);
+      return Status::Internal(
+          StrFormat("graphlet %d stalled: no runnable stage", gid));
+    }
+  }
+  ctx->pool.ReleaseAll(*gang);
+  return Status::OK();
+}
+
+Status LocalRuntime::RunStageWave(JobContext* ctx, StageId stage,
+                                  const std::vector<int>& tasks) {
+  struct Outcome {
+    TaskRef task;
+    Status status;
+  };
+  std::vector<Outcome> outcomes(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const TaskRef task{stage, tasks[i]};
+    ctx->tracker.SetState(task, TaskState::kRunning);
+    outcomes[i].task = task;
+  }
+  {
+    // Dispatch the wave to the executor thread pool and wait.
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const TaskRef task = outcomes[i].task;
+      Outcome* slot = &outcomes[i];
+      const int machine = ctx->placement.count(task) > 0
+                              ? ctx->placement[task].machine
+                              : 0;
+      pool_->Submit([this, ctx, task, machine, slot] {
+        slot->status = RunTask(ctx, task, machine);
+      });
+    }
+    pool_->Wait();
+  }
+
+  for (Outcome& o : outcomes) {
+    if (o.status.ok()) {
+      ctx->tracker.SetState(o.task, TaskState::kCompleted);
+      std::lock_guard<std::mutex> lock(ctx->mu);
+      ctx->stats.tasks_executed += 1;
+    }
+  }
+  for (Outcome& o : outcomes) {
+    if (!o.status.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(ctx->mu);
+        ctx->stats.tasks_executed += 1;
+      }
+      SWIFT_RETURN_NOT_OK(
+          HandleFailure(ctx, o.task, FailureKindOf(o.status), o.status));
+    }
+  }
+  return Status::OK();
+}
+
+Status LocalRuntime::HandleFailure(JobContext* ctx, const TaskRef& task,
+                                   FailureKind kind, const Status& error) {
+  ctx->tracker.SetState(task, TaskState::kFailed);
+  const int attempt = ++ctx->attempts[task];
+  if (attempt >= config_.max_task_attempts) {
+    return error.WithContext(StrFormat(
+        "task %s failed %d times", task.ToString().c_str(), attempt));
+  }
+  RecoveryContext rctx;
+  rctx.executed = ctx->tracker.CompletedTasks();
+  RecoveryDecision decision = ctx->recovery.Plan(task, kind, rctx);
+  if (decision.report_only) {
+    // Sec. IV-C: application failures are reported, never retried.
+    return error.WithContext("application failure, recovery skipped");
+  }
+  {
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    ctx->stats.recoveries += 1;
+    ctx->stats.resend_notifications +=
+        static_cast<int>(decision.resend_upstream.size());
+    ctx->stats.tasks_rerun += static_cast<int>(decision.rerun.size());
+  }
+  for (StageId s : decision.invalidate_outputs) {
+    shuffle_->RemoveStageOutput(ctx->job, s);
+  }
+  for (const TaskRef& t : decision.rerun) {
+    ctx->tracker.Reset(t);
+  }
+  SWIFT_LOG(Info) << "recovered " << task.ToString() << " via "
+                  << RecoveryCaseToString(decision.kase) << " (rerun "
+                  << decision.rerun.size() << ", resend "
+                  << decision.resend_upstream.size() << ")";
+  return Status::OK();
+}
+
+Result<OperatorPtr> LocalRuntime::BuildTaskTree(JobContext* ctx,
+                                                const StageProgram& program,
+                                                const TaskRef& task,
+                                                int machine) {
+  const JobDag& dag = ctx->plan->dag;
+  std::vector<OperatorPtr> sources;
+  if (!program.scan_table.empty()) {
+    SWIFT_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                           catalog_.Lookup(program.scan_table));
+    Batch slice = table->TaskSlice(task.task, program.task_count);
+    slice.schema = program.scan_schema;
+    std::vector<Batch> batches;
+    batches.push_back(std::move(slice));
+    sources.push_back(
+        MakeBatchSource(program.scan_schema, std::move(batches)));
+  } else {
+    for (StageId src : program.inputs) {
+      const StageProgram& producer = ctx->plan->program(src);
+      const ShuffleKind kind =
+          shuffle_->KindFor(dag.ShuffleEdgeSize(src, task.stage));
+      std::vector<Batch> batches;
+      for (int st = 0; st < producer.task_count; ++st) {
+        ShuffleSlotKey key{ctx->job, src, st, task.stage, task.task};
+        int writer = 0;
+        {
+          std::lock_guard<std::mutex> lock(ctx->mu);
+          auto it = ctx->writer_machine.find(TaskRef{src, st});
+          if (it == ctx->writer_machine.end()) {
+            return Status::Internal(StrFormat(
+                "no recorded writer machine for %s",
+                TaskRef{src, st}.ToString().c_str()));
+          }
+          writer = it->second;
+        }
+        SWIFT_ASSIGN_OR_RETURN(
+            std::string bytes,
+            shuffle_->ReadPartition(kind, key, machine, writer));
+        SWIFT_ASSIGN_OR_RETURN(Batch b, DeserializeBatch(bytes));
+        batches.push_back(std::move(b));
+      }
+      sources.push_back(
+          MakeBatchSource(producer.output_schema, std::move(batches)));
+    }
+  }
+
+  OperatorPtr tree;
+  std::size_t first_op = 0;
+  if (!program.ops.empty() &&
+      (program.ops[0].kind == LocalOpDesc::Kind::kHashJoin ||
+       program.ops[0].kind == LocalOpDesc::Kind::kMergeJoin)) {
+    if (sources.size() != 2) {
+      return Status::Internal("join stage requires exactly two inputs");
+    }
+    const LocalOpDesc& jd = program.ops[0];
+    OperatorPtr left = std::move(sources[0]);
+    OperatorPtr right = std::move(sources[1]);
+    const JoinType jt =
+        jd.left_outer ? JoinType::kLeftOuter : JoinType::kInner;
+    if (jd.kind == LocalOpDesc::Kind::kMergeJoin) {
+      left = MakeSort(std::move(left), AscendingKeys(jd.left_keys));
+      right = MakeSort(std::move(right), AscendingKeys(jd.right_keys));
+      tree = MakeMergeJoin(std::move(left), std::move(right), jd.left_keys,
+                           jd.right_keys, jt);
+    } else {
+      tree = MakeHashJoin(std::move(left), std::move(right), jd.left_keys,
+                          jd.right_keys, jt);
+    }
+    first_op = 1;
+  } else {
+    if (sources.size() != 1) {
+      return Status::Internal(StrFormat(
+          "stage %s expects one input, has %zu", program.name.c_str(),
+          sources.size()));
+    }
+    tree = std::move(sources[0]);
+  }
+
+  for (std::size_t i = first_op; i < program.ops.size(); ++i) {
+    const LocalOpDesc& op = program.ops[i];
+    switch (op.kind) {
+      case LocalOpDesc::Kind::kFilter:
+        tree = MakeFilter(std::move(tree), op.predicate);
+        break;
+      case LocalOpDesc::Kind::kProject:
+        tree = MakeProject(std::move(tree), op.exprs, op.names);
+        break;
+      case LocalOpDesc::Kind::kSort:
+        tree = MakeSort(std::move(tree), op.sort_keys);
+        break;
+      case LocalOpDesc::Kind::kHashAggregate:
+        tree = MakeHashAggregate(std::move(tree), op.exprs, op.names,
+                                 op.aggs);
+        break;
+      case LocalOpDesc::Kind::kStreamedAggregate:
+        tree = MakeSort(std::move(tree), AscendingKeys(op.exprs));
+        tree = MakeStreamedAggregate(std::move(tree), op.exprs, op.names,
+                                     op.aggs);
+        break;
+      case LocalOpDesc::Kind::kLimit:
+        tree = MakeLimit(std::move(tree), op.limit);
+        break;
+      case LocalOpDesc::Kind::kWindow:
+        tree = MakeWindow(std::move(tree), op.partition_by, op.sort_keys,
+                          op.window_func, op.window_arg, op.output_name);
+        break;
+      case LocalOpDesc::Kind::kHashJoin:
+      case LocalOpDesc::Kind::kMergeJoin:
+        return Status::Internal("join must be the first stage operator");
+    }
+  }
+  return tree;
+}
+
+Status LocalRuntime::RunTask(JobContext* ctx, const TaskRef& task,
+                             int machine) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = injected_.find(task);
+    if (it != injected_.end()) {
+      const FailureKind kind = it->second;
+      injected_.erase(it);
+      return StatusForFailure(kind, task);
+    }
+  }
+  const StageProgram& program = ctx->plan->program(task.stage);
+  SWIFT_ASSIGN_OR_RETURN(OperatorPtr tree,
+                         BuildTaskTree(ctx, program, task, machine));
+  SWIFT_ASSIGN_OR_RETURN(Batch out, CollectAll(tree.get()));
+
+  const JobDag& dag = ctx->plan->dag;
+  const StageId consumer = ctx->plan->ConsumerOf(task.stage);
+  if (consumer < 0) {
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    ctx->final_result = std::move(out);
+    ctx->has_result = true;
+    ctx->writer_machine[task] = machine;
+    return Status::OK();
+  }
+  const StageProgram& consumer_prog = ctx->plan->program(consumer);
+  const ShuffleKind kind =
+      shuffle_->KindFor(dag.ShuffleEdgeSize(task.stage, consumer));
+  const bool pipelined =
+      dag.EdgeKindOf(task.stage, consumer) == EdgeKind::kPipeline;
+
+  std::vector<Batch> parts;
+  if (program.output_partition_keys.empty()) {
+    parts.assign(static_cast<std::size_t>(consumer_prog.task_count), Batch{});
+    for (auto& p : parts) p.schema = out.schema;
+    parts[0].rows = std::move(out.rows);
+    parts[0].schema = out.schema;
+  } else {
+    SWIFT_ASSIGN_OR_RETURN(
+        parts, HashPartition(out, program.output_partition_keys,
+                             consumer_prog.task_count));
+  }
+  for (int dst = 0; dst < consumer_prog.task_count; ++dst) {
+    ShuffleSlotKey key{ctx->job, task.stage, task.task, consumer, dst};
+    SWIFT_RETURN_NOT_OK(shuffle_->WritePartition(
+        kind, key, SerializeBatch(parts[static_cast<std::size_t>(dst)]),
+        machine, pipelined));
+  }
+  {
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    ctx->writer_machine[task] = machine;
+  }
+  return Status::OK();
+}
+
+}  // namespace swift

@@ -1,0 +1,107 @@
+#ifndef SWIFT_RUNTIME_LOCAL_RUNTIME_H_
+#define SWIFT_RUNTIME_LOCAL_RUNTIME_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "exec/table.h"
+#include "fault/failure.h"
+#include "fault/recovery.h"
+#include "partition/partitioners.h"
+#include "scheduler/resource_pool.h"
+#include "shuffle/shuffle_service.h"
+#include "sql/distributed_plan.h"
+#include "sql/planner.h"
+
+namespace swift {
+
+/// \brief Configuration of the in-process Swift cluster.
+struct LocalRuntimeConfig {
+  int machines = 4;
+  /// Pre-launched logical executors per machine ("dozens or hundreds of
+  /// Swift Executors running on each machine", Fig. 2 caption).
+  int executors_per_machine = 64;
+  /// OS threads actually executing tasks.
+  int worker_threads = 8;
+  int64_t cache_memory_per_worker = 256LL << 20;
+  std::string spill_root;  ///< "" = no spill
+  std::optional<ShuffleKind> force_shuffle_kind;
+  ShuffleThresholds shuffle_thresholds;
+  int max_task_attempts = 3;
+};
+
+/// \brief Outcome counters of one job run.
+struct JobRunStats {
+  int graphlets = 0;
+  int tasks_executed = 0;   ///< task executions incl. re-runs
+  int tasks_rerun = 0;      ///< re-executions triggered by recovery
+  int recoveries = 0;       ///< recovery decisions acted on
+  int resend_notifications = 0;  ///< upstream re-send requests issued
+  std::map<ShuffleKind, int> edges_by_kind;
+  ShuffleServiceStats shuffle;
+};
+
+/// \brief Result rows plus run statistics.
+struct JobRunReport {
+  Batch result;
+  JobRunStats stats;
+};
+
+/// \brief An in-process Swift deployment: N simulated machines with
+/// pre-launched executors and Cache Workers, executing DistributedPlans
+/// with graphlet gang scheduling, adaptive in-network shuffle, and
+/// fine-grained failure recovery. This is the substrate the examples and
+/// integration tests run real queries on.
+class LocalRuntime {
+ public:
+  explicit LocalRuntime(LocalRuntimeConfig config = {});
+
+  /// \brief The table registry jobs read from.
+  Catalog* catalog() { return &catalog_; }
+
+  /// \brief Parse, plan and run a SQL query; returns the result batch.
+  Result<Batch> ExecuteSql(const std::string& sql,
+                           const PlannerConfig& planner_config = {});
+
+  /// \brief Plan and run with full statistics.
+  Result<JobRunReport> RunSql(const std::string& sql,
+                              const PlannerConfig& planner_config = {});
+
+  /// \brief Runs an already-planned job.
+  Result<JobRunReport> RunPlan(const DistributedPlan& plan);
+
+  /// \brief Makes the next execution of `task` fail with `kind`
+  /// (fires once; recovery then re-runs it successfully).
+  void InjectFailureOnce(const TaskRef& task, FailureKind kind);
+
+  ShuffleService* shuffle_service() { return shuffle_.get(); }
+
+ private:
+  struct JobContext;
+
+  Status RunGraphlet(JobContext* ctx, GraphletId gid);
+  Status RunStageWave(JobContext* ctx, StageId stage,
+                      const std::vector<int>& tasks);
+  Status RunTask(JobContext* ctx, const TaskRef& task, int machine);
+  Status HandleFailure(JobContext* ctx, const TaskRef& task,
+                       FailureKind kind, const Status& error);
+  Result<OperatorPtr> BuildTaskTree(JobContext* ctx,
+                                    const StageProgram& program,
+                                    const TaskRef& task, int machine);
+
+  LocalRuntimeConfig config_;
+  Catalog catalog_;
+  std::unique_ptr<ShuffleService> shuffle_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::mutex mu_;
+  std::map<TaskRef, FailureKind> injected_;
+  JobId next_job_id_ = 1;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_RUNTIME_LOCAL_RUNTIME_H_

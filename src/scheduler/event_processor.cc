@@ -1,0 +1,82 @@
+#include "scheduler/event_processor.h"
+
+namespace swift {
+
+EventProcessor::EventProcessor(int threads) {
+  if (threads < 1) threads = 1;
+  threads_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { Loop(); });
+  }
+}
+
+EventProcessor::~EventProcessor() { Shutdown(); }
+
+bool EventProcessor::Enqueue(EventPriority priority,
+                             std::function<void()> handler) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
+    if (priority == EventPriority::kHigh) {
+      high_.push_back(std::move(handler));
+    } else {
+      normal_.push_back(std::move(handler));
+    }
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void EventProcessor::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    return high_.empty() && normal_.empty() && active_ == 0;
+  });
+}
+
+void EventProcessor::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void EventProcessor::Loop() {
+  for (;;) {
+    std::function<void()> handler;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] {
+        return shutdown_ || !high_.empty() || !normal_.empty();
+      });
+      if (high_.empty() && normal_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      if (!high_.empty()) {
+        handler = std::move(high_.front());
+        high_.pop_front();
+      } else {
+        handler = std::move(normal_.front());
+        normal_.pop_front();
+      }
+      ++active_;
+    }
+    handler();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      ++processed_;
+      if (high_.empty() && normal_.empty() && active_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace swift

@@ -1,0 +1,56 @@
+#ifndef SWIFT_SCHEDULER_EVENT_PROCESSOR_H_
+#define SWIFT_SCHEDULER_EVENT_PROCESSOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace swift {
+
+/// \brief Event classes handled by Swift Admin (Fig. 2). Resource
+/// assignment events run at high priority so scheduling latency stays
+/// low (Sec. II-C).
+enum class EventPriority : int { kHigh = 0, kNormal = 1 };
+
+/// \brief The Admin's event loop: a two-level priority queue drained by
+/// a small thread pool. High-priority events always dequeue before
+/// normal ones; events of one priority run in FIFO order.
+class EventProcessor {
+ public:
+  explicit EventProcessor(int threads = 2);
+  ~EventProcessor();
+
+  EventProcessor(const EventProcessor&) = delete;
+  EventProcessor& operator=(const EventProcessor&) = delete;
+
+  /// \brief Enqueues an event; returns false after Shutdown.
+  bool Enqueue(EventPriority priority, std::function<void()> handler);
+
+  /// \brief Blocks until both queues drain and handlers finish.
+  void Drain();
+
+  void Shutdown();
+
+  int64_t processed_events() const { return processed_; }
+
+ private:
+  void Loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> high_;
+  std::deque<std::function<void()>> normal_;
+  std::vector<std::thread> threads_;
+  int active_ = 0;
+  bool shutdown_ = false;
+  int64_t processed_ = 0;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SCHEDULER_EVENT_PROCESSOR_H_

@@ -1,0 +1,95 @@
+#include "scheduler/executor_registry.h"
+
+#include "common/string_util.h"
+
+namespace swift {
+
+bool ExecutorRegistry::Report(const ExecutorId& id, int pid, int tcp_port,
+                              double now) {
+  auto it = executors_.find(id);
+  if (it == executors_.end()) {
+    ExecutorStatus st;
+    st.id = id;
+    st.pid = pid;
+    st.tcp_port = tcp_port;
+    st.launched_at = now;
+    st.last_report = now;
+    executors_.emplace(id, std::move(st));
+    return false;
+  }
+  ExecutorStatus& st = it->second;
+  const bool restarted = st.pid != pid;
+  if (restarted) {
+    st.restarts += 1;
+    ++total_restarts_;
+    st.launched_at = now;
+    st.pid = pid;
+    st.tcp_port = tcp_port;
+  }
+  st.last_report = now;
+  return restarted;
+}
+
+Status ExecutorRegistry::AssignTask(const ExecutorId& id,
+                                    const TaskRef& task) {
+  auto it = executors_.find(id);
+  if (it == executors_.end()) {
+    return Status::NotFound("executor " + id.ToString());
+  }
+  if (it->second.running_task.has_value()) {
+    return Status::AlreadyExists(StrFormat(
+        "executor %s already runs %s", id.ToString().c_str(),
+        it->second.running_task->ToString().c_str()));
+  }
+  it->second.running_task = task;
+  return Status::OK();
+}
+
+Status ExecutorRegistry::ClearTask(const ExecutorId& id) {
+  auto it = executors_.find(id);
+  if (it == executors_.end()) {
+    return Status::NotFound("executor " + id.ToString());
+  }
+  it->second.running_task.reset();
+  return Status::OK();
+}
+
+std::optional<TaskRef> ExecutorRegistry::RunningTask(
+    const ExecutorId& id) const {
+  auto it = executors_.find(id);
+  if (it == executors_.end()) return std::nullopt;
+  return it->second.running_task;
+}
+
+Result<ExecutorStatus> ExecutorRegistry::Lookup(const ExecutorId& id) const {
+  auto it = executors_.find(id);
+  if (it == executors_.end()) {
+    return Status::NotFound("executor " + id.ToString());
+  }
+  return it->second;
+}
+
+std::vector<ExecutorStatus> ExecutorRegistry::OnMachine(int machine) const {
+  std::vector<ExecutorStatus> out;
+  for (const auto& [id, st] : executors_) {
+    if (id.machine == machine) out.push_back(st);
+  }
+  return out;
+}
+
+std::vector<TaskRef> ExecutorRegistry::RevokeMachine(int machine) {
+  std::vector<TaskRef> victims;
+  for (auto it = executors_.begin(); it != executors_.end();) {
+    if (it->first.machine == machine) {
+      if (it->second.running_task.has_value()) {
+        victims.push_back(*it->second.running_task);
+      }
+      it = executors_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return victims;
+}
+
+}  // namespace swift

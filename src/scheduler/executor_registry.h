@@ -1,0 +1,67 @@
+#ifndef SWIFT_SCHEDULER_EXECUTOR_REGISTRY_H_
+#define SWIFT_SCHEDULER_EXECUTOR_REGISTRY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fault/failure.h"
+#include "scheduler/resource_pool.h"
+
+namespace swift {
+
+/// \brief What the Executor Manager knows about one Swift Executor.
+struct ExecutorStatus {
+  ExecutorId id;
+  int pid = 0;
+  int tcp_port = 0;
+  double launched_at = 0.0;
+  double last_report = 0.0;
+  int restarts = 0;
+  std::optional<TaskRef> running_task;
+};
+
+/// \brief The Executor Manager's status cache (Fig. 2).
+///
+/// Executors are tracked "in a lazy and passive way — it is up to the
+/// Executor itself to report its status once the state changes"
+/// (Sec. IV-A). On launch an executor reports its PID and TCP port; a
+/// report with a new PID means the process was re-launched after a
+/// crash, and the Admin "could know process restart and initiate the
+/// failure handling process immediately".
+class ExecutorRegistry {
+ public:
+  /// \brief Self-report from an executor process. Returns true when the
+  /// report reveals a restart (known executor, different PID) — the
+  /// caller should start failure handling for any task it was running.
+  bool Report(const ExecutorId& id, int pid, int tcp_port, double now);
+
+  /// \brief Task bookkeeping (used by recovery to find victims).
+  Status AssignTask(const ExecutorId& id, const TaskRef& task);
+  Status ClearTask(const ExecutorId& id);
+
+  /// \brief The task running on `id` when it died, if any.
+  std::optional<TaskRef> RunningTask(const ExecutorId& id) const;
+
+  Result<ExecutorStatus> Lookup(const ExecutorId& id) const;
+
+  /// \brief All executors of one machine (machine-failure revocation).
+  std::vector<ExecutorStatus> OnMachine(int machine) const;
+
+  /// \brief Drops all executors of a machine (revoked by the Admin).
+  /// Returns the tasks that were running there.
+  std::vector<TaskRef> RevokeMachine(int machine);
+
+  std::size_t size() const { return executors_.size(); }
+  int total_restarts() const { return total_restarts_; }
+
+ private:
+  std::map<ExecutorId, ExecutorStatus> executors_;
+  int total_restarts_ = 0;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SCHEDULER_EXECUTOR_REGISTRY_H_

@@ -1,0 +1,35 @@
+#include "scheduler/graphlet_tracker.h"
+
+namespace swift {
+
+GraphletTracker::GraphletTracker(const GraphletPlan* plan) : plan_(plan) {}
+
+std::vector<GraphletId> GraphletTracker::Submittable() const {
+  std::vector<GraphletId> out;
+  for (const Graphlet& g : plan_->graphlets) {
+    if (submitted_.count(g.id) > 0 || complete_.count(g.id) > 0) continue;
+    bool ready = true;
+    for (GraphletId dep : plan_->deps[static_cast<std::size_t>(g.id)]) {
+      if (complete_.count(dep) == 0) {
+        ready = false;
+        break;
+      }
+    }
+    if (ready) out.push_back(g.id);
+  }
+  return out;
+}
+
+void GraphletTracker::MarkSubmitted(GraphletId g) { submitted_.insert(g); }
+
+void GraphletTracker::MarkComplete(GraphletId g) {
+  submitted_.erase(g);
+  complete_.insert(g);
+}
+
+void GraphletTracker::Reset(GraphletId g) {
+  submitted_.erase(g);
+  complete_.erase(g);
+}
+
+}  // namespace swift

@@ -1,0 +1,44 @@
+#ifndef SWIFT_SCHEDULER_GRAPHLET_TRACKER_H_
+#define SWIFT_SCHEDULER_GRAPHLET_TRACKER_H_
+
+#include <set>
+#include <vector>
+
+#include "partition/graphlet.h"
+
+namespace swift {
+
+/// \brief DAG Scheduler state: which graphlets are submittable, running,
+/// or complete. A graphlet is submittable only when every dependency has
+/// completed ("all its input data are ready", Sec. III-A-2) — the
+/// conservative order the paper adopts for the Q9 example.
+class GraphletTracker {
+ public:
+  explicit GraphletTracker(const GraphletPlan* plan);
+
+  /// \brief Graphlets ready to submit now (deps complete, not yet
+  /// submitted), in deterministic id order.
+  std::vector<GraphletId> Submittable() const;
+
+  void MarkSubmitted(GraphletId g);
+  void MarkComplete(GraphletId g);
+
+  /// \brief Failure handling: a completed/submitted graphlet goes back
+  /// to pending so its tasks can be re-gang-scheduled.
+  void Reset(GraphletId g);
+
+  bool IsComplete(GraphletId g) const { return complete_.count(g) > 0; }
+  bool IsSubmitted(GraphletId g) const { return submitted_.count(g) > 0; }
+  bool AllComplete() const {
+    return complete_.size() == plan_->graphlets.size();
+  }
+
+ private:
+  const GraphletPlan* plan_;
+  std::set<GraphletId> submitted_;
+  std::set<GraphletId> complete_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SCHEDULER_GRAPHLET_TRACKER_H_

@@ -1,0 +1,57 @@
+#include "scheduler/shadow_controller.h"
+
+#include "common/string_util.h"
+
+namespace swift {
+
+Result<int64_t> ShadowControllerPair::Publish(std::string snapshot) {
+  pending_snapshot_ = std::move(snapshot);
+  return ++published_epoch_;
+}
+
+void ShadowControllerPair::ProvisionStandby() {
+  standby_alive_ = true;
+  // The new standby has replicated nothing yet.
+  acked_epoch_ = 0;
+  acked_snapshot_.clear();
+}
+
+Status ShadowControllerPair::Acknowledge(int64_t epoch) {
+  if (epoch > published_epoch_) {
+    return Status::InvalidArgument(StrFormat(
+        "ack for epoch %lld beyond published %lld",
+        static_cast<long long>(epoch),
+        static_cast<long long>(published_epoch_)));
+  }
+  if (epoch <= acked_epoch_) return Status::OK();  // stale / duplicate
+  acked_epoch_ = epoch;
+  // Replication is cumulative: acknowledging epoch E means the shadow
+  // holds the snapshot published at E. We model only the newest.
+  if (epoch == published_epoch_) acked_snapshot_ = pending_snapshot_;
+  return Status::OK();
+}
+
+void ShadowControllerPair::DrainReplication() {
+  acked_epoch_ = published_epoch_;
+  acked_snapshot_ = pending_snapshot_;
+}
+
+Result<std::optional<std::string>> ShadowControllerPair::Failover() {
+  if (!standby_alive_) {
+    return Status::ResourceExhausted(
+        "no standby controller left to promote");
+  }
+  last_loss_ = published_epoch_ - acked_epoch_;
+  ++failovers_;
+  active_ = active_ == Role::kPrimary ? Role::kShadow : Role::kPrimary;
+  // The promoted controller continues from the replicated state; the
+  // old primary is gone, so until a new standby is provisioned there is
+  // no further failover target.
+  standby_alive_ = false;
+  published_epoch_ = acked_epoch_;
+  pending_snapshot_ = acked_snapshot_;
+  if (acked_epoch_ == 0) return std::optional<std::string>();
+  return std::optional<std::string>(acked_snapshot_);
+}
+
+}  // namespace swift

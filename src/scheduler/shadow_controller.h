@@ -1,0 +1,70 @@
+#ifndef SWIFT_SCHEDULER_SHADOW_CONTROLLER_H_
+#define SWIFT_SCHEDULER_SHADOW_CONTROLLER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+
+namespace swift {
+
+/// \brief The shadow-controller mechanism of Fig. 2 ("to avoid a single
+/// point of failure, shadow controller mechanism is also supported").
+///
+/// The primary Swift Admin publishes monotonically-numbered state
+/// snapshots; the shadow acknowledges what it has replicated. When the
+/// primary dies, `Failover()` promotes the shadow, which resumes from
+/// the last *acknowledged* snapshot — anything newer was never
+/// replicated and is re-derived from executor status reports, exactly
+/// like a restart of a non-replicated controller, but bounded by one
+/// replication lag instead of the whole history.
+class ShadowControllerPair {
+ public:
+  /// \brief Identity of the currently-active controller.
+  enum class Role { kPrimary = 0, kShadow = 1 };
+
+  /// \brief Primary publishes a new state snapshot; returns its epoch.
+  /// Fails after the primary was declared dead.
+  Result<int64_t> Publish(std::string snapshot);
+
+  /// \brief Replication delivery: the shadow acknowledges `epoch`.
+  /// Out-of-order acks are ignored (idempotent).
+  Status Acknowledge(int64_t epoch);
+
+  /// \brief Simulates replication of everything published so far.
+  void DrainReplication();
+
+  /// \brief Declares the active controller dead and promotes the
+  /// shadow. Returns the snapshot the new primary resumes from
+  /// (nullopt when nothing was ever acknowledged). Fails if there is no
+  /// standby left to promote.
+  Result<std::optional<std::string>> Failover();
+
+  /// \brief Brings up a fresh standby (replication starts empty: it
+  /// must re-sync via Acknowledge/DrainReplication).
+  void ProvisionStandby();
+
+  Role active_role() const { return active_; }
+  bool standby_alive() const { return standby_alive_; }
+  int64_t published_epoch() const { return published_epoch_; }
+  int64_t acked_epoch() const { return acked_epoch_; }
+  int failovers() const { return failovers_; }
+
+  /// \brief Epochs lost by the last failover (published - acked).
+  int64_t LastFailoverLoss() const { return last_loss_; }
+
+ private:
+  Role active_ = Role::kPrimary;
+  int64_t published_epoch_ = 0;
+  int64_t acked_epoch_ = 0;
+  std::string pending_snapshot_;  // latest published
+  std::string acked_snapshot_;    // latest replicated
+  int failovers_ = 0;
+  int64_t last_loss_ = 0;
+  bool standby_alive_ = true;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SCHEDULER_SHADOW_CONTROLLER_H_

@@ -1,0 +1,232 @@
+#include "shuffle/cache_worker.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace swift {
+
+std::string ShuffleSlotKey::ToString() const {
+  return StrFormat("job%lld.s%d.t%d->s%d.t%d", static_cast<long long>(job),
+                   src_stage, src_task, dst_stage, dst_task);
+}
+
+CacheWorker::CacheWorker(int64_t memory_budget_bytes, std::string spill_dir)
+    : budget_(memory_budget_bytes), spill_dir_(std::move(spill_dir)) {
+  if (!spill_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(spill_dir_, ec);
+  }
+}
+
+CacheWorker::~CacheWorker() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, slot] : slots_) {
+    if (slot.spilled && !slot.spill_path.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(slot.spill_path, ec);
+    }
+  }
+}
+
+Status CacheWorker::Put(const ShuffleSlotKey& key, std::string bytes,
+                        int expected_reads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t size = static_cast<int64_t>(bytes.size());
+  auto it = slots_.find(key);
+  if (it != slots_.end()) {
+    // Overwrite (idempotent re-run re-sends the same partition).
+    EraseLocked(key);
+  }
+  SWIFT_RETURN_NOT_OK(EnsureCapacityLocked(size));
+  Slot slot;
+  slot.bytes = std::move(bytes);
+  slot.size = size;
+  slot.expected_reads = expected_reads;
+  auto [ins, ok] = slots_.emplace(key, std::move(slot));
+  (void)ok;
+  TouchLocked(key, &ins->second);
+  stats_.puts += 1;
+  stats_.bytes_written += size;
+  stats_.memory_in_use += size;
+  return Status::OK();
+}
+
+Result<std::string> CacheWorker::Get(const ShuffleSlotKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(key);
+  if (it == slots_.end()) {
+    return Status::NotFound("shuffle slot " + key.ToString());
+  }
+  SWIFT_ASSIGN_OR_RETURN(std::string bytes, LoadLocked(key, &it->second));
+  stats_.gets += 1;
+  stats_.bytes_read += static_cast<int64_t>(bytes.size());
+  it->second.reads += 1;
+  if (it->second.expected_reads > 0 &&
+      it->second.reads >= it->second.expected_reads) {
+    EraseLocked(key);
+    stats_.deletions += 1;
+  } else {
+    TouchLocked(key, &it->second);
+  }
+  return bytes;
+}
+
+Result<std::string> CacheWorker::Peek(const ShuffleSlotKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(key);
+  if (it == slots_.end()) {
+    return Status::NotFound("shuffle slot " + key.ToString());
+  }
+  SWIFT_ASSIGN_OR_RETURN(std::string bytes, LoadLocked(key, &it->second));
+  stats_.gets += 1;
+  stats_.bytes_read += static_cast<int64_t>(bytes.size());
+  TouchLocked(key, &it->second);
+  return bytes;
+}
+
+bool CacheWorker::Contains(const ShuffleSlotKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.count(key) > 0;
+}
+
+void CacheWorker::RemoveJob(JobId job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    if (it->first.job == job) {
+      auto next = std::next(it);
+      EraseLocked(it->first);
+      it = next;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CacheWorker::RemoveStageOutput(JobId job, StageId stage) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    if (it->first.job == job && it->first.src_stage == stage) {
+      auto next = std::next(it);
+      EraseLocked(it->first);
+      it = next;
+    } else {
+      ++it;
+    }
+  }
+}
+
+CacheWorkerStats CacheWorker::stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Status CacheWorker::EnsureCapacityLocked(int64_t incoming) {
+  while (stats_.memory_in_use + incoming > budget_ && !lru_.empty()) {
+    const ShuffleSlotKey victim = lru_.front();
+    auto it = slots_.find(victim);
+    if (it == slots_.end()) {
+      lru_.pop_front();
+      continue;
+    }
+    SWIFT_RETURN_NOT_OK(SpillLocked(victim, &it->second));
+  }
+  if (stats_.memory_in_use + incoming > budget_) {
+    if (spill_dir_.empty()) {
+      return Status::ResourceExhausted(
+          StrFormat("cache worker over budget (%lld + %lld > %lld)",
+                    static_cast<long long>(stats_.memory_in_use),
+                    static_cast<long long>(incoming),
+                    static_cast<long long>(budget_)));
+    }
+    // Everything resident is already spilled; a single oversized slot is
+    // admitted (it will be the next spill victim).
+  }
+  return Status::OK();
+}
+
+Status CacheWorker::SpillLocked(const ShuffleSlotKey& key, Slot* slot) {
+  (void)key;
+  if (spill_dir_.empty()) {
+    return Status::ResourceExhausted("cache worker memory over budget and "
+                                     "spilling disabled");
+  }
+  if (slot->spilled) return Status::OK();
+  const std::string path = StrFormat(
+      "%s/slot_%lld.bin", spill_dir_.c_str(),
+      static_cast<long long>(spill_seq_++));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    return Status::IOError("cannot open spill file " + path);
+  }
+  out.write(slot->bytes.data(),
+            static_cast<std::streamsize>(slot->bytes.size()));
+  out.close();
+  if (!out.good()) {
+    return Status::IOError("short write to spill file " + path);
+  }
+  stats_.spilled_slots += 1;
+  stats_.spilled_bytes += slot->size;
+  stats_.memory_in_use -= slot->size;
+  slot->bytes.clear();
+  slot->bytes.shrink_to_fit();
+  slot->spilled = true;
+  slot->spill_path = path;
+  if (slot->in_lru) {
+    lru_.erase(slot->lru_it);
+    slot->in_lru = false;
+  }
+  return Status::OK();
+}
+
+Result<std::string> CacheWorker::LoadLocked(const ShuffleSlotKey& key,
+                                            Slot* slot) {
+  if (!slot->spilled) return slot->bytes;
+  std::ifstream in(slot->spill_path, std::ios::binary);
+  if (!in.good()) {
+    return Status::IOError("cannot open spill file " + slot->spill_path);
+  }
+  std::string bytes(static_cast<std::size_t>(slot->size), '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (in.gcount() != static_cast<std::streamsize>(bytes.size())) {
+    return Status::IOError("short read from spill file " + slot->spill_path);
+  }
+  stats_.reloads += 1;
+  // Re-admit into memory (it is being used again).
+  SWIFT_RETURN_NOT_OK(EnsureCapacityLocked(slot->size));
+  std::error_code ec;
+  std::filesystem::remove(slot->spill_path, ec);
+  slot->spilled = false;
+  slot->spill_path.clear();
+  slot->bytes = bytes;
+  stats_.memory_in_use += slot->size;
+  TouchLocked(key, slot);
+  return bytes;
+}
+
+void CacheWorker::EraseLocked(const ShuffleSlotKey& key) {
+  auto it = slots_.find(key);
+  if (it == slots_.end()) return;
+  Slot& slot = it->second;
+  if (slot.in_lru) lru_.erase(slot.lru_it);
+  if (slot.spilled) {
+    std::error_code ec;
+    std::filesystem::remove(slot.spill_path, ec);
+  } else {
+    stats_.memory_in_use -= slot.size;
+  }
+  slots_.erase(it);
+}
+
+void CacheWorker::TouchLocked(const ShuffleSlotKey& key, Slot* slot) {
+  if (slot->spilled) return;
+  if (slot->in_lru) lru_.erase(slot->lru_it);
+  lru_.push_back(key);
+  slot->lru_it = std::prev(lru_.end());
+  slot->in_lru = true;
+}
+
+}  // namespace swift

@@ -1,0 +1,113 @@
+#ifndef SWIFT_SHUFFLE_CACHE_WORKER_H_
+#define SWIFT_SHUFFLE_CACHE_WORKER_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "dag/job_dag.h"
+
+namespace swift {
+
+/// \brief Identifies one shuffle partition: data produced by task
+/// `src_task` of stage `src_stage` destined for task `dst_task` of stage
+/// `dst_stage` within job `job`.
+struct ShuffleSlotKey {
+  JobId job = 0;
+  StageId src_stage = -1;
+  int src_task = 0;
+  StageId dst_stage = -1;
+  int dst_task = 0;
+
+  auto operator<=>(const ShuffleSlotKey&) const = default;
+  std::string ToString() const;
+};
+
+/// \brief Counters exposed by a Cache Worker.
+struct CacheWorkerStats {
+  int64_t puts = 0;
+  int64_t gets = 0;
+  int64_t bytes_written = 0;
+  int64_t bytes_read = 0;
+  int64_t spilled_slots = 0;   ///< LRU evictions to disk
+  int64_t spilled_bytes = 0;
+  int64_t reloads = 0;         ///< reads served from spill files
+  int64_t deletions = 0;       ///< slots freed after full consumption
+  int64_t memory_in_use = 0;
+};
+
+/// \brief The per-machine shuffle buffer of Sec. III-B.
+///
+/// Local and Remote Shuffle write partitions here; readers pull them
+/// out. Memory is reclaimed once a slot has been read `expected_reads`
+/// times (data "consumed by all successor tasks"). Under memory
+/// pressure, the least-recently-used slots are swapped to spill files in
+/// `spill_dir` — the paper's LRU swap — and transparently reloaded on
+/// access. Thread-safe.
+class CacheWorker {
+ public:
+  /// \param memory_budget_bytes in-memory capacity before LRU spill.
+  /// \param spill_dir directory for spill files ("" disables spilling:
+  ///        over-budget puts then fail with ResourceExhausted).
+  CacheWorker(int64_t memory_budget_bytes, std::string spill_dir);
+  ~CacheWorker();
+
+  CacheWorker(const CacheWorker&) = delete;
+  CacheWorker& operator=(const CacheWorker&) = delete;
+
+  /// \brief Stores a partition. `expected_reads` <= 0 means "retain
+  /// until RemoveJob" (barrier data kept for cross-graphlet recovery).
+  Status Put(const ShuffleSlotKey& key, std::string bytes,
+             int expected_reads);
+
+  /// \brief Reads a partition (counts toward consumption). NotFound if
+  /// the slot was never written or already fully consumed.
+  Result<std::string> Get(const ShuffleSlotKey& key);
+
+  /// \brief Reads without consuming (recovery re-sends, Sec. IV-B).
+  Result<std::string> Peek(const ShuffleSlotKey& key);
+
+  bool Contains(const ShuffleSlotKey& key);
+
+  /// \brief Drops every slot of `job` (job completion / abort).
+  void RemoveJob(JobId job);
+
+  /// \brief Drops every slot written by `stage` of `job` (non-idempotent
+  /// upstream re-run invalidates retained data).
+  void RemoveStageOutput(JobId job, StageId stage);
+
+  CacheWorkerStats stats();
+
+ private:
+  struct Slot {
+    std::string bytes;        // empty when spilled
+    int64_t size = 0;
+    int expected_reads = 0;   // <=0: pinned until RemoveJob
+    int reads = 0;
+    bool spilled = false;
+    std::string spill_path;
+    std::list<ShuffleSlotKey>::iterator lru_it;
+    bool in_lru = false;
+  };
+
+  Status EnsureCapacityLocked(int64_t incoming);
+  Status SpillLocked(const ShuffleSlotKey& key, Slot* slot);
+  Result<std::string> LoadLocked(const ShuffleSlotKey& key, Slot* slot);
+  void EraseLocked(const ShuffleSlotKey& key);
+  void TouchLocked(const ShuffleSlotKey& key, Slot* slot);
+
+  const int64_t budget_;
+  const std::string spill_dir_;
+  std::mutex mu_;
+  std::map<ShuffleSlotKey, Slot> slots_;
+  std::list<ShuffleSlotKey> lru_;  // front = least recently used
+  CacheWorkerStats stats_;
+  int64_t spill_seq_ = 0;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SHUFFLE_CACHE_WORKER_H_

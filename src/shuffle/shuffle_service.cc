@@ -1,0 +1,168 @@
+#include "shuffle/shuffle_service.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace swift {
+
+ShuffleService::ShuffleService(Config config) : config_(std::move(config)) {
+  if (config_.machines < 1) config_.machines = 1;
+  workers_.reserve(static_cast<std::size_t>(config_.machines));
+  for (int m = 0; m < config_.machines; ++m) {
+    std::string dir;
+    if (!config_.spill_root.empty()) {
+      dir = StrFormat("%s/cw%d", config_.spill_root.c_str(), m);
+    }
+    workers_.push_back(std::make_unique<CacheWorker>(
+        config_.cache_memory_per_worker, dir));
+  }
+}
+
+ShuffleKind ShuffleService::KindFor(int64_t shuffle_edge_size) const {
+  if (config_.force_kind.has_value()) return *config_.force_kind;
+  return SelectShuffleKind(shuffle_edge_size, config_.thresholds);
+}
+
+int64_t ShuffleService::TaskEndpoint(const ShuffleSlotKey& key,
+                                     bool writer) const {
+  // Stable id per (job, stage, task) endpoint; writers and readers of
+  // the same stage share the task's single endpoint.
+  const StageId stage = writer ? key.src_stage : key.dst_stage;
+  const int task = writer ? key.src_task : key.dst_task;
+  return (static_cast<int64_t>(key.job) << 40) ^
+         (static_cast<int64_t>(stage) << 24) ^ (static_cast<int64_t>(task) + 1);
+}
+
+int64_t ShuffleService::WorkerEndpoint(int machine) const {
+  return -(static_cast<int64_t>(machine) + 1);  // negative = cache worker
+}
+
+void ShuffleService::Connect(int64_t from, int64_t to) {
+  if (from == to) return;
+  if (from > to) std::swap(from, to);
+  if (connections_.insert({from, to}).second) {
+    stats_.tcp_connections += 1;
+  }
+}
+
+Status ShuffleService::WritePartition(ShuffleKind kind,
+                                      const ShuffleSlotKey& key,
+                                      std::string bytes, int writer_machine,
+                                      bool pipelined) {
+  const int expected_reads = config_.retain_for_recovery ? 0 : 1;
+  const int64_t size = static_cast<int64_t>(bytes.size());
+  switch (kind) {
+    case ShuffleKind::kDirect: {
+      std::lock_guard<std::mutex> lock(mu_);
+      Connect(TaskEndpoint(key, true), TaskEndpoint(key, false));
+      direct_[key] = std::move(bytes);
+      stats_.direct_writes += 1;
+      stats_.bytes_transferred += size;
+      return Status::OK();
+    }
+    case ShuffleKind::kLocal: {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        Connect(TaskEndpoint(key, true), WorkerEndpoint(writer_machine));
+        stats_.local_writes += 1;
+        stats_.bytes_transferred += size;
+      }
+      // Pipeline edge: the writer-side worker forwards immediately; we
+      // model this by parking the data on the writer's worker either
+      // way and letting the reader path account for the worker-to-
+      // worker hop (the bytes only move once in-process).
+      (void)pipelined;
+      return workers_[static_cast<std::size_t>(writer_machine)]->Put(
+          key, std::move(bytes), expected_reads);
+    }
+    case ShuffleKind::kRemote: {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        Connect(TaskEndpoint(key, true), WorkerEndpoint(writer_machine));
+        stats_.remote_writes += 1;
+        stats_.bytes_transferred += size;
+      }
+      return workers_[static_cast<std::size_t>(writer_machine)]->Put(
+          key, std::move(bytes), expected_reads);
+    }
+  }
+  return Status::Internal("unknown shuffle kind");
+}
+
+Result<std::string> ShuffleService::ReadPartition(ShuffleKind kind,
+                                                  const ShuffleSlotKey& key,
+                                                  int reader_machine,
+                                                  int writer_machine) {
+  switch (kind) {
+    case ShuffleKind::kDirect: {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = direct_.find(key);
+      if (it == direct_.end()) {
+        return Status::NotFound("direct shuffle slot " + key.ToString());
+      }
+      stats_.reads += 1;
+      if (config_.retain_for_recovery) return it->second;
+      std::string bytes = std::move(it->second);
+      direct_.erase(it);
+      return bytes;
+    }
+    case ShuffleKind::kLocal: {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        Connect(WorkerEndpoint(writer_machine), WorkerEndpoint(reader_machine));
+        Connect(TaskEndpoint(key, false), WorkerEndpoint(reader_machine));
+        stats_.reads += 1;
+      }
+      CacheWorker* src = workers_[static_cast<std::size_t>(writer_machine)].get();
+      return config_.retain_for_recovery ? src->Peek(key) : src->Get(key);
+    }
+    case ShuffleKind::kRemote: {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        Connect(TaskEndpoint(key, false), WorkerEndpoint(writer_machine));
+        stats_.reads += 1;
+      }
+      CacheWorker* src = workers_[static_cast<std::size_t>(writer_machine)].get();
+      return config_.retain_for_recovery ? src->Peek(key) : src->Get(key);
+    }
+  }
+  return Status::Internal("unknown shuffle kind");
+}
+
+bool ShuffleService::HasPartition(ShuffleKind kind, const ShuffleSlotKey& key,
+                                  int writer_machine) {
+  if (kind == ShuffleKind::kDirect) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return direct_.count(key) > 0;
+  }
+  return workers_[static_cast<std::size_t>(writer_machine)]->Contains(key);
+}
+
+void ShuffleService::RemoveJob(JobId job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = direct_.begin(); it != direct_.end();) {
+      it = it->first.job == job ? direct_.erase(it) : std::next(it);
+    }
+  }
+  for (auto& w : workers_) w->RemoveJob(job);
+}
+
+void ShuffleService::RemoveStageOutput(JobId job, StageId stage) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = direct_.begin(); it != direct_.end();) {
+      it = (it->first.job == job && it->first.src_stage == stage)
+               ? direct_.erase(it)
+               : std::next(it);
+    }
+  }
+  for (auto& w : workers_) w->RemoveStageOutput(job, stage);
+}
+
+ShuffleServiceStats ShuffleService::stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace swift

@@ -1,0 +1,98 @@
+#ifndef SWIFT_SHUFFLE_SHUFFLE_SERVICE_H_
+#define SWIFT_SHUFFLE_SHUFFLE_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "shuffle/cache_worker.h"
+#include "shuffle/shuffle_mode.h"
+
+namespace swift {
+
+/// \brief Counters of one ShuffleService instance.
+struct ShuffleServiceStats {
+  int64_t tcp_connections = 0;   ///< distinct endpoint pairs used
+  int64_t direct_writes = 0;
+  int64_t local_writes = 0;
+  int64_t remote_writes = 0;
+  int64_t reads = 0;
+  int64_t bytes_transferred = 0;
+};
+
+/// \brief The cluster-wide shuffle fabric of the local runtime: one
+/// Cache Worker per machine plus a direct task-to-task path, with the
+/// three schemes of Fig. 5 and connection accounting matching the
+/// paper's formulas.
+class ShuffleService {
+ public:
+  struct Config {
+    int machines = 4;
+    int64_t cache_memory_per_worker = 64LL << 20;
+    std::string spill_root;  ///< "" disables spill
+    ShuffleThresholds thresholds;
+    /// Force one scheme for all edges (Fig. 12 experiments); nullopt =
+    /// adaptive selection by edge size.
+    std::optional<ShuffleKind> force_kind;
+    /// Pin shuffle data until RemoveJob instead of freeing on first read
+    /// (enables fine-grained failure recovery re-reads).
+    bool retain_for_recovery = true;
+  };
+
+  explicit ShuffleService(Config config);
+
+  /// \brief Scheme used for a shuffle of the given edge size.
+  ShuffleKind KindFor(int64_t shuffle_edge_size) const;
+
+  /// \brief Stores the partition `key` (produced on `writer_machine`).
+  /// `pipelined` distinguishes pipeline edges (data pushed to the reader
+  /// side immediately) from barrier edges (data parked on the writer
+  /// side until pulled) for Local Shuffle.
+  Status WritePartition(ShuffleKind kind, const ShuffleSlotKey& key,
+                        std::string bytes, int writer_machine,
+                        bool pipelined);
+
+  /// \brief Fetches the partition for the reader on `reader_machine`;
+  /// `writer_machine` is where the producing task ran.
+  Result<std::string> ReadPartition(ShuffleKind kind,
+                                    const ShuffleSlotKey& key,
+                                    int reader_machine, int writer_machine);
+
+  /// \brief True when the partition is still available (recovery check).
+  bool HasPartition(ShuffleKind kind, const ShuffleSlotKey& key,
+                    int writer_machine);
+
+  /// \brief Frees all state of `job` across workers and the direct path.
+  void RemoveJob(JobId job);
+
+  /// \brief Drops retained output of `stage` (non-idempotent re-run).
+  void RemoveStageOutput(JobId job, StageId stage);
+
+  CacheWorker* worker(int machine) { return workers_[static_cast<std::size_t>(machine)].get(); }
+  int machines() const { return static_cast<int>(workers_.size()); }
+
+  ShuffleServiceStats stats();
+
+ private:
+  // Endpoint ids: tasks and cache workers live in one id space so the
+  // distinct-connection count follows the paper's formulas.
+  int64_t TaskEndpoint(const ShuffleSlotKey& key, bool writer) const;
+  int64_t WorkerEndpoint(int machine) const;
+  void Connect(int64_t from, int64_t to);
+
+  Config config_;
+  std::vector<std::unique_ptr<CacheWorker>> workers_;
+  std::mutex mu_;
+  std::map<ShuffleSlotKey, std::string> direct_;
+  std::set<std::pair<int64_t, int64_t>> connections_;
+  ShuffleServiceStats stats_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SHUFFLE_SHUFFLE_SERVICE_H_

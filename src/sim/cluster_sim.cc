@@ -1,0 +1,571 @@
+#include "sim/cluster_sim.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "fault/heartbeat.h"
+
+namespace swift {
+
+namespace {
+
+std::unique_ptr<Partitioner> MakePartitioner(const SimConfig& config) {
+  switch (config.policy) {
+    case SchedulingPolicy::kSwiftGraphlet:
+      return std::make_unique<ShuffleModeAwarePartitioner>();
+    case SchedulingPolicy::kWholeJob:
+      return std::make_unique<WholeJobPartitioner>();
+    case SchedulingPolicy::kPerStage:
+      return std::make_unique<PerStagePartitioner>();
+    case SchedulingPolicy::kDataSizeBubble:
+      return std::make_unique<DataSizePartitioner>(config.bubble_data_budget);
+  }
+  return std::make_unique<ShuffleModeAwarePartitioner>();
+}
+
+}  // namespace
+
+ClusterSim::ClusterSim(SimConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      partitioner_(MakePartitioner(config_)) {
+  free_executors_ = config_.machines * config_.executors_per_machine;
+}
+
+Status ClusterSim::SubmitJob(SimJobSpec spec) {
+  if (ran_) return Status::Internal("SubmitJob after Run");
+  JobState js;
+  SWIFT_ASSIGN_OR_RETURN(js.plan, partitioner_->Partition(spec.dag));
+  js.spec = std::move(spec);
+  js.result.name = js.spec.name;
+  js.result.submit_time = js.spec.submit_time;
+  jobs_.push_back(std::move(js));
+  JobState& stored = jobs_.back();
+  stored.recovery =
+      std::make_unique<RecoveryPlanner>(&stored.spec.dag, &stored.plan);
+  return Status::OK();
+}
+
+Result<SimReport> ClusterSim::Run() {
+  if (ran_) return Status::Internal("Run called twice");
+  ran_ = true;
+  jobs_remaining_ = static_cast<int>(jobs_.size());
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    const int job = static_cast<int>(j);
+    engine_.ScheduleAt(jobs_[j].spec.submit_time, [this, job] {
+      EnqueueReadyUnits(job);
+      TrySchedule();
+      // Bubble Execution pays its data-size partitioning cost up front.
+      if (config_.policy == SchedulingPolicy::kDataSizeBubble) {
+        jobs_[static_cast<std::size_t>(job)].extra_delay +=
+            config_.bubble_partition_overhead;
+      }
+    });
+  }
+  engine_.Run();
+
+  SimReport report;
+  report.events_processed = engine_.processed();
+  for (JobState& js : jobs_) {
+    report.total_tasks += js.result.tasks_run;
+    report.total_reruns += js.result.tasks_rerun;
+    report.makespan = std::max(report.makespan, js.result.finish_time);
+    report.jobs.push_back(js.result);
+  }
+  // Integrate the busy-delta log into a sampled occupancy series.
+  std::sort(busy_deltas_.begin(), busy_deltas_.end());
+  std::size_t di = 0;
+  int64_t running = 0;
+  for (double t = 0.0; t <= report.makespan + config_.sample_interval;
+       t += config_.sample_interval) {
+    while (di < busy_deltas_.size() && busy_deltas_[di].first <= t) {
+      running += busy_deltas_[di].second;
+      ++di;
+    }
+    report.occupancy.push_back(OccupancySample{t, running});
+  }
+  return report;
+}
+
+void ClusterSim::EnqueueReadyUnits(int job) {
+  JobState& js = jobs_[static_cast<std::size_t>(job)];
+  if (js.result.completed || js.result.aborted) return;
+  for (const Graphlet& g : js.plan.graphlets) {
+    if (js.done_units.count(g.id) > 0 || js.queued_units.count(g.id) > 0 ||
+        js.running_units.count(g.id) > 0) {
+      continue;
+    }
+    bool ready = true;
+    for (GraphletId dep : js.plan.deps[static_cast<std::size_t>(g.id)]) {
+      if (js.done_units.count(dep) == 0) {
+        ready = false;
+        break;
+      }
+    }
+    if (ready) {
+      js.queued_units.insert(g.id);
+      request_queue_.push_back(UnitRequest{job, g.id, engine_.Now()});
+    }
+  }
+}
+
+void ClusterSim::TrySchedule() {
+  // First-fit over the FIFO queue: requests that do not fit are skipped
+  // so smaller units backfill free executors (the Resource Scheduler's
+  // event-driven assignment). To avoid starving a large request, once
+  // the queue head has aged past `kMaxHeadSkipAge` the scan stops at it
+  // (the cluster drains until the head fits).
+  constexpr double kMaxHeadSkipAge = 60.0;
+  for (auto it = request_queue_.begin(); it != request_queue_.end();) {
+    const UnitRequest req = *it;
+    JobState& js = jobs_[static_cast<std::size_t>(req.job)];
+    if (js.result.completed || js.result.aborted ||
+        js.queued_units.count(req.gid) == 0) {
+      it = request_queue_.erase(it);  // stale request
+      continue;
+    }
+    const Graphlet& g = js.plan.graphlets[static_cast<std::size_t>(req.gid)];
+    const int needed = static_cast<int>(g.TotalTasks(js.spec.dag));
+    if (needed > config_.machines * config_.executors_per_machine) {
+      js.queued_units.erase(req.gid);
+      it = request_queue_.erase(it);
+      CompleteJob(req.job, /*aborted=*/true);
+      continue;
+    }
+    if (needed > free_executors_) {
+      if (it == request_queue_.begin() &&
+          engine_.Now() - req.enqueue_time > kMaxHeadSkipAge) {
+        break;  // aged head: stop backfilling, let the cluster drain
+      }
+      ++it;
+      continue;
+    }
+    js.queued_units.erase(req.gid);
+    it = request_queue_.erase(it);
+    free_executors_ -= needed;
+    StartUnit(req.job, req.gid);
+  }
+}
+
+double ClusterSim::LaunchCost(int task_count) {
+  (void)task_count;
+  if (!config_.cold_launch) return config_.task.warm_launch;
+  return rng_.Uniform(config_.task.cold_launch_min,
+                      config_.task.cold_launch_max);
+}
+
+ShuffleKind ClusterSim::EdgeShuffleKind(const JobDag& dag, StageId src,
+                                        StageId dst) const {
+  if (config_.medium == ShuffleMedium::kMemoryForcedKind) {
+    return config_.forced_kind;
+  }
+  return SelectShuffleKind(dag.ShuffleEdgeSize(src, dst), config_.thresholds);
+}
+
+double ClusterSim::EdgeBytes(const JobDag& dag, StageId src,
+                             StageId dst) const {
+  (void)dst;
+  const StageDef& s = dag.stage(src);
+  return s.output_bytes_per_task * static_cast<double>(s.task_count);
+}
+
+int64_t ClusterSim::SpreadMachines(int64_t m, int64_t n) const {
+  // In production many jobs share each machine, so a stage pair packs
+  // onto roughly 4x its minimal machine footprint ("each machine can
+  // run tens of Executors, Y is much smaller than M and N", Sec. III-B).
+  const int64_t tasks = std::max<int64_t>(1, std::max(m, n));
+  const int64_t minimal =
+      (tasks + config_.executors_per_machine - 1) /
+      config_.executors_per_machine;
+  const double spread = config_.machine_spread_multiplier *
+                        static_cast<double>(minimal);
+  return std::clamp<int64_t>(
+      static_cast<int64_t>(spread), 1,
+      std::min<int64_t>(config_.machines, tasks));
+}
+
+bool ClusterSim::EdgeUsesDisk(const Graphlet* unit, StageId src,
+                              StageId dst) const {
+  if (config_.medium != ShuffleMedium::kDisk) return false;
+  // Disk-shuffle systems dump data *between* scheduling units; edges
+  // internal to a unit stream in memory (Bubble Execution dumps only
+  // inter-bubble data, Sec. I / VI).
+  return unit == nullptr || !unit->Contains(src) || !unit->Contains(dst);
+}
+
+double ClusterSim::ShuffleWriteCost(const JobDag& dag, StageId src,
+                                    const Graphlet* unit,
+                                    StagePhases* ph) const {
+  double total = 0.0;
+  const StageDef& s = dag.stage(src);
+  for (StageId dst : dag.outputs(src)) {
+    const double bytes = EdgeBytes(dag, src, dst);
+    const int64_t m = s.task_count;
+    const int64_t n = dag.stage(dst).task_count;
+    const int64_t y = SpreadMachines(m, n);
+    if (EdgeUsesDisk(unit, src, dst)) {
+      total += config_.disk.WriteTime(bytes, m * n, y);
+    } else {
+      const ShuffleKind kind = EdgeShuffleKind(dag, src, dst);
+      total += config_.net.ConnectionSetupTime(kind, m, n, y) +
+               0.5 * config_.net.TransferTime(kind, bytes, m, n, y);
+    }
+  }
+  if (ph != nullptr) ph->shuffle_write += total;
+  return total;
+}
+
+double ClusterSim::ShuffleReadCost(const JobDag& dag, StageId src,
+                                   StageId dst, const Graphlet* unit,
+                                   StagePhases* ph) const {
+  const StageDef& s = dag.stage(src);
+  const double bytes = EdgeBytes(dag, src, dst);
+  const int64_t m = s.task_count;
+  const int64_t n = dag.stage(dst).task_count;
+  const int64_t y = SpreadMachines(m, n);
+  double cost = 0.0;
+  if (EdgeUsesDisk(unit, src, dst)) {
+    cost = config_.disk.ReadTime(bytes, m * n, y) +
+           bytes / (config_.net.bw_per_machine * static_cast<double>(y));
+  } else {
+    const ShuffleKind kind = EdgeShuffleKind(dag, src, dst);
+    cost = 0.5 * config_.net.TransferTime(kind, bytes, m, n, y);
+  }
+  if (ph != nullptr) ph->shuffle_read += cost;
+  return cost;
+}
+
+void ClusterSim::ComputeUnitSchedule(JobState* js, UnitRun* unit) {
+  const JobDag& dag = js->spec.dag;
+  const Graphlet& g =
+      js->plan.graphlets[static_cast<std::size_t>(unit->gid)];
+  const double t0 = unit->alloc_time;
+  unit->stages.clear();
+  double unit_finish = t0;
+
+  for (StageId sid : dag.topological_order()) {
+    if (!g.Contains(sid)) continue;
+    const StageDef& stage = dag.stage(sid);
+    StageTiming timing;
+    timing.phases.stage = sid;
+    timing.phases.stage_name = stage.name;
+    const double launch = LaunchCost(stage.task_count);
+    timing.phases.launch = launch;
+    timing.launch_done = t0 + launch;
+
+    double barrier_ready = 0.0;
+    double pipelined_ready = 0.0;
+    double pipelined_finish_floor = 0.0;
+    bool has_pipelined = false;
+    for (StageId src : dag.inputs(sid)) {
+      const bool same_unit = g.Contains(src);
+      const bool pipelined =
+          same_unit && dag.EdgeKindOf(src, sid) == EdgeKind::kPipeline;
+      if (pipelined) {
+        const StageTiming& pt = unit->stages.at(src);
+        has_pipelined = true;
+        // Streaming: the consumer starts as the producer starts
+        // emitting; only the connection setup is on the critical path.
+        const int64_t m = dag.stage(src).task_count;
+        const int64_t n = stage.task_count;
+        const int64_t y = SpreadMachines(m, n);
+        // Internal pipeline edges always stream in memory.
+        const double setup = config_.net.ConnectionSetupTime(
+            EdgeShuffleKind(dag, src, sid), m, n, y);
+        timing.phases.shuffle_read += setup;
+        pipelined_ready = std::max(pipelined_ready, pt.start + 0.01 + setup);
+        pipelined_finish_floor = std::max(pipelined_finish_floor, pt.finish);
+      } else {
+        double producer_finish;
+        if (same_unit) {
+          producer_finish = unit->stages.at(src).finish;
+        } else {
+          auto it = js->stage_finish.find(src);
+          producer_finish = it == js->stage_finish.end() ? t0 : it->second;
+        }
+        const double read = ShuffleReadCost(dag, src, sid, &g, &timing.phases);
+        barrier_ready = std::max(barrier_ready, producer_finish + read);
+      }
+    }
+
+    const double proc = config_.task.ProcessTime(
+        stage.input_bytes_per_task, stage.cpu_cost_factor);
+    timing.phases.process = proc;
+    double write = ShuffleWriteCost(dag, sid, &g, &timing.phases);
+    // Sink stages persist the job's final output sequentially.
+    const bool is_sink =
+        std::find(stage.operators.begin(), stage.operators.end(),
+                  OperatorKind::kAdhocSink) != stage.operators.end();
+    if (is_sink && stage.output_bytes_per_task > 0) {
+      const double sink_write = config_.disk.SinkWriteTime(
+          stage.output_bytes_per_task * stage.task_count,
+          SpreadMachines(stage.task_count, stage.task_count));
+      write += sink_write;
+      timing.phases.shuffle_write += sink_write;
+    }
+    const double own = proc + write;
+
+    timing.data_ready =
+        std::max({timing.launch_done, barrier_ready, pipelined_ready});
+    timing.start = timing.data_ready;
+    timing.finish = timing.start + own;
+    if (has_pipelined) {
+      // A streaming consumer cannot finish before its producers plus the
+      // non-overlapped tail of its own work.
+      timing.finish = std::max(
+          timing.finish, pipelined_finish_floor +
+                             (1.0 - config_.task.pipeline_overlap) * own);
+    }
+    unit_finish = std::max(unit_finish, timing.finish);
+    unit->stages.emplace(sid, std::move(timing));
+  }
+  unit->finish = unit_finish;
+}
+
+void ClusterSim::StartUnit(int job, GraphletId gid) {
+  JobState& js = jobs_[static_cast<std::size_t>(job)];
+  UnitRun unit;
+  unit.job = job;
+  unit.gid = gid;
+  unit.alloc_time = engine_.Now() + js.extra_delay;
+  js.extra_delay = 0.0;
+  unit.executors = static_cast<int>(
+      js.plan.graphlets[static_cast<std::size_t>(gid)].TotalTasks(js.spec.dag));
+  if (js.result.first_alloc_time < 0) {
+    js.result.first_alloc_time = unit.alloc_time;
+    ScheduleFailures(job);
+  }
+  ComputeUnitSchedule(&js, &unit);
+  unit.finish_event = engine_.ScheduleAt(
+      unit.finish, [this, job, gid] { FinishUnit(job, gid); });
+  js.running_units.emplace(gid, std::move(unit));
+}
+
+void ClusterSim::FinishUnit(int job, GraphletId gid) {
+  JobState& js = jobs_[static_cast<std::size_t>(job)];
+  auto it = js.running_units.find(gid);
+  if (it == js.running_units.end()) return;
+  UnitRun unit = std::move(it->second);
+  js.running_units.erase(it);
+  free_executors_ += unit.executors;
+  js.done_units.insert(gid);
+
+  const JobDag& dag = js.spec.dag;
+  for (auto& [sid, timing] : unit.stages) {
+    js.stage_start[sid] = timing.start;
+    js.stage_finish[sid] = timing.finish;
+    const int tasks = dag.stage(sid).task_count;
+    js.result.tasks_run += tasks;
+    RecordBusyInterval(timing.start, timing.finish, tasks);
+    const double busy = (timing.finish - timing.start) * tasks;
+    const double idle =
+        (std::max(0.0, timing.start - timing.launch_done) +
+         std::max(0.0, unit.finish - timing.finish)) * tasks;
+    js.result.busy_executor_seconds += busy;
+    js.result.idle_executor_seconds += idle;
+    const double span = timing.finish - timing.launch_done;
+    if (span > 0) {
+      js.result.mean_idle_ratio +=
+          tasks * std::max(0.0, timing.start - timing.launch_done) / span;
+    }
+    js.result.phases.push_back(timing.phases);
+  }
+
+  if (js.done_units.size() == js.plan.graphlets.size()) {
+    CompleteJob(job, /*aborted=*/false);
+  } else {
+    EnqueueReadyUnits(job);
+  }
+  TrySchedule();
+}
+
+void ClusterSim::CompleteJob(int job, bool aborted) {
+  JobState& js = jobs_[static_cast<std::size_t>(job)];
+  if (js.result.completed || js.result.aborted) return;
+  js.result.finish_time = engine_.Now();
+  js.result.completed = !aborted;
+  js.result.aborted = aborted;
+  if (js.result.tasks_run > 0) {
+    js.result.mean_idle_ratio /= static_cast<double>(js.result.tasks_run);
+  }
+  // Abandon anything still queued or running.
+  for (auto& [gid, unit] : js.running_units) {
+    engine_.Cancel(unit.finish_event);
+    free_executors_ += unit.executors;
+  }
+  js.running_units.clear();
+  js.queued_units.clear();
+  --jobs_remaining_;
+  TrySchedule();
+}
+
+void ClusterSim::ScheduleFailures(int job) {
+  JobState& js = jobs_[static_cast<std::size_t>(job)];
+  if (js.failures_scheduled) return;
+  js.failures_scheduled = true;
+  for (const FailureInjection& f : js.spec.failures) {
+    engine_.ScheduleAt(js.result.first_alloc_time + f.time,
+                       [this, job, f] { OnFailure(job, f); });
+  }
+}
+
+double ClusterSim::DetectionDelay(FailureKind kind) const {
+  switch (kind) {
+    case FailureKind::kProcessCrash:
+      // Executor self-reports its restart (Sec. IV-A first mechanism).
+      return config_.process_crash_detect;
+    case FailureKind::kMachineFailure:
+    case FailureKind::kNetworkTimeout:
+      return HeartbeatMonitor::IntervalForClusterSize(config_.machines) *
+             static_cast<double>(config_.heartbeat_miss_threshold);
+    case FailureKind::kApplicationError:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+void ClusterSim::OnFailure(int job, const FailureInjection& f) {
+  JobState& js = jobs_[static_cast<std::size_t>(job)];
+  if (js.result.completed || js.result.aborted) return;
+  const double now = engine_.Now();
+  const double detect = DetectionDelay(f.kind);
+
+  if (f.kind == FailureKind::kApplicationError) {
+    // Sec. IV-C: useless to retry; report and end the job.
+    CompleteJob(job, /*aborted=*/true);
+    return;
+  }
+
+  if (!config_.fine_grained_recovery) {
+    // Whole-job restart baseline: throw away everything done so far.
+    js.result.recoveries += 1;
+    js.result.tasks_rerun += js.result.tasks_run;
+    for (auto& [gid, unit] : js.running_units) {
+      engine_.Cancel(unit.finish_event);
+      free_executors_ += unit.executors;
+      // Partial work on killed units is also wasted.
+      js.result.tasks_rerun += unit.executors;
+    }
+    js.running_units.clear();
+    js.queued_units.clear();
+    js.done_units.clear();
+    js.stage_start.clear();
+    js.stage_finish.clear();
+    js.result.tasks_run = 0;
+    js.extra_delay = detect;
+    engine_.ScheduleAfter(detect, [this, job] {
+      EnqueueReadyUnits(job);
+      TrySchedule();
+    });
+    return;
+  }
+
+  if (f.kind == FailureKind::kMachineFailure) {
+    // The Admin revokes every executor on the machine (Sec. IV-A third
+    // mechanism); capacity returns after repair.
+    const int lost = std::min(free_executors_, config_.executors_per_machine);
+    free_executors_ -= lost;
+    engine_.ScheduleAfter(config_.machine_repair_seconds, [this, lost] {
+      free_executors_ += lost;
+      TrySchedule();
+    });
+  }
+
+  // Fine-grained recovery (Sec. IV-B).
+  RecoveryContext ctx;
+  auto stage_wall = [&](StageId s) -> double {
+    // Wall time of one task of stage s, from recorded or running timing.
+    for (const auto& [gid, unit] : js.running_units) {
+      auto it = unit.stages.find(s);
+      if (it != unit.stages.end()) {
+        return it->second.finish - it->second.start;
+      }
+    }
+    auto fi = js.stage_finish.find(s);
+    auto si = js.stage_start.find(s);
+    if (fi != js.stage_finish.end() && si != js.stage_start.end()) {
+      return fi->second - si->second;
+    }
+    return 0.0;
+  };
+  auto stage_finished_by_now = [&](StageId s) {
+    auto fi = js.stage_finish.find(s);
+    if (fi != js.stage_finish.end() && fi->second <= now) return true;
+    for (const auto& [gid, unit] : js.running_units) {
+      auto it = unit.stages.find(s);
+      if (it != unit.stages.end() && it->second.finish <= now) return true;
+    }
+    return false;
+  };
+  const JobDag& dag = js.spec.dag;
+  for (const StageDef& s : dag.stages()) {
+    if (stage_finished_by_now(s.id)) {
+      for (int t = 0; t < s.task_count; ++t) {
+        ctx.executed.insert(TaskRef{s.id, t});
+      }
+    }
+  }
+  auto stage_started_by_now = [&](StageId s) {
+    auto si = js.stage_start.find(s);
+    if (si != js.stage_start.end() && si->second <= now) return true;
+    for (const auto& [gid, unit] : js.running_units) {
+      auto it = unit.stages.find(s);
+      if (it != unit.stages.end() && it->second.start <= now) return true;
+    }
+    return false;
+  };
+  for (StageId out : dag.outputs(f.stage)) {
+    // A consumer task has the producer's data once it has started (the
+    // shuffle read happens at task start).
+    if (stage_started_by_now(out)) {
+      const StageDef& s = dag.stage(out);
+      for (int t = 0; t < s.task_count; ++t) {
+        ctx.received_output.insert(TaskRef{out, t});
+      }
+    }
+  }
+  ctx.failed_output_available = stage_finished_by_now(f.stage);
+
+  RecoveryDecision decision =
+      js.recovery->Plan(TaskRef{f.stage, 0}, f.kind, ctx);
+  if (decision.kase == RecoveryCase::kNone) return;  // no slowdown
+  js.result.recoveries += 1;
+  js.result.tasks_rerun += static_cast<int64_t>(decision.rerun.size());
+
+  std::set<StageId> rerun_stages;
+  for (const TaskRef& t : decision.rerun) rerun_stages.insert(t.stage);
+  double rerun_time = 0.0;
+  for (StageId s : rerun_stages) {
+    rerun_time += stage_wall(s) * config_.rerun_cost_fraction;
+  }
+  const double delay_until = now + detect + rerun_time;
+
+  // Prefer charging the delay to the unit that hosts the failed stage;
+  // otherwise it lands on the next unit launch.
+  for (auto& [gid, unit] : js.running_units) {
+    if (unit.stages.count(f.stage) > 0) {
+      if (delay_until > unit.finish) {
+        const double delta = delay_until - unit.finish;
+        for (auto& [sid, timing] : unit.stages) {
+          if (timing.finish > now) timing.finish += delta;
+        }
+        unit.finish = delay_until;
+        engine_.Cancel(unit.finish_event);
+        const GraphletId g = gid;
+        unit.finish_event = engine_.ScheduleAt(
+            unit.finish, [this, job, g] { FinishUnit(job, g); });
+      }
+      return;
+    }
+  }
+  js.extra_delay += detect + rerun_time;
+}
+
+void ClusterSim::RecordBusyInterval(double start, double finish, int tasks) {
+  if (finish <= start || tasks <= 0) return;
+  busy_deltas_.push_back({start, tasks});
+  busy_deltas_.push_back({finish, -tasks});
+}
+
+}  // namespace swift

@@ -1,0 +1,173 @@
+#ifndef SWIFT_SIM_CLUSTER_SIM_H_
+#define SWIFT_SIM_CLUSTER_SIM_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "fault/recovery.h"
+#include "partition/partitioners.h"
+#include "sim/event_engine.h"
+#include "sim/models.h"
+#include "sim/sim_job.h"
+
+namespace swift {
+
+/// \brief How jobs are cut into gang-scheduled units.
+enum class SchedulingPolicy : int {
+  kSwiftGraphlet = 0,  ///< shuffle-mode-aware graphlets (this paper)
+  kWholeJob = 1,       ///< JetScope/Impala-style whole-job gang
+  kPerStage = 2,       ///< Spark-style stage-at-a-time
+  kDataSizeBubble = 3, ///< Bubble-Execution-style data-size bubbles
+};
+
+/// \brief Where shuffle data travels.
+enum class ShuffleMedium : int {
+  kMemoryAdaptive = 0,   ///< Swift: Direct/Local/Remote by edge size
+  kMemoryForcedKind = 1, ///< one fixed in-memory scheme (Fig. 12)
+  kDisk = 2,             ///< file-based shuffle (Spark / Bubble)
+};
+
+/// \brief Full simulator configuration; baselines/ provides presets.
+struct SimConfig {
+  int machines = 100;
+  int executors_per_machine = 40;
+  SchedulingPolicy policy = SchedulingPolicy::kSwiftGraphlet;
+  ShuffleMedium medium = ShuffleMedium::kMemoryAdaptive;
+  ShuffleKind forced_kind = ShuffleKind::kDirect;
+  /// Cold task launch (package download + executor start) instead of
+  /// pre-launched executors.
+  bool cold_launch = false;
+  /// Bubble partitioner budget (bytes) and its extra planning cost.
+  double bubble_data_budget = 2.0e9;
+  double bubble_partition_overhead = 0.3;
+  /// How widely a stage's tasks spread over machines: a stage of T
+  /// tasks lands on min(machines, multiplier * ceil(T / executors)).
+  /// Multi-tenant clusters pack (default 4x the minimal footprint); set
+  /// very large for a dedicated single-job cluster (tasks spread over
+  /// every machine, as in the paper's TPC-H / Terasort runs).
+  double machine_spread_multiplier = 4.0;
+  /// Fine-grained recovery (Sec. IV-B) vs whole-job restart.
+  bool fine_grained_recovery = true;
+  double process_crash_detect = 0.5;
+  /// Cost of re-running ONE task relative to its stage's wall time.
+  /// Stage walls include stragglers and waves, so a single re-run is
+  /// considerably cheaper than the stage (calibrated to Fig. 14/15).
+  double rerun_cost_fraction = 0.35;
+  int heartbeat_miss_threshold = 2;
+  /// A failed machine is revoked (capacity lost) for this long before
+  /// repair returns it to the pool (read-only drain + re-provision).
+  double machine_repair_seconds = 300.0;
+  NetworkModel net;
+  DiskModel disk;
+  TaskModel task;
+  ShuffleThresholds thresholds;
+  double sample_interval = 1.0;
+  uint64_t seed = 42;
+};
+
+/// \brief Discrete-event simulation of a Swift-style cluster running a
+/// set of DAG jobs under a scheduling policy and shuffle medium. The
+/// substitution substrate for the paper's 100/2,000-node clusters; see
+/// DESIGN.md.
+class ClusterSim {
+ public:
+  explicit ClusterSim(SimConfig config);
+
+  /// \brief Queues a job for the run; must be called before Run().
+  Status SubmitJob(SimJobSpec spec);
+
+  /// \brief Runs to completion and returns the report.
+  Result<SimReport> Run();
+
+  const SimConfig& config() const { return config_; }
+
+ private:
+  struct StageTiming {
+    double launch_done = 0.0;
+    double data_ready = 0.0;
+    double start = 0.0;
+    double finish = 0.0;
+    StagePhases phases;
+  };
+
+  struct UnitRun {
+    int job = -1;
+    GraphletId gid = -1;
+    double alloc_time = 0.0;
+    int executors = 0;
+    double finish = 0.0;
+    std::map<StageId, StageTiming> stages;
+    EventEngine::EventId finish_event = -1;
+  };
+
+  struct JobState {
+    SimJobSpec spec;
+    GraphletPlan plan;
+    std::unique_ptr<RecoveryPlanner> recovery;
+    std::set<GraphletId> done_units;
+    std::set<GraphletId> queued_units;
+    std::map<GraphletId, UnitRun> running_units;
+    std::map<StageId, double> stage_finish;  // completed stages
+    std::map<StageId, double> stage_start;
+    SimJobResult result;
+    double extra_delay = 0.0;  // recovery debt applied at next launch
+    bool failures_scheduled = false;
+  };
+
+  struct UnitRequest {
+    int job = -1;
+    GraphletId gid = -1;
+    double enqueue_time = 0.0;
+  };
+
+  // --- scheduling -----------------------------------------------------
+  void EnqueueReadyUnits(int job);
+  void TrySchedule();
+  void StartUnit(int job, GraphletId gid);
+  void FinishUnit(int job, GraphletId gid);
+  void ComputeUnitSchedule(JobState* js, UnitRun* unit);
+  void CompleteJob(int job, bool aborted);
+
+  // --- cost helpers ---------------------------------------------------
+  ShuffleKind EdgeShuffleKind(const JobDag& dag, StageId src,
+                              StageId dst) const;
+  double EdgeBytes(const JobDag& dag, StageId src, StageId dst) const;
+  int64_t SpreadMachines(int64_t m, int64_t n) const;
+  bool EdgeUsesDisk(const Graphlet* unit, StageId src, StageId dst) const;
+  double ShuffleWriteCost(const JobDag& dag, StageId src,
+                          const Graphlet* unit, StagePhases* ph) const;
+  double ShuffleReadCost(const JobDag& dag, StageId src, StageId dst,
+                         const Graphlet* unit, StagePhases* ph) const;
+  double LaunchCost(int task_count);
+
+  // --- failures -------------------------------------------------------
+  void ScheduleFailures(int job);
+  void OnFailure(int job, const FailureInjection& f);
+  double DetectionDelay(FailureKind kind) const;
+
+  // --- accounting -----------------------------------------------------
+  void RecordBusyInterval(double start, double finish, int tasks);
+
+  SimConfig config_;
+  EventEngine engine_;
+  Rng rng_;
+  std::unique_ptr<Partitioner> partitioner_;
+  /// Deque: growth must not relocate JobStates, whose RecoveryPlanners
+  /// point into their own spec/plan members.
+  std::deque<JobState> jobs_;
+  std::deque<UnitRequest> request_queue_;
+  int free_executors_ = 0;
+  int jobs_remaining_ = 0;
+  std::vector<std::pair<double, int>> busy_deltas_;
+  bool ran_ = false;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SIM_CLUSTER_SIM_H_

@@ -1,0 +1,47 @@
+#include "sim/event_engine.h"
+
+namespace swift {
+
+EventEngine::EventId EventEngine::ScheduleAt(double at, Handler fn) {
+  if (at < Now()) at = Now();
+  const EventId id = next_id_++;
+  handlers_.push_back(std::move(fn));
+  queue_.push(Event{at, id});
+  ++live_events_;
+  return id;
+}
+
+EventEngine::EventId EventEngine::ScheduleAfter(double delay, Handler fn) {
+  return ScheduleAt(Now() + (delay > 0 ? delay : 0), std::move(fn));
+}
+
+bool EventEngine::Cancel(EventId id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= handlers_.size()) return false;
+  if (!handlers_[static_cast<std::size_t>(id)]) return false;
+  handlers_[static_cast<std::size_t>(id)] = nullptr;
+  --live_events_;
+  return true;
+}
+
+double EventEngine::Run(double until) {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    if (until >= 0 && ev.time > until) {
+      clock_.AdvanceTo(until);
+      return Now();
+    }
+    queue_.pop();
+    Handler& h = handlers_[static_cast<std::size_t>(ev.id)];
+    if (!h) continue;  // cancelled
+    clock_.AdvanceTo(ev.time);
+    Handler fn = std::move(h);
+    h = nullptr;
+    --live_events_;
+    ++processed_;
+    fn();
+  }
+  if (until >= 0) clock_.AdvanceTo(until);
+  return Now();
+}
+
+}  // namespace swift

@@ -1,0 +1,59 @@
+#ifndef SWIFT_SIM_EVENT_ENGINE_H_
+#define SWIFT_SIM_EVENT_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace swift {
+
+/// \brief Discrete-event loop: events fire in (time, insertion) order.
+///
+/// The simulator substitutes for the paper's physical clusters; see
+/// DESIGN.md Sec. 2 for the substitution rationale.
+class EventEngine {
+ public:
+  using Handler = std::function<void()>;
+  using EventId = int64_t;
+
+  /// \brief Schedules `fn` at absolute time `at` (clamped to now).
+  EventId ScheduleAt(double at, Handler fn);
+
+  /// \brief Schedules `fn` after `delay` seconds.
+  EventId ScheduleAfter(double delay, Handler fn);
+
+  /// \brief Cancels a pending event; false if already fired/cancelled.
+  bool Cancel(EventId id);
+
+  /// \brief Runs until the queue empties or `until` (default: forever).
+  /// Returns the final simulation time.
+  double Run(double until = -1.0);
+
+  double Now() const { return clock_.Now(); }
+  bool Empty() const { return live_events_ == 0; }
+  int64_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    double time;
+    EventId id;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return id > o.id;
+    }
+  };
+
+  VirtualClock clock_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::vector<Handler> handlers_;  // indexed by id; empty = cancelled
+  EventId next_id_ = 0;
+  int64_t live_events_ = 0;
+  int64_t processed_ = 0;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SIM_EVENT_ENGINE_H_

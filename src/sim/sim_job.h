@@ -1,0 +1,82 @@
+#ifndef SWIFT_SIM_SIM_JOB_H_
+#define SWIFT_SIM_SIM_JOB_H_
+
+#include <string>
+#include <vector>
+
+#include "dag/job_dag.h"
+#include "fault/failure.h"
+
+namespace swift {
+
+/// \brief One scripted failure: fires `time` seconds after the job's
+/// first allocation and hits one task of `stage`.
+struct FailureInjection {
+  double time = 0.0;
+  StageId stage = 0;
+  FailureKind kind = FailureKind::kProcessCrash;
+};
+
+/// \brief One job to replay in the simulator. Stage byte/record metadata
+/// in the DAG drives the cost models.
+struct SimJobSpec {
+  std::string name;
+  JobDag dag;
+  double submit_time = 0.0;
+  std::vector<FailureInjection> failures;
+  /// Generator's expectation of the uncontended runtime (0 = unknown);
+  /// used to place trace failures inside the job's lifetime.
+  double hint_runtime = 0.0;
+};
+
+/// \brief Per-stage time accounting matching the paper's four phases
+/// (Fig. 9(b)): launching, shuffle read, shuffle write, processing.
+struct StagePhases {
+  StageId stage = -1;
+  std::string stage_name;
+  double launch = 0.0;
+  double shuffle_read = 0.0;
+  double shuffle_write = 0.0;
+  double process = 0.0;
+};
+
+/// \brief Outcome of one simulated job.
+struct SimJobResult {
+  std::string name;
+  double submit_time = 0.0;
+  double first_alloc_time = -1.0;
+  double finish_time = -1.0;
+  bool completed = false;
+  bool aborted = false;
+  int64_t tasks_run = 0;
+  int64_t tasks_rerun = 0;
+  int recoveries = 0;
+  /// Executor-seconds spent running vs. allocated-but-waiting.
+  double busy_executor_seconds = 0.0;
+  double idle_executor_seconds = 0.0;
+  /// IdleRatio (paper Sec. III-A) averaged over the job's tasks.
+  double mean_idle_ratio = 0.0;
+  std::vector<StagePhases> phases;
+
+  double Latency() const { return finish_time - submit_time; }
+};
+
+/// \brief One point of the running-executor time series (Fig. 10).
+struct OccupancySample {
+  double time = 0.0;
+  int64_t running_executors = 0;
+};
+
+/// \brief Everything one simulation run produced.
+struct SimReport {
+  std::vector<SimJobResult> jobs;
+  std::vector<OccupancySample> occupancy;
+  double makespan = 0.0;
+  int64_t total_tasks = 0;
+  int64_t total_reruns = 0;
+  int64_t events_processed = 0;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SIM_SIM_JOB_H_

@@ -1,0 +1,92 @@
+#ifndef SWIFT_SQL_AST_H_
+#define SWIFT_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/expression.h"
+#include "exec/operators.h"
+
+namespace swift {
+
+struct SelectStmt;
+
+struct OrderItem;
+
+/// \brief A window specification: func(arg) OVER (PARTITION BY ...
+/// ORDER BY ...). Supported funcs: row_number(), rank(), sum(expr).
+struct WindowSpec {
+  WindowFunc func = WindowFunc::kRowNumber;
+  ExprPtr arg;  ///< sum's argument; null for row_number/rank
+  std::vector<ExprPtr> partition_by;
+  std::vector<std::shared_ptr<OrderItem>> order_by;
+};
+
+/// \brief One item of the SELECT list: a plain scalar expression, an
+/// aggregate call, a window function, or '*'.
+struct SelectItem {
+  bool star = false;
+  ExprPtr expr;                       ///< null when star/aggregate/window
+  std::optional<AggKind> agg;         ///< set for sum/count/min/max/avg
+  ExprPtr agg_arg;                    ///< null for count(*)
+  std::optional<WindowSpec> window;   ///< set for window functions
+  std::string alias;                  ///< output name ("" = derived)
+};
+
+/// \brief One FROM operand: a base table or a parenthesized subquery,
+/// optionally aliased.
+struct TableRef {
+  std::string table_name;                   ///< empty when subquery
+  std::shared_ptr<SelectStmt> subquery;     ///< null when base table
+  std::string alias;
+};
+
+/// \brief One JOIN clause with ON condition.
+struct JoinClause {
+  TableRef table;
+  ExprPtr on;
+  bool left_outer = false;  ///< LEFT [OUTER] JOIN
+};
+
+/// \brief One ORDER BY key.
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// \brief Parsed SELECT statement (the whole Swift-language surface the
+/// paper's Fig. 1 exercises).
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;                 ///< null = no predicate
+  std::vector<ExprPtr> group_by;
+  /// HAVING predicate; may reference SELECT output names (aliases of
+  /// aggregates and grouping columns). Null = none.
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+
+  /// \brief True when any SELECT item is a (non-window) aggregate.
+  bool HasAggregates() const {
+    for (const SelectItem& it : items) {
+      if (it.agg.has_value()) return true;
+    }
+    return false;
+  }
+
+  /// \brief True when any SELECT item is a window function.
+  bool HasWindows() const {
+    for (const SelectItem& it : items) {
+      if (it.window.has_value()) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SQL_AST_H_

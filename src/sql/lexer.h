@@ -1,0 +1,43 @@
+#ifndef SWIFT_SQL_LEXER_H_
+#define SWIFT_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace swift {
+
+/// \brief Token categories of the Swift SQL-like language (Fig. 1).
+enum class TokenKind : int {
+  kKeyword,     ///< select/from/where/... (normalized lower case)
+  kIdentifier,  ///< names, possibly qualified later via '.'
+  kNumber,      ///< integer or decimal literal
+  kString,      ///< single-quoted string literal
+  kSymbol,      ///< punctuation / operator: ( ) , . * = <> <= >= < > + - /
+  kEnd,         ///< end of input
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  ///< keyword/identifier lower-cased; others verbatim
+  std::size_t offset = 0;
+
+  bool Is(TokenKind k, std::string_view t) const {
+    return kind == k && text == t;
+  }
+  bool IsKeyword(std::string_view t) const { return Is(TokenKind::kKeyword, t); }
+  bool IsSymbol(std::string_view t) const { return Is(TokenKind::kSymbol, t); }
+};
+
+/// \brief Tokenizes `sql`; the final token is always kEnd. SQL comments
+/// ("-- ..." to end of line) are skipped. Unterminated strings and
+/// unknown characters are ParseErrors.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+/// \brief True if `word` is a reserved keyword of the language.
+bool IsSqlKeyword(const std::string& lower_word);
+
+}  // namespace swift
+
+#endif  // SWIFT_SQL_LEXER_H_

@@ -1,0 +1,28 @@
+#ifndef SWIFT_SQL_PARSER_H_
+#define SWIFT_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace swift {
+
+/// \brief Parses one SELECT statement of the Swift SQL-like language.
+///
+/// Grammar (recursive descent, standard precedence):
+///   select   := SELECT item (',' item)* FROM tableref join* [WHERE expr]
+///               [GROUP BY expr (',' expr)*]
+///               [ORDER BY expr [ASC|DESC] (',' ...)*] [LIMIT n]
+///   tableref := identifier [alias] | '(' select ')' [alias]
+///   join     := JOIN tableref ON expr
+///   expr     := or-chain over and-chains over NOT / comparisons / LIKE
+///               over +- over */ over unary over primary
+///   primary  := literal | qualified-identifier | function '(' args ')'
+///               | aggregate '(' [*|expr] ')' | '(' expr ')'
+Result<std::shared_ptr<SelectStmt>> ParseSelect(const std::string& sql);
+
+}  // namespace swift
+
+#endif  // SWIFT_SQL_PARSER_H_

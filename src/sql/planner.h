@@ -1,0 +1,43 @@
+#ifndef SWIFT_SQL_PLANNER_H_
+#define SWIFT_SQL_PLANNER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "exec/table.h"
+#include "sql/ast.h"
+#include "sql/distributed_plan.h"
+
+namespace swift {
+
+/// \brief Knobs of the distributed planner.
+struct PlannerConfig {
+  /// Scan parallelism: ceil(rows / rows_per_scan_task), clamped to
+  /// [1, max_scan_tasks].
+  int64_t rows_per_scan_task = 20000;
+  int max_scan_tasks = 64;
+  /// Parallelism of join/aggregate (shuffle consumer) stages.
+  int shuffle_tasks = 4;
+  /// When true, joins become sort-merge joins and aggregates become
+  /// sort+streamed aggregates — the stage then contains global-sort
+  /// operators (MergeJoin/MergeSort/StreamedAggregate), so its outgoing
+  /// edges are barrier edges and the job partitions into many graphlets,
+  /// exactly as the paper's TPC-H Q9 walk-through (Fig. 4). When false,
+  /// hash variants are used and edges stay pipeline.
+  bool sort_mode = true;
+};
+
+/// \brief Plans a parsed SELECT into a DistributedPlan against the
+/// catalog (used for schema and row-count lookups only).
+Result<DistributedPlan> PlanQuery(const SelectStmt& stmt,
+                                  const Catalog& catalog,
+                                  const PlannerConfig& config = {});
+
+/// \brief Convenience: parse + plan.
+Result<DistributedPlan> PlanSql(const std::string& sql, const Catalog& catalog,
+                                const PlannerConfig& config = {});
+
+}  // namespace swift
+
+#endif  // SWIFT_SQL_PLANNER_H_

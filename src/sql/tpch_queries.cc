@@ -1,0 +1,147 @@
+#include "sql/tpch_queries.h"
+
+#include <map>
+
+#include "common/string_util.h"
+
+namespace swift {
+
+namespace {
+
+const std::map<int, std::string>& QueryTexts() {
+  static const std::map<int, std::string> kQueries = {
+      // Q1: pricing summary report.
+      {1, R"(select l_returnflag, l_linestatus,
+        sum(l_quantity) as sum_qty,
+        sum(l_extendedprice) as sum_base_price,
+        sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+        avg(l_quantity) as avg_qty,
+        avg(l_discount) as avg_disc,
+        count(*) as count_order
+      from tpch_lineitem
+      where l_shipdate <= '1998-09-02'
+      group by l_returnflag, l_linestatus
+      order by l_returnflag, l_linestatus)"},
+      // Q3: shipping priority (simplified: revenue per order).
+      {3, R"(select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as revenue,
+        o_orderdate
+      from tpch_customer c
+      join tpch_orders o on c.c_custkey = o.o_custkey
+      join tpch_lineitem l on o.o_orderkey = l.l_orderkey
+      where c_mktsegment = 'BUILDING' and o_orderdate < '1995-03-15'
+        and l_shipdate > '1995-03-15'
+      group by l_orderkey, o_orderdate
+      order by revenue desc, o_orderdate
+      limit 10)"},
+      // Q5: local supplier volume.
+      {5, R"(select n_name, sum(l_extendedprice * (1 - l_discount)) as revenue
+      from tpch_customer c
+      join tpch_orders o on c.c_custkey = o.o_custkey
+      join tpch_lineitem l on o.o_orderkey = l.l_orderkey
+      join tpch_supplier s on l.l_suppkey = s.s_suppkey
+      join tpch_nation n on s.s_nationkey = n.n_nationkey
+      join tpch_region r on n.n_regionkey = r.r_regionkey
+      where r_name = 'ASIA' and o_orderdate >= '1994-01-01'
+        and o_orderdate < '1995-01-01'
+      group by n_name
+      order by revenue desc)"},
+      // Q6: forecasting revenue change.
+      {6, R"(select sum(l_extendedprice * l_discount) as revenue
+      from tpch_lineitem
+      where l_shipdate >= '1994-01-01' and l_shipdate < '1995-01-01'
+        and l_discount between 0.05 and 0.07 and l_quantity < 24)"},
+      // Q9: product type profit measure — the paper's Fig. 1.
+      {9, R"(select nation, o_year, sum(amount) as sum_profit
+      from (
+        select n_name as nation, substr(o_orderdate, 1, 4) as o_year,
+          l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity as amount
+        from tpch_supplier s
+        join tpch_lineitem l on s.s_suppkey = l.l_suppkey
+        join tpch_partsupp ps on ps.ps_suppkey = l.l_suppkey and ps.ps_partkey = l.l_partkey
+        join tpch_part p on p.p_partkey = l.l_partkey
+        join tpch_orders o on o.o_orderkey = l.l_orderkey
+        join tpch_nation n on s.s_nationkey = n.n_nationkey
+        where p_name like '%green%'
+      )
+      group by nation, o_year
+      order by nation, o_year desc
+      limit 999999)"},
+      // Q10: returned item reporting (top customers by lost revenue).
+      {10, R"(select c_custkey, c_name, sum(l_extendedprice * (1 - l_discount)) as revenue,
+        n_name
+      from tpch_customer c
+      join tpch_orders o on c.c_custkey = o.o_custkey
+      join tpch_lineitem l on o.o_orderkey = l.l_orderkey
+      join tpch_nation n on c.c_nationkey = n.n_nationkey
+      where o_orderdate >= '1993-10-01' and o_orderdate < '1994-01-01'
+        and l_returnflag = 'R'
+      group by c_custkey, c_name, n_name
+      order by revenue desc
+      limit 20)"},
+      // Q12: shipping modes and order priority.
+      {12, R"(select l_shipmode, count(*) as line_count
+      from tpch_orders o
+      join tpch_lineitem l on o.o_orderkey = l.l_orderkey
+      where l_shipmode in ('MAIL', 'SHIP')
+        and l_shipdate >= '1994-01-01' and l_shipdate < '1995-01-01'
+      group by l_shipmode
+      order by l_shipmode)"},
+      // Q13: customer distribution — the paper's fault-tolerance query
+      // (Fig. 13), needing a LEFT OUTER JOIN so customers without
+      // orders count as c_count = 0.
+      {13, R"(select c_count, count(*) as custdist
+      from (
+        select c_custkey as ck, count(o_orderkey) as c_count
+        from tpch_customer c
+        left join tpch_orders o on c.c_custkey = o.o_custkey
+          and o_comment not like '%special%requests%'
+        group by c_custkey
+      )
+      group by c_count
+      order by custdist desc, c_count desc)"},
+      // Q14: promotion effect (simplified: promo revenue share inputs).
+      {14, R"(select p_type, sum(l_extendedprice * (1 - l_discount)) as revenue
+      from tpch_lineitem l
+      join tpch_part p on l.l_partkey = p.p_partkey
+      where l_shipdate >= '1995-09-01' and l_shipdate < '1995-10-01'
+      group by p_type
+      order by revenue desc)"},
+      // Q18: large volume customers.
+      {18, R"(select c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+        sum(l_quantity) as total_qty
+      from tpch_customer c
+      join tpch_orders o on c.c_custkey = o.o_custkey
+      join tpch_lineitem l on o.o_orderkey = l.l_orderkey
+      group by c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+      having total_qty > 150
+      order by o_totalprice desc, o_orderdate
+      limit 100)"},
+      // Q19: discounted revenue over brand/quantity predicates.
+      {19, R"(select sum(l_extendedprice * (1 - l_discount)) as revenue
+      from tpch_lineitem l
+      join tpch_part p on p.p_partkey = l.l_partkey
+      where p_brand = 'Brand#12' and l_quantity between 1 and 11
+        and l_shipmode in ('AIR', 'REG AIR'))"},
+  };
+  return kQueries;
+}
+
+}  // namespace
+
+Result<std::string> TpchQuerySql(int q) {
+  const auto& texts = QueryTexts();
+  auto it = texts.find(q);
+  if (it == texts.end()) {
+    return Status::NotFound(StrFormat(
+        "no runnable SQL text for TPC-H Q%d (see RunnableTpchQueries)", q));
+  }
+  return it->second;
+}
+
+std::vector<int> RunnableTpchQueries() {
+  std::vector<int> out;
+  for (const auto& [q, sql] : QueryTexts()) out.push_back(q);
+  return out;
+}
+
+}  // namespace swift

@@ -1,0 +1,117 @@
+#include "trace/production_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "dag/dag_builder.h"
+
+namespace swift {
+
+namespace {
+
+using OK = OperatorKind;
+
+// Bytes/s one simulated task processes; must match TaskModel defaults so
+// the generated per-stage volumes land near the target runtimes.
+constexpr double kProcessRate = 30.0e6;
+
+int SampleStages(Rng* rng, const TraceConfig& c) {
+  int stages = 1;
+  while (rng->Bernoulli(c.extra_stage_p) && stages < c.max_stages) ++stages;
+  // A small fraction of jobs are very deep (the Fig. 8(b) tail).
+  if (rng->Bernoulli(0.02)) {
+    stages = static_cast<int>(
+        std::min<double>(c.max_stages, stages + rng->Pareto(8.0, 1.2)));
+  }
+  return stages;
+}
+
+int SampleTasks(Rng* rng, const TraceConfig& c) {
+  const double t = rng->LogNormal(c.tasks_log_mu, c.tasks_log_sigma);
+  return std::clamp(static_cast<int>(std::ceil(t)), 1,
+                    c.max_tasks_per_stage);
+}
+
+}  // namespace
+
+std::vector<SimJobSpec> GenerateProductionTrace(const TraceConfig& config) {
+  Rng rng(config.seed);
+  std::vector<SimJobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(config.num_jobs));
+  double arrival = 0.0;
+  for (int j = 0; j < config.num_jobs; ++j) {
+    const int stages = SampleStages(&rng, config);
+    const double target_runtime =
+        rng.LogNormal(config.runtime_log_mu, config.runtime_log_sigma);
+    // Split the runtime budget over the stage chain.
+    const double per_stage_seconds =
+        target_runtime / static_cast<double>(stages);
+    const bool fan_in = stages >= 3 && rng.Bernoulli(config.fan_in_p);
+
+    DagBuilder b(StrFormat("trace-job-%d", j));
+    std::vector<StageId> ids;
+    for (int s = 0; s < stages; ++s) {
+      StageDef def;
+      def.name = StrFormat("s%d", s);
+      def.task_count = SampleTasks(&rng, config);
+      const bool barrier = rng.Bernoulli(config.barrier_stage_p);
+      const bool is_source = s == 0 || (fan_in && s == 1);
+      const bool is_sink = s == stages - 1;
+      if (is_source) {
+        def.operators.push_back(OK::kTableScan);
+      } else {
+        def.operators.push_back(OK::kShuffleRead);
+      }
+      def.operators.push_back(barrier ? OK::kMergeSort : OK::kStreamLine);
+      def.operators.push_back(is_sink ? OK::kAdhocSink : OK::kShuffleWrite);
+      def.input_bytes_per_task = per_stage_seconds * kProcessRate;
+      def.input_records_per_task = def.input_bytes_per_task / 120.0;
+      def.output_bytes_per_task = def.input_bytes_per_task * 0.4;
+      ids.push_back(b.AddStage(std::move(def)));
+    }
+    if (fan_in) {
+      // Two sources fan into the third stage; the rest is a chain.
+      b.AddEdge(ids[0], ids[2]);
+      b.AddEdge(ids[1], ids[2]);
+      for (int s = 2; s + 1 < stages; ++s) b.AddEdge(ids[s], ids[s + 1]);
+    } else {
+      for (int s = 0; s + 1 < stages; ++s) b.AddEdge(ids[s], ids[s + 1]);
+    }
+
+    SimJobSpec job;
+    job.name = StrFormat("trace-job-%d", j);
+    job.dag = std::move(b.Build()).ValueOrDie();
+    job.submit_time = arrival;
+    job.hint_runtime = target_runtime;
+    if (config.mean_interarrival > 0) {
+      arrival += rng.Exponential(config.mean_interarrival);
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+void InjectTraceFailures(const FailureTraceConfig& config,
+                         std::vector<SimJobSpec>* jobs) {
+  Rng rng(config.seed);
+  for (SimJobSpec& job : *jobs) {
+    if (!rng.Bernoulli(config.failure_job_fraction)) continue;
+    FailureInjection f;
+    f.time = rng.LogNormal(config.time_log_mu, config.time_log_sigma);
+    if (job.hint_runtime > 0) {
+      // Only failures that strike while the job runs are observable in
+      // a trace; clamp into the job's lifetime.
+      f.time = std::min(f.time, rng.Uniform(0.15, 0.9) * job.hint_runtime);
+    }
+    const auto& stages = job.dag.stages();
+    f.stage = stages[static_cast<std::size_t>(rng.UniformInt(
+                         0, static_cast<int64_t>(stages.size()) - 1))]
+                  .id;
+    f.kind = rng.Bernoulli(0.8) ? FailureKind::kProcessCrash
+                                : FailureKind::kMachineFailure;
+    job.failures.push_back(f);
+  }
+}
+
+}  // namespace swift

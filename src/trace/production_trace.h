@@ -1,0 +1,55 @@
+#ifndef SWIFT_TRACE_PRODUCTION_TRACE_H_
+#define SWIFT_TRACE_PRODUCTION_TRACE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/sim_job.h"
+
+namespace swift {
+
+/// \brief Parameters of the synthetic production trace. Defaults are
+/// fitted to the paper's Fig. 8: average job runtime ~30 s with >90% of
+/// jobs under 120 s; >80% of jobs with <=80 tasks and <=4 stages; tails
+/// to ~2,000 tasks and hundreds of stages.
+struct TraceConfig {
+  int num_jobs = 2000;
+  uint64_t seed = 20210419;
+  /// Mean arrival spacing (s); 0 = all jobs submitted at t=0.
+  double mean_interarrival = 0.1;
+  /// Log-normal runtime target: exp(mu) is the median in seconds.
+  double runtime_log_mu = 3.0;     // median ~20 s
+  double runtime_log_sigma = 0.75; // mean ~30 s, p90 ~120 s
+  /// Stage count: 1 + geometric(p), capped.
+  double extra_stage_p = 0.55;
+  int max_stages = 200;
+  /// Tasks per stage: log-normal with heavy tail.
+  double tasks_log_mu = 2.3;   // median ~10
+  double tasks_log_sigma = 0.9;
+  int max_tasks_per_stage = 800;
+  /// Probability a stage's output is globally sorted (barrier edges).
+  double barrier_stage_p = 0.45;
+  /// Fraction of jobs with a wide (fan-in) shape instead of a chain.
+  double fan_in_p = 0.3;
+};
+
+/// \brief Generates `config.num_jobs` SimJobSpecs matching the Fig. 8
+/// distributions (deterministic for a seed).
+std::vector<SimJobSpec> GenerateProductionTrace(const TraceConfig& config);
+
+/// \brief Failure-time model of Sec. V-F: ~50% of failures within 30 s
+/// of job start and ~90% within 200 s.
+struct FailureTraceConfig {
+  double failure_job_fraction = 0.25;  ///< jobs that suffer one failure
+  double time_log_mu = 3.4;            ///< median exp(3.4) ~30 s
+  double time_log_sigma = 1.48;        ///< p90 ~200 s
+  uint64_t seed = 7;
+};
+
+/// \brief Adds trace-distributed failures to `jobs` in place.
+void InjectTraceFailures(const FailureTraceConfig& config,
+                         std::vector<SimJobSpec>* jobs);
+
+}  // namespace swift
+
+#endif  // SWIFT_TRACE_PRODUCTION_TRACE_H_

@@ -1,0 +1,39 @@
+#include "trace/terasort_job.h"
+
+#include "common/string_util.h"
+#include "dag/dag_builder.h"
+
+namespace swift {
+
+SimJobSpec BuildTerasortJob(int map_tasks, int reduce_tasks,
+                            double mb_per_map_task) {
+  using OK = OperatorKind;
+  DagBuilder b(StrFormat("terasort-%dx%d", map_tasks, reduce_tasks));
+  const double map_bytes = mb_per_map_task * 1e6;
+  StageDef map;
+  map.name = "map";
+  map.task_count = map_tasks;
+  map.operators = {OK::kTableScan, OK::kShuffleWrite};
+  map.input_bytes_per_task = map_bytes;
+  map.input_records_per_task = map_bytes / 100.0;  // 100-byte records
+  map.output_bytes_per_task = map_bytes;           // sort moves all data
+  StageId m = b.AddStage(map);
+
+  StageDef reduce;
+  reduce.name = "reduce";
+  reduce.task_count = reduce_tasks;
+  reduce.operators = {OK::kShuffleRead, OK::kMergeSort, OK::kAdhocSink};
+  reduce.input_bytes_per_task =
+      map_bytes * map_tasks / std::max(1, reduce_tasks);
+  reduce.input_records_per_task = reduce.input_bytes_per_task / 100.0;
+  reduce.output_bytes_per_task = reduce.input_bytes_per_task;
+  StageId r = b.AddStage(reduce);
+  b.AddEdge(m, r);
+
+  SimJobSpec job;
+  job.name = StrFormat("terasort-%dx%d", map_tasks, reduce_tasks);
+  job.dag = std::move(b.Build()).ValueOrDie();
+  return job;
+}
+
+}  // namespace swift

@@ -1,0 +1,17 @@
+#ifndef SWIFT_TRACE_TERASORT_JOB_H_
+#define SWIFT_TRACE_TERASORT_JOB_H_
+
+#include "sim/sim_job.h"
+
+namespace swift {
+
+/// \brief Simulator descriptor of a Terasort job of M map tasks and N
+/// reduce tasks (Table I of the paper): each map task reads
+/// `mb_per_map_task` MB, partitions it to the reducers, and each reducer
+/// merge-sorts its range.
+SimJobSpec BuildTerasortJob(int map_tasks, int reduce_tasks,
+                            double mb_per_map_task = 200.0);
+
+}  // namespace swift
+
+#endif  // SWIFT_TRACE_TERASORT_JOB_H_

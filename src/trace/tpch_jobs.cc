@@ -1,0 +1,258 @@
+#include "trace/tpch_jobs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "dag/dag_builder.h"
+
+namespace swift {
+
+namespace {
+
+using OK = OperatorKind;
+
+// Approximate TPC-H table footprints at 1 TB (scale factor 1000).
+constexpr double kLineitemGb = 750.0;
+constexpr double kOrdersGb = 170.0;
+constexpr double kPartsuppGb = 115.0;
+constexpr double kPartGb = 29.0;
+constexpr double kCustomerGb = 23.0;
+constexpr double kSupplierGb = 1.4;
+constexpr double kTinyGb = 0.01;  // nation / region
+
+struct ScanSpec {
+  double table_gb;
+  double selectivity;  // output bytes / input bytes
+};
+
+struct QuerySpec {
+  std::vector<ScanSpec> scans;  // joined left-deep in order
+  bool agg;
+  bool sort;
+  double join_selectivity;  // output/input volume per join
+};
+
+const QuerySpec* QuerySpecOf(int q) {
+  static const std::map<int, QuerySpec> kSpecs = {
+      {1, {{{kLineitemGb, 0.30}}, true, true, 0.5}},
+      {2, {{{kPartGb, 0.2}, {kPartsuppGb, 0.3}, {kSupplierGb, 0.5},
+            {kTinyGb, 1.0}, {kTinyGb, 1.0}}, false, true, 0.4}},
+      {3, {{{kCustomerGb, 0.2}, {kOrdersGb, 0.4}, {kLineitemGb, 0.45}},
+           true, true, 0.35}},
+      {4, {{{kOrdersGb, 0.25}, {kLineitemGb, 0.4}}, true, true, 0.3}},
+      {5, {{{kCustomerGb, 0.4}, {kOrdersGb, 0.3}, {kLineitemGb, 0.4},
+            {kSupplierGb, 0.6}, {kTinyGb, 1.0}, {kTinyGb, 1.0}},
+           true, true, 0.35}},
+      {6, {{{kLineitemGb, 0.15}}, true, false, 0.5}},
+      {7, {{{kSupplierGb, 0.6}, {kLineitemGb, 0.35}, {kOrdersGb, 0.3},
+            {kCustomerGb, 0.4}, {kTinyGb, 1.0}}, true, true, 0.3}},
+      {8, {{{kPartGb, 0.1}, {kLineitemGb, 0.35}, {kSupplierGb, 0.6},
+            {kOrdersGb, 0.3}, {kCustomerGb, 0.4}, {kTinyGb, 1.0},
+            {kTinyGb, 1.0}}, true, true, 0.3}},
+      // 9 and 13 are special-cased to match Fig. 4 and Fig. 13.
+      {10, {{{kCustomerGb, 0.5}, {kOrdersGb, 0.25}, {kLineitemGb, 0.3},
+             {kTinyGb, 1.0}}, true, true, 0.35}},
+      {11, {{{kPartsuppGb, 0.4}, {kSupplierGb, 0.6}, {kTinyGb, 1.0}},
+            true, true, 0.4}},
+      {12, {{{kOrdersGb, 0.3}, {kLineitemGb, 0.2}}, true, true, 0.3}},
+      {14, {{{kLineitemGb, 0.15}, {kPartGb, 0.4}}, true, false, 0.35}},
+      {15, {{{kLineitemGb, 0.25}, {kSupplierGb, 0.7}}, true, true, 0.35}},
+      {16, {{{kPartsuppGb, 0.4}, {kPartGb, 0.3}, {kSupplierGb, 0.5}},
+            true, true, 0.4}},
+      {17, {{{kLineitemGb, 0.3}, {kPartGb, 0.15}}, true, false, 0.3}},
+      {18, {{{kCustomerGb, 0.5}, {kOrdersGb, 0.4}, {kLineitemGb, 0.35}},
+            true, true, 0.35}},
+      {19, {{{kLineitemGb, 0.2}, {kPartGb, 0.2}}, true, false, 0.3}},
+      {20, {{{kSupplierGb, 0.6}, {kTinyGb, 1.0}, {kPartsuppGb, 0.35},
+             {kPartGb, 0.2}, {kLineitemGb, 0.3}}, false, true, 0.35}},
+      {21, {{{kSupplierGb, 0.6}, {kLineitemGb, 0.4}, {kOrdersGb, 0.3},
+             {kTinyGb, 1.0}}, true, true, 0.3}},
+      {22, {{{kCustomerGb, 0.35}, {kOrdersGb, 0.2}}, true, true, 0.35}},
+  };
+  auto it = kSpecs.find(q);
+  return it == kSpecs.end() ? nullptr : &it->second;
+}
+
+int ScanTasks(double table_gb, const TpchJobScale& scale) {
+  const double bytes = table_gb * 1e9 * scale.data_tb;
+  return std::max(1, static_cast<int>(std::ceil(bytes / scale.scan_task_bytes)));
+}
+
+int VolumeTasks(double bytes) {
+  return std::clamp(static_cast<int>(std::ceil(bytes / 800.0e6)), 1, 500);
+}
+
+StageDef MakeStage(const std::string& name, int tasks,
+                   std::vector<OperatorKind> ops, double in_bytes_per_task,
+                   double out_bytes_per_task) {
+  StageDef s;
+  s.name = name;
+  s.task_count = tasks;
+  s.operators = std::move(ops);
+  s.input_bytes_per_task = in_bytes_per_task;
+  s.input_records_per_task = in_bytes_per_task / 120.0;  // ~120 B rows
+  s.output_bytes_per_task = out_bytes_per_task;
+  return s;
+}
+
+SimJobSpec BuildGeneric(int q, const QuerySpec& spec,
+                        const TpchJobScale& scale) {
+  DagBuilder b(StrFormat("tpch-q%d", q));
+  int seq = 1;
+
+  // Scans.
+  std::vector<StageId> scan_ids;
+  std::vector<double> scan_out_bytes;  // total
+  for (const ScanSpec& sc : spec.scans) {
+    const int tasks = ScanTasks(sc.table_gb, scale);
+    const double in_per_task = sc.table_gb * 1e9 * scale.data_tb / tasks;
+    const double out_per_task = in_per_task * sc.selectivity;
+    scan_ids.push_back(b.AddStage(
+        MakeStage(StrFormat("M%d", seq++), tasks,
+                  {OK::kTableScan, OK::kFilter, OK::kShuffleWrite},
+                  in_per_task, out_per_task)));
+    scan_out_bytes.push_back(out_per_task * tasks);
+  }
+
+  // Left-deep sort-merge join chain.
+  StageId current = scan_ids[0];
+  double current_bytes = scan_out_bytes[0];
+  for (std::size_t i = 1; i < scan_ids.size(); ++i) {
+    const double in_total = current_bytes + scan_out_bytes[i];
+    const int tasks = VolumeTasks(in_total);
+    const double out_total = in_total * spec.join_selectivity;
+    StageId join = b.AddStage(MakeStage(
+        StrFormat("J%d", seq++), tasks,
+        {OK::kShuffleRead, OK::kMergeJoin, OK::kMergeSort, OK::kShuffleWrite},
+        in_total / tasks, out_total / tasks));
+    b.AddEdge(current, join);
+    b.AddEdge(scan_ids[i], join);
+    current = join;
+    current_bytes = out_total;
+  }
+
+  if (spec.agg) {
+    const double out_total = std::max(1.0e6, current_bytes * 0.01);
+    const int tasks = std::clamp(VolumeTasks(current_bytes) / 2, 1, 200);
+    StageId agg = b.AddStage(MakeStage(
+        StrFormat("R%d", seq++), tasks,
+        {OK::kShuffleRead, OK::kStreamedAggregate, OK::kShuffleWrite},
+        current_bytes / tasks, out_total / tasks));
+    b.AddEdge(current, agg);
+    current = agg;
+    current_bytes = out_total;
+  }
+  if (spec.sort) {
+    StageId sort = b.AddStage(MakeStage(
+        StrFormat("R%d", seq++), std::max(1, VolumeTasks(current_bytes) / 4),
+        {OK::kShuffleRead, OK::kSortBy, OK::kShuffleWrite},
+        current_bytes / std::max(1, VolumeTasks(current_bytes) / 4),
+        current_bytes / std::max(1, VolumeTasks(current_bytes) / 4)));
+    b.AddEdge(current, sort);
+    current = sort;
+  }
+  StageId sink = b.AddStage(MakeStage(
+      StrFormat("R%d", seq++), 1, {OK::kShuffleRead, OK::kAdhocSink},
+      std::min(current_bytes, 64.0e6), 0.0));
+  b.AddEdge(current, sink);
+
+  SimJobSpec job;
+  job.name = StrFormat("tpch-q%d", q);
+  job.dag = std::move(b.Build()).ValueOrDie();
+  return job;
+}
+
+// TPC-H Q9 exactly as partitioned in the paper's Fig. 4.
+SimJobSpec BuildQ9(const TpchJobScale& scale) {
+  const double f = scale.data_tb;  // scale byte volumes linearly
+  DagBuilder b("tpch-q9");
+  auto scan_ops = std::vector<OK>{OK::kTableScan, OK::kFilter,
+                                  OK::kShuffleWrite};
+  auto join_ops = std::vector<OK>{OK::kShuffleRead, OK::kMergeJoin,
+                                  OK::kMergeSort, OK::kShuffleWrite};
+  StageId m1 = b.AddStage(MakeStage("M1", 956, scan_ops, 800e6 * f, 200e6 * f));
+  StageId m2 = b.AddStage(MakeStage("M2", 220, scan_ops, 800e6 * f, 240e6 * f));
+  StageId m3 = b.AddStage(MakeStage("M3", 3, scan_ops, 800e6 * f, 150e6 * f));
+  StageId j4 = b.AddStage(MakeStage(
+      "J4", 220, join_ops,
+      (956.0 * 200e6 + 220.0 * 240e6 + 3.0 * 150e6) * f / 220.0, 300e6 * f));
+  StageId m5 = b.AddStage(MakeStage("M5", 403, scan_ops, 800e6 * f, 180e6 * f));
+  StageId j6 = b.AddStage(MakeStage(
+      "J6", 403, join_ops,
+      (220.0 * 300e6 + 403.0 * 180e6) * f / 403.0, 170e6 * f));
+  StageId m7 = b.AddStage(MakeStage("M7", 220, scan_ops, 800e6 * f, 120e6 * f));
+  StageId m8 = b.AddStage(MakeStage("M8", 20, scan_ops, 800e6 * f, 200e6 * f));
+  StageId r9 = b.AddStage(MakeStage(
+      "R9", 20, {OK::kShuffleRead, OK::kHashJoin, OK::kShuffleWrite},
+      (220.0 * 120e6 + 20.0 * 200e6) * f / 20.0, 350e6 * f));
+  StageId j10 = b.AddStage(MakeStage(
+      "J10", 100, join_ops,
+      (403.0 * 170e6 + 20.0 * 350e6) * f / 100.0, 90e6 * f));
+  StageId r11 = b.AddStage(MakeStage(
+      "R11", 4, {OK::kShuffleRead, OK::kStreamLine, OK::kShuffleWrite},
+      100.0 * 90e6 * f / 4.0, 30e6 * f));
+  StageId r12 = b.AddStage(MakeStage(
+      "R12", 1, {OK::kShuffleRead, OK::kAdhocSink}, 4.0 * 30e6 * f, 0.0));
+  b.AddEdge(m1, j4).AddEdge(m2, j4).AddEdge(m3, j4);
+  b.AddEdge(j4, j6).AddEdge(m5, j6);
+  b.AddEdge(j6, j10);
+  b.AddEdge(m7, r9).AddEdge(m8, r9).AddEdge(r9, j10);
+  b.AddEdge(j10, r11).AddEdge(r11, r12);
+  SimJobSpec job;
+  job.name = "tpch-q9";
+  job.dag = std::move(b.Build()).ValueOrDie();
+  return job;
+}
+
+// TPC-H Q13 as detailed in the paper's Fig. 13 (stage task counts and
+// per-task input volumes).
+SimJobSpec BuildQ13(const TpchJobScale& scale) {
+  const double f = scale.data_tb;
+  DagBuilder b("tpch-q13");
+  StageId m1 = b.AddStage(MakeStage(
+      "M1", 498, {OK::kTableScan, OK::kFilter, OK::kShuffleWrite},
+      76e6 * f, 26e6 * f));
+  StageId m2 = b.AddStage(MakeStage(
+      "M2", 72, {OK::kTableScan, OK::kFilter, OK::kShuffleWrite},
+      5e6 * f, 2e6 * f));
+  StageId j3 = b.AddStage(MakeStage(
+      "J3", 72,
+      {OK::kShuffleRead, OK::kMergeJoin, OK::kMergeSort, OK::kShuffleWrite},
+      (498.0 * 26e6 + 72.0 * 2e6) * f / 72.0, 26e6 * f));
+  StageId r4 = b.AddStage(MakeStage(
+      "R4", 32, {OK::kShuffleRead, OK::kStreamedAggregate, OK::kShuffleWrite},
+      72.0 * 26e6 * f / 32.0, 2e6 * f));
+  StageId r5 = b.AddStage(MakeStage(
+      "R5", 4, {OK::kShuffleRead, OK::kStreamedAggregate, OK::kShuffleWrite},
+      32.0 * 2e6 * f / 4.0, 1100.0));
+  StageId r6 = b.AddStage(MakeStage(
+      "R6", 1, {OK::kShuffleRead, OK::kSortBy, OK::kAdhocSink},
+      4.0 * 1100.0, 1300.0));
+  b.AddEdge(m1, j3).AddEdge(m2, j3).AddEdge(j3, r4).AddEdge(r4, r5)
+      .AddEdge(r5, r6);
+  SimJobSpec job;
+  job.name = "tpch-q13";
+  job.dag = std::move(b.Build()).ValueOrDie();
+  return job;
+}
+
+}  // namespace
+
+std::vector<int> TpchQueryIds() {
+  std::vector<int> ids;
+  for (int q = 1; q <= 22; ++q) ids.push_back(q);
+  return ids;
+}
+
+Result<SimJobSpec> BuildTpchJob(int q, const TpchJobScale& scale) {
+  if (q == 9) return BuildQ9(scale);
+  if (q == 13) return BuildQ13(scale);
+  const QuerySpec* spec = QuerySpecOf(q);
+  if (spec == nullptr) {
+    return Status::InvalidArgument(StrFormat("no TPC-H query %d", q));
+  }
+  return BuildGeneric(q, *spec, scale);
+}
+
+}  // namespace swift

@@ -1,0 +1,29 @@
+#ifndef SWIFT_TRACE_TPCH_JOBS_H_
+#define SWIFT_TRACE_TPCH_JOBS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "sim/sim_job.h"
+
+namespace swift {
+
+/// \brief Scale of the simulated TPC-H runs (the paper uses 1 TB).
+struct TpchJobScale {
+  double data_tb = 1.0;
+  /// Bytes one scan task handles (sets scan task counts).
+  double scan_task_bytes = 800.0e6;
+};
+
+/// \brief Simulator descriptor of TPC-H query `q` (1..22): stage task
+/// counts and byte volumes modeled after the paper's examples (Q9
+/// matches Fig. 4's task counts; Q13 matches Fig. 13) and the published
+/// TPC-H table proportions for the rest.
+Result<SimJobSpec> BuildTpchJob(int q, const TpchJobScale& scale = {});
+
+/// \brief All 22 query ids.
+std::vector<int> TpchQueryIds();
+
+}  // namespace swift
+
+#endif  // SWIFT_TRACE_TPCH_JOBS_H_

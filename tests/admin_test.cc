@@ -1,0 +1,144 @@
+// Tests for the Admin-side components of Fig. 2: the Executor Manager's
+// self-reporting status cache and the shadow-controller mechanism.
+
+#include <gtest/gtest.h>
+
+#include "scheduler/executor_registry.h"
+#include "scheduler/shadow_controller.h"
+
+namespace swift {
+namespace {
+
+TEST(ExecutorRegistryTest, FirstReportRegisters) {
+  ExecutorRegistry reg;
+  EXPECT_FALSE(reg.Report(ExecutorId{0, 1}, 4242, 9000, 1.0));
+  EXPECT_EQ(reg.size(), 1u);
+  auto st = reg.Lookup(ExecutorId{0, 1});
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->pid, 4242);
+  EXPECT_EQ(st->tcp_port, 9000);
+  EXPECT_EQ(st->restarts, 0);
+}
+
+TEST(ExecutorRegistryTest, SamePidIsHeartbeatNotRestart) {
+  ExecutorRegistry reg;
+  reg.Report(ExecutorId{0, 1}, 4242, 9000, 1.0);
+  EXPECT_FALSE(reg.Report(ExecutorId{0, 1}, 4242, 9000, 5.0));
+  auto st = reg.Lookup(ExecutorId{0, 1});
+  EXPECT_EQ(st->restarts, 0);
+  EXPECT_DOUBLE_EQ(st->last_report, 5.0);
+}
+
+TEST(ExecutorRegistryTest, NewPidSignalsRestart) {
+  // Sec. IV-A: "Once the process is re-launched due to some failures,
+  // its status is also reported... Swift Admin could know process
+  // restart and initiate the failure handling process immediately."
+  ExecutorRegistry reg;
+  reg.Report(ExecutorId{2, 3}, 100, 9000, 1.0);
+  ASSERT_TRUE(reg.AssignTask(ExecutorId{2, 3}, TaskRef{7, 4}).ok());
+  EXPECT_TRUE(reg.Report(ExecutorId{2, 3}, 101, 9001, 2.0));
+  auto st = reg.Lookup(ExecutorId{2, 3});
+  EXPECT_EQ(st->restarts, 1);
+  EXPECT_EQ(reg.total_restarts(), 1);
+  // The task it was running is recoverable state for the failure handler.
+  auto task = reg.RunningTask(ExecutorId{2, 3});
+  ASSERT_TRUE(task.has_value());
+  EXPECT_EQ(*task, (TaskRef{7, 4}));
+}
+
+TEST(ExecutorRegistryTest, TaskAssignmentLifecycle) {
+  ExecutorRegistry reg;
+  reg.Report(ExecutorId{0, 0}, 1, 1, 0.0);
+  EXPECT_EQ(reg.AssignTask(ExecutorId{9, 9}, TaskRef{1, 0}).code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(reg.AssignTask(ExecutorId{0, 0}, TaskRef{1, 0}).ok());
+  EXPECT_EQ(reg.AssignTask(ExecutorId{0, 0}, TaskRef{2, 0}).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(reg.ClearTask(ExecutorId{0, 0}).ok());
+  EXPECT_FALSE(reg.RunningTask(ExecutorId{0, 0}).has_value());
+  ASSERT_TRUE(reg.AssignTask(ExecutorId{0, 0}, TaskRef{2, 0}).ok());
+}
+
+TEST(ExecutorRegistryTest, MachineRevocationReturnsVictims) {
+  ExecutorRegistry reg;
+  for (int slot = 0; slot < 4; ++slot) {
+    reg.Report(ExecutorId{1, slot}, 100 + slot, 9000, 0.0);
+  }
+  reg.Report(ExecutorId{2, 0}, 200, 9000, 0.0);
+  ASSERT_TRUE(reg.AssignTask(ExecutorId{1, 0}, TaskRef{5, 0}).ok());
+  ASSERT_TRUE(reg.AssignTask(ExecutorId{1, 2}, TaskRef{5, 2}).ok());
+  EXPECT_EQ(reg.OnMachine(1).size(), 4u);
+  auto victims = reg.RevokeMachine(1);
+  EXPECT_EQ(victims.size(), 2u);
+  EXPECT_EQ(reg.size(), 1u);  // machine 2 survives
+  EXPECT_TRUE(reg.OnMachine(1).empty());
+}
+
+TEST(ShadowControllerTest, PublishAndAck) {
+  ShadowControllerPair pair;
+  auto e1 = pair.Publish("state-1");
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ(*e1, 1);
+  auto e2 = pair.Publish("state-2");
+  EXPECT_EQ(*e2, 2);
+  ASSERT_TRUE(pair.Acknowledge(1).ok());
+  EXPECT_EQ(pair.acked_epoch(), 1);
+  // Duplicate / stale acks are idempotent.
+  ASSERT_TRUE(pair.Acknowledge(1).ok());
+  EXPECT_EQ(pair.acked_epoch(), 1);
+  // Acking beyond what was published is a protocol violation.
+  EXPECT_FALSE(pair.Acknowledge(99).ok());
+}
+
+TEST(ShadowControllerTest, FailoverResumesFromAcknowledgedState) {
+  ShadowControllerPair pair;
+  (void)pair.Publish("A");
+  pair.DrainReplication();
+  (void)pair.Publish("B");  // never replicated
+  auto resumed = pair.Failover();
+  ASSERT_TRUE(resumed.ok());
+  ASSERT_TRUE(resumed->has_value());
+  EXPECT_EQ(**resumed, "A");
+  EXPECT_EQ(pair.active_role(), ShadowControllerPair::Role::kShadow);
+  EXPECT_EQ(pair.LastFailoverLoss(), 1);  // exactly the unreplicated epoch
+  EXPECT_EQ(pair.failovers(), 1);
+}
+
+TEST(ShadowControllerTest, FailoverWithNothingReplicated) {
+  ShadowControllerPair pair;
+  (void)pair.Publish("only");
+  auto resumed = pair.Failover();
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_FALSE(resumed->has_value());  // cold start
+}
+
+TEST(ShadowControllerTest, NoDoubleFailoverWithoutStandby) {
+  ShadowControllerPair pair;
+  (void)pair.Publish("A");
+  pair.DrainReplication();
+  ASSERT_TRUE(pair.Failover().ok());
+  EXPECT_FALSE(pair.standby_alive());
+  EXPECT_EQ(pair.Failover().status().code(),
+            StatusCode::kResourceExhausted);
+  // A freshly provisioned standby restores protection after re-sync.
+  pair.ProvisionStandby();
+  (void)pair.Publish("B");
+  pair.DrainReplication();
+  auto resumed = pair.Failover();
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(**resumed, "B");
+}
+
+TEST(ShadowControllerTest, PublishingContinuesAfterFailover) {
+  ShadowControllerPair pair;
+  (void)pair.Publish("A");
+  pair.DrainReplication();
+  ASSERT_TRUE(pair.Failover().ok());
+  auto e = pair.Publish("post-failover");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, pair.published_epoch());
+  EXPECT_GT(*e, 0);
+}
+
+}  // namespace
+}  // namespace swift

@@ -1,0 +1,215 @@
+#include "exec/expression.h"
+
+#include <gtest/gtest.h>
+
+namespace swift {
+namespace {
+
+const Schema& TestSchema() {
+  static const Schema s({{"i", DataType::kInt64},
+                         {"f", DataType::kFloat64},
+                         {"s", DataType::kString},
+                         {"n", DataType::kNull}});
+  return s;
+}
+
+Row TestRow() {
+  return {Value(int64_t{6}), Value(2.5), Value("forest green"), Value::Null()};
+}
+
+Value Eval(const ExprPtr& e) {
+  auto r = e->Evaluate(TestSchema(), TestRow());
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : Value::Null();
+}
+
+TEST(ExpressionTest, ColumnAndLiteral) {
+  EXPECT_EQ(Eval(Expr::Column("i")).int64(), 6);
+  EXPECT_DOUBLE_EQ(Eval(Expr::Column("f")).float64(), 2.5);
+  EXPECT_EQ(Eval(Expr::Literal(Value("x"))).str(), "x");
+}
+
+TEST(ExpressionTest, UnknownColumnErrors) {
+  auto r = Expr::Column("nope")->Evaluate(TestSchema(), TestRow());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExpressionTest, IntegerArithmeticStaysInt) {
+  auto e = Expr::Binary(BinaryOp::kMul, Expr::Column("i"),
+                        Expr::Literal(Value(int64_t{7})));
+  Value v = Eval(e);
+  ASSERT_TRUE(v.is_int64());
+  EXPECT_EQ(v.int64(), 42);
+}
+
+TEST(ExpressionTest, MixedArithmeticPromotesToDouble) {
+  auto e = Expr::Binary(BinaryOp::kAdd, Expr::Column("i"), Expr::Column("f"));
+  Value v = Eval(e);
+  ASSERT_TRUE(v.is_float64());
+  EXPECT_DOUBLE_EQ(v.float64(), 8.5);
+}
+
+TEST(ExpressionTest, DivisionAlwaysDouble) {
+  auto e = Expr::Binary(BinaryOp::kDiv, Expr::Literal(Value(int64_t{7})),
+                        Expr::Literal(Value(int64_t{2})));
+  EXPECT_DOUBLE_EQ(Eval(e).float64(), 3.5);
+}
+
+TEST(ExpressionTest, DivisionByZeroIsApplicationError) {
+  auto e = Expr::Binary(BinaryOp::kDiv, Expr::Column("i"),
+                        Expr::Literal(Value(int64_t{0})));
+  auto r = e->Evaluate(TestSchema(), TestRow());
+  EXPECT_EQ(r.status().code(), StatusCode::kApplication);
+}
+
+TEST(ExpressionTest, ArithmeticOnStringIsApplicationError) {
+  auto e = Expr::Binary(BinaryOp::kAdd, Expr::Column("s"), Expr::Column("i"));
+  EXPECT_EQ(e->Evaluate(TestSchema(), TestRow()).status().code(),
+            StatusCode::kApplication);
+}
+
+TEST(ExpressionTest, NullPropagatesThroughArithmetic) {
+  auto e = Expr::Binary(BinaryOp::kAdd, Expr::Column("n"), Expr::Column("i"));
+  EXPECT_TRUE(Eval(e).is_null());
+}
+
+TEST(ExpressionTest, Comparisons) {
+  auto lt = Expr::Binary(BinaryOp::kLt, Expr::Column("i"),
+                         Expr::Literal(Value(int64_t{10})));
+  EXPECT_EQ(Eval(lt).int64(), 1);
+  auto ge = Expr::Binary(BinaryOp::kGe, Expr::Column("f"),
+                         Expr::Literal(Value(99.0)));
+  EXPECT_EQ(Eval(ge).int64(), 0);
+  auto eq = Expr::Binary(BinaryOp::kEq, Expr::Column("i"),
+                         Expr::Literal(Value(6.0)));
+  EXPECT_EQ(Eval(eq).int64(), 1);  // cross-type numeric equality
+}
+
+TEST(ExpressionTest, NullComparisonIsNull) {
+  auto e = Expr::Binary(BinaryOp::kEq, Expr::Column("n"),
+                        Expr::Literal(Value(int64_t{1})));
+  EXPECT_TRUE(Eval(e).is_null());
+}
+
+TEST(ExpressionTest, KleeneAndOr) {
+  auto t = Expr::Literal(Value(int64_t{1}));
+  auto f = Expr::Literal(Value(int64_t{0}));
+  auto n = Expr::Literal(Value::Null());
+  // false AND NULL = false (short circuit); true OR NULL = true.
+  EXPECT_EQ(Eval(Expr::Binary(BinaryOp::kAnd, f, n)).int64(), 0);
+  EXPECT_EQ(Eval(Expr::Binary(BinaryOp::kOr, t, n)).int64(), 1);
+  // NULL AND true = NULL; NULL OR false = NULL.
+  EXPECT_TRUE(Eval(Expr::Binary(BinaryOp::kAnd, n, t)).is_null());
+  EXPECT_TRUE(Eval(Expr::Binary(BinaryOp::kOr, n, f)).is_null());
+  // NULL AND false = false even with NULL first.
+  EXPECT_EQ(Eval(Expr::Binary(BinaryOp::kAnd, n, f)).int64(), 0);
+}
+
+TEST(ExpressionTest, LikeOperator) {
+  auto e = Expr::Binary(BinaryOp::kLike, Expr::Column("s"),
+                        Expr::Literal(Value("%green%")));
+  EXPECT_EQ(Eval(e).int64(), 1);
+  auto miss = Expr::Binary(BinaryOp::kLike, Expr::Column("s"),
+                           Expr::Literal(Value("%blue%")));
+  EXPECT_EQ(Eval(miss).int64(), 0);
+}
+
+TEST(ExpressionTest, LikeOnNumberIsApplicationError) {
+  auto e = Expr::Binary(BinaryOp::kLike, Expr::Column("i"),
+                        Expr::Literal(Value("%1%")));
+  EXPECT_EQ(e->Evaluate(TestSchema(), TestRow()).status().code(),
+            StatusCode::kApplication);
+}
+
+TEST(ExpressionTest, NotAndNegate) {
+  EXPECT_EQ(Eval(Expr::Unary(UnaryOp::kNot, Expr::Literal(Value(int64_t{0}))))
+                .int64(),
+            1);
+  EXPECT_EQ(Eval(Expr::Unary(UnaryOp::kNeg, Expr::Column("i"))).int64(), -6);
+  EXPECT_DOUBLE_EQ(
+      Eval(Expr::Unary(UnaryOp::kNeg, Expr::Column("f"))).float64(), -2.5);
+}
+
+TEST(ExpressionTest, SubstrFunction) {
+  // substr('forest green', 8, 5) -> 'green'; 1-based like the paper's Q9.
+  auto e = Expr::Function(
+      "substr", {Expr::Column("s"), Expr::Literal(Value(int64_t{8})),
+                 Expr::Literal(Value(int64_t{5}))});
+  EXPECT_EQ(Eval(e).str(), "green");
+}
+
+TEST(ExpressionTest, SubstrOutOfRangeIsEmpty) {
+  auto e = Expr::Function(
+      "substr", {Expr::Column("s"), Expr::Literal(Value(int64_t{100})),
+                 Expr::Literal(Value(int64_t{4}))});
+  EXPECT_EQ(Eval(e).str(), "");
+}
+
+TEST(ExpressionTest, LowerUpperAbs) {
+  EXPECT_EQ(Eval(Expr::Function("upper", {Expr::Literal(Value("ab"))})).str(),
+            "AB");
+  EXPECT_EQ(Eval(Expr::Function("lower", {Expr::Literal(Value("AB"))})).str(),
+            "ab");
+  EXPECT_EQ(
+      Eval(Expr::Function("abs", {Expr::Literal(Value(int64_t{-4}))})).int64(),
+      4);
+}
+
+TEST(ExpressionTest, UnknownFunctionIsApplicationError) {
+  auto e = Expr::Function("frobnicate", {});
+  EXPECT_EQ(e->Evaluate(TestSchema(), TestRow()).status().code(),
+            StatusCode::kApplication);
+}
+
+TEST(ExpressionTest, EvaluatePredicateTreatsNullAsFalse) {
+  auto r = EvaluatePredicate(*Expr::Column("n"), TestSchema(), TestRow());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+  auto t = EvaluatePredicate(*Expr::Column("i"), TestSchema(), TestRow());
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(*t);
+}
+
+TEST(ExpressionTest, CollectColumns) {
+  auto e = Expr::Binary(
+      BinaryOp::kAdd, Expr::Column("a"),
+      Expr::Function("abs", {Expr::Binary(BinaryOp::kMul, Expr::Column("b"),
+                                          Expr::Literal(Value(2.0)))}));
+  std::vector<std::string> cols;
+  e->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ExpressionTest, ToStringRendersTree) {
+  auto e = Expr::Binary(BinaryOp::kGe, Expr::Column("x"),
+                        Expr::Literal(Value(int64_t{3})));
+  EXPECT_EQ(e->ToString(), "(x >= 3)");
+  auto f = Expr::Function("substr", {Expr::Column("s"),
+                                     Expr::Literal(Value(int64_t{1})),
+                                     Expr::Literal(Value(int64_t{4}))});
+  EXPECT_EQ(f->ToString(), "substr(s, 1, 4)");
+}
+
+TEST(ExpressionTest, AsColumnName) {
+  auto c = Expr::Column("q");
+  auto l = Expr::Literal(Value(int64_t{1}));
+  ASSERT_NE(AsColumnName(*c), nullptr);
+  EXPECT_EQ(*AsColumnName(*c), "q");
+  EXPECT_EQ(AsColumnName(*l), nullptr);
+}
+
+TEST(ExpressionTest, OutputTypes) {
+  const Schema& s = TestSchema();
+  EXPECT_EQ(*Expr::Column("i")->OutputType(s), DataType::kInt64);
+  EXPECT_EQ(*Expr::Binary(BinaryOp::kDiv, Expr::Column("i"), Expr::Column("i"))
+                 ->OutputType(s),
+            DataType::kFloat64);
+  EXPECT_EQ(*Expr::Binary(BinaryOp::kAdd, Expr::Column("i"), Expr::Column("f"))
+                 ->OutputType(s),
+            DataType::kFloat64);
+  EXPECT_EQ(*Expr::Function("substr", {Expr::Column("s")})->OutputType(s),
+            DataType::kString);
+}
+
+}  // namespace
+}  // namespace swift

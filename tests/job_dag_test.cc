@@ -1,0 +1,192 @@
+#include "dag/job_dag.h"
+
+#include <gtest/gtest.h>
+
+#include "dag/dag_builder.h"
+
+namespace swift {
+namespace {
+
+using OK = OperatorKind;
+
+TEST(OperatorKindTest, GlobalSortSetMatchesPaper) {
+  // Sec. III-A-1 lists exactly these as global SORT operations.
+  EXPECT_TRUE(IsGlobalSortOperator(OK::kStreamedAggregate));
+  EXPECT_TRUE(IsGlobalSortOperator(OK::kMergeJoin));
+  EXPECT_TRUE(IsGlobalSortOperator(OK::kWindow));
+  EXPECT_TRUE(IsGlobalSortOperator(OK::kSortBy));
+  EXPECT_TRUE(IsGlobalSortOperator(OK::kMergeSort));
+  EXPECT_FALSE(IsGlobalSortOperator(OK::kHashJoin));
+  EXPECT_FALSE(IsGlobalSortOperator(OK::kTableScan));
+  EXPECT_FALSE(IsGlobalSortOperator(OK::kShuffleWrite));
+  EXPECT_FALSE(IsGlobalSortOperator(OK::kHashAggregate));
+}
+
+TEST(JobDagTest, BuilderAssignsSequentialIds) {
+  DagBuilder b("j");
+  StageId a = b.AddStage("a", 2, {OK::kTableScan});
+  StageId c = b.AddStage("c", 3, {OK::kAdhocSink});
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(c, 1);
+}
+
+TEST(JobDagTest, RejectsEmptyDag) {
+  auto r = JobDag::Create("empty", {}, {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JobDagTest, RejectsDuplicateStageIds) {
+  StageDef s1;
+  s1.id = 1;
+  s1.name = "a";
+  StageDef s2;
+  s2.id = 1;
+  s2.name = "b";
+  auto r = JobDag::Create("dup", {s1, s2}, {});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(JobDagTest, RejectsNonPositiveTaskCount) {
+  StageDef s;
+  s.id = 0;
+  s.name = "a";
+  s.task_count = 0;
+  EXPECT_FALSE(JobDag::Create("z", {s}, {}).ok());
+}
+
+TEST(JobDagTest, RejectsUnknownEdgeEndpoint) {
+  DagBuilder b("j");
+  b.AddStage("a", 1, {});
+  b.AddEdge(0, 5);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(JobDagTest, RejectsSelfEdge) {
+  DagBuilder b("j");
+  StageId a = b.AddStage("a", 1, {});
+  b.AddEdge(a, a);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(JobDagTest, RejectsDuplicateEdge) {
+  DagBuilder b("j");
+  StageId a = b.AddStage("a", 1, {});
+  StageId c = b.AddStage("c", 1, {});
+  b.AddEdge(a, c);
+  b.AddEdge(a, c);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(JobDagTest, RejectsCycle) {
+  DagBuilder b("cyc");
+  StageId a = b.AddStage("a", 1, {});
+  StageId c = b.AddStage("c", 1, {});
+  StageId d = b.AddStage("d", 1, {});
+  b.AddEdge(a, c).AddEdge(c, d).AddEdge(d, a);
+  auto r = b.Build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("cycle"), std::string::npos);
+}
+
+TEST(JobDagTest, TopologicalOrderRespectsEdges) {
+  DagBuilder b("diamond");
+  StageId a = b.AddStage("a", 1, {});
+  StageId c = b.AddStage("c", 1, {});
+  StageId d = b.AddStage("d", 1, {});
+  StageId e = b.AddStage("e", 1, {});
+  b.AddEdge(a, c).AddEdge(a, d).AddEdge(c, e).AddEdge(d, e);
+  auto dag = b.Build();
+  ASSERT_TRUE(dag.ok());
+  const auto& topo = dag->topological_order();
+  auto pos = [&](StageId s) {
+    return std::find(topo.begin(), topo.end(), s) - topo.begin();
+  };
+  EXPECT_LT(pos(a), pos(c));
+  EXPECT_LT(pos(a), pos(d));
+  EXPECT_LT(pos(c), pos(e));
+  EXPECT_LT(pos(d), pos(e));
+}
+
+TEST(JobDagTest, AdjacencyListsDeduplicatedSorted) {
+  DagBuilder b("fan");
+  StageId a = b.AddStage("a", 1, {});
+  StageId c = b.AddStage("c", 1, {});
+  StageId d = b.AddStage("d", 1, {});
+  b.AddEdge(a, d).AddEdge(c, d);
+  auto dag = b.Build();
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->inputs(d), (std::vector<StageId>{a, c}));
+  EXPECT_EQ(dag->outputs(a), (std::vector<StageId>{d}));
+  EXPECT_TRUE(dag->outputs(d).empty());
+  EXPECT_TRUE(dag->inputs(a).empty());
+}
+
+TEST(JobDagTest, EdgeKindDerivesFromProducerOperators) {
+  DagBuilder b("kinds");
+  StageId sorter = b.AddStage("sorter", 4, {OK::kShuffleRead, OK::kMergeSort,
+                                            OK::kShuffleWrite});
+  StageId scan = b.AddStage("scan", 4, {OK::kTableScan, OK::kShuffleWrite});
+  StageId sink = b.AddStage("sink", 2, {OK::kShuffleRead, OK::kAdhocSink});
+  b.AddEdge(sorter, sink).AddEdge(scan, sink);
+  auto dag = b.Build();
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->EdgeKindOf(sorter, sink), EdgeKind::kBarrier);
+  EXPECT_EQ(dag->EdgeKindOf(scan, sink), EdgeKind::kPipeline);
+}
+
+TEST(JobDagTest, EdgeKindOverrideWins) {
+  DagBuilder b("ovr");
+  StageId a = b.AddStage("a", 1, {OK::kMergeSort});
+  StageId c = b.AddStage("c", 1, {});
+  b.AddEdge(a, c, EdgeKind::kPipeline);
+  auto dag = b.Build();
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->EdgeKindOf(a, c), EdgeKind::kPipeline);
+}
+
+TEST(JobDagTest, ShuffleEdgeSizeIsTaskProduct) {
+  DagBuilder b("size");
+  StageId a = b.AddStage("a", 250, {});
+  StageId c = b.AddStage("c", 500, {});
+  b.AddEdge(a, c);
+  auto dag = b.Build();
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->ShuffleEdgeSize(a, c), 125000);
+  EXPECT_EQ(dag->TotalTasks(), 750);
+}
+
+TEST(JobDagTest, StageLookup) {
+  DagBuilder b("look");
+  StageId a = b.AddStage("alpha", 7, {OK::kTableScan});
+  auto dag = b.Build();
+  ASSERT_TRUE(dag.ok());
+  EXPECT_TRUE(dag->HasStage(a));
+  EXPECT_FALSE(dag->HasStage(99));
+  EXPECT_EQ(dag->stage(a).name, "alpha");
+  EXPECT_EQ(dag->stage(a).task_count, 7);
+}
+
+TEST(JobDagTest, ToStringMentionsStagesAndKinds) {
+  DagBuilder b("pretty");
+  StageId a = b.AddStage("map", 2, {OK::kTableScan, OK::kSortBy});
+  StageId c = b.AddStage("red", 2, {OK::kMergeSort});
+  b.AddEdge(a, c);
+  auto dag = b.Build();
+  ASSERT_TRUE(dag.ok());
+  std::string s = dag->ToString();
+  EXPECT_NE(s.find("map"), std::string::npos);
+  EXPECT_NE(s.find("barrier"), std::string::npos);
+  EXPECT_NE(s.find("SortBy"), std::string::npos);
+}
+
+TEST(JobDagTest, HasGlobalSortOperator) {
+  StageDef s;
+  s.operators = {OK::kShuffleRead, OK::kHashJoin};
+  EXPECT_FALSE(s.HasGlobalSortOperator());
+  s.operators.push_back(OK::kWindow);
+  EXPECT_TRUE(s.HasGlobalSortOperator());
+}
+
+}  // namespace
+}  // namespace swift

@@ -1,0 +1,142 @@
+// Property tests for the simulator cost models (sim/models.h).
+
+#include "sim/models.h"
+
+#include <gtest/gtest.h>
+
+namespace swift {
+namespace {
+
+TEST(NetworkModelProps, ConnLatencyMonotoneInConnections) {
+  NetworkModel net;
+  double prev = 0.0;
+  for (double c = 100; c <= 1e7; c *= 2) {
+    const double lat = net.ConnLatency(c);
+    EXPECT_GE(lat, prev);
+    EXPECT_GE(lat, net.base_conn_latency);
+    EXPECT_LE(lat, net.congested_conn_latency);
+    prev = lat;
+  }
+}
+
+TEST(NetworkModelProps, RetransMonotoneAndBounded) {
+  NetworkModel net;
+  double prev = 0.0;
+  for (double c = 100; c <= 1e7; c *= 2) {
+    const double r = net.RetransRate(ShuffleKind::kDirect, c);
+    EXPECT_GE(r, prev);
+    EXPECT_GE(r, net.base_retrans);
+    EXPECT_LE(r, net.max_retrans);
+    prev = r;
+  }
+}
+
+TEST(NetworkModelProps, TransferTimeScalesWithBytes) {
+  NetworkModel net;
+  for (ShuffleKind k : {ShuffleKind::kDirect, ShuffleKind::kLocal,
+                        ShuffleKind::kRemote}) {
+    const double t1 = net.TransferTime(k, 1e9, 50, 50, 10);
+    const double t2 = net.TransferTime(k, 2e9, 50, 50, 10);
+    EXPECT_NEAR(t2 / t1, 2.0, 1e-9) << ShuffleKindToString(k);
+  }
+}
+
+TEST(NetworkModelProps, MoreMachinesNeverSlower) {
+  NetworkModel net;
+  for (ShuffleKind k : {ShuffleKind::kLocal, ShuffleKind::kDirect}) {
+    const double few = net.TransferTime(k, 10e9, 100, 100, 4);
+    const double many = net.TransferTime(k, 10e9, 100, 100, 40);
+    EXPECT_LE(many, few) << ShuffleKindToString(k);
+  }
+}
+
+TEST(NetworkModelProps, ExtraCopiesOrderLocalRemoteDirect) {
+  // With identical shapes, transfer cost ordering follows copy counts
+  // when connection effects are negligible (small shuffle).
+  NetworkModel net;
+  const double d = net.TransferTime(ShuffleKind::kDirect, 5e9, 10, 10, 4);
+  const double r = net.TransferTime(ShuffleKind::kRemote, 5e9, 10, 10, 4);
+  const double l = net.TransferTime(ShuffleKind::kLocal, 5e9, 10, 10, 4);
+  EXPECT_LT(d, r);
+  EXPECT_LT(r, l);
+}
+
+TEST(DiskModelProps, SeekTermSuperlinear) {
+  DiskModel disk;
+  const double t1m = disk.WriteTime(0, 1000000, 10);
+  const double t4m = disk.WriteTime(0, 4000000, 10);
+  // 4x the partitions must cost more than 4x (superlinear onset at 4M).
+  EXPECT_GT(t4m, 4.0 * t1m);
+}
+
+TEST(DiskModelProps, ReadAndWriteScaleWithBytes) {
+  DiskModel disk;
+  EXPECT_NEAR(disk.WriteTime(2e9, 0, 10) / disk.WriteTime(1e9, 0, 10), 2.0,
+              1e-9);
+  EXPECT_NEAR(disk.ReadTime(2e9, 0, 10) / disk.ReadTime(1e9, 0, 10), 2.0,
+              1e-9);
+}
+
+TEST(DiskModelProps, SinkWriteFasterThanShuffleWrite) {
+  // Sequential output write beats seek-bound shuffle write for the same
+  // volume with many partitions.
+  DiskModel disk;
+  EXPECT_LT(disk.SinkWriteTime(50e9, 100),
+            disk.WriteTime(50e9, 62500, 100));
+}
+
+TEST(TaskModelProps, ProcessTimeAffineInBytes) {
+  TaskModel task;
+  const double t0 = task.ProcessTime(0, 1.0);
+  EXPECT_DOUBLE_EQ(t0, task.task_overhead);
+  const double t1 = task.ProcessTime(task.process_rate, 1.0);
+  EXPECT_NEAR(t1 - t0, 1.0, 1e-9);
+  // cpu_cost_factor scales the work linearly.
+  EXPECT_NEAR(task.ProcessTime(task.process_rate, 2.0) - t0, 2.0, 1e-9);
+}
+
+class ConnectionFormulaSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ConnectionFormulaSweep, PaperOrderingHoldsAtScale) {
+  const auto [m, n, y] = GetParam();
+  // Sec. III-B claims local < remote < direct connection counts once M
+  // and N are much larger than Y.
+  const int64_t direct = DirectShuffleConnections(m, n);
+  const int64_t remote = RemoteShuffleConnections(m, n, y);
+  const int64_t local = LocalShuffleConnections(m, n, y);
+  if (m > 4 * y && n > 4 * y) {
+    EXPECT_LT(local, remote);
+    EXPECT_LT(remote, direct);
+  }
+  EXPECT_GT(direct, 0);
+  EXPECT_GT(remote, 0);
+  EXPECT_GT(local, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConnectionFormulaSweep,
+    ::testing::Values(std::make_tuple(100, 100, 10),
+                      std::make_tuple(250, 250, 10),
+                      std::make_tuple(500, 1000, 20),
+                      std::make_tuple(1500, 1500, 100),
+                      std::make_tuple(956, 220, 50),
+                      std::make_tuple(50, 50, 10)));
+
+class SetupTimeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SetupTimeSweep, SetupGrowsWithFanout) {
+  NetworkModel net;
+  const int n = GetParam();
+  const double t1 =
+      net.ConnectionSetupTime(ShuffleKind::kDirect, 100, n, 20);
+  const double t2 =
+      net.ConnectionSetupTime(ShuffleKind::kDirect, 100, 2 * n, 20);
+  EXPECT_GT(t2, t1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, SetupTimeSweep,
+                         ::testing::Values(10, 100, 500, 1000));
+
+}  // namespace
+}  // namespace swift

@@ -1,0 +1,364 @@
+#include "exec/operators.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace swift {
+namespace {
+
+Schema KV() {
+  return Schema({{"k", DataType::kInt64}, {"v", DataType::kString}});
+}
+
+OperatorPtr SourceOf(Schema schema, std::vector<Row> rows) {
+  Batch b;
+  b.schema = schema;
+  b.rows = std::move(rows);
+  std::vector<Batch> batches;
+  batches.push_back(std::move(b));
+  return MakeBatchSource(std::move(schema), std::move(batches));
+}
+
+Batch Collect(OperatorPtr op) {
+  auto r = CollectAll(op.get());
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *std::move(r) : Batch{};
+}
+
+TEST(OperatorsTest, BatchSourceEmitsAll) {
+  Batch out = Collect(SourceOf(KV(), {{Value(int64_t{1}), Value("a")},
+                                      {Value(int64_t{2}), Value("b")}}));
+  EXPECT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.schema, KV());
+}
+
+TEST(OperatorsTest, FilterKeepsMatchingRows) {
+  auto pred = Expr::Binary(BinaryOp::kGt, Expr::Column("k"),
+                           Expr::Literal(Value(int64_t{1})));
+  Batch out = Collect(MakeFilter(
+      SourceOf(KV(), {{Value(int64_t{1}), Value("a")},
+                      {Value(int64_t{2}), Value("b")},
+                      {Value(int64_t{3}), Value("c")}}),
+      pred));
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.rows[0][1].str(), "b");
+  EXPECT_EQ(out.rows[1][1].str(), "c");
+}
+
+TEST(OperatorsTest, FilterAllRowsOut) {
+  auto pred = Expr::Literal(Value(int64_t{0}));
+  Batch out = Collect(MakeFilter(
+      SourceOf(KV(), {{Value(int64_t{1}), Value("a")}}), pred));
+  EXPECT_EQ(out.num_rows(), 0u);
+}
+
+TEST(OperatorsTest, ProjectComputesAndRenames) {
+  auto doubled = Expr::Binary(BinaryOp::kMul, Expr::Column("k"),
+                              Expr::Literal(Value(int64_t{2})));
+  Batch out = Collect(MakeProject(
+      SourceOf(KV(), {{Value(int64_t{5}), Value("z")}}), {doubled},
+      {"k2"}));
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.schema.field(0).name, "k2");
+  EXPECT_EQ(out.rows[0][0].int64(), 10);
+}
+
+TEST(OperatorsTest, ProjectArityMismatchRejected) {
+  auto op = MakeProject(SourceOf(KV(), {}), {Expr::Column("k")}, {});
+  EXPECT_FALSE(op->Open().ok());
+}
+
+TEST(OperatorsTest, LimitTruncates) {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 10; ++i) rows.push_back({Value(i), Value("x")});
+  Batch out = Collect(MakeLimit(SourceOf(KV(), rows), 3));
+  EXPECT_EQ(out.num_rows(), 3u);
+  Batch all = Collect(MakeLimit(SourceOf(KV(), rows), 100));
+  EXPECT_EQ(all.num_rows(), 10u);
+  Batch none = Collect(MakeLimit(SourceOf(KV(), rows), 0));
+  EXPECT_EQ(none.num_rows(), 0u);
+}
+
+TEST(OperatorsTest, SortAscendingDescending) {
+  std::vector<Row> rows = {{Value(int64_t{3}), Value("c")},
+                           {Value(int64_t{1}), Value("a")},
+                           {Value(int64_t{2}), Value("b")}};
+  Batch asc = Collect(
+      MakeSort(SourceOf(KV(), rows), {SortKey{Expr::Column("k"), true}}));
+  EXPECT_EQ(asc.rows[0][0].int64(), 1);
+  EXPECT_EQ(asc.rows[2][0].int64(), 3);
+  Batch desc = Collect(
+      MakeSort(SourceOf(KV(), rows), {SortKey{Expr::Column("k"), false}}));
+  EXPECT_EQ(desc.rows[0][0].int64(), 3);
+}
+
+TEST(OperatorsTest, SortIsStable) {
+  Schema s({{"k", DataType::kInt64}, {"seq", DataType::kInt64}});
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 6; ++i) rows.push_back({Value(i % 2), Value(i)});
+  Batch out =
+      Collect(MakeSort(SourceOf(s, rows), {SortKey{Expr::Column("k"), true}}));
+  ASSERT_EQ(out.num_rows(), 6u);
+  // Equal keys retain input order.
+  EXPECT_EQ(out.rows[0][1].int64(), 0);
+  EXPECT_EQ(out.rows[1][1].int64(), 2);
+  EXPECT_EQ(out.rows[2][1].int64(), 4);
+}
+
+TEST(OperatorsTest, SortMultiKey) {
+  Schema s({{"a", DataType::kString}, {"b", DataType::kInt64}});
+  std::vector<Row> rows = {{Value("y"), Value(int64_t{1})},
+                           {Value("x"), Value(int64_t{2})},
+                           {Value("x"), Value(int64_t{9})}};
+  Batch out = Collect(MakeSort(SourceOf(s, rows),
+                               {SortKey{Expr::Column("a"), true},
+                                SortKey{Expr::Column("b"), false}}));
+  EXPECT_EQ(out.rows[0][0].str(), "x");
+  EXPECT_EQ(out.rows[0][1].int64(), 9);
+  EXPECT_EQ(out.rows[2][0].str(), "y");
+}
+
+OperatorPtr LeftTable() {
+  Schema s({{"lk", DataType::kInt64}, {"lv", DataType::kString}});
+  return SourceOf(s, {{Value(int64_t{1}), Value("a")},
+                      {Value(int64_t{2}), Value("b")},
+                      {Value(int64_t{2}), Value("b2")},
+                      {Value(int64_t{4}), Value("d")},
+                      {Value::Null(), Value("n")}});
+}
+
+OperatorPtr RightTable() {
+  Schema s({{"rk", DataType::kInt64}, {"rv", DataType::kString}});
+  return SourceOf(s, {{Value(int64_t{2}), Value("B")},
+                      {Value(int64_t{2}), Value("B2")},
+                      {Value(int64_t{3}), Value("C")},
+                      {Value::Null(), Value("N")}});
+}
+
+TEST(OperatorsTest, HashJoinInnerSemantics) {
+  Batch out = Collect(MakeHashJoin(LeftTable(), RightTable(),
+                                   {Expr::Column("lk")}, {Expr::Column("rk")}));
+  // key 2: 2 left x 2 right = 4 matches; NULL keys never join.
+  EXPECT_EQ(out.num_rows(), 4u);
+  EXPECT_EQ(out.schema.num_fields(), 4u);
+  for (const Row& r : out.rows) {
+    EXPECT_EQ(r[0].int64(), 2);
+    EXPECT_EQ(r[2].int64(), 2);
+  }
+}
+
+TEST(OperatorsTest, MergeJoinMatchesHashJoin) {
+  auto sorted_left = MakeSort(LeftTable(), {SortKey{Expr::Column("lk"), true}});
+  auto sorted_right =
+      MakeSort(RightTable(), {SortKey{Expr::Column("rk"), true}});
+  Batch out =
+      Collect(MakeMergeJoin(std::move(sorted_left), std::move(sorted_right),
+                            {Expr::Column("lk")}, {Expr::Column("rk")}));
+  EXPECT_EQ(out.num_rows(), 4u);
+  for (const Row& r : out.rows) EXPECT_EQ(r[0].int64(), r[2].int64());
+}
+
+TEST(OperatorsTest, MergeJoinRejectsUnsortedInput) {
+  auto op = MakeMergeJoin(LeftTable(), RightTable(), {Expr::Column("lk")},
+                          {Expr::Column("rk")});
+  // LeftTable has NULL last, which sorts first -> not sorted.
+  EXPECT_FALSE(op->Open().ok());
+}
+
+TEST(OperatorsTest, JoinKeyArityMismatchRejected) {
+  auto op = MakeHashJoin(LeftTable(), RightTable(),
+                         {Expr::Column("lk"), Expr::Column("lv")},
+                         {Expr::Column("rk")});
+  EXPECT_FALSE(op->Open().ok());
+}
+
+Schema SalesSchema() {
+  return Schema({{"region", DataType::kString},
+                 {"amount", DataType::kFloat64},
+                 {"units", DataType::kInt64}});
+}
+
+std::vector<Row> SalesRows() {
+  return {{Value("east"), Value(10.0), Value(int64_t{1})},
+          {Value("west"), Value(20.0), Value(int64_t{2})},
+          {Value("east"), Value(30.0), Value(int64_t{3})},
+          {Value("west"), Value::Null(), Value(int64_t{4})}};
+}
+
+std::vector<AggSpec> SalesAggs() {
+  return {AggSpec{AggKind::kSum, Expr::Column("amount"), "total"},
+          AggSpec{AggKind::kCount, nullptr, "n"},
+          AggSpec{AggKind::kMin, Expr::Column("amount"), "lo"},
+          AggSpec{AggKind::kMax, Expr::Column("amount"), "hi"},
+          AggSpec{AggKind::kAvg, Expr::Column("amount"), "mean"}};
+}
+
+TEST(OperatorsTest, HashAggregateGroups) {
+  Batch out = Collect(MakeHashAggregate(SourceOf(SalesSchema(), SalesRows()),
+                                        {Expr::Column("region")}, {"region"},
+                                        SalesAggs()));
+  ASSERT_EQ(out.num_rows(), 2u);
+  // First-seen order: east then west.
+  EXPECT_EQ(out.rows[0][0].str(), "east");
+  EXPECT_DOUBLE_EQ(out.rows[0][1].AsDouble(), 40.0);
+  EXPECT_EQ(out.rows[0][2].int64(), 2);  // COUNT(*)
+  EXPECT_DOUBLE_EQ(out.rows[0][3].AsDouble(), 10.0);
+  EXPECT_DOUBLE_EQ(out.rows[0][4].AsDouble(), 30.0);
+  EXPECT_DOUBLE_EQ(out.rows[0][5].float64(), 20.0);
+  // west: SUM skips the NULL; COUNT(*) still 2; AVG over one value.
+  EXPECT_DOUBLE_EQ(out.rows[1][1].AsDouble(), 20.0);
+  EXPECT_EQ(out.rows[1][2].int64(), 2);
+  EXPECT_DOUBLE_EQ(out.rows[1][5].float64(), 20.0);
+}
+
+TEST(OperatorsTest, GlobalAggregateOnEmptyInput) {
+  Batch out = Collect(MakeHashAggregate(
+      SourceOf(SalesSchema(), {}), {}, {},
+      {AggSpec{AggKind::kCount, nullptr, "n"},
+       AggSpec{AggKind::kSum, Expr::Column("amount"), "total"}}));
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.rows[0][0].int64(), 0);
+  EXPECT_TRUE(out.rows[0][1].is_null());
+}
+
+TEST(OperatorsTest, CountColumnSkipsNulls) {
+  Batch out = Collect(MakeHashAggregate(
+      SourceOf(SalesSchema(), SalesRows()), {}, {},
+      {AggSpec{AggKind::kCount, Expr::Column("amount"), "n_amount"},
+       AggSpec{AggKind::kCount, nullptr, "n_star"}}));
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.rows[0][0].int64(), 3);
+  EXPECT_EQ(out.rows[0][1].int64(), 4);
+}
+
+TEST(OperatorsTest, SumOfIntsStaysInt) {
+  Schema s({{"x", DataType::kInt64}});
+  Batch out = Collect(MakeHashAggregate(
+      SourceOf(s, {{Value(int64_t{2})}, {Value(int64_t{3})}}), {}, {},
+      {AggSpec{AggKind::kSum, Expr::Column("x"), "sx"}}));
+  ASSERT_EQ(out.num_rows(), 1u);
+  ASSERT_TRUE(out.rows[0][0].is_int64());
+  EXPECT_EQ(out.rows[0][0].int64(), 5);
+}
+
+TEST(OperatorsTest, StreamedAggregateMatchesHashOnSortedInput) {
+  auto sorted = MakeSort(SourceOf(SalesSchema(), SalesRows()),
+                         {SortKey{Expr::Column("region"), true}});
+  Batch streamed = Collect(MakeStreamedAggregate(
+      std::move(sorted), {Expr::Column("region")}, {"region"}, SalesAggs()));
+  ASSERT_EQ(streamed.num_rows(), 2u);
+  EXPECT_EQ(streamed.rows[0][0].str(), "east");
+  EXPECT_DOUBLE_EQ(streamed.rows[0][1].AsDouble(), 40.0);
+  EXPECT_EQ(streamed.rows[1][0].str(), "west");
+  EXPECT_DOUBLE_EQ(streamed.rows[1][1].AsDouble(), 20.0);
+}
+
+TEST(OperatorsTest, StreamedAggregateRejectsUnsortedInput) {
+  std::vector<Row> rows = {{Value("b"), Value(1.0), Value(int64_t{1})},
+                           {Value("a"), Value(1.0), Value(int64_t{1})}};
+  auto op = MakeStreamedAggregate(SourceOf(SalesSchema(), rows),
+                                  {Expr::Column("region")}, {"region"},
+                                  {AggSpec{AggKind::kCount, nullptr, "n"}});
+  EXPECT_FALSE(op->Open().ok());
+}
+
+TEST(OperatorsTest, WindowRowNumberAndRank) {
+  Schema s({{"g", DataType::kString}, {"x", DataType::kInt64}});
+  std::vector<Row> rows = {{Value("a"), Value(int64_t{10})},
+                           {Value("a"), Value(int64_t{10})},
+                           {Value("a"), Value(int64_t{20})},
+                           {Value("b"), Value(int64_t{5})}};
+  Batch rn = Collect(MakeWindow(SourceOf(s, rows), {Expr::Column("g")},
+                                {SortKey{Expr::Column("x"), true}},
+                                WindowFunc::kRowNumber, nullptr, "rn"));
+  ASSERT_EQ(rn.num_rows(), 4u);
+  EXPECT_EQ(rn.rows[0][2].int64(), 1);
+  EXPECT_EQ(rn.rows[1][2].int64(), 2);
+  EXPECT_EQ(rn.rows[2][2].int64(), 3);
+  EXPECT_EQ(rn.rows[3][2].int64(), 1);  // new partition
+
+  Batch rk = Collect(MakeWindow(SourceOf(s, rows), {Expr::Column("g")},
+                                {SortKey{Expr::Column("x"), true}},
+                                WindowFunc::kRank, nullptr, "rk"));
+  EXPECT_EQ(rk.rows[0][2].int64(), 1);
+  EXPECT_EQ(rk.rows[1][2].int64(), 1);  // tie keeps rank
+  EXPECT_EQ(rk.rows[2][2].int64(), 3);
+}
+
+TEST(OperatorsTest, WindowRunningSum) {
+  Schema s({{"g", DataType::kString}, {"x", DataType::kInt64}});
+  std::vector<Row> rows = {{Value("a"), Value(int64_t{1})},
+                           {Value("a"), Value(int64_t{2})},
+                           {Value("a"), Value(int64_t{3})}};
+  Batch out = Collect(MakeWindow(SourceOf(s, rows), {Expr::Column("g")},
+                                 {SortKey{Expr::Column("x"), true}},
+                                 WindowFunc::kSum, Expr::Column("x"), "cum"));
+  EXPECT_DOUBLE_EQ(out.rows[0][2].float64(), 1.0);
+  EXPECT_DOUBLE_EQ(out.rows[1][2].float64(), 3.0);
+  EXPECT_DOUBLE_EQ(out.rows[2][2].float64(), 6.0);
+}
+
+TEST(OperatorsTest, HashPartitionIsDeterministicAndComplete) {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 100; ++i) rows.push_back({Value(i), Value("v")});
+  Batch b;
+  b.schema = KV();
+  b.rows = rows;
+  auto parts = HashPartition(b, {Expr::Column("k")}, 7);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 7u);
+  std::size_t total = 0;
+  for (const Batch& p : *parts) total += p.num_rows();
+  EXPECT_EQ(total, 100u);
+  // Same key -> same partition on a second run.
+  auto parts2 = HashPartition(b, {Expr::Column("k")}, 7);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ((*parts)[i].num_rows(), (*parts2)[i].num_rows());
+  }
+}
+
+TEST(OperatorsTest, HashPartitionNullKeyGoesToZero) {
+  Batch b;
+  b.schema = KV();
+  b.rows = {{Value::Null(), Value("n")}};
+  auto parts = HashPartition(b, {Expr::Column("k")}, 4);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ((*parts)[0].num_rows(), 1u);
+}
+
+TEST(OperatorsTest, HashPartitionRejectsBadCount) {
+  Batch b;
+  b.schema = KV();
+  EXPECT_FALSE(HashPartition(b, {Expr::Column("k")}, 0).ok());
+}
+
+TEST(OperatorsTest, IsSortedDetects) {
+  Schema s({{"x", DataType::kInt64}});
+  std::vector<Row> sorted = {{Value(int64_t{1})}, {Value(int64_t{2})}};
+  std::vector<Row> unsorted = {{Value(int64_t{2})}, {Value(int64_t{1})}};
+  EXPECT_TRUE(*IsSorted(s, sorted, {SortKey{Expr::Column("x"), true}}));
+  EXPECT_FALSE(*IsSorted(s, unsorted, {SortKey{Expr::Column("x"), true}}));
+  EXPECT_TRUE(*IsSorted(s, unsorted, {SortKey{Expr::Column("x"), false}}));
+}
+
+TEST(OperatorsTest, PipelinedChainFilterProjectSortLimit) {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 2000; ++i) {  // spans multiple internal batches
+    rows.push_back({Value(i), Value("v" + std::to_string(i))});
+  }
+  auto pred = Expr::Binary(BinaryOp::kGe, Expr::Column("k"),
+                           Expr::Literal(Value(int64_t{1000})));
+  auto chain = MakeLimit(
+      MakeSort(MakeProject(MakeFilter(SourceOf(KV(), rows), pred),
+                           {Expr::Column("k")}, {"k"}),
+               {SortKey{Expr::Column("k"), false}}),
+      5);
+  Batch out = Collect(std::move(chain));
+  ASSERT_EQ(out.num_rows(), 5u);
+  EXPECT_EQ(out.rows[0][0].int64(), 1999);
+  EXPECT_EQ(out.rows[4][0].int64(), 1995);
+}
+
+}  // namespace
+}  // namespace swift

@@ -1,0 +1,157 @@
+// Property tests: the graphlet partitioners must uphold their
+// invariants on randomly generated layered DAGs (parameterized seed
+// sweep).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "dag/dag_builder.h"
+#include "partition/partitioners.h"
+
+namespace swift {
+namespace {
+
+using OK = OperatorKind;
+
+// Random layered DAG: `layers` layers of 1..4 stages; every stage has
+// at least one incoming edge from an earlier layer (except sources).
+JobDag RandomDag(uint64_t seed) {
+  Rng rng(seed);
+  DagBuilder b("random-" + std::to_string(seed));
+  const int layers = static_cast<int>(rng.UniformInt(1, 6));
+  std::vector<std::vector<StageId>> layer_ids;
+  for (int l = 0; l < layers; ++l) {
+    const int width = static_cast<int>(rng.UniformInt(1, 4));
+    std::vector<StageId> ids;
+    for (int w = 0; w < width; ++w) {
+      StageDef def;
+      def.name = "s" + std::to_string(l) + "_" + std::to_string(w);
+      def.task_count = static_cast<int>(rng.UniformInt(1, 50));
+      const bool barrier = rng.Bernoulli(0.4);
+      def.operators = {l == 0 ? OK::kTableScan : OK::kShuffleRead,
+                       barrier ? OK::kMergeSort : OK::kStreamLine,
+                       OK::kShuffleWrite};
+      def.output_bytes_per_task = rng.Uniform(1e5, 1e8);
+      def.idempotent = rng.Bernoulli(0.8);
+      ids.push_back(b.AddStage(std::move(def)));
+    }
+    if (l > 0) {
+      for (StageId id : ids) {
+        // 1-2 parents from any earlier layer.
+        const int parents = static_cast<int>(rng.UniformInt(1, 2));
+        std::set<StageId> chosen;
+        for (int p = 0; p < parents; ++p) {
+          const auto& src_layer = layer_ids[static_cast<std::size_t>(
+              rng.UniformInt(0, l - 1))];
+          StageId src = src_layer[static_cast<std::size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(src_layer.size()) - 1))];
+          if (chosen.insert(src).second) b.AddEdge(src, id);
+        }
+      }
+    }
+    layer_ids.push_back(std::move(ids));
+  }
+  auto dag = b.Build();
+  EXPECT_TRUE(dag.ok()) << dag.status().ToString();
+  return std::move(dag).ValueOrDie();
+}
+
+class PartitionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PartitionPropertyTest, CoverageExactlyOnce) {
+  JobDag dag = RandomDag(GetParam());
+  for (const Partitioner* p :
+       std::initializer_list<const Partitioner*>{
+           new ShuffleModeAwarePartitioner(), new WholeJobPartitioner(),
+           new PerStagePartitioner(), new DataSizePartitioner(5e8)}) {
+    auto plan = p->Partition(dag);
+    ASSERT_TRUE(plan.ok()) << p->name() << ": " << plan.status().ToString();
+    std::set<StageId> seen;
+    for (const Graphlet& g : plan->graphlets) {
+      for (StageId s : g.stages) {
+        EXPECT_TRUE(seen.insert(s).second)
+            << p->name() << " duplicated stage " << s;
+      }
+    }
+    EXPECT_EQ(seen.size(), dag.stages().size()) << p->name();
+    delete p;
+  }
+}
+
+TEST_P(PartitionPropertyTest, SwiftPlanHasNoCrossingPipelineEdges) {
+  JobDag dag = RandomDag(GetParam());
+  auto plan = ShuffleModeAwarePartitioner().Partition(dag);
+  ASSERT_TRUE(plan.ok());
+  // Unless cycle condensation merged everything, a pipeline edge never
+  // crosses a graphlet boundary.
+  for (const EdgeDef& e : dag.edges()) {
+    if (dag.EdgeKindOf(e.src, e.dst) == EdgeKind::kPipeline) {
+      EXPECT_EQ(plan->GraphletOf(e.src), plan->GraphletOf(e.dst))
+          << "pipeline edge " << e.src << "->" << e.dst << " crosses";
+    }
+  }
+}
+
+TEST_P(PartitionPropertyTest, SubmissionOrderRespectsDeps) {
+  JobDag dag = RandomDag(GetParam());
+  for (const Partitioner* p :
+       std::initializer_list<const Partitioner*>{
+           new ShuffleModeAwarePartitioner(), new DataSizePartitioner(1e8)}) {
+    auto plan = p->Partition(dag);
+    ASSERT_TRUE(plan.ok());
+    auto order = plan->SubmissionOrder();
+    ASSERT_EQ(order.size(), plan->graphlets.size()) << p->name();
+    std::set<GraphletId> done;
+    for (GraphletId g : order) {
+      for (GraphletId dep : plan->deps[static_cast<std::size_t>(g)]) {
+        EXPECT_TRUE(done.count(dep) > 0)
+            << p->name() << ": graphlet " << g << " before dep " << dep;
+      }
+      done.insert(g);
+    }
+    delete p;
+  }
+}
+
+TEST_P(PartitionPropertyTest, DepsOnlyFromDagEdges) {
+  JobDag dag = RandomDag(GetParam());
+  auto plan = ShuffleModeAwarePartitioner().Partition(dag);
+  ASSERT_TRUE(plan.ok());
+  // Every declared dependency corresponds to at least one DAG edge
+  // between the two graphlets.
+  for (std::size_t g = 0; g < plan->deps.size(); ++g) {
+    for (GraphletId dep : plan->deps[g]) {
+      bool found = false;
+      for (const EdgeDef& e : dag.edges()) {
+        if (plan->GraphletOf(e.src) == dep &&
+            plan->GraphletOf(e.dst) == static_cast<GraphletId>(g)) {
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found) << "phantom dep " << dep << " -> " << g;
+    }
+  }
+}
+
+TEST_P(PartitionPropertyTest, TriggerStageHasCrossingOutEdge) {
+  JobDag dag = RandomDag(GetParam());
+  auto plan = ShuffleModeAwarePartitioner().Partition(dag);
+  ASSERT_TRUE(plan.ok());
+  for (const Graphlet& g : plan->graphlets) {
+    if (g.trigger_stage < 0) continue;
+    bool crossing = false;
+    for (StageId out : dag.outputs(g.trigger_stage)) {
+      if (plan->GraphletOf(out) != g.id) crossing = true;
+    }
+    EXPECT_TRUE(crossing) << "trigger " << g.trigger_stage
+                          << " has no crossing out-edge";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionPropertyTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace swift

@@ -1,0 +1,276 @@
+#include "partition/partitioners.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dag/dag_builder.h"
+
+namespace swift {
+namespace {
+
+using OK = OperatorKind;
+
+// Builds the TPC-H Q9 DAG of Fig. 4(a): 12 stages whose barrier edges are
+// J4->J6, J6->J10, J10->R11, yielding graphlets {M1,M2,M3,J4}, {M5,J6},
+// {M7,M8,R9,J10}, {R11,R12}.
+struct Q9 {
+  StageId m1, m2, m3, j4, m5, j6, m7, m8, r9, j10, r11, r12;
+  JobDag dag;
+};
+
+Q9 BuildQ9() {
+  DagBuilder b("tpch-q9");
+  Q9 q{.m1 = b.AddStage("M1", 956, {OK::kTableScan, OK::kShuffleWrite}),
+       .m2 = b.AddStage("M2", 220, {OK::kTableScan, OK::kShuffleWrite}),
+       .m3 = b.AddStage("M3", 3, {OK::kTableScan, OK::kShuffleWrite}),
+       .j4 = b.AddStage("J4", 220,
+                        {OK::kShuffleRead, OK::kMergeJoin, OK::kMergeSort,
+                         OK::kShuffleWrite}),
+       .m5 = b.AddStage("M5", 403, {OK::kTableScan, OK::kShuffleWrite}),
+       .j6 = b.AddStage("J6", 403,
+                        {OK::kShuffleRead, OK::kMergeJoin, OK::kMergeSort,
+                         OK::kShuffleWrite}),
+       .m7 = b.AddStage("M7", 220, {OK::kTableScan, OK::kShuffleWrite}),
+       .m8 = b.AddStage("M8", 20, {OK::kTableScan, OK::kShuffleWrite}),
+       .r9 = b.AddStage("R9", 20,
+                        {OK::kShuffleRead, OK::kHashJoin, OK::kShuffleWrite}),
+       .j10 = b.AddStage("J10", 100,
+                         {OK::kShuffleRead, OK::kMergeJoin, OK::kMergeSort,
+                          OK::kShuffleWrite}),
+       .r11 = b.AddStage("R11", 4,
+                         {OK::kShuffleRead, OK::kStreamLine,
+                          OK::kShuffleWrite}),
+       .r12 = b.AddStage("R12", 1, {OK::kShuffleRead, OK::kAdhocSink}),
+       .dag = JobDag()};  // placeholder, replaced below
+  b.AddEdge(q.m1, q.j4)
+      .AddEdge(q.m2, q.j4)
+      .AddEdge(q.m3, q.j4)
+      .AddEdge(q.j4, q.j6)
+      .AddEdge(q.m5, q.j6)
+      .AddEdge(q.j6, q.j10)
+      .AddEdge(q.m7, q.r9)
+      .AddEdge(q.m8, q.r9)
+      .AddEdge(q.r9, q.j10)
+      .AddEdge(q.j10, q.r11)
+      .AddEdge(q.r11, q.r12);
+  auto dag = b.Build();
+  EXPECT_TRUE(dag.ok()) << dag.status().ToString();
+  q.dag = std::move(dag).ValueOrDie();
+  return q;
+}
+
+std::set<StageId> StagesOf(const GraphletPlan& plan, GraphletId g) {
+  const auto& v = plan.graphlets[static_cast<std::size_t>(g)].stages;
+  return {v.begin(), v.end()};
+}
+
+TEST(PartitionTest, Q9YieldsFourGraphletsMatchingFig4) {
+  Q9 q = BuildQ9();
+  ShuffleModeAwarePartitioner p;
+  auto plan = p.Partition(q.dag);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->graphlets.size(), 4u);
+
+  GraphletId g1 = plan->GraphletOf(q.j4);
+  GraphletId g2 = plan->GraphletOf(q.j6);
+  GraphletId g3 = plan->GraphletOf(q.j10);
+  GraphletId g4 = plan->GraphletOf(q.r11);
+
+  EXPECT_EQ(StagesOf(*plan, g1), (std::set<StageId>{q.m1, q.m2, q.m3, q.j4}));
+  EXPECT_EQ(StagesOf(*plan, g2), (std::set<StageId>{q.m5, q.j6}));
+  EXPECT_EQ(StagesOf(*plan, g3),
+            (std::set<StageId>{q.m7, q.m8, q.r9, q.j10}));
+  EXPECT_EQ(StagesOf(*plan, g4), (std::set<StageId>{q.r11, q.r12}));
+}
+
+TEST(PartitionTest, Q9TriggerStagesMatchFig4) {
+  Q9 q = BuildQ9();
+  auto plan = ShuffleModeAwarePartitioner().Partition(q.dag);
+  ASSERT_TRUE(plan.ok());
+  auto trigger = [&](StageId member) {
+    return plan->graphlets[static_cast<std::size_t>(plan->GraphletOf(member))]
+        .trigger_stage;
+  };
+  EXPECT_EQ(trigger(q.m1), q.j4);
+  EXPECT_EQ(trigger(q.m5), q.j6);
+  EXPECT_EQ(trigger(q.m7), q.j10);
+  EXPECT_EQ(trigger(q.r12), -1);  // terminal graphlet
+}
+
+TEST(PartitionTest, Q9DependenciesAreChain) {
+  Q9 q = BuildQ9();
+  auto plan = ShuffleModeAwarePartitioner().Partition(q.dag);
+  ASSERT_TRUE(plan.ok());
+  GraphletId g1 = plan->GraphletOf(q.j4);
+  GraphletId g2 = plan->GraphletOf(q.j6);
+  GraphletId g3 = plan->GraphletOf(q.j10);
+  GraphletId g4 = plan->GraphletOf(q.r11);
+  EXPECT_TRUE(plan->deps[static_cast<std::size_t>(g1)].empty());
+  EXPECT_EQ(plan->deps[static_cast<std::size_t>(g2)],
+            (std::vector<GraphletId>{g1}));
+  EXPECT_EQ(plan->deps[static_cast<std::size_t>(g3)],
+            (std::vector<GraphletId>{g2}));
+  EXPECT_EQ(plan->deps[static_cast<std::size_t>(g4)],
+            (std::vector<GraphletId>{g3}));
+}
+
+TEST(PartitionTest, Q9SubmissionOrderRespectsDependencies) {
+  Q9 q = BuildQ9();
+  auto plan = ShuffleModeAwarePartitioner().Partition(q.dag);
+  ASSERT_TRUE(plan.ok());
+  auto order = plan->SubmissionOrder();
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](GraphletId g) {
+    return std::find(order.begin(), order.end(), g) - order.begin();
+  };
+  EXPECT_LT(pos(plan->GraphletOf(q.j4)), pos(plan->GraphletOf(q.j6)));
+  EXPECT_LT(pos(plan->GraphletOf(q.j6)), pos(plan->GraphletOf(q.j10)));
+  EXPECT_LT(pos(plan->GraphletOf(q.j10)), pos(plan->GraphletOf(q.r11)));
+}
+
+TEST(PartitionTest, SingleStageJobIsOneGraphlet) {
+  DagBuilder b("tiny");
+  b.AddStage("only", 3, {OK::kTableScan, OK::kAdhocSink});
+  auto dag = b.Build();
+  ASSERT_TRUE(dag.ok());
+  auto plan = ShuffleModeAwarePartitioner().Partition(*dag);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->graphlets.size(), 1u);
+  EXPECT_EQ(plan->graphlets[0].trigger_stage, -1);
+}
+
+TEST(PartitionTest, AllPipelineDagIsOneGraphlet) {
+  DagBuilder b("pipe");
+  StageId a = b.AddStage("a", 2, {OK::kTableScan});
+  StageId c = b.AddStage("c", 2, {OK::kHashJoin});
+  StageId d = b.AddStage("d", 2, {OK::kAdhocSink});
+  b.AddEdge(a, c).AddEdge(c, d);
+  auto dag = b.Build();
+  ASSERT_TRUE(dag.ok());
+  auto plan = ShuffleModeAwarePartitioner().Partition(*dag);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->graphlets.size(), 1u);
+}
+
+TEST(PartitionTest, AllBarrierDagIsPerStage) {
+  DagBuilder b("bar");
+  StageId a = b.AddStage("a", 2, {OK::kSortBy});
+  StageId c = b.AddStage("c", 2, {OK::kMergeSort});
+  StageId d = b.AddStage("d", 2, {OK::kAdhocSink});
+  b.AddEdge(a, c).AddEdge(c, d);
+  auto dag = b.Build();
+  ASSERT_TRUE(dag.ok());
+  auto plan = ShuffleModeAwarePartitioner().Partition(*dag);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->graphlets.size(), 3u);
+}
+
+TEST(PartitionTest, ScanPullsInUpstreamPipelinePredecessors) {
+  // d is reached first in topo order only via its pipeline predecessor;
+  // Algorithm 2 must scan *inputs* as well as outputs.
+  DagBuilder b("updown");
+  StageId sorter = b.AddStage("sorter", 2, {OK::kMergeSort});
+  StageId scan = b.AddStage("scan", 2, {OK::kTableScan});
+  StageId join = b.AddStage("join", 2, {OK::kShuffleRead, OK::kHashJoin});
+  b.AddEdge(sorter, join).AddEdge(scan, join);
+  auto dag = b.Build();
+  ASSERT_TRUE(dag.ok());
+  auto plan = ShuffleModeAwarePartitioner().Partition(*dag);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->graphlets.size(), 2u);
+  EXPECT_EQ(plan->GraphletOf(scan), plan->GraphletOf(join));
+  EXPECT_NE(plan->GraphletOf(sorter), plan->GraphletOf(join));
+}
+
+TEST(PartitionTest, WholeJobPartitionerMakesOneUnit) {
+  Q9 q = BuildQ9();
+  auto plan = WholeJobPartitioner().Partition(q.dag);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->graphlets.size(), 1u);
+  EXPECT_EQ(plan->graphlets[0].stages.size(), 12u);
+  EXPECT_TRUE(plan->deps[0].empty());
+}
+
+TEST(PartitionTest, PerStagePartitionerMakesOneUnitPerStage) {
+  Q9 q = BuildQ9();
+  auto plan = PerStagePartitioner().Partition(q.dag);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->graphlets.size(), 12u);
+  // Every graphlet with inputs depends on each input's graphlet.
+  GraphletId gj4 = plan->GraphletOf(q.j4);
+  EXPECT_EQ(plan->deps[static_cast<std::size_t>(gj4)].size(), 3u);
+}
+
+TEST(PartitionTest, DataSizePartitionerCutsOnVolume) {
+  DagBuilder b("vol");
+  StageDef s;
+  s.name = "a";
+  s.task_count = 2;
+  s.output_bytes_per_task = 100.0;
+  StageId a = b.AddStage(s);
+  s.name = "c";
+  StageId c = b.AddStage(s);
+  s.name = "d";
+  StageId d = b.AddStage(s);
+  b.AddEdge(a, c).AddEdge(c, d);
+  auto dag = b.Build();
+  ASSERT_TRUE(dag.ok());
+  // Each stage emits 200 bytes; a 450-byte bubble holds two stages.
+  auto plan = DataSizePartitioner(450.0).Partition(*dag);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->graphlets.size(), 2u);
+  // A budget below a single stage's output degenerates to per-stage.
+  auto tiny = DataSizePartitioner(100.0).Partition(*dag);
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_EQ(tiny->graphlets.size(), 3u);
+  // A large budget keeps the whole job together.
+  auto big = DataSizePartitioner(1e9).Partition(*dag);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->graphlets.size(), 1u);
+}
+
+TEST(PartitionTest, EveryStageCoveredExactlyOnce) {
+  Q9 q = BuildQ9();
+  for (const Partitioner* p :
+       std::initializer_list<const Partitioner*>{
+           new ShuffleModeAwarePartitioner(), new WholeJobPartitioner(),
+           new PerStagePartitioner(), new DataSizePartitioner(1e6)}) {
+    auto plan = p->Partition(q.dag);
+    ASSERT_TRUE(plan.ok()) << p->name();
+    std::set<StageId> seen;
+    for (const auto& g : plan->graphlets) {
+      for (StageId s : g.stages) EXPECT_TRUE(seen.insert(s).second);
+    }
+    EXPECT_EQ(seen.size(), q.dag.stages().size()) << p->name();
+    delete p;
+  }
+}
+
+TEST(PartitionTest, GraphletTotalTasks) {
+  Q9 q = BuildQ9();
+  auto plan = ShuffleModeAwarePartitioner().Partition(q.dag);
+  ASSERT_TRUE(plan.ok());
+  GraphletId g1 = plan->GraphletOf(q.j4);
+  EXPECT_EQ(plan->graphlets[static_cast<std::size_t>(g1)].TotalTasks(q.dag),
+            956 + 220 + 3 + 220);
+}
+
+TEST(PartitionTest, CyclicContractionIsCondensed) {
+  // C -> {A,B} pipeline, A -> X barrier, X -> B barrier: contracting
+  // {A,B,C} vs {X} would be cyclic; the partitioner must merge.
+  DagBuilder b("adversarial");
+  StageId cc = b.AddStage("c", 1, {OK::kTableScan});
+  StageId a = b.AddStage("a", 1, {OK::kMergeSort});
+  StageId x = b.AddStage("x", 1, {OK::kMergeSort});
+  StageId bb = b.AddStage("b", 1, {OK::kAdhocSink});
+  b.AddEdge(cc, a).AddEdge(cc, bb).AddEdge(a, x).AddEdge(x, bb);
+  auto dag = b.Build();
+  ASSERT_TRUE(dag.ok());
+  auto plan = ShuffleModeAwarePartitioner().Partition(*dag);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->SubmissionOrder().size(), plan->graphlets.size());
+}
+
+}  // namespace
+}  // namespace swift

@@ -1,0 +1,88 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.h"
+
+namespace swift {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(rng.UniformInt(4, 4), 4);
+  EXPECT_EQ(rng.UniformInt(9, 2), 9);  // degenerate -> lo
+}
+
+TEST(RngTest, NormalMomentsApproximate) {
+  Rng rng(42);
+  std::vector<double> xs;
+  xs.reserve(50000);
+  for (int i = 0; i < 50000; ++i) xs.push_back(rng.Normal());
+  double mean = Mean(xs);
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanApproximate) {
+  Rng rng(43);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(rng.Exponential(3.0));
+  EXPECT_NEAR(Mean(xs), 3.0, 0.1);
+  for (double x : xs) EXPECT_GE(x, 0.0);
+}
+
+TEST(RngTest, ParetoLowerBound) {
+  Rng rng(44);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.Pareto(2.0, 1.5), 2.0);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(45);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 50000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ReseedingResetsStream) {
+  Rng rng(5);
+  uint64_t first = rng.Next();
+  rng.Next();
+  rng.Seed(5);
+  EXPECT_EQ(rng.Next(), first);
+}
+
+}  // namespace
+}  // namespace swift

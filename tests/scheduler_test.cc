@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "dag/dag_builder.h"
+#include "partition/partitioners.h"
+#include "scheduler/event_processor.h"
+#include "scheduler/graphlet_tracker.h"
+#include "scheduler/resource_pool.h"
+#include "scheduler/task_tracker.h"
+
+namespace swift {
+namespace {
+
+using OK = OperatorKind;
+
+TEST(ResourcePoolTest, CountsAndBasicAllocation) {
+  ResourcePool pool(4, 8);
+  EXPECT_EQ(pool.total_executors(), 32);
+  EXPECT_EQ(pool.free_executors(), 32);
+  auto gang = pool.AllocateGang(std::vector<LocalityPref>(10));
+  ASSERT_TRUE(gang.ok());
+  EXPECT_EQ(gang->size(), 10u);
+  EXPECT_EQ(pool.free_executors(), 22);
+  pool.ReleaseAll(*gang);
+  EXPECT_EQ(pool.free_executors(), 32);
+}
+
+TEST(ResourcePoolTest, GangIsAllOrNothing) {
+  ResourcePool pool(2, 2);
+  auto too_big = pool.AllocateGang(std::vector<LocalityPref>(5));
+  EXPECT_EQ(too_big.status().code(), StatusCode::kResourceExhausted);
+  // Nothing leaked by the failed attempt.
+  EXPECT_EQ(pool.free_executors(), 4);
+  auto exact = pool.AllocateGang(std::vector<LocalityPref>(4));
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(pool.free_executors(), 0);
+}
+
+TEST(ResourcePoolTest, LocalityPreferenceHonored) {
+  ResourcePool pool(4, 4);
+  auto gang = pool.AllocateGang({{2}, {2}, {2}});
+  ASSERT_TRUE(gang.ok());
+  for (const ExecutorId& e : *gang) EXPECT_EQ(e.machine, 2);
+}
+
+TEST(ResourcePoolTest, FallsBackToLeastLoadedWhenPreferredFull) {
+  ResourcePool pool(2, 2);
+  auto first = pool.AllocateGang({{0}, {0}});
+  ASSERT_TRUE(first.ok());
+  // Machine 0 is full; preference falls through to machine 1.
+  auto second = pool.AllocateGang({{0}});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*second)[0].machine, 1);
+}
+
+TEST(ResourcePoolTest, LoadBalancesUnconstrainedTasks) {
+  ResourcePool pool(4, 4);
+  auto gang = pool.AllocateGang(std::vector<LocalityPref>(4));
+  ASSERT_TRUE(gang.ok());
+  // "The most free machine is chosen": 4 tasks spread over 4 machines.
+  std::set<int> machines;
+  for (const ExecutorId& e : *gang) machines.insert(e.machine);
+  EXPECT_EQ(machines.size(), 4u);
+}
+
+TEST(ResourcePoolTest, ReadOnlyMachineReceivesNoTasks) {
+  ResourcePool pool(2, 4);
+  pool.SetReadOnly(0, true);
+  EXPECT_TRUE(pool.IsReadOnly(0));
+  EXPECT_EQ(pool.free_executors(), 4);
+  auto gang = pool.AllocateGang({{0}, {0}});
+  ASSERT_TRUE(gang.ok());
+  for (const ExecutorId& e : *gang) EXPECT_EQ(e.machine, 1);
+  pool.SetReadOnly(0, false);
+  EXPECT_EQ(pool.free_executors(), 4 + 2);
+}
+
+TEST(ResourcePoolTest, RevokeMachineReturnsBusyExecutors) {
+  ResourcePool pool(2, 2);
+  auto gang = pool.AllocateGang({{0}, {0}});
+  ASSERT_TRUE(gang.ok());
+  auto busy = pool.RevokeMachine(0);
+  EXPECT_EQ(busy.size(), 2u);
+  EXPECT_EQ(pool.free_on_machine(0), 0);
+  // Releasing executors of a revoked machine is a no-op.
+  pool.ReleaseAll(*gang);
+  EXPECT_EQ(pool.free_executors(), 2);
+  pool.RestoreMachine(0);
+  EXPECT_EQ(pool.free_executors(), 4);
+}
+
+JobDag ChainDag() {
+  DagBuilder b("chain");
+  StageId a = b.AddStage("a", 1, {OK::kMergeSort});
+  StageId c = b.AddStage("c", 1, {OK::kMergeSort});
+  StageId d = b.AddStage("d", 1, {OK::kAdhocSink});
+  b.AddEdge(a, c).AddEdge(c, d);
+  return std::move(b.Build()).ValueOrDie();
+}
+
+TEST(GraphletTrackerTest, SubmitsInDependencyOrder) {
+  JobDag dag = ChainDag();
+  auto plan = ShuffleModeAwarePartitioner().Partition(dag);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->graphlets.size(), 3u);
+  GraphletTracker tracker(&*plan);
+  auto ready = tracker.Submittable();
+  ASSERT_EQ(ready.size(), 1u);
+  tracker.MarkSubmitted(ready[0]);
+  EXPECT_TRUE(tracker.Submittable().empty());  // dep not complete yet
+  tracker.MarkComplete(ready[0]);
+  auto next = tracker.Submittable();
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_NE(next[0], ready[0]);
+  tracker.MarkComplete(next[0]);
+  tracker.MarkComplete(tracker.Submittable()[0]);
+  EXPECT_TRUE(tracker.AllComplete());
+}
+
+TEST(GraphletTrackerTest, ResetReopensGraphlet) {
+  JobDag dag = ChainDag();
+  auto plan = ShuffleModeAwarePartitioner().Partition(dag);
+  ASSERT_TRUE(plan.ok());
+  GraphletTracker tracker(&*plan);
+  GraphletId g = tracker.Submittable()[0];
+  tracker.MarkComplete(g);
+  tracker.Reset(g);
+  EXPECT_FALSE(tracker.IsComplete(g));
+  EXPECT_EQ(tracker.Submittable()[0], g);
+}
+
+TEST(EventProcessorTest, ProcessesAllEvents) {
+  EventProcessor ep(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(ep.Enqueue(EventPriority::kNormal, [&count] { ++count; }));
+  }
+  ep.Drain();
+  EXPECT_EQ(count.load(), 200);
+  EXPECT_GE(ep.processed_events(), 200);
+}
+
+TEST(EventProcessorTest, HighPriorityRunsFirst) {
+  // Single-threaded processor: enqueue a blocker, then normal and high
+  // events; the high one must run before the earlier-enqueued normal.
+  EventProcessor ep(1);
+  std::vector<int> order;
+  std::mutex mu;
+  std::atomic<bool> release{false};
+  ep.Enqueue(EventPriority::kNormal, [&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  ep.Enqueue(EventPriority::kNormal, [&] {
+    std::lock_guard<std::mutex> l(mu);
+    order.push_back(1);
+  });
+  ep.Enqueue(EventPriority::kHigh, [&] {
+    std::lock_guard<std::mutex> l(mu);
+    order.push_back(2);
+  });
+  release = true;
+  ep.Drain();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);  // high priority first
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(EventProcessorTest, EnqueueAfterShutdownFails) {
+  EventProcessor ep(1);
+  ep.Shutdown();
+  EXPECT_FALSE(ep.Enqueue(EventPriority::kNormal, [] {}));
+}
+
+TEST(TaskTrackerTest, StageCompletion) {
+  JobDag dag = ChainDag();
+  TaskTracker tracker(&dag);
+  EXPECT_EQ(tracker.CountInState(TaskState::kPending), 3);
+  EXPECT_FALSE(tracker.StageComplete(0));
+  tracker.SetState(TaskRef{0, 0}, TaskState::kRunning);
+  tracker.SetState(TaskRef{0, 0}, TaskState::kCompleted);
+  EXPECT_TRUE(tracker.StageComplete(0));
+  EXPECT_FALSE(tracker.AllComplete());
+  tracker.SetState(TaskRef{1, 0}, TaskState::kCompleted);
+  tracker.SetState(TaskRef{2, 0}, TaskState::kCompleted);
+  EXPECT_TRUE(tracker.AllComplete());
+  EXPECT_EQ(tracker.CompletedTasks().size(), 3u);
+}
+
+TEST(TaskTrackerTest, ResetUndoesCompletion) {
+  JobDag dag = ChainDag();
+  TaskTracker tracker(&dag);
+  tracker.SetState(TaskRef{0, 0}, TaskState::kCompleted);
+  EXPECT_TRUE(tracker.StageComplete(0));
+  tracker.Reset(TaskRef{0, 0});
+  EXPECT_FALSE(tracker.StageComplete(0));
+  EXPECT_EQ(tracker.state(TaskRef{0, 0}), TaskState::kPending);
+}
+
+TEST(TaskTrackerTest, UnknownTaskIsInert) {
+  JobDag dag = ChainDag();
+  TaskTracker tracker(&dag);
+  tracker.SetState(TaskRef{99, 0}, TaskState::kCompleted);  // ignored
+  EXPECT_EQ(tracker.state(TaskRef{99, 0}), TaskState::kPending);
+}
+
+}  // namespace
+}  // namespace swift

@@ -1,0 +1,83 @@
+#include "exec/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace swift {
+namespace {
+
+Schema TwoTableSchema() {
+  return Schema({{"l.l_suppkey", DataType::kInt64},
+                 {"l.l_price", DataType::kFloat64},
+                 {"s.s_suppkey", DataType::kInt64},
+                 {"s.s_name", DataType::kString}});
+}
+
+TEST(SchemaTest, ExactLookup) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  auto idx = s.IndexOf("b");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+}
+
+TEST(SchemaTest, LookupIsCaseInsensitive) {
+  Schema s({{"O_OrderKey", DataType::kInt64}});
+  EXPECT_TRUE(s.IndexOf("o_orderkey").ok());
+  EXPECT_TRUE(s.HasField("O_ORDERKEY"));
+}
+
+TEST(SchemaTest, UnknownNameIsNotFound) {
+  Schema s({{"a", DataType::kInt64}});
+  EXPECT_EQ(s.IndexOf("zzz").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, UnqualifiedMatchesQualifiedSuffix) {
+  Schema s = TwoTableSchema();
+  auto idx = s.IndexOf("s_name");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 3u);
+  auto p = s.IndexOf("l_price");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p, 1u);
+}
+
+TEST(SchemaTest, QualifiedLookupStillExact) {
+  Schema s = TwoTableSchema();
+  auto idx = s.IndexOf("l.l_suppkey");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 0u);
+}
+
+TEST(SchemaTest, DuplicateNameIsAmbiguous) {
+  Schema s({{"k", DataType::kInt64}, {"k", DataType::kInt64}});
+  EXPECT_EQ(s.IndexOf("k").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, SuffixAmbiguityDetected) {
+  Schema s({{"a.key", DataType::kInt64}, {"b.key", DataType::kInt64}});
+  EXPECT_EQ(s.IndexOf("key").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ConcatPreservesOrder) {
+  Schema a({{"x", DataType::kInt64}});
+  Schema b({{"y", DataType::kString}});
+  Schema c = a.Concat(b);
+  ASSERT_EQ(c.num_fields(), 2u);
+  EXPECT_EQ(c.field(0).name, "x");
+  EXPECT_EQ(c.field(1).name, "y");
+}
+
+TEST(SchemaTest, ToStringListsFields) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kFloat64}});
+  EXPECT_EQ(s.ToString(), "(a:int64, b:float64)");
+}
+
+TEST(SchemaTest, EqualityIsStructural) {
+  Schema a({{"x", DataType::kInt64}});
+  Schema b({{"x", DataType::kInt64}});
+  Schema c({{"x", DataType::kString}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace swift

@@ -1,0 +1,94 @@
+#include "exec/serde.h"
+
+#include <gtest/gtest.h>
+
+namespace swift {
+namespace {
+
+Batch SampleBatch() {
+  Batch b;
+  b.schema = Schema({{"id", DataType::kInt64},
+                     {"price", DataType::kFloat64},
+                     {"name", DataType::kString},
+                     {"opt", DataType::kNull}});
+  b.rows = {{Value(int64_t{1}), Value(3.25), Value("widget"), Value::Null()},
+            {Value(int64_t{-7}), Value(-0.5), Value(""), Value(int64_t{9})}};
+  return b;
+}
+
+TEST(SerdeTest, RoundTripPreservesEverything) {
+  Batch b = SampleBatch();
+  std::string bytes = SerializeBatch(b);
+  auto r = DeserializeBatch(bytes);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->schema, b.schema);
+  ASSERT_EQ(r->num_rows(), b.num_rows());
+  for (std::size_t i = 0; i < b.rows.size(); ++i) {
+    ASSERT_EQ(r->rows[i].size(), b.rows[i].size());
+    for (std::size_t c = 0; c < b.rows[i].size(); ++c) {
+      EXPECT_EQ(r->rows[i][c].Compare(b.rows[i][c]), 0)
+          << "row " << i << " col " << c;
+      EXPECT_EQ(r->rows[i][c].type(), b.rows[i][c].type());
+    }
+  }
+}
+
+TEST(SerdeTest, EmptyBatch) {
+  Batch b;
+  b.schema = Schema({{"x", DataType::kInt64}});
+  auto r = DeserializeBatch(SerializeBatch(b));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 0u);
+  EXPECT_EQ(r->schema.num_fields(), 1u);
+}
+
+TEST(SerdeTest, SizeEstimateMatchesActual) {
+  Batch b = SampleBatch();
+  EXPECT_EQ(SerializedBatchSize(b), SerializeBatch(b).size());
+  Batch empty;
+  EXPECT_EQ(SerializedBatchSize(empty), SerializeBatch(empty).size());
+}
+
+TEST(SerdeTest, RejectsBadMagic) {
+  std::string bytes = SerializeBatch(SampleBatch());
+  bytes[0] = 'X';
+  EXPECT_EQ(DeserializeBatch(bytes).status().code(), StatusCode::kIOError);
+}
+
+TEST(SerdeTest, RejectsTruncation) {
+  std::string bytes = SerializeBatch(SampleBatch());
+  for (std::size_t cut : {bytes.size() - 1, bytes.size() / 2, std::size_t{5}}) {
+    EXPECT_FALSE(DeserializeBatch(bytes.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(SerdeTest, RejectsTrailingGarbage) {
+  std::string bytes = SerializeBatch(SampleBatch()) + "junk";
+  EXPECT_EQ(DeserializeBatch(bytes).status().code(), StatusCode::kIOError);
+}
+
+TEST(SerdeTest, RejectsBadTypeTag) {
+  Batch b;
+  b.schema = Schema({{"x", DataType::kInt64}});
+  std::string bytes = SerializeBatch(b);
+  // Corrupt the field type byte (last byte of the schema section).
+  // Layout: magic(4) nfields(4) namelen(4) name(1) type(1) ...
+  bytes[13] = 99;
+  EXPECT_FALSE(DeserializeBatch(bytes).ok());
+}
+
+TEST(SerdeTest, LargeBatchRoundTrip) {
+  Batch b;
+  b.schema = Schema({{"k", DataType::kInt64}, {"s", DataType::kString}});
+  for (int64_t i = 0; i < 5000; ++i) {
+    b.rows.push_back({Value(i), Value(std::string(i % 40, 'a'))});
+  }
+  auto r = DeserializeBatch(SerializeBatch(b));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 5000u);
+  EXPECT_EQ(r->rows[4999][0].int64(), 4999);
+}
+
+}  // namespace
+}  // namespace swift

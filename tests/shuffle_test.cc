@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "shuffle/cache_worker.h"
+#include "shuffle/shuffle_mode.h"
+#include "shuffle/shuffle_service.h"
+
+namespace swift {
+namespace {
+
+TEST(ShuffleModeTest, AdaptiveSelectionMatchesPaperThresholds) {
+  // Sec. III-B: Direct < 10,000; Remote in [10,000, 90,000); Local above.
+  EXPECT_EQ(SelectShuffleKind(1), ShuffleKind::kDirect);
+  EXPECT_EQ(SelectShuffleKind(9999), ShuffleKind::kDirect);
+  EXPECT_EQ(SelectShuffleKind(10000), ShuffleKind::kRemote);
+  EXPECT_EQ(SelectShuffleKind(89999), ShuffleKind::kRemote);
+  EXPECT_EQ(SelectShuffleKind(90000), ShuffleKind::kLocal);
+  EXPECT_EQ(SelectShuffleKind(1000000), ShuffleKind::kLocal);
+}
+
+TEST(ShuffleModeTest, ConnectionFormulasMatchPaper) {
+  // M=250, N=250, Y=10: Direct M*N, Local M+N+C(Y,2), Remote M+N*Y.
+  EXPECT_EQ(DirectShuffleConnections(250, 250), 62500);
+  EXPECT_EQ(LocalShuffleConnections(250, 250, 10), 250 + 250 + 45);
+  EXPECT_EQ(RemoteShuffleConnections(250, 250, 10), 250 + 2500);
+  // Ordering claimed by the paper for large jobs: local < remote < direct.
+  EXPECT_LT(LocalShuffleConnections(1000, 1000, 20),
+            RemoteShuffleConnections(1000, 1000, 20));
+  EXPECT_LT(RemoteShuffleConnections(1000, 1000, 20),
+            DirectShuffleConnections(1000, 1000));
+}
+
+TEST(ShuffleModeTest, MemoryCopyCounts) {
+  EXPECT_EQ(ExtraMemoryCopies(ShuffleKind::kDirect), 0);
+  EXPECT_EQ(ExtraMemoryCopies(ShuffleKind::kRemote), 1);
+  EXPECT_EQ(ExtraMemoryCopies(ShuffleKind::kLocal), 2);
+}
+
+ShuffleSlotKey Key(int src_task, int dst_task, JobId job = 1,
+                   StageId src = 0, StageId dst = 1) {
+  return ShuffleSlotKey{job, src, src_task, dst, dst_task};
+}
+
+TEST(CacheWorkerTest, PutGetRoundTrip) {
+  CacheWorker cw(1 << 20, "");
+  ASSERT_TRUE(cw.Put(Key(0, 0), "hello", 1).ok());
+  EXPECT_TRUE(cw.Contains(Key(0, 0)));
+  auto r = cw.Get(Key(0, 0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "hello");
+  // Consumed after the expected single read.
+  EXPECT_FALSE(cw.Contains(Key(0, 0)));
+  EXPECT_EQ(cw.Get(Key(0, 0)).status().code(), StatusCode::kNotFound);
+}
+
+TEST(CacheWorkerTest, PinnedSlotsSurviveReads) {
+  CacheWorker cw(1 << 20, "");
+  ASSERT_TRUE(cw.Put(Key(0, 0), "data", /*expected_reads=*/0).ok());
+  for (int i = 0; i < 3; ++i) {
+    auto r = cw.Get(Key(0, 0));
+    ASSERT_TRUE(r.ok());
+  }
+  EXPECT_TRUE(cw.Contains(Key(0, 0)));
+  cw.RemoveJob(1);
+  EXPECT_FALSE(cw.Contains(Key(0, 0)));
+}
+
+TEST(CacheWorkerTest, PeekDoesNotConsume) {
+  CacheWorker cw(1 << 20, "");
+  ASSERT_TRUE(cw.Put(Key(0, 0), "data", 1).ok());
+  ASSERT_TRUE(cw.Peek(Key(0, 0)).ok());
+  EXPECT_TRUE(cw.Contains(Key(0, 0)));
+}
+
+TEST(CacheWorkerTest, MultiReaderConsumption) {
+  CacheWorker cw(1 << 20, "");
+  ASSERT_TRUE(cw.Put(Key(0, 0), "data", 3).ok());
+  ASSERT_TRUE(cw.Get(Key(0, 0)).ok());
+  ASSERT_TRUE(cw.Get(Key(0, 0)).ok());
+  EXPECT_TRUE(cw.Contains(Key(0, 0)));
+  ASSERT_TRUE(cw.Get(Key(0, 0)).ok());
+  EXPECT_FALSE(cw.Contains(Key(0, 0)));
+  EXPECT_EQ(cw.stats().deletions, 1);
+}
+
+TEST(CacheWorkerTest, OverwriteReplacesSlot) {
+  CacheWorker cw(1 << 20, "");
+  ASSERT_TRUE(cw.Put(Key(0, 0), "old", 0).ok());
+  ASSERT_TRUE(cw.Put(Key(0, 0), "new", 0).ok());
+  auto r = cw.Peek(Key(0, 0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "new");
+}
+
+TEST(CacheWorkerTest, OverBudgetWithoutSpillFails) {
+  CacheWorker cw(10, "");
+  EXPECT_EQ(cw.Put(Key(0, 0), "0123456789ABCDEF", 1).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(CacheWorkerTest, LruSpillAndReload) {
+  const std::string dir = ::testing::TempDir() + "/swift_spill_test";
+  std::filesystem::remove_all(dir);
+  CacheWorker cw(64, dir);  // tiny budget forces spills
+  const std::string a(40, 'a');
+  const std::string b(40, 'b');
+  const std::string c(40, 'c');
+  ASSERT_TRUE(cw.Put(Key(0, 0), a, 0).ok());
+  ASSERT_TRUE(cw.Put(Key(1, 0), b, 0).ok());  // spills key(0,0)
+  ASSERT_TRUE(cw.Put(Key(2, 0), c, 0).ok());  // spills key(1,0)
+  auto stats = cw.stats();
+  EXPECT_GE(stats.spilled_slots, 2);
+  EXPECT_LE(stats.memory_in_use, 64);
+  // All three are still readable (spilled ones reload from disk).
+  auto ra = cw.Peek(Key(0, 0));
+  ASSERT_TRUE(ra.ok());
+  EXPECT_EQ(*ra, a);
+  auto rb = cw.Peek(Key(1, 0));
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(*rb, b);
+  auto rc = cw.Peek(Key(2, 0));
+  ASSERT_TRUE(rc.ok());
+  EXPECT_EQ(*rc, c);
+  EXPECT_GE(cw.stats().reloads, 2);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CacheWorkerTest, RemoveStageOutputIsSelective) {
+  CacheWorker cw(1 << 20, "");
+  ASSERT_TRUE(cw.Put(ShuffleSlotKey{1, 0, 0, 1, 0}, "a", 0).ok());
+  ASSERT_TRUE(cw.Put(ShuffleSlotKey{1, 2, 0, 3, 0}, "b", 0).ok());
+  cw.RemoveStageOutput(1, 0);
+  EXPECT_FALSE(cw.Contains(ShuffleSlotKey{1, 0, 0, 1, 0}));
+  EXPECT_TRUE(cw.Contains(ShuffleSlotKey{1, 2, 0, 3, 0}));
+}
+
+ShuffleService::Config ServiceConfig() {
+  ShuffleService::Config c;
+  c.machines = 4;
+  c.cache_memory_per_worker = 1 << 20;
+  c.retain_for_recovery = false;
+  return c;
+}
+
+TEST(ShuffleServiceTest, RoutesAllKinds) {
+  for (ShuffleKind kind :
+       {ShuffleKind::kDirect, ShuffleKind::kLocal, ShuffleKind::kRemote}) {
+    ShuffleService svc(ServiceConfig());
+    ShuffleSlotKey key{7, 0, 2, 1, 3};
+    ASSERT_TRUE(svc.WritePartition(kind, key, "payload", 1, true).ok());
+    EXPECT_TRUE(svc.HasPartition(kind, key, 1));
+    auto r = svc.ReadPartition(kind, key, 2, 1);
+    ASSERT_TRUE(r.ok()) << ShuffleKindToString(kind);
+    EXPECT_EQ(*r, "payload");
+    // Consumed (retain_for_recovery = false).
+    EXPECT_FALSE(svc.HasPartition(kind, key, 1));
+  }
+}
+
+TEST(ShuffleServiceTest, RetainForRecoveryKeepsData) {
+  auto cfg = ServiceConfig();
+  cfg.retain_for_recovery = true;
+  ShuffleService svc(cfg);
+  ShuffleSlotKey key{7, 0, 0, 1, 0};
+  ASSERT_TRUE(
+      svc.WritePartition(ShuffleKind::kRemote, key, "x", 0, false).ok());
+  ASSERT_TRUE(svc.ReadPartition(ShuffleKind::kRemote, key, 1, 0).ok());
+  EXPECT_TRUE(svc.HasPartition(ShuffleKind::kRemote, key, 0));
+  svc.RemoveJob(7);
+  EXPECT_FALSE(svc.HasPartition(ShuffleKind::kRemote, key, 0));
+}
+
+TEST(ShuffleServiceTest, ConnectionAccountingDirectVsWorkerModes) {
+  // 4 producers x 4 consumers on 2 machines.
+  auto RunKind = [&](ShuffleKind kind) {
+    auto cfg = ServiceConfig();
+    cfg.machines = 2;
+    ShuffleService svc(cfg);
+    for (int s = 0; s < 4; ++s) {
+      for (int d = 0; d < 4; ++d) {
+        ShuffleSlotKey key{1, 0, s, 1, d};
+        EXPECT_TRUE(svc.WritePartition(kind, key, "x", s % 2, true).ok());
+        EXPECT_TRUE(svc.ReadPartition(kind, key, d % 2, s % 2).ok());
+      }
+    }
+    return svc.stats().tcp_connections;
+  };
+  const int64_t direct = RunKind(ShuffleKind::kDirect);
+  const int64_t local = RunKind(ShuffleKind::kLocal);
+  const int64_t remote = RunKind(ShuffleKind::kRemote);
+  EXPECT_EQ(direct, 16);  // M*N
+  // Local: 4 writers + 4 readers + C(2,2)=1 worker-worker = 9.
+  EXPECT_EQ(local, 9);
+  // Remote: 4 writers + 4 readers x 2 machines = 12.
+  EXPECT_EQ(remote, 12);
+  EXPECT_LT(local, remote);
+  EXPECT_LT(remote, direct);
+}
+
+TEST(ShuffleServiceTest, ForceKindOverridesAdaptive) {
+  auto cfg = ServiceConfig();
+  cfg.force_kind = ShuffleKind::kLocal;
+  ShuffleService svc(cfg);
+  EXPECT_EQ(svc.KindFor(5), ShuffleKind::kLocal);
+  EXPECT_EQ(svc.KindFor(1000000), ShuffleKind::kLocal);
+}
+
+TEST(ShuffleServiceTest, MissingPartitionIsNotFound) {
+  ShuffleService svc(ServiceConfig());
+  ShuffleSlotKey key{1, 0, 0, 1, 0};
+  EXPECT_EQ(svc.ReadPartition(ShuffleKind::kDirect, key, 0, 0)
+                .status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(svc.ReadPartition(ShuffleKind::kLocal, key, 0, 0)
+                .status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace swift

@@ -1,0 +1,126 @@
+// Property tests over the cluster simulator: invariants that must hold
+// for any workload, policy, and seed.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_configs.h"
+#include "sim/cluster_sim.h"
+#include "trace/production_trace.h"
+
+namespace swift {
+namespace {
+
+struct SimCase {
+  SchedulingPolicy policy;
+  ShuffleMedium medium;
+  uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<SimCase>& info) {
+  static const char* kPolicy[] = {"graphlet", "wholejob", "perstage",
+                                  "bubble"};
+  static const char* kMedium[] = {"mem", "forced", "disk"};
+  return std::string(kPolicy[static_cast<int>(info.param.policy)]) + "_" +
+         kMedium[static_cast<int>(info.param.medium)] + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class SimPropertyTest : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(SimPropertyTest, InvariantsHold) {
+  const SimCase& c = GetParam();
+  TraceConfig tc;
+  tc.num_jobs = 120;
+  tc.seed = c.seed;
+  tc.mean_interarrival = 0.2;
+  auto jobs = GenerateProductionTrace(tc);
+  FailureTraceConfig fc;
+  fc.seed = c.seed + 1;
+  InjectTraceFailures(fc, &jobs);
+
+  SimConfig cfg;
+  cfg.machines = 20;
+  cfg.executors_per_machine = 50;
+  cfg.policy = c.policy;
+  cfg.medium = c.medium;
+  cfg.seed = c.seed;
+  ClusterSim sim(cfg);
+  for (const auto& job : jobs) ASSERT_TRUE(sim.SubmitJob(job).ok());
+  auto report = sim.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  const int capacity = cfg.machines * cfg.executors_per_machine;
+  int completed = 0;
+  for (const SimJobResult& r : report->jobs) {
+    EXPECT_TRUE(r.completed || r.aborted) << r.name << " neither done "
+                                          << "nor aborted";
+    if (!r.completed) continue;
+    ++completed;
+    // Time sanity.
+    EXPECT_GE(r.first_alloc_time, r.submit_time - 1e-9) << r.name;
+    EXPECT_GE(r.finish_time, r.first_alloc_time) << r.name;
+    EXPECT_LE(r.finish_time, report->makespan + 1e-9) << r.name;
+    // Work accounting.
+    EXPECT_GT(r.tasks_run, 0) << r.name;
+    EXPECT_GE(r.busy_executor_seconds, 0.0) << r.name;
+    EXPECT_GE(r.idle_executor_seconds, 0.0) << r.name;
+    EXPECT_GE(r.mean_idle_ratio, 0.0) << r.name;
+    EXPECT_LE(r.mean_idle_ratio, 1.0) << r.name;
+    EXPECT_GE(r.tasks_rerun, 0) << r.name;
+    // Phases recorded for every executed stage at least once.
+    EXPECT_GE(r.phases.size(), 1u) << r.name;
+    for (const StagePhases& p : r.phases) {
+      EXPECT_GE(p.launch, 0.0);
+      EXPECT_GE(p.shuffle_read, 0.0);
+      EXPECT_GE(p.shuffle_write, 0.0);
+      EXPECT_GE(p.process, 0.0);
+    }
+  }
+  EXPECT_GT(completed, 0);
+
+  // Occupancy never exceeds capacity and drains to zero.
+  for (const OccupancySample& s : report->occupancy) {
+    EXPECT_GE(s.running_executors, 0);
+    EXPECT_LE(s.running_executors, capacity);
+  }
+  ASSERT_FALSE(report->occupancy.empty());
+  EXPECT_EQ(report->occupancy.back().running_executors, 0);
+}
+
+TEST_P(SimPropertyTest, Deterministic) {
+  const SimCase& c = GetParam();
+  auto run = [&] {
+    TraceConfig tc;
+    tc.num_jobs = 40;
+    tc.seed = c.seed;
+    auto jobs = GenerateProductionTrace(tc);
+    SimConfig cfg;
+    cfg.machines = 10;
+    cfg.executors_per_machine = 30;
+    cfg.policy = c.policy;
+    cfg.medium = c.medium;
+    cfg.seed = c.seed;
+    ClusterSim sim(cfg);
+    for (const auto& job : jobs) EXPECT_TRUE(sim.SubmitJob(job).ok());
+    auto report = sim.Run();
+    EXPECT_TRUE(report.ok());
+    return report->makespan;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SimPropertyTest,
+    ::testing::Values(
+        SimCase{SchedulingPolicy::kSwiftGraphlet, ShuffleMedium::kMemoryAdaptive, 1},
+        SimCase{SchedulingPolicy::kSwiftGraphlet, ShuffleMedium::kDisk, 2},
+        SimCase{SchedulingPolicy::kWholeJob, ShuffleMedium::kMemoryForcedKind, 3},
+        SimCase{SchedulingPolicy::kPerStage, ShuffleMedium::kDisk, 4},
+        SimCase{SchedulingPolicy::kDataSizeBubble, ShuffleMedium::kDisk, 5},
+        SimCase{SchedulingPolicy::kSwiftGraphlet, ShuffleMedium::kMemoryAdaptive, 6},
+        SimCase{SchedulingPolicy::kWholeJob, ShuffleMedium::kMemoryAdaptive, 7},
+        SimCase{SchedulingPolicy::kDataSizeBubble, ShuffleMedium::kMemoryAdaptive, 8}),
+    CaseName);
+
+}  // namespace
+}  // namespace swift

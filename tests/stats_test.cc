@@ -1,0 +1,74 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace swift {
+namespace {
+
+TEST(StatsTest, QuantileOfSingleton) {
+  EXPECT_DOUBLE_EQ(Quantile({5.0}, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile({5.0}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile({5.0}, 1.0), 5.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+}
+
+TEST(StatsTest, QuantileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(Quantile({9, 1, 5}, 0.5), 5.0);
+}
+
+TEST(StatsTest, QuantileEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(StatsTest, QuartilesOfKnownSample) {
+  QuartileSummary s = Quartiles({2, 4, 6, 8, 10});
+  EXPECT_DOUBLE_EQ(s.min, 2);
+  EXPECT_DOUBLE_EQ(s.q1, 4);
+  EXPECT_DOUBLE_EQ(s.median, 6);
+  EXPECT_DOUBLE_EQ(s.q3, 8);
+  EXPECT_DOUBLE_EQ(s.max, 10);
+  EXPECT_DOUBLE_EQ(s.mean, 6);
+}
+
+TEST(StatsTest, MeanEmpty) { EXPECT_DOUBLE_EQ(Mean({}), 0.0); }
+
+TEST(StatsTest, EmpiricalCdf) {
+  std::vector<double> sorted = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(EmpiricalCdf(sorted, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(EmpiricalCdf(sorted, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(EmpiricalCdf(sorted, 10.0), 1.0);
+}
+
+TEST(StatsTest, BuildCdfIsMonotone) {
+  auto cdf = BuildCdf({3, 1, 2, 2});
+  ASSERT_EQ(cdf.size(), 4u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].x, cdf[i].x);
+    EXPECT_LE(cdf[i - 1].cdf, cdf[i].cdf);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().cdf, 1.0);
+}
+
+TEST(StatsTest, HistogramCountsAndClamps) {
+  auto h = Histogram({-5, 0.5, 1.5, 1.5, 99}, 0.0, 2.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 2u);  // -5 clamps down, 0.5 in range
+  EXPECT_EQ(h[1], 3u);  // two 1.5s, 99 clamps up
+}
+
+TEST(StatsTest, HistogramDegenerateRange) {
+  auto h = Histogram({1, 2}, 5.0, 5.0, 4);
+  ASSERT_EQ(h.size(), 4u);
+  for (auto c : h) EXPECT_EQ(c, 0u);
+}
+
+}  // namespace
+}  // namespace swift

@@ -1,0 +1,116 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/result.h"
+
+namespace swift {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad dag");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad dag");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad dag");
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status a = Status::IOError("disk");
+  Status b = a;
+  EXPECT_EQ(a, b);
+  Status c;
+  c = a;
+  EXPECT_EQ(c.code(), StatusCode::kIOError);
+  EXPECT_EQ(c.message(), "disk");
+}
+
+TEST(StatusTest, MoveLeavesSourceOk) {
+  Status a = Status::Internal("x");
+  Status b = std::move(a);
+  EXPECT_EQ(b.code(), StatusCode::kInternal);
+  EXPECT_TRUE(a.ok());  // NOLINT(bugprone-use-after-move): documented.
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::NotFound("stage 7").WithContext("partitioning Q9");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "partitioning Q9: stage 7");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  Status s = Status::OK().WithContext("ctx");
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCode) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IOError("").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::ResourceExhausted("").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Cancelled("").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::Timeout("").code(), StatusCode::kTimeout);
+  EXPECT_EQ(Status::ParseError("").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::PlanError("").code(), StatusCode::kPlanError);
+  EXPECT_EQ(Status::ExecutorLost("").code(), StatusCode::kExecutorLost);
+  EXPECT_EQ(Status::MachineUnhealthy("").code(),
+            StatusCode::kMachineUnhealthy);
+  EXPECT_EQ(Status::Application("").code(), StatusCode::kApplication);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kExecutorLost), "ExecutorLost");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kApplication), "Application");
+}
+
+TEST(StatusTest, PredicateHelpers) {
+  EXPECT_TRUE(Status::Application("oom").IsApplication());
+  EXPECT_FALSE(Status::Application("oom").IsNotFound());
+  EXPECT_TRUE(Status::ResourceExhausted("mem").IsResourceExhausted());
+}
+
+Status FailingOp() { return Status::Timeout("heartbeat"); }
+
+Status Caller() {
+  SWIFT_RETURN_NOT_OK(FailingOp());
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_EQ(Caller().code(), StatusCode::kTimeout);
+}
+
+Result<int> GiveInt() { return 42; }
+
+Result<int> UseAssignOrReturn() {
+  SWIFT_ASSIGN_OR_RETURN(int v, GiveInt());
+  return v + 1;
+}
+
+Result<int> PropagateError() {
+  SWIFT_ASSIGN_OR_RETURN(int v, Result<int>(Status::IOError("spill")));
+  return v;
+}
+
+TEST(StatusTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*UseAssignOrReturn(), 43);
+  EXPECT_EQ(PropagateError().status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace swift

@@ -1,0 +1,77 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace swift {
+namespace {
+
+TEST(StringUtilTest, SplitBasic) {
+  auto parts = SplitString("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitPreservesEmptyFields) {
+  auto parts = SplitString(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  EXPECT_EQ(JoinStrings({"m1", "m2", "j4"}, "->"), "m1->m2->j4");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(TrimView("  x y \t\n"), "x y");
+  EXPECT_EQ(TrimView(""), "");
+  EXPECT_EQ(TrimView("   "), "");
+}
+
+TEST(StringUtilTest, ToLowerAndCaseInsensitiveEquals) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_TRUE(EqualsIgnoreCase("GROUP", "group"));
+  EXPECT_FALSE(EqualsIgnoreCase("group", "groupby"));
+}
+
+TEST(StringUtilTest, LikeMatchPercent) {
+  EXPECT_TRUE(SqlLikeMatch("forest green", "%green%"));
+  EXPECT_TRUE(SqlLikeMatch("green", "%green%"));
+  EXPECT_FALSE(SqlLikeMatch("gren", "%green%"));
+  EXPECT_TRUE(SqlLikeMatch("anything", "%"));
+  EXPECT_TRUE(SqlLikeMatch("", "%"));
+}
+
+TEST(StringUtilTest, LikeMatchUnderscore) {
+  EXPECT_TRUE(SqlLikeMatch("cat", "c_t"));
+  EXPECT_FALSE(SqlLikeMatch("cart", "c_t"));
+  EXPECT_TRUE(SqlLikeMatch("cart", "c__t"));
+}
+
+TEST(StringUtilTest, LikeMatchBacktracking) {
+  EXPECT_TRUE(SqlLikeMatch("abcabcabd", "%abd"));
+  EXPECT_TRUE(SqlLikeMatch("xxgreenyygreenzz", "%green%z_"));
+  EXPECT_FALSE(SqlLikeMatch("abc", "abc_"));
+}
+
+TEST(StringUtilTest, LikeExactWhenNoWildcards) {
+  EXPECT_TRUE(SqlLikeMatch("tpch", "tpch"));
+  EXPECT_FALSE(SqlLikeMatch("tpch", "tpc"));
+}
+
+TEST(StringUtilTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512.00 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KB");
+  EXPECT_EQ(FormatBytes(1024.0 * 1024.0 * 1.5), "1.50 MB");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("stage %d '%s'", 4, "J4"), "stage 4 'J4'");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+}
+
+}  // namespace
+}  // namespace swift

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "partition/partitioners.h"
+#include "trace/production_trace.h"
+#include "trace/terasort_job.h"
+#include "trace/tpch_jobs.h"
+
+namespace swift {
+namespace {
+
+TEST(TpchJobsTest, AllTwentyTwoQueriesBuild) {
+  for (int q : TpchQueryIds()) {
+    auto job = BuildTpchJob(q);
+    ASSERT_TRUE(job.ok()) << "Q" << q << ": " << job.status().ToString();
+    EXPECT_GE(job->dag.stages().size(), 2u) << "Q" << q;
+    EXPECT_GT(job->dag.TotalTasks(), 0) << "Q" << q;
+  }
+  EXPECT_FALSE(BuildTpchJob(23).ok());
+  EXPECT_FALSE(BuildTpchJob(0).ok());
+}
+
+TEST(TpchJobsTest, Q9MatchesFig4) {
+  auto job = BuildTpchJob(9);
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(job->dag.stages().size(), 12u);
+  // Task counts from Fig. 4(a).
+  std::map<std::string, int> tasks;
+  for (const StageDef& s : job->dag.stages()) tasks[s.name] = s.task_count;
+  EXPECT_EQ(tasks["M1"], 956);
+  EXPECT_EQ(tasks["M2"], 220);
+  EXPECT_EQ(tasks["M3"], 3);
+  EXPECT_EQ(tasks["M5"], 403);
+  EXPECT_EQ(tasks["M7"], 220);
+  EXPECT_EQ(tasks["M8"], 20);
+  // The shuffle-mode-aware partitioner must recover Fig. 4's 4 graphlets.
+  auto plan = ShuffleModeAwarePartitioner().Partition(job->dag);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->graphlets.size(), 4u);
+  // Graphlet memberships.
+  auto find = [&](const std::string& name) {
+    for (const StageDef& s : job->dag.stages()) {
+      if (s.name == name) return s.id;
+    }
+    return StageId{-1};
+  };
+  EXPECT_EQ(plan->GraphletOf(find("M1")), plan->GraphletOf(find("J4")));
+  EXPECT_EQ(plan->GraphletOf(find("M5")), plan->GraphletOf(find("J6")));
+  EXPECT_EQ(plan->GraphletOf(find("M7")), plan->GraphletOf(find("J10")));
+  EXPECT_EQ(plan->GraphletOf(find("R9")), plan->GraphletOf(find("J10")));
+  EXPECT_EQ(plan->GraphletOf(find("R11")), plan->GraphletOf(find("R12")));
+  EXPECT_NE(plan->GraphletOf(find("J4")), plan->GraphletOf(find("J6")));
+}
+
+TEST(TpchJobsTest, Q13MatchesFig13) {
+  auto job = BuildTpchJob(13);
+  ASSERT_TRUE(job.ok());
+  ASSERT_EQ(job->dag.stages().size(), 6u);
+  std::map<std::string, const StageDef*> by_name;
+  for (const StageDef& s : job->dag.stages()) by_name[s.name] = &s;
+  EXPECT_EQ(by_name.at("M1")->task_count, 498);
+  EXPECT_EQ(by_name.at("M2")->task_count, 72);
+  // Per-task input volumes from Fig. 13 (76 MB and 5 MB).
+  EXPECT_NEAR(by_name.at("M1")->input_bytes_per_task, 76e6, 1e3);
+  EXPECT_NEAR(by_name.at("M2")->input_bytes_per_task, 5e6, 1e3);
+  EXPECT_EQ(by_name.at("R6")->task_count, 1);
+}
+
+TEST(TpchJobsTest, ScaleShrinksScanWork) {
+  TpchJobScale small;
+  small.data_tb = 0.1;
+  auto big = BuildTpchJob(3);
+  auto tiny = BuildTpchJob(3, small);
+  ASSERT_TRUE(big.ok());
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_GT(big->dag.TotalTasks(), tiny->dag.TotalTasks());
+}
+
+TEST(TerasortJobTest, ShapeAndVolume) {
+  SimJobSpec job = BuildTerasortJob(250, 250);
+  ASSERT_EQ(job.dag.stages().size(), 2u);
+  const StageDef& map = job.dag.stages()[0];
+  const StageDef& red = job.dag.stages()[1];
+  EXPECT_EQ(map.task_count, 250);
+  EXPECT_EQ(red.task_count, 250);
+  EXPECT_DOUBLE_EQ(map.input_bytes_per_task, 200e6);
+  EXPECT_DOUBLE_EQ(red.input_bytes_per_task, 200e6);  // 250*200/250
+  // Map stage has no global sort: edge is pipeline, one graphlet.
+  EXPECT_EQ(job.dag.EdgeKindOf(map.id, red.id), EdgeKind::kPipeline);
+  auto plan = ShuffleModeAwarePartitioner().Partition(job.dag);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->graphlets.size(), 1u);
+}
+
+TEST(TerasortJobTest, ShuffleEdgeSizeGrowsQuadratically) {
+  SimJobSpec small = BuildTerasortJob(250, 250);
+  SimJobSpec large = BuildTerasortJob(1500, 1500);
+  EXPECT_EQ(small.dag.ShuffleEdgeSize(0, 1), 62500);
+  EXPECT_EQ(large.dag.ShuffleEdgeSize(0, 1), 2250000);
+}
+
+TEST(ProductionTraceTest, MatchesFig8Distributions) {
+  TraceConfig cfg;
+  auto jobs = GenerateProductionTrace(cfg);
+  ASSERT_EQ(jobs.size(), 2000u);
+  int small_tasks = 0, small_stages = 0;
+  int64_t max_tasks = 0;
+  for (const SimJobSpec& job : jobs) {
+    const int64_t tasks = job.dag.TotalTasks();
+    const auto stages = static_cast<int>(job.dag.stages().size());
+    if (tasks <= 80) ++small_tasks;
+    if (stages <= 4) ++small_stages;
+    max_tasks = std::max(max_tasks, tasks);
+  }
+  // Fig. 8(b): >80% of jobs have <=80 tasks and <=4 stages.
+  EXPECT_GT(small_tasks / 2000.0, 0.75);
+  EXPECT_GT(small_stages / 2000.0, 0.75);
+  // But a heavy tail exists.
+  EXPECT_GT(max_tasks, 300);
+}
+
+TEST(ProductionTraceTest, DeterministicPerSeed) {
+  TraceConfig cfg;
+  cfg.num_jobs = 50;
+  auto a = GenerateProductionTrace(cfg);
+  auto b = GenerateProductionTrace(cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].dag.TotalTasks(), b[i].dag.TotalTasks());
+    EXPECT_DOUBLE_EQ(a[i].submit_time, b[i].submit_time);
+  }
+}
+
+TEST(ProductionTraceTest, ArrivalsAreMonotone) {
+  TraceConfig cfg;
+  cfg.num_jobs = 100;
+  auto jobs = GenerateProductionTrace(cfg);
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_GE(jobs[i].submit_time, jobs[i - 1].submit_time);
+  }
+  cfg.mean_interarrival = 0.0;
+  for (const auto& job : GenerateProductionTrace(cfg)) {
+    EXPECT_DOUBLE_EQ(job.submit_time, 0.0);
+  }
+}
+
+TEST(ProductionTraceTest, AllDagsPartitionCleanly) {
+  TraceConfig cfg;
+  cfg.num_jobs = 300;
+  auto jobs = GenerateProductionTrace(cfg);
+  ShuffleModeAwarePartitioner p;
+  for (const SimJobSpec& job : jobs) {
+    auto plan = p.Partition(job.dag);
+    ASSERT_TRUE(plan.ok()) << job.name;
+    EXPECT_EQ(plan->SubmissionOrder().size(), plan->graphlets.size());
+  }
+}
+
+TEST(ProductionTraceTest, FailureInjectionMatchesSecVF) {
+  TraceConfig cfg;
+  auto jobs = GenerateProductionTrace(cfg);
+  FailureTraceConfig fcfg;
+  InjectTraceFailures(fcfg, &jobs);
+  int with_failures = 0;
+  std::vector<double> times;
+  for (const SimJobSpec& job : jobs) {
+    if (!job.failures.empty()) {
+      ++with_failures;
+      times.push_back(job.failures[0].time);
+    }
+  }
+  EXPECT_NEAR(with_failures / 2000.0, fcfg.failure_job_fraction, 0.05);
+  // Sec. V-F: ~50% of failures within 30 s, ~90% within 200 s.
+  std::sort(times.begin(), times.end());
+  int under30 = 0, under200 = 0;
+  for (double t : times) {
+    if (t <= 30) ++under30;
+    if (t <= 200) ++under200;
+  }
+  // Failure times are clamped into each job's lifetime, so the CDF is
+  // at least as front-loaded as Sec. V-F's (~50% < 30 s, ~90% < 200 s).
+  const double n = static_cast<double>(times.size());
+  EXPECT_GE(under30 / n, 0.45);
+  EXPECT_GE(under200 / n, 0.85);
+}
+
+}  // namespace
+}  // namespace swift

@@ -1,0 +1,70 @@
+#include "exec/value.h"
+
+#include <gtest/gtest.h>
+
+namespace swift {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value(int64_t{3}).int64(), 3);
+  EXPECT_DOUBLE_EQ(Value(2.5).float64(), 2.5);
+  EXPECT_EQ(Value("abc").str(), "abc");
+  EXPECT_EQ(Value(int64_t{3}).type(), DataType::kInt64);
+  EXPECT_EQ(Value(2.5).type(), DataType::kFloat64);
+  EXPECT_EQ(Value("x").type(), DataType::kString);
+  EXPECT_EQ(Value::Null().type(), DataType::kNull);
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value(int64_t{3}).Compare(Value(3.0)), 0);
+  EXPECT_LT(Value(int64_t{2}).Compare(Value(2.5)), 0);
+  EXPECT_GT(Value(2.5).Compare(Value(int64_t{2})), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value(int64_t{-100})), 0);
+  EXPECT_LT(Value::Null().Compare(Value("")), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value("apple").Compare(Value("banana")), 0);
+  EXPECT_EQ(Value("x").Compare(Value("x")), 0);
+  // ISO dates compare correctly as strings.
+  EXPECT_LT(Value("1995-03-15").Compare(Value("1996-01-01")), 0);
+}
+
+TEST(ValueTest, MixedTypeTotalOrder) {
+  // Numbers sort before strings; the order is total and antisymmetric.
+  EXPECT_LT(Value(int64_t{5}).Compare(Value("5")), 0);
+  EXPECT_GT(Value("5").Compare(Value(5.0)), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{3}).Hash(), Value(3.0).Hash());
+  EXPECT_EQ(Value("key").Hash(), Value("key").Hash());
+  EXPECT_TRUE(Value(int64_t{3}) == Value(3.0));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+}
+
+TEST(ValueTest, AsDoubleWidensInt) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{7}).AsDouble(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(1.25).AsDouble(), 1.25);
+}
+
+TEST(ValueTest, HashRowOrderSensitive) {
+  Row a = {Value(int64_t{1}), Value(int64_t{2})};
+  Row b = {Value(int64_t{2}), Value(int64_t{1})};
+  Row c = {Value(int64_t{1}), Value(int64_t{2})};
+  EXPECT_EQ(HashRow(a), HashRow(c));
+  EXPECT_NE(HashRow(a), HashRow(b));
+}
+
+}  // namespace
+}  // namespace swift
