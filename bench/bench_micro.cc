@@ -5,7 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <unordered_map>
+
 #include "dag/dag_builder.h"
+#include "exec/bound_expr.h"
 #include "exec/operators.h"
 #include "exec/serde.h"
 #include "exec/tpch.h"
@@ -45,20 +49,53 @@ void BM_GraphletPartition_Q9(benchmark::State& state) {
 }
 BENCHMARK(BM_GraphletPartition_Q9);
 
-void BM_ExpressionEval(benchmark::State& state) {
-  Schema schema({{"a", DataType::kFloat64}, {"b", DataType::kFloat64}});
-  Row row = {Value(3.5), Value(0.1)};
-  // l_extendedprice * (1 - l_discount) style expression.
-  auto e = Expr::Binary(
+// l_extendedprice * (1 - l_discount) style expression.
+ExprPtr MakeDiscountExpr() {
+  return Expr::Binary(
       BinaryOp::kMul, Expr::Column("a"),
       Expr::Binary(BinaryOp::kSub, Expr::Literal(Value(1.0)),
                    Expr::Column("b")));
+}
+
+void BM_ExpressionEvalInterpreted(benchmark::State& state) {
+  Schema schema({{"a", DataType::kFloat64}, {"b", DataType::kFloat64}});
+  Row row = {Value(3.5), Value(0.1)};
+  auto e = MakeDiscountExpr();
   for (auto _ : state) {
     auto v = e->Evaluate(schema, row);
     benchmark::DoNotOptimize(v);
   }
 }
-BENCHMARK(BM_ExpressionEval);
+BENCHMARK(BM_ExpressionEvalInterpreted);
+
+void BM_ExpressionEvalBound(benchmark::State& state) {
+  Schema schema({{"a", DataType::kFloat64}, {"b", DataType::kFloat64}});
+  Row row = {Value(3.5), Value(0.1)};
+  auto bound = *Bind(MakeDiscountExpr(), schema);
+  for (auto _ : state) {
+    auto v = bound->Evaluate(row);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_ExpressionEvalBound);
+
+void BM_ExpressionEvalBoundColumn(benchmark::State& state) {
+  Schema schema({{"a", DataType::kFloat64}, {"b", DataType::kFloat64}});
+  std::vector<Row> rows;
+  for (int i = 0; i < 1024; ++i) {
+    rows.push_back({Value(i * 1.5), Value((i % 97) * 0.01)});
+  }
+  auto bound = *Bind(MakeDiscountExpr(), schema);
+  std::vector<Value> out;
+  for (auto _ : state) {
+    auto st = bound->EvaluateColumn(rows, &out);
+    benchmark::DoNotOptimize(st);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows.size()));
+}
+BENCHMARK(BM_ExpressionEvalBoundColumn);
 
 Batch MakeBatch(int rows) {
   Batch b;
@@ -95,7 +132,32 @@ void BM_DeserializeBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_DeserializeBatch)->Arg(100)->Arg(10000);
 
-void BM_HashPartition(benchmark::State& state) {
+// Replicates the pre-binding HashPartition loop: every key access goes
+// through Expr::Evaluate (name lookup per row) and partitions grow with
+// unreserved push_backs.
+void BM_HashPartitionInterpreted(benchmark::State& state) {
+  Batch b = MakeBatch(static_cast<int>(state.range(0)));
+  std::vector<ExprPtr> keys = {Expr::Column("k")};
+  for (auto _ : state) {
+    std::vector<Batch> out(16);
+    for (auto& p : out) p.schema = b.schema;
+    for (const Row& row : b.rows) {
+      Row key;
+      bool has_null = false;
+      for (const auto& k : keys) {
+        auto v = k->Evaluate(b.schema, row);
+        has_null = has_null || v->is_null();
+        key.push_back(std::move(*v));
+      }
+      const std::size_t p = has_null ? 0 : HashRow(key) % 16;
+      out[p].rows.push_back(row);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_HashPartitionInterpreted)->Arg(1000)->Arg(10000);
+
+void BM_HashPartitionBound(benchmark::State& state) {
   Batch b = MakeBatch(static_cast<int>(state.range(0)));
   std::vector<ExprPtr> keys = {Expr::Column("k")};
   for (auto _ : state) {
@@ -103,7 +165,7 @@ void BM_HashPartition(benchmark::State& state) {
     benchmark::DoNotOptimize(parts);
   }
 }
-BENCHMARK(BM_HashPartition)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_HashPartitionBound)->Arg(1000)->Arg(10000);
 
 void BM_CacheWorkerPutGet(benchmark::State& state) {
   CacheWorker cw(1LL << 30, "");
@@ -171,15 +233,93 @@ void BM_PlanQ9(benchmark::State& state) {
 }
 BENCHMARK(BM_PlanQ9);
 
+Batch MakeShuffledBatch(int rows) {
+  Batch b = MakeBatch(rows);
+  // Shuffle rows deterministically.
+  for (std::size_t i = b.rows.size(); i > 1; --i) {
+    std::swap(b.rows[i - 1], b.rows[(i * 7919) % i]);
+  }
+  return b;
+}
+
+// Replicates the pre-binding SortOp key pass: one Expr::Evaluate per
+// row per key (name lookup each time), then the same permutation sort.
+void BM_SortInterpreted(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  std::vector<SortKey> keys = {SortKey{Expr::Column("k"), true}};
+  for (auto _ : state) {
+    state.PauseTiming();
+    Batch b = MakeShuffledBatch(rows);
+    state.ResumeTiming();
+    std::vector<Row> keyrows;
+    keyrows.reserve(b.rows.size());
+    for (const Row& r : b.rows) {
+      Row k;
+      for (const SortKey& key : keys) {
+        k.push_back(*key.expr->Evaluate(b.schema, r));
+      }
+      keyrows.push_back(std::move(k));
+    }
+    std::vector<std::size_t> perm(b.rows.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    std::stable_sort(perm.begin(), perm.end(),
+                     [&](std::size_t a, std::size_t c) {
+                       for (std::size_t k = 0; k < keys.size(); ++k) {
+                         int cmp = keyrows[a][k].Compare(keyrows[c][k]);
+                         if (!keys[k].ascending) cmp = -cmp;
+                         if (cmp != 0) return cmp < 0;
+                       }
+                       return false;
+                     });
+    std::vector<Row> sorted;
+    sorted.reserve(b.rows.size());
+    for (std::size_t i : perm) sorted.push_back(std::move(b.rows[i]));
+    benchmark::DoNotOptimize(sorted);
+  }
+}
+BENCHMARK(BM_SortInterpreted)->Arg(1000)->Arg(20000);
+
+// Same key pass and permutation sort, but with keys bound once.
+void BM_SortBound(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  std::vector<SortKey> keys = {SortKey{Expr::Column("k"), true}};
+  for (auto _ : state) {
+    state.PauseTiming();
+    Batch b = MakeShuffledBatch(rows);
+    state.ResumeTiming();
+    std::vector<BoundExprPtr> bound;
+    for (const SortKey& key : keys) bound.push_back(*Bind(key.expr, b.schema));
+    std::vector<Row> keyrows;
+    keyrows.reserve(b.rows.size());
+    Row k;
+    for (const Row& r : b.rows) {
+      (void)EvalBoundKeys(bound, r, &k);
+      keyrows.push_back(k);
+    }
+    std::vector<std::size_t> perm(b.rows.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    std::stable_sort(perm.begin(), perm.end(),
+                     [&](std::size_t a, std::size_t c) {
+                       for (std::size_t kk = 0; kk < keys.size(); ++kk) {
+                         int cmp = keyrows[a][kk].Compare(keyrows[c][kk]);
+                         if (!keys[kk].ascending) cmp = -cmp;
+                         if (cmp != 0) return cmp < 0;
+                       }
+                       return false;
+                     });
+    std::vector<Row> sorted;
+    sorted.reserve(b.rows.size());
+    for (std::size_t i : perm) sorted.push_back(std::move(b.rows[i]));
+    benchmark::DoNotOptimize(sorted);
+  }
+}
+BENCHMARK(BM_SortBound)->Arg(1000)->Arg(20000);
+
 void BM_SortOperator(benchmark::State& state) {
   const int rows = static_cast<int>(state.range(0));
   for (auto _ : state) {
     state.PauseTiming();
-    Batch b = MakeBatch(rows);
-    // Shuffle rows deterministically.
-    for (std::size_t i = b.rows.size(); i > 1; --i) {
-      std::swap(b.rows[i - 1], b.rows[(i * 7919) % i]);
-    }
+    Batch b = MakeShuffledBatch(rows);
     std::vector<Batch> batches;
     Schema schema = b.schema;
     batches.push_back(std::move(b));
@@ -191,6 +331,49 @@ void BM_SortOperator(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SortOperator)->Arg(1000)->Arg(20000);
+
+// Replicates the pre-binding aggregate inner loop: group key and agg
+// argument both re-resolve their columns by name on every row.
+void BM_HashAggregateInterpreted(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  ExprPtr group = Expr::Column("s");
+  ExprPtr arg = Expr::Column("v");
+  for (auto _ : state) {
+    state.PauseTiming();
+    Batch b = MakeBatch(rows);
+    state.ResumeTiming();
+    std::unordered_map<std::string, double> table;
+    for (const Row& r : b.rows) {
+      Value k = *group->Evaluate(b.schema, r);
+      Value v = *arg->Evaluate(b.schema, r);
+      table[k.str()] += v.AsDouble();
+    }
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_HashAggregateInterpreted)->Arg(1000)->Arg(20000);
+
+// Same table update, but group key and argument bound once.
+void BM_HashAggregateBound(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  ExprPtr group = Expr::Column("s");
+  ExprPtr arg = Expr::Column("v");
+  for (auto _ : state) {
+    state.PauseTiming();
+    Batch b = MakeBatch(rows);
+    state.ResumeTiming();
+    auto bg = *Bind(group, b.schema);
+    auto ba = *Bind(arg, b.schema);
+    std::unordered_map<std::string, double> table;
+    for (const Row& r : b.rows) {
+      Value k = *bg->Evaluate(r);
+      Value v = *ba->Evaluate(r);
+      table[k.str()] += v.AsDouble();
+    }
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_HashAggregateBound)->Arg(1000)->Arg(20000);
 
 void BM_HashAggregateOperator(benchmark::State& state) {
   const int rows = static_cast<int>(state.range(0));

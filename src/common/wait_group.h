@@ -1,0 +1,49 @@
+#ifndef SWIFT_COMMON_WAIT_GROUP_H_
+#define SWIFT_COMMON_WAIT_GROUP_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace swift {
+
+/// \brief Counts down a set of in-flight tasks (Go-style WaitGroup /
+/// one-shot latch). Unlike ThreadPool::Wait(), which blocks until the
+/// whole pool is idle, a WaitGroup tracks only the tasks added to it, so
+/// independent waves sharing one pool cannot stall each other.
+class WaitGroup {
+ public:
+  explicit WaitGroup(std::size_t count = 0) : count_(count) {}
+
+  WaitGroup(const WaitGroup&) = delete;
+  WaitGroup& operator=(const WaitGroup&) = delete;
+
+  /// \brief Registers `n` more tasks (call before dispatching them).
+  void Add(std::size_t n = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ += n;
+  }
+
+  /// \brief Marks one task complete.
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ > 0 && --count_ == 0) {
+      cv_.notify_all();
+    }
+  }
+
+  /// \brief Blocks until every added task has called Done().
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t count_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_COMMON_WAIT_GROUP_H_

@@ -1,0 +1,60 @@
+#ifndef SWIFT_EXEC_EXPR_EVAL_H_
+#define SWIFT_EXEC_EXPR_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/value.h"
+
+namespace swift {
+
+enum class BinaryOp : int;
+
+/// Scalar evaluation kernels shared by the interpreted Expr tree and the
+/// compiled BoundExpr tree. Keeping both evaluators on one set of kernels
+/// guarantees they cannot diverge on error text, NULL handling, or
+/// numeric promotion (the bound-vs-interpreted parity property test
+/// depends on this).
+namespace expr_eval {
+
+/// \brief +,-,*,/ over non-null operands. Non-numeric operands and
+/// division by zero are Status::Application.
+Result<Value> Arith(BinaryOp op, const Value& l, const Value& r);
+
+/// \brief =,<>,<,<=,>,>= over non-null operands; boolean-as-int64 result.
+/// Mixed number/string comparison is Status::Application.
+Result<Value> Compare(BinaryOp op, const Value& l, const Value& r);
+
+/// \brief Kleene truth value: 0 false, 1 true, -1 unknown (NULL).
+int Truth(const Value& v);
+
+/// \brief Inverse of Truth: -1 -> NULL, else int64 0/1.
+Value FromTruth(int t);
+
+/// \brief Scalar functions resolvable at bind time (name -> id once,
+/// instead of per-row string comparisons).
+enum class FuncId : int {
+  kIsNull,
+  kCoalesce,
+  kSubstr,
+  kLower,
+  kUpper,
+  kAbs,
+  kUnknown,
+};
+
+/// \brief Maps an already-lowercased function name to its id.
+FuncId ResolveFunction(const std::string& lower_name);
+
+/// \brief Applies `id` to fully evaluated arguments, in the interpreter's
+/// exact order: NULL-aware functions (is_null, coalesce) first, then NULL
+/// propagation, then the remaining functions; kUnknown errors after NULL
+/// propagation. `name` is only used for error text.
+Result<Value> ApplyFunction(FuncId id, const std::string& name,
+                            const std::vector<Value>& vals);
+
+}  // namespace expr_eval
+}  // namespace swift
+
+#endif  // SWIFT_EXEC_EXPR_EVAL_H_

@@ -1,10 +1,8 @@
 #include "exec/expression.h"
 
-#include <cctype>
-#include <cmath>
-
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "exec/expr_eval.h"
 
 namespace swift {
 
@@ -88,95 +86,16 @@ class LiteralExpr final : public Expr {
   }
   void CollectColumns(std::vector<std::string>*) const override {}
 
+  const Value& value() const { return v_; }
+
  private:
   Value v_;
 };
 
-Result<Value> Arith(BinaryOp op, const Value& l, const Value& r) {
-  if (!l.is_numeric() || !r.is_numeric()) {
-    return Status::Application(StrFormat(
-        "arithmetic '%s' on non-numeric operands (%s, %s)",
-        std::string(BinaryOpToString(op)).c_str(), l.ToString().c_str(),
-        r.ToString().c_str()));
-  }
-  if (l.is_int64() && r.is_int64() && op != BinaryOp::kDiv) {
-    const int64_t a = l.int64();
-    const int64_t b = r.int64();
-    switch (op) {
-      case BinaryOp::kAdd:
-        return Value(a + b);
-      case BinaryOp::kSub:
-        return Value(a - b);
-      case BinaryOp::kMul:
-        return Value(a * b);
-      default:
-        break;
-    }
-  }
-  const double a = l.AsDouble();
-  const double b = r.AsDouble();
-  switch (op) {
-    case BinaryOp::kAdd:
-      return Value(a + b);
-    case BinaryOp::kSub:
-      return Value(a - b);
-    case BinaryOp::kMul:
-      return Value(a * b);
-    case BinaryOp::kDiv:
-      if (b == 0.0) {
-        return Status::Application("division by zero");
-      }
-      return Value(a / b);
-    default:
-      return Status::Internal("non-arithmetic op in Arith");
-  }
-}
-
-Result<Value> Compare(BinaryOp op, const Value& l, const Value& r) {
-  if ((l.is_numeric() && r.is_string()) || (l.is_string() && r.is_numeric())) {
-    return Status::Application(StrFormat(
-        "cannot compare %s with %s", std::string(DataTypeToString(l.type())).c_str(),
-        std::string(DataTypeToString(r.type())).c_str()));
-  }
-  const int c = l.Compare(r);
-  bool out = false;
-  switch (op) {
-    case BinaryOp::kEq:
-      out = c == 0;
-      break;
-    case BinaryOp::kNe:
-      out = c != 0;
-      break;
-    case BinaryOp::kLt:
-      out = c < 0;
-      break;
-    case BinaryOp::kLe:
-      out = c <= 0;
-      break;
-    case BinaryOp::kGt:
-      out = c > 0;
-      break;
-    case BinaryOp::kGe:
-      out = c >= 0;
-      break;
-    default:
-      return Status::Internal("non-comparison op in Compare");
-  }
-  return Value(static_cast<int64_t>(out ? 1 : 0));
-}
-
-// Kleene truth value: 0 false, 1 true, -1 unknown(NULL).
-int Truth(const Value& v) {
-  if (v.is_null()) return -1;
-  if (v.is_int64()) return v.int64() != 0 ? 1 : 0;
-  if (v.is_float64()) return v.float64() != 0.0 ? 1 : 0;
-  return v.str().empty() ? 0 : 1;
-}
-
-Value FromTruth(int t) {
-  if (t < 0) return Value::Null();
-  return Value(static_cast<int64_t>(t));
-}
+using expr_eval::Arith;
+using expr_eval::Compare;
+using expr_eval::FromTruth;
+using expr_eval::Truth;
 
 class BinaryExpr final : public Expr {
  public:
@@ -298,6 +217,9 @@ class UnaryExpr final : public Expr {
     operand_->CollectColumns(out);
   }
 
+  UnaryOp op() const { return op_; }
+  const ExprPtr& operand() const { return operand_; }
+
  private:
   UnaryOp op_;
   ExprPtr operand_;
@@ -306,7 +228,9 @@ class UnaryExpr final : public Expr {
 class FunctionExpr final : public Expr {
  public:
   FunctionExpr(std::string name, std::vector<ExprPtr> args)
-      : name_(ToLower(name)), args_(std::move(args)) {}
+      : name_(ToLower(name)),
+        id_(expr_eval::ResolveFunction(name_)),
+        args_(std::move(args)) {}
   ExprKind kind() const override { return ExprKind::kFunction; }
 
   Result<Value> Evaluate(const Schema& schema, const Row& row) const override {
@@ -316,61 +240,7 @@ class FunctionExpr final : public Expr {
       SWIFT_ASSIGN_OR_RETURN(Value v, a->Evaluate(schema, row));
       vals.push_back(std::move(v));
     }
-    // NULL-aware functions evaluate before NULL propagation.
-    if (name_ == "is_null") {
-      if (vals.size() != 1) {
-        return Status::Application("is_null(x) expected");
-      }
-      return Value(static_cast<int64_t>(vals[0].is_null() ? 1 : 0));
-    }
-    if (name_ == "coalesce") {
-      for (const Value& v : vals) {
-        if (!v.is_null()) return v;
-      }
-      return Value::Null();
-    }
-    for (const Value& v : vals) {
-      if (v.is_null()) return Value::Null();
-    }
-    if (name_ == "substr" || name_ == "substring") {
-      if (vals.size() != 3 || !vals[0].is_string() || !vals[1].is_numeric() ||
-          !vals[2].is_numeric()) {
-        return Status::Application("substr(str, start, len) expected");
-      }
-      const std::string& s = vals[0].str();
-      int64_t start = static_cast<int64_t>(vals[1].AsDouble());
-      int64_t len = static_cast<int64_t>(vals[2].AsDouble());
-      if (start < 1) start = 1;
-      if (len < 0) len = 0;
-      if (static_cast<std::size_t>(start - 1) >= s.size()) {
-        return Value(std::string());
-      }
-      return Value(s.substr(static_cast<std::size_t>(start - 1),
-                            static_cast<std::size_t>(len)));
-    }
-    if (name_ == "lower" || name_ == "upper") {
-      if (vals.size() != 1 || !vals[0].is_string()) {
-        return Status::Application(name_ + "(str) expected");
-      }
-      std::string s = vals[0].str();
-      for (char& c : s) {
-        c = name_ == "lower"
-                ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
-                : static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-      }
-      return Value(std::move(s));
-    }
-    if (name_ == "abs") {
-      if (vals.size() != 1 || !vals[0].is_numeric()) {
-        return Status::Application("abs(x) expected");
-      }
-      if (vals[0].is_int64()) {
-        return Value(vals[0].int64() < 0 ? -vals[0].int64() : vals[0].int64());
-      }
-      return Value(std::fabs(vals[0].float64()));
-    }
-    return Status::Application(
-        StrFormat("unknown function '%s'", name_.c_str()));
+    return expr_eval::ApplyFunction(id_, name_, vals);
   }
 
   Result<DataType> OutputType(const Schema& schema) const override {
@@ -397,8 +267,12 @@ class FunctionExpr final : public Expr {
     for (const ExprPtr& a : args_) a->CollectColumns(out);
   }
 
+  const std::string& name() const { return name_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+
  private:
   std::string name_;
+  expr_eval::FuncId id_;
   std::vector<ExprPtr> args_;
 };
 
@@ -440,6 +314,27 @@ std::optional<BinaryParts> AsBinary(const ExprPtr& expr) {
   }
   const auto& b = static_cast<const BinaryExpr&>(*expr);
   return BinaryParts{b.op(), b.lhs(), b.rhs()};
+}
+
+const Value* AsLiteralValue(const Expr& expr) {
+  if (expr.kind() != ExprKind::kLiteral) return nullptr;
+  return &static_cast<const LiteralExpr&>(expr).value();
+}
+
+std::optional<UnaryParts> AsUnary(const ExprPtr& expr) {
+  if (expr == nullptr || expr->kind() != ExprKind::kUnary) {
+    return std::nullopt;
+  }
+  const auto& u = static_cast<const UnaryExpr&>(*expr);
+  return UnaryParts{u.op(), u.operand()};
+}
+
+std::optional<FunctionParts> AsFunction(const ExprPtr& expr) {
+  if (expr == nullptr || expr->kind() != ExprKind::kFunction) {
+    return std::nullopt;
+  }
+  const auto& f = static_cast<const FunctionExpr&>(*expr);
+  return FunctionParts{f.name(), f.args()};
 }
 
 std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr) {

@@ -89,6 +89,27 @@ struct BinaryParts {
 /// \brief Returns the parts of a binary node, or nullopt.
 std::optional<BinaryParts> AsBinary(const ExprPtr& expr);
 
+/// \brief Literal introspection: the value, or nullptr.
+const Value* AsLiteralValue(const Expr& expr);
+
+/// \brief Unary-node introspection (for the expression binder).
+struct UnaryParts {
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+/// \brief Returns the parts of a unary node, or nullopt.
+std::optional<UnaryParts> AsUnary(const ExprPtr& expr);
+
+/// \brief Function-node introspection. `name` is already lowercased.
+struct FunctionParts {
+  std::string name;
+  std::vector<ExprPtr> args;
+};
+
+/// \brief Returns the parts of a function node, or nullopt.
+std::optional<FunctionParts> AsFunction(const ExprPtr& expr);
+
 /// \brief Splits `expr` into its top-level AND conjuncts (a single
 /// non-AND expression yields one conjunct; null yields none).
 std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr);

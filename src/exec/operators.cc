@@ -5,6 +5,7 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "exec/bound_expr.h"
 
 namespace swift {
 
@@ -85,18 +86,22 @@ class FilterOp final : public PhysicalOperator {
   Status Open() override {
     SWIFT_RETURN_NOT_OK(child_->Open());
     output_schema_ = child_->output_schema();
+    SWIFT_ASSIGN_OR_RETURN(bound_predicate_, Bind(predicate_, output_schema_));
     return Status::OK();
   }
   Result<std::optional<Batch>> Next() override {
     for (;;) {
       SWIFT_ASSIGN_OR_RETURN(std::optional<Batch> in, child_->Next());
       if (!in.has_value()) return std::optional<Batch>();
+      // Batch-evaluate the predicate into a reused buffer, then compact.
+      SWIFT_RETURN_NOT_OK(
+          bound_predicate_->EvaluateColumn(in->rows, &pred_values_));
       Batch out;
       out.schema = output_schema_;
-      for (Row& r : in->rows) {
-        SWIFT_ASSIGN_OR_RETURN(bool keep,
-                               EvaluatePredicate(*predicate_, output_schema_, r));
-        if (keep) out.rows.push_back(std::move(r));
+      for (std::size_t i = 0; i < in->rows.size(); ++i) {
+        if (IsTruthy(pred_values_[i])) {
+          out.rows.push_back(std::move(in->rows[i]));
+        }
       }
       if (!out.rows.empty()) return std::optional<Batch>(std::move(out));
       // Fully-filtered batch: keep pulling.
@@ -104,8 +109,19 @@ class FilterOp final : public PhysicalOperator {
   }
 
  private:
+  // Predicate truthiness of an evaluated value (EvaluatePredicate
+  // semantics: NULL is false, numeric nonzero / non-empty string true).
+  static bool IsTruthy(const Value& v) {
+    if (v.is_null()) return false;
+    if (v.is_int64()) return v.int64() != 0;
+    if (v.is_float64()) return v.float64() != 0.0;
+    return !v.str().empty();
+  }
+
   OperatorPtr child_;
   ExprPtr predicate_;
+  BoundExprPtr bound_predicate_;
+  std::vector<Value> pred_values_;
 };
 
 class ProjectOp final : public PhysicalOperator {
@@ -128,6 +144,7 @@ class ProjectOp final : public PhysicalOperator {
       fields.push_back(Field{names_[i], t});
     }
     output_schema_ = Schema(std::move(fields));
+    SWIFT_ASSIGN_OR_RETURN(bound_exprs_, BindAll(exprs_, in_schema_));
     return Status::OK();
   }
   Result<std::optional<Batch>> Next() override {
@@ -138,9 +155,9 @@ class ProjectOp final : public PhysicalOperator {
     out.rows.reserve(in->rows.size());
     for (const Row& r : in->rows) {
       Row o;
-      o.reserve(exprs_.size());
-      for (const ExprPtr& e : exprs_) {
-        SWIFT_ASSIGN_OR_RETURN(Value v, e->Evaluate(in_schema_, r));
+      o.reserve(bound_exprs_.size());
+      for (const BoundExprPtr& e : bound_exprs_) {
+        SWIFT_ASSIGN_OR_RETURN(Value v, e->Evaluate(r));
         o.push_back(std::move(v));
       }
       out.rows.push_back(std::move(o));
@@ -152,6 +169,7 @@ class ProjectOp final : public PhysicalOperator {
   OperatorPtr child_;
   std::vector<ExprPtr> exprs_;
   std::vector<std::string> names_;
+  std::vector<BoundExprPtr> bound_exprs_;
   Schema in_schema_;
 };
 
@@ -183,12 +201,11 @@ class LimitOp final : public PhysicalOperator {
   int64_t remaining_;
 };
 
-Result<Row> EvalKeys(const std::vector<ExprPtr>& keys, const Schema& schema,
-                     const Row& row) {
+Result<Row> EvalKeys(const std::vector<BoundExprPtr>& keys, const Row& row) {
   Row k;
   k.reserve(keys.size());
-  for (const ExprPtr& e : keys) {
-    SWIFT_ASSIGN_OR_RETURN(Value v, e->Evaluate(schema, row));
+  for (const BoundExprPtr& e : keys) {
+    SWIFT_ASSIGN_OR_RETURN(Value v, e->Evaluate(row));
     k.push_back(std::move(v));
   }
   return k;
@@ -241,14 +258,17 @@ class HashJoinOp final : public MaterializedOperator {
     SWIFT_RETURN_NOT_OK(left_->Open());
     SWIFT_RETURN_NOT_OK(right_->Open());
     output_schema_ = left_->output_schema().Concat(right_->output_schema());
+    SWIFT_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> bound_left,
+                           BindAll(left_keys_, left_->output_schema()));
+    SWIFT_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> bound_right,
+                           BindAll(right_keys_, right_->output_schema()));
 
     std::unordered_multimap<Row, Row, RowHash, RowEq> build;
     {
       std::vector<Row> rows;
       SWIFT_RETURN_NOT_OK(Drain(right_.get(), &rows));
       for (Row& r : rows) {
-        SWIFT_ASSIGN_OR_RETURN(
-            Row key, EvalKeys(right_keys_, right_->output_schema(), r));
+        SWIFT_ASSIGN_OR_RETURN(Row key, EvalKeys(bound_right, r));
         if (KeyHasNull(key)) continue;
         build.emplace(std::move(key), std::move(r));
       }
@@ -257,8 +277,7 @@ class HashJoinOp final : public MaterializedOperator {
     std::vector<Row> probe;
     SWIFT_RETURN_NOT_OK(Drain(left_.get(), &probe));
     for (const Row& l : probe) {
-      SWIFT_ASSIGN_OR_RETURN(Row key,
-                             EvalKeys(left_keys_, left_->output_schema(), l));
+      SWIFT_ASSIGN_OR_RETURN(Row key, EvalKeys(bound_left, l));
       bool matched = false;
       if (!KeyHasNull(key)) {
         auto [lo, hi] = build.equal_range(key);
@@ -304,6 +323,10 @@ class MergeJoinOp final : public MaterializedOperator {
     SWIFT_RETURN_NOT_OK(right_->Open());
     output_schema_ = left_->output_schema().Concat(right_->output_schema());
 
+    SWIFT_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> bound_left,
+                           BindAll(left_keys_, left_->output_schema()));
+    SWIFT_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> bound_right,
+                           BindAll(right_keys_, right_->output_schema()));
     std::vector<Row> lrows, rrows;
     SWIFT_RETURN_NOT_OK(Drain(left_.get(), &lrows));
     SWIFT_RETURN_NOT_OK(Drain(right_.get(), &rrows));
@@ -311,13 +334,11 @@ class MergeJoinOp final : public MaterializedOperator {
     lkeys.reserve(lrows.size());
     rkeys.reserve(rrows.size());
     for (const Row& r : lrows) {
-      SWIFT_ASSIGN_OR_RETURN(Row k,
-                             EvalKeys(left_keys_, left_->output_schema(), r));
+      SWIFT_ASSIGN_OR_RETURN(Row k, EvalKeys(bound_left, r));
       lkeys.push_back(std::move(k));
     }
     for (const Row& r : rrows) {
-      SWIFT_ASSIGN_OR_RETURN(Row k,
-                             EvalKeys(right_keys_, right_->output_schema(), r));
+      SWIFT_ASSIGN_OR_RETURN(Row k, EvalKeys(bound_right, r));
       rkeys.push_back(std::move(k));
     }
     for (std::size_t i = 1; i < lkeys.size(); ++i) {
@@ -397,6 +418,12 @@ class SortOp final : public MaterializedOperator {
   Status Open() override {
     SWIFT_RETURN_NOT_OK(child_->Open());
     output_schema_ = child_->output_schema();
+    bound_keys_.clear();
+    bound_keys_.reserve(keys_.size());
+    for (const SortKey& key : keys_) {
+      SWIFT_ASSIGN_OR_RETURN(BoundExprPtr b, Bind(key.expr, output_schema_));
+      bound_keys_.push_back(std::move(b));
+    }
     SWIFT_RETURN_NOT_OK(Drain(child_.get(), &out_rows_));
     // Precompute key tuples, then stable-sort an index permutation so
     // expression evaluation is O(n), not O(n log n).
@@ -425,18 +452,11 @@ class SortOp final : public MaterializedOperator {
   }
 
  private:
-  Result<Row> EvalKeysOf(const Row& r) {
-    Row k;
-    k.reserve(keys_.size());
-    for (const SortKey& key : keys_) {
-      SWIFT_ASSIGN_OR_RETURN(Value v, key.expr->Evaluate(output_schema_, r));
-      k.push_back(std::move(v));
-    }
-    return k;
-  }
+  Result<Row> EvalKeysOf(const Row& r) { return EvalKeys(bound_keys_, r); }
 
   OperatorPtr child_;
   std::vector<SortKey> keys_;
+  std::vector<BoundExprPtr> bound_keys_;
 };
 
 // Incremental aggregate state shared by hash and streamed variants.
@@ -508,15 +528,30 @@ Result<Schema> AggOutputSchema(const Schema& in,
   return Schema(std::move(fields));
 }
 
-Result<Value> AggInput(const AggSpec& spec, const Schema& schema,
-                       const Row& row) {
-  if (spec.arg == nullptr) return Value(int64_t{1});  // COUNT(*) marker
-  SWIFT_ASSIGN_OR_RETURN(Value v, spec.arg->Evaluate(schema, row));
-  if (spec.kind == AggKind::kCount && v.is_null()) {
+Result<Value> AggInput(AggKind kind, const BoundExpr* arg, const Row& row) {
+  if (arg == nullptr) return Value(int64_t{1});  // COUNT(*) marker
+  SWIFT_ASSIGN_OR_RETURN(Value v, arg->Evaluate(row));
+  if (kind == AggKind::kCount && v.is_null()) {
     // COUNT(x) ignores NULL: represent as "no update" via null marker.
     return Value::Null();
   }
   return v;
+}
+
+// Binds the aggregate argument expressions; COUNT(*) slots stay null.
+Result<std::vector<BoundExprPtr>> BindAggArgs(const std::vector<AggSpec>& aggs,
+                                              const Schema& schema) {
+  std::vector<BoundExprPtr> out;
+  out.reserve(aggs.size());
+  for (const AggSpec& a : aggs) {
+    if (a.arg == nullptr) {
+      out.push_back(nullptr);
+      continue;
+    }
+    SWIFT_ASSIGN_OR_RETURN(BoundExprPtr b, Bind(a.arg, schema));
+    out.push_back(std::move(b));
+  }
+  return out;
 }
 
 class HashAggregateOp final : public MaterializedOperator {
@@ -537,20 +572,26 @@ class HashAggregateOp final : public MaterializedOperator {
     const Schema& in = child_->output_schema();
     SWIFT_ASSIGN_OR_RETURN(output_schema_,
                            AggOutputSchema(in, groups_, group_names_, aggs_));
+    SWIFT_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> bound_groups,
+                           BindAll(groups_, in));
+    SWIFT_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> bound_args,
+                           BindAggArgs(aggs_, in));
 
     std::unordered_map<Row, std::vector<AggState>, RowHash, RowEq> table;
     std::vector<Row> key_order;  // first-seen order for determinism
     std::vector<Row> rows;
     SWIFT_RETURN_NOT_OK(Drain(child_.get(), &rows));
+    Row key;
     for (const Row& r : rows) {
-      SWIFT_ASSIGN_OR_RETURN(Row key, EvalKeys(groups_, in, r));
+      SWIFT_RETURN_NOT_OK(EvalBoundKeys(bound_groups, r, &key));
       auto it = table.find(key);
       if (it == table.end()) {
         it = table.emplace(key, std::vector<AggState>(aggs_.size())).first;
         key_order.push_back(key);
       }
       for (std::size_t a = 0; a < aggs_.size(); ++a) {
-        SWIFT_ASSIGN_OR_RETURN(Value v, AggInput(aggs_[a], in, r));
+        SWIFT_ASSIGN_OR_RETURN(
+            Value v, AggInput(aggs_[a].kind, bound_args[a].get(), r));
         if (aggs_[a].kind == AggKind::kCount && v.is_null()) continue;
         it->second[a].Update(aggs_[a].kind, v);
       }
@@ -596,6 +637,10 @@ class StreamedAggregateOp final : public MaterializedOperator {
     const Schema& in = child_->output_schema();
     SWIFT_ASSIGN_OR_RETURN(output_schema_,
                            AggOutputSchema(in, groups_, group_names_, aggs_));
+    SWIFT_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> bound_groups,
+                           BindAll(groups_, in));
+    SWIFT_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> bound_args,
+                           BindAggArgs(aggs_, in));
 
     bool have_group = false;
     Row current_key;
@@ -612,8 +657,9 @@ class StreamedAggregateOp final : public MaterializedOperator {
     for (;;) {
       SWIFT_ASSIGN_OR_RETURN(std::optional<Batch> b, child_->Next());
       if (!b.has_value()) break;
+      Row key;
       for (const Row& r : b->rows) {
-        SWIFT_ASSIGN_OR_RETURN(Row key, EvalKeys(groups_, in, r));
+        SWIFT_RETURN_NOT_OK(EvalBoundKeys(bound_groups, r, &key));
         if (have_group && !RowsEqual(key, current_key)) {
           if (CompareKeyRows(current_key, key) > 0) {
             return Status::Internal(
@@ -626,7 +672,8 @@ class StreamedAggregateOp final : public MaterializedOperator {
           have_group = true;
         }
         for (std::size_t a = 0; a < aggs_.size(); ++a) {
-          SWIFT_ASSIGN_OR_RETURN(Value v, AggInput(aggs_[a], in, r));
+          SWIFT_ASSIGN_OR_RETURN(
+              Value v, AggInput(aggs_[a].kind, bound_args[a].get(), r));
           if (aggs_[a].kind == AggKind::kCount && v.is_null()) continue;
           states[a].Update(aggs_[a].kind, v);
         }
@@ -668,6 +715,19 @@ class WindowOp final : public MaterializedOperator {
                                              : DataType::kInt64});
     output_schema_ = Schema(std::move(fields));
 
+    SWIFT_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> bound_partition,
+                           BindAll(partition_by_, in));
+    std::vector<BoundExprPtr> bound_order;
+    bound_order.reserve(order_by_.size());
+    for (const SortKey& sk : order_by_) {
+      SWIFT_ASSIGN_OR_RETURN(BoundExprPtr b, Bind(sk.expr, in));
+      bound_order.push_back(std::move(b));
+    }
+    BoundExprPtr bound_arg;
+    if (arg_ != nullptr) {
+      SWIFT_ASSIGN_OR_RETURN(bound_arg, Bind(arg_, in));
+    }
+
     SWIFT_RETURN_NOT_OK(Drain(child_.get(), &out_rows_));
 
     struct Decorated {
@@ -678,13 +738,8 @@ class WindowOp final : public MaterializedOperator {
     std::vector<Decorated> dec;
     dec.reserve(out_rows_.size());
     for (std::size_t i = 0; i < out_rows_.size(); ++i) {
-      SWIFT_ASSIGN_OR_RETURN(Row k, EvalKeys(partition_by_, in, out_rows_[i]));
-      Row o;
-      o.reserve(order_by_.size());
-      for (const SortKey& sk : order_by_) {
-        SWIFT_ASSIGN_OR_RETURN(Value v, sk.expr->Evaluate(in, out_rows_[i]));
-        o.push_back(std::move(v));
-      }
+      SWIFT_ASSIGN_OR_RETURN(Row k, EvalKeys(bound_partition, out_rows_[i]));
+      SWIFT_ASSIGN_OR_RETURN(Row o, EvalKeys(bound_order, out_rows_[i]));
       dec.push_back(Decorated{std::move(k), std::move(o), i});
     }
     std::stable_sort(dec.begin(), dec.end(), [&](const Decorated& a,
@@ -725,10 +780,10 @@ class WindowOp final : public MaterializedOperator {
             v = Value(rank);
             break;
           case WindowFunc::kSum: {
-            if (arg_ == nullptr) {
+            if (bound_arg == nullptr) {
               return Status::InvalidArgument("window sum requires an argument");
             }
-            SWIFT_ASSIGN_OR_RETURN(Value a, arg_->Evaluate(in, r));
+            SWIFT_ASSIGN_OR_RETURN(Value a, bound_arg->Evaluate(r));
             if (!a.is_null()) running_sum += a.AsDouble();
             v = Value(running_sum);
             break;
@@ -820,33 +875,75 @@ Result<Batch> CollectAll(PhysicalOperator* op) {
   return out;
 }
 
-Result<std::vector<Batch>> HashPartition(const Batch& batch,
-                                         const std::vector<ExprPtr>& keys,
-                                         int num_partitions) {
+namespace {
+
+// Shared partitioner core: one bound-key pass computes every row's
+// destination, per-partition vectors are reserved from exact counts,
+// then `take_row(i)` either copies (borrowed input) or moves (owned
+// input) each row into its partition.
+template <typename TakeRow>
+Result<std::vector<Batch>> HashPartitionImpl(const Batch& batch,
+                                             const std::vector<ExprPtr>& keys,
+                                             int num_partitions,
+                                             TakeRow take_row) {
   if (num_partitions <= 0) {
     return Status::InvalidArgument("num_partitions must be positive");
   }
-  std::vector<Batch> out(static_cast<std::size_t>(num_partitions));
-  for (auto& b : out) b.schema = batch.schema;
-  for (const Row& r : batch.rows) {
-    SWIFT_ASSIGN_OR_RETURN(Row key, EvalKeys(keys, batch.schema, r));
+  SWIFT_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> bound,
+                         BindAll(keys, batch.schema));
+  const std::size_t n = static_cast<std::size_t>(num_partitions);
+  std::vector<std::size_t> dest(batch.rows.size(), 0);
+  std::vector<std::size_t> counts(n, 0);
+  Row key;
+  for (std::size_t i = 0; i < batch.rows.size(); ++i) {
+    SWIFT_RETURN_NOT_OK(EvalBoundKeys(bound, batch.rows[i], &key));
     const std::size_t p =
-        (keys.empty() || KeyHasNull(key))
-            ? 0
-            : HashRow(key) % static_cast<std::size_t>(num_partitions);
-    out[p].rows.push_back(r);
+        (bound.empty() || KeyHasNull(key)) ? 0 : HashRow(key) % n;
+    dest[i] = p;
+    ++counts[p];
+  }
+  std::vector<Batch> out(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    out[p].schema = batch.schema;
+    out[p].rows.reserve(counts[p]);
+  }
+  for (std::size_t i = 0; i < batch.rows.size(); ++i) {
+    out[dest[i]].rows.push_back(take_row(i));
   }
   return out;
 }
 
+}  // namespace
+
+Result<std::vector<Batch>> HashPartition(const Batch& batch,
+                                         const std::vector<ExprPtr>& keys,
+                                         int num_partitions) {
+  return HashPartitionImpl(batch, keys, num_partitions,
+                           [&](std::size_t i) -> Row { return batch.rows[i]; });
+}
+
+Result<std::vector<Batch>> HashPartition(Batch&& batch,
+                                         const std::vector<ExprPtr>& keys,
+                                         int num_partitions) {
+  return HashPartitionImpl(
+      batch, keys, num_partitions,
+      [&](std::size_t i) -> Row { return std::move(batch.rows[i]); });
+}
+
 Result<bool> IsSorted(const Schema& schema, const std::vector<Row>& rows,
                       const std::vector<SortKey>& keys) {
+  std::vector<BoundExprPtr> bound;
+  bound.reserve(keys.size());
+  for (const SortKey& k : keys) {
+    SWIFT_ASSIGN_OR_RETURN(BoundExprPtr b, Bind(k.expr, schema));
+    bound.push_back(std::move(b));
+  }
   for (std::size_t i = 1; i < rows.size(); ++i) {
-    for (const SortKey& k : keys) {
-      SWIFT_ASSIGN_OR_RETURN(Value a, k.expr->Evaluate(schema, rows[i - 1]));
-      SWIFT_ASSIGN_OR_RETURN(Value b, k.expr->Evaluate(schema, rows[i]));
+    for (std::size_t k = 0; k < keys.size(); ++k) {
+      SWIFT_ASSIGN_OR_RETURN(Value a, bound[k]->Evaluate(rows[i - 1]));
+      SWIFT_ASSIGN_OR_RETURN(Value b, bound[k]->Evaluate(rows[i]));
       int c = a.Compare(b);
-      if (!k.ascending) c = -c;
+      if (!keys[k].ascending) c = -c;
       if (c < 0) break;
       if (c > 0) return false;
     }

@@ -125,8 +125,16 @@ OperatorPtr MakeWindow(OperatorPtr child, std::vector<ExprPtr> partition_by,
 Result<Batch> CollectAll(PhysicalOperator* op);
 
 /// \brief Hash-partitions `batch` into `num_partitions` by key columns
-/// (shuffle-write partitioning). NULL keys go to partition 0.
+/// (shuffle-write partitioning). NULL keys go to partition 0. Key
+/// expressions are bound once per call; output partitions are reserved
+/// from an exact counting pass.
 Result<std::vector<Batch>> HashPartition(const Batch& batch,
+                                         const std::vector<ExprPtr>& keys,
+                                         int num_partitions);
+
+/// \brief Owned-input overload: rows are moved into the partitions
+/// instead of copied (the shuffle-write path owns its batch).
+Result<std::vector<Batch>> HashPartition(Batch&& batch,
                                          const std::vector<ExprPtr>& keys,
                                          int num_partitions);
 

@@ -6,14 +6,39 @@
 
 namespace swift {
 
+namespace {
+
+bool HasUpperAscii(const std::string& s) {
+  for (char c : s) {
+    if (c >= 'A' && c <= 'Z') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
   for (std::size_t i = 0; i < fields_.size(); ++i) {
-    by_name_[ToLower(fields_[i].name)].push_back(i);
+    std::string lower = ToLower(fields_[i].name);
+    // Qualified names ("l.l_suppkey") are additionally indexed by their
+    // unqualified suffix so IndexOf never has to scan the name map.
+    const std::size_t dot = lower.rfind('.');
+    if (dot != std::string::npos) {
+      by_suffix_[lower.substr(dot + 1)].push_back(i);
+    }
+    by_name_[std::move(lower)].push_back(i);
   }
 }
 
 Result<std::size_t> Schema::IndexOf(const std::string& name) const {
-  const std::string key = ToLower(name);
+  // Fast path: an already-lowercase argument (the common case — bound
+  // expressions, planner internals) needs no lowercased copy.
+  if (!HasUpperAscii(name)) return Lookup(name, name);
+  return Lookup(ToLower(name), name);
+}
+
+Result<std::size_t> Schema::Lookup(const std::string& key,
+                                   const std::string& name) const {
   auto it = by_name_.find(key);
   if (it != by_name_.end()) {
     if (it->second.size() > 1) {
@@ -23,21 +48,13 @@ Result<std::size_t> Schema::IndexOf(const std::string& name) const {
     return it->second[0];
   }
   // Unqualified lookup against qualified names: match suffix ".<key>".
-  std::size_t hit = 0;
-  int matches = 0;
-  for (const auto& [qualified, idxs] : by_name_) {
-    const std::size_t dot = qualified.rfind('.');
-    if (dot != std::string::npos && qualified.substr(dot + 1) == key) {
-      for (std::size_t idx : idxs) {
-        hit = idx;
-        ++matches;
-      }
+  auto sit = by_suffix_.find(key);
+  if (sit != by_suffix_.end()) {
+    if (sit->second.size() > 1) {
+      return Status::InvalidArgument(
+          StrFormat("ambiguous column reference '%s'", name.c_str()));
     }
-  }
-  if (matches == 1) return hit;
-  if (matches > 1) {
-    return Status::InvalidArgument(
-        StrFormat("ambiguous column reference '%s'", name.c_str()));
+    return sit->second[0];
   }
   return Status::NotFound(StrFormat("no column named '%s'", name.c_str()));
 }

@@ -51,8 +51,14 @@ class Schema {
   std::string ToString() const;
 
  private:
+  /// Resolves an already-lowercased `key` (`name` only for error text).
+  Result<std::size_t> Lookup(const std::string& key,
+                             const std::string& name) const;
+
   std::vector<Field> fields_;
   std::map<std::string, std::vector<std::size_t>> by_name_;  // lower-cased
+  // Unqualified suffix ("x" for "t.x") -> field indices, lower-cased.
+  std::map<std::string, std::vector<std::size_t>> by_suffix_;
 };
 
 /// \brief A schema plus its rows: the unit operators exchange.

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "common/wait_group.h"
 #include "exec/serde.h"
 #include "scheduler/graphlet_tracker.h"
 #include "scheduler/task_tracker.h"
@@ -242,18 +243,27 @@ Status LocalRuntime::RunStageWave(JobContext* ctx, StageId stage,
     outcomes[i].task = task;
   }
   {
-    // Dispatch the wave to the executor thread pool and wait.
+    // Dispatch the wave to the executor thread pool and wait on this
+    // wave's own latch — not ThreadPool::Wait(), which blocks on every
+    // pool task and would let concurrent RunPlan calls stall each other.
+    WaitGroup wg(tasks.size());
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       const TaskRef task = outcomes[i].task;
       Outcome* slot = &outcomes[i];
       const int machine = ctx->placement.count(task) > 0
                               ? ctx->placement[task].machine
                               : 0;
-      pool_->Submit([this, ctx, task, machine, slot] {
+      const bool submitted = pool_->Submit([this, ctx, task, machine, slot,
+                                            &wg] {
         slot->status = RunTask(ctx, task, machine);
+        wg.Done();
       });
+      if (!submitted) {
+        slot->status = Status::Internal("executor pool shut down mid-wave");
+        wg.Done();
+      }
     }
-    pool_->Wait();
+    wg.Wait();
   }
 
   for (Outcome& o : outcomes) {
@@ -463,7 +473,7 @@ Status LocalRuntime::RunTask(JobContext* ctx, const TaskRef& task,
     parts[0].schema = out.schema;
   } else {
     SWIFT_ASSIGN_OR_RETURN(
-        parts, HashPartition(out, program.output_partition_keys,
+        parts, HashPartition(std::move(out), program.output_partition_keys,
                              consumer_prog.task_count));
   }
   for (int dst = 0; dst < consumer_prog.task_count; ++dst) {

@@ -25,6 +25,18 @@ TEST(SchemaTest, LookupIsCaseInsensitive) {
   EXPECT_TRUE(s.HasField("O_ORDERKEY"));
 }
 
+TEST(SchemaTest, MixedCaseSuffixAndQualifiedLookup) {
+  // Exercises both IndexOf paths: the allocation-free all-lowercase fast
+  // path and the lowercasing slow path, for exact and suffix matches.
+  Schema s({{"L.L_SuppKey", DataType::kInt64}});
+  for (const char* name :
+       {"l.l_suppkey", "L.L_SUPPKEY", "l_suppkey", "L_SuppKey"}) {
+    auto idx = s.IndexOf(name);
+    ASSERT_TRUE(idx.ok()) << name;
+    EXPECT_EQ(*idx, 0u) << name;
+  }
+}
+
 TEST(SchemaTest, UnknownNameIsNotFound) {
   Schema s({{"a", DataType::kInt64}});
   EXPECT_EQ(s.IndexOf("zzz").status().code(), StatusCode::kNotFound);

@@ -5,6 +5,8 @@
 #include <atomic>
 #include <chrono>
 
+#include "common/wait_group.h"
+
 namespace swift {
 namespace {
 
@@ -74,6 +76,49 @@ TEST(ThreadPoolTest, TasksRunConcurrently) {
   }
   pool.Wait();
   EXPECT_GE(peak.load(), 2);
+}
+
+TEST(WaitGroupTest, WaitsForExactlyItsOwnTasks) {
+  ThreadPool pool(4);
+  // A long-running background task the wave must NOT wait on.
+  std::atomic<bool> release{false};
+  std::atomic<bool> background_done{false};
+  pool.Submit([&] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    background_done = true;
+  });
+
+  WaitGroup wg(8);
+  std::atomic<int> wave_done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] {
+      ++wave_done;
+      wg.Done();
+    });
+  }
+  wg.Wait();
+  EXPECT_EQ(wave_done.load(), 8);
+  // Returned while the unrelated task was still running — the old
+  // pool.Wait() approach would have blocked on it.
+  EXPECT_FALSE(background_done.load());
+  release = true;
+  pool.Wait();
+  EXPECT_TRUE(background_done.load());
+}
+
+TEST(WaitGroupTest, AddThenDone) {
+  WaitGroup wg;
+  wg.Add(2);
+  wg.Done();
+  wg.Done();
+  wg.Wait();  // must not block
+}
+
+TEST(WaitGroupTest, ZeroCountWaitReturnsImmediately) {
+  WaitGroup wg(0);
+  wg.Wait();
 }
 
 }  // namespace
