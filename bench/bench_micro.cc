@@ -15,6 +15,7 @@
 #include "exec/tpch.h"
 #include "partition/partitioners.h"
 #include "shuffle/cache_worker.h"
+#include "shuffle/shuffle_service.h"
 #include "sim/event_engine.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
@@ -131,6 +132,111 @@ void BM_DeserializeBatch(benchmark::State& state) {
                           static_cast<int64_t>(bytes.size()));
 }
 BENCHMARK(BM_DeserializeBatch)->Arg(100)->Arg(10000);
+
+// Int-heavy rows are where the schema-elided v2 format pays off most:
+// v1 spends a type tag per value and a column count per row, v2 one
+// validity bit per value.
+// 16 int64 columns: the width of a TPC-H lineitem row once dates and
+// flags are dictionary/epoch-encoded — the int-heavy shape the shuffle
+// path sees on the aggregation-bound queries.
+constexpr int kIntBatchCols = 16;
+
+Batch MakeIntBatch(int rows) {
+  Batch b;
+  std::vector<Field> fields;
+  for (int c = 0; c < kIntBatchCols; ++c) {
+    fields.push_back({"c" + std::to_string(c), DataType::kInt64});
+  }
+  b.schema = Schema(std::move(fields));
+  for (int i = 0; i < rows; ++i) {
+    Row row;
+    row.reserve(kIntBatchCols);
+    for (int c = 0; c < kIntBatchCols; ++c) {
+      row.emplace_back(static_cast<int64_t>(i * 31 + c));
+    }
+    b.rows.push_back(std::move(row));
+  }
+  return b;
+}
+
+void BM_SerdeV1SerializeInts(benchmark::State& state) {
+  Batch b = MakeIntBatch(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::string bytes = SerializeBatchV1(b);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(SerializedBatchSizeV1(b)));
+}
+BENCHMARK(BM_SerdeV1SerializeInts)->Arg(10000);
+
+void BM_SerdeV2SerializeInts(benchmark::State& state) {
+  Batch b = MakeIntBatch(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::string bytes = SerializeBatch(b);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(SerializedBatchSize(b)));
+}
+BENCHMARK(BM_SerdeV2SerializeInts)->Arg(10000);
+
+void BM_SerdeV1DeserializeInts(benchmark::State& state) {
+  std::string bytes =
+      SerializeBatchV1(MakeIntBatch(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto b = DeserializeBatch(bytes);
+    benchmark::DoNotOptimize(b);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_SerdeV1DeserializeInts)->Arg(10000);
+
+void BM_SerdeV2DeserializeInts(benchmark::State& state) {
+  std::string bytes =
+      SerializeBatch(MakeIntBatch(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto b = DeserializeBatch(bytes);
+    benchmark::DoNotOptimize(b);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_SerdeV2DeserializeInts)->Arg(10000);
+
+// Local-shuffle write + read of one partition: legacy copying plane vs
+// the shared-buffer plane. Unique key per iteration; retain off so the
+// slot is consumed by the read.
+void LocalShuffleCopyLoop(benchmark::State& state, bool zero_copy) {
+  ShuffleService::Config cfg;
+  cfg.machines = 2;
+  cfg.retain_for_recovery = false;
+  cfg.zero_copy = zero_copy;
+  ShuffleService svc(cfg);
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  int task = 0;
+  for (auto _ : state) {
+    ShuffleSlotKey key{1, 0, task, 1, 0};
+    (void)svc.WritePartition(ShuffleKind::kLocal, key,
+                             ShuffleBuffer::Copy(payload), 0, false);
+    auto got = svc.ReadPartition(ShuffleKind::kLocal, key, 1, 0);
+    benchmark::DoNotOptimize(got);
+    ++task;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_LocalShuffleLegacyCopy(benchmark::State& state) {
+  LocalShuffleCopyLoop(state, /*zero_copy=*/false);
+}
+BENCHMARK(BM_LocalShuffleLegacyCopy)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_LocalShuffleSharedBuffer(benchmark::State& state) {
+  LocalShuffleCopyLoop(state, /*zero_copy=*/true);
+}
+BENCHMARK(BM_LocalShuffleSharedBuffer)->Arg(1 << 16)->Arg(1 << 20);
 
 // Replicates the pre-binding HashPartition loop: every key access goes
 // through Expr::Evaluate (name lookup per row) and partitions grow with

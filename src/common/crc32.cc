@@ -1,0 +1,104 @@
+#include "common/crc32.h"
+
+#include <array>
+#include <cstddef>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <nmmintrin.h>
+#define SWIFT_CRC32_X86 1
+#endif
+
+namespace swift {
+
+namespace {
+
+// Reflected CRC-32C (Castagnoli) polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+// Slice-by-8 tables: table[j][b] advances the CRC by byte b seen j
+// positions before the current one, so eight bytes fold in parallel.
+constexpr std::array<std::array<uint32_t, 256>, 8> MakeTables() {
+  std::array<std::array<uint32_t, 256>, 8> t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    t[0][i] = c;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    for (int j = 1; j < 8; ++j) {
+      t[j][i] = (t[j - 1][i] >> 8) ^ t[0][t[j - 1][i] & 0xFFu];
+    }
+  }
+  return t;
+}
+
+constexpr std::array<std::array<uint32_t, 256>, 8> kTables = MakeTables();
+
+uint32_t CrcSoftware(const unsigned char* p, std::size_t n, uint32_t c) {
+  while (n >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = kTables[7][lo & 0xFFu] ^ kTables[6][(lo >> 8) & 0xFFu] ^
+        kTables[5][(lo >> 16) & 0xFFu] ^ kTables[4][lo >> 24] ^
+        kTables[3][hi & 0xFFu] ^ kTables[2][(hi >> 8) & 0xFFu] ^
+        kTables[1][(hi >> 16) & 0xFFu] ^ kTables[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n--) {
+    c = kTables[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+  }
+  return c;
+}
+
+#ifdef SWIFT_CRC32_X86
+__attribute__((target("sse4.2"))) uint32_t CrcHardware(const unsigned char* p,
+                                                       std::size_t n,
+                                                       uint32_t c) {
+#if defined(__x86_64__)
+  uint64_t c64 = c;
+  while (n >= 8) {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    c64 = _mm_crc32_u64(c64, v);
+    p += 8;
+    n -= 8;
+  }
+  c = static_cast<uint32_t>(c64);
+#else
+  while (n >= 4) {
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    c = _mm_crc32_u32(c, v);
+    p += 4;
+    n -= 4;
+  }
+#endif
+  while (n--) {
+    c = _mm_crc32_u8(c, *p++);
+  }
+  return c;
+}
+#endif  // SWIFT_CRC32_X86
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data.data());
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+#ifdef SWIFT_CRC32_X86
+  static const bool kHasSse42 = __builtin_cpu_supports("sse4.2");
+  if (kHasSse42) {
+    return CrcHardware(p, data.size(), c) ^ 0xFFFFFFFFu;
+  }
+#endif
+  return CrcSoftware(p, data.size(), c) ^ 0xFFFFFFFFu;
+}
+
+}  // namespace swift

@@ -1,24 +1,46 @@
 #include "exec/serde.h"
 
+#include <bit>
 #include <cstring>
+#include <optional>
 
+#include "common/crc32.h"
 #include "common/macros.h"
 #include "common/string_util.h"
 
 namespace swift {
 
+// The wire format stores multi-byte integers little-endian and the
+// fixed-width codecs below memcpy them directly.
+static_assert(std::endian::native == std::endian::little,
+              "shuffle wire format assumes a little-endian host");
+
 namespace {
 
-constexpr uint32_t kMagic = 0x53574654;  // "SWFT"
+/// v1 ("SWFT"): self-describing — a type tag per value, a column count
+/// per row, u32 string lengths. Still written for ragged batches and
+/// accepted forever.
+constexpr uint32_t kMagicV1 = 0x53574654;
+/// v2 ("SWF2"): schema written once; per-column validity bitmaps; value
+/// encoding implied by the schema; varint lengths/counts; CRC32 footer.
+constexpr uint32_t kMagicV2 = 0x53574632;
+
+/// Per-column encodings of v2.
+constexpr uint8_t kColTyped = 0;   ///< bitmap + schema-typed values
+constexpr uint8_t kColTagged = 1;  ///< per-value type tags (mixed column)
 
 void PutU8(std::string* out, uint8_t v) {
   out->push_back(static_cast<char>(v));
 }
 void PutU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  char b[4];
+  std::memcpy(b, &v, sizeof(b));
+  out->append(b, sizeof(b));
 }
 void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  char b[8];
+  std::memcpy(b, &v, sizeof(b));
+  out->append(b, sizeof(b));
 }
 void PutI64(std::string* out, int64_t v) {
   PutU64(out, static_cast<uint64_t>(v));
@@ -28,41 +50,71 @@ void PutF64(std::string* out, double v) {
   std::memcpy(&bits, &v, sizeof(bits));
   PutU64(out, bits);
 }
-void PutStr(std::string* out, const std::string& s) {
+std::size_t VarintSize(uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+void PutStrV1(std::string* out, const std::string& s) {
   PutU32(out, static_cast<uint32_t>(s.size()));
   out->append(s);
 }
 
+/// Bounds-checked cursor over a borrowed buffer. All reads — including
+/// strings — return views into the buffer; nothing is copied until a
+/// Value is materialized.
 class Reader {
  public:
-  explicit Reader(const std::string& buf) : buf_(buf) {}
+  explicit Reader(std::string_view buf) : buf_(buf) {}
 
   Result<uint8_t> U8() {
-    if (pos_ + 1 > buf_.size()) return Truncated();
+    if (buf_.size() - pos_ < 1) return Truncated();
     return static_cast<uint8_t>(buf_[pos_++]);
   }
   Result<uint32_t> U32() {
-    if (pos_ + 4 > buf_.size()) return Truncated();
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<uint32_t>(static_cast<uint8_t>(buf_[pos_++])) << (8 * i);
-    }
+    if (buf_.size() - pos_ < 4) return Truncated();
+    uint32_t v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(v));
+    pos_ += 4;
     return v;
   }
   Result<uint64_t> U64() {
-    if (pos_ + 8 > buf_.size()) return Truncated();
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<uint64_t>(static_cast<uint8_t>(buf_[pos_++])) << (8 * i);
-    }
+    if (buf_.size() - pos_ < 8) return Truncated();
+    uint64_t v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(v));
+    pos_ += 8;
     return v;
   }
-  Result<std::string> Str() {
-    SWIFT_ASSIGN_OR_RETURN(uint32_t len, U32());
-    if (pos_ + len > buf_.size()) return Truncated();
-    std::string s = buf_.substr(pos_, len);
-    pos_ += len;
+  Result<uint64_t> Varint() {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= buf_.size()) return Truncated();
+      const uint8_t byte = static_cast<uint8_t>(buf_[pos_++]);
+      v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return v;
+    }
+    return Status::IOError(
+        StrFormat("varint overruns 64 bits at offset %zu", pos_));
+  }
+  Result<std::string_view> Bytes(std::size_t n) {
+    if (buf_.size() - pos_ < n) return Truncated();
+    std::string_view s = buf_.substr(pos_, n);
+    pos_ += n;
     return s;
+  }
+  /// v1 string: u32 length prefix. A view, not a substr copy.
+  Result<std::string_view> StrV1() {
+    SWIFT_ASSIGN_OR_RETURN(uint32_t len, U32());
+    return Bytes(len);
+  }
+  /// v2 string: varint length prefix.
+  Result<std::string_view> StrV2() {
+    SWIFT_ASSIGN_OR_RETURN(uint64_t len, Varint());
+    if (len > buf_.size() - pos_) return Truncated();
+    return Bytes(static_cast<std::size_t>(len));
   }
   bool AtEnd() const { return pos_ == buf_.size(); }
   std::size_t Remaining() const { return buf_.size() - pos_; }
@@ -72,19 +124,273 @@ class Reader {
     return Status::IOError(
         StrFormat("truncated batch buffer at offset %zu", pos_));
   }
-  const std::string& buf_;
+  std::string_view buf_;
   std::size_t pos_ = 0;
 };
 
+/// True when every row has exactly one cell per schema field — the
+/// precondition for the schema-elided v2 encoding.
+bool UniformRows(const Batch& batch) {
+  const std::size_t width = batch.schema.num_fields();
+  for (const Row& r : batch.rows) {
+    if (r.size() != width) return false;
+  }
+  return true;
+}
+
+void PutVarintAt(char*& p, uint64_t v) {
+  while (v >= 0x80) {
+    *p++ = static_cast<char>(v | 0x80);
+    v >>= 7;
+  }
+  *p++ = static_cast<char>(v);
+}
+
+char* WriteV2Header(const Batch& batch, char* p) {
+  std::memcpy(p, &kMagicV2, 4);
+  p += 4;
+  PutVarintAt(p, batch.schema.num_fields());
+  for (const Field& f : batch.schema.fields()) {
+    PutVarintAt(p, f.name.size());
+    std::memcpy(p, f.name.data(), f.name.size());
+    p += f.name.size();
+    *p++ = static_cast<char>(f.type);
+  }
+  PutVarintAt(p, batch.rows.size());
+  return p;
+}
+
+std::size_t V2HeaderSize(const Batch& batch) {
+  std::size_t n = 4 + VarintSize(batch.schema.num_fields());
+  for (const Field& f : batch.schema.fields()) {
+    n += VarintSize(f.name.size()) + f.name.size() + 1;
+  }
+  return n + VarintSize(batch.rows.size());
+}
+
+struct ColMeta {
+  uint8_t mode = kColTyped;     ///< kColTyped unless a cell deviates
+  std::size_t typed_bytes = 0;  ///< typed payload bytes (excl. bitmap)
+  std::size_t tagged_bytes = 0; ///< tagged payload bytes (incl. tags)
+};
+
+struct V2Layout {
+  std::vector<ColMeta> cols;
+  std::size_t size = 0;  // exact byte size of the v2 buffer
+};
+
+/// One row-major pass (row-major matches the in-memory layout — each Row
+/// is its own allocation) accumulating, per column, the size of both
+/// candidate encodings and whether any cell deviates from the schema
+/// type. A deviating cell forces per-value tags for its column.
+V2Layout ComputeV2Layout(const Batch& batch) {
+  const std::size_t nfields = batch.schema.num_fields();
+  const std::size_t nrows = batch.rows.size();
+  V2Layout layout;
+  layout.cols.resize(nfields);
+  ColMeta* const cols = layout.cols.data();
+  for (const Row& row : batch.rows) {
+    for (std::size_t c = 0; c < nfields; ++c) {
+      const Value& v = row[c];
+      ColMeta& m = cols[c];
+      if (v.is_null()) {
+        m.tagged_bytes += 1;
+      } else if (v.is_string()) {
+        if (batch.schema.field(c).type != DataType::kString) {
+          m.mode = kColTagged;
+        }
+        const std::size_t len = v.str_unchecked().size();
+        const std::size_t enc = VarintSize(len) + len;
+        m.typed_bytes += enc;
+        m.tagged_bytes += 1 + enc;
+      } else {
+        const DataType t =
+            v.is_int64() ? DataType::kInt64 : DataType::kFloat64;
+        if (batch.schema.field(c).type != t) m.mode = kColTagged;
+        m.typed_bytes += 8;
+        m.tagged_bytes += 9;
+      }
+    }
+  }
+  std::size_t n = V2HeaderSize(batch);
+  for (const ColMeta& m : layout.cols) {
+    n += 1;  // column mode byte
+    n += m.mode == kColTyped ? (nrows + 7) / 8 + m.typed_bytes
+                             : m.tagged_bytes;
+  }
+  n += 4;  // CRC32 footer
+  layout.size = n;
+  return layout;
+}
+
+/// Single-pass v2 serializer for all-fixed-width schemas (no string
+/// fields): every column block is written at its worst-case
+/// (all-non-null) offset, then blocks are compacted leftward when nulls
+/// left gaps. Skips the sizing pre-pass entirely — the common
+/// int/float-only shuffle rows serialize with one walk over the data.
+/// Returns nullopt when a cell deviates from its schema type (the
+/// two-pass generic path handles tagged columns).
+std::optional<std::string> TrySerializeFixedV2(const Batch& batch) {
+  const std::size_t nfields = batch.schema.num_fields();
+  const std::size_t nrows = batch.rows.size();
+  // 0 = kNull column, 1 = int64, 2 = float64.
+  std::vector<uint8_t> ctype(nfields);
+  for (std::size_t c = 0; c < nfields; ++c) {
+    switch (batch.schema.field(c).type) {
+      case DataType::kNull:
+        ctype[c] = 0;
+        break;
+      case DataType::kInt64:
+        ctype[c] = 1;
+        break;
+      case DataType::kFloat64:
+        ctype[c] = 2;
+        break;
+      case DataType::kString:
+        return std::nullopt;
+    }
+  }
+  const std::size_t bitmap_len = (nrows + 7) / 8;
+  std::size_t size_max = V2HeaderSize(batch) + 4;
+  for (std::size_t c = 0; c < nfields; ++c) {
+    size_max += 1 + bitmap_len + (ctype[c] == 0 ? 0 : 8 * nrows);
+  }
+  std::string out(size_max, '\0');
+  char* const base = out.data();
+  char* const cols_begin = WriteV2Header(batch, base);
+  std::vector<char*> col_start(nfields);
+  std::vector<char*> bitmap(nfields);
+  std::vector<char*> cur(nfields);
+  {
+    char* p = cols_begin;
+    for (std::size_t c = 0; c < nfields; ++c) {
+      col_start[c] = p;
+      *p++ = static_cast<char>(kColTyped);
+      bitmap[c] = p;
+      cur[c] = p + bitmap_len;
+      p += bitmap_len + (ctype[c] == 0 ? 0 : 8 * nrows);
+    }
+  }
+  for (std::size_t r = 0; r < nrows; ++r) {
+    const Row& row = batch.rows[r];
+    for (std::size_t c = 0; c < nfields; ++c) {
+      const Value& v = row[c];
+      if (v.is_null()) continue;
+      uint64_t bits;
+      if (ctype[c] == 1) {
+        if (!v.is_int64()) return std::nullopt;
+        bits = static_cast<uint64_t>(v.int64_unchecked());
+      } else if (ctype[c] == 2) {
+        if (!v.is_float64()) return std::nullopt;
+        bits = std::bit_cast<uint64_t>(v.float64_unchecked());
+      } else {
+        return std::nullopt;  // non-null cell in a kNull column
+      }
+      bitmap[c][r >> 3] |= static_cast<char>(1u << (r & 7));
+      char*& q = cur[c];
+      std::memcpy(q, &bits, 8);
+      q += 8;
+    }
+  }
+  char* w = cols_begin;
+  for (std::size_t c = 0; c < nfields; ++c) {
+    const std::size_t block = 1 + bitmap_len +
+                              static_cast<std::size_t>(
+                                  cur[c] - (bitmap[c] + bitmap_len));
+    if (w != col_start[c]) std::memmove(w, col_start[c], block);
+    w += block;
+  }
+  const std::size_t total = static_cast<std::size_t>(w - base) + 4;
+  const uint32_t crc = Crc32(std::string_view(base, total - 4));
+  std::memcpy(w, &crc, 4);
+  out.resize(total);
+  return out;
+}
+
+/// Writes the exact `layout.size` bytes through per-column raw cursors:
+/// one row-major data pass, no per-value append bookkeeping.
+std::string SerializeBatchV2(const Batch& batch, const V2Layout& layout) {
+  const std::size_t nfields = batch.schema.num_fields();
+  const std::size_t nrows = batch.rows.size();
+  std::string out(layout.size, '\0');
+  char* const base = out.data();
+  char* p = WriteV2Header(batch, base);
+  // Lay out the column extents: mode byte, bitmap (typed only), payload.
+  const std::size_t bitmap_len = (nrows + 7) / 8;
+  std::vector<char*> bitmap(nfields);
+  std::vector<char*> cur(nfields);
+  std::vector<DataType> ftype(nfields);
+  for (std::size_t c = 0; c < nfields; ++c) {
+    const ColMeta& m = layout.cols[c];
+    ftype[c] = batch.schema.field(c).type;
+    *p++ = static_cast<char>(m.mode);
+    if (m.mode == kColTyped) {
+      bitmap[c] = p;
+      cur[c] = p + bitmap_len;
+      p += bitmap_len + m.typed_bytes;
+    } else {
+      cur[c] = p;
+      p += m.tagged_bytes;
+    }
+  }
+  for (std::size_t r = 0; r < nrows; ++r) {
+    const Row& row = batch.rows[r];
+    for (std::size_t c = 0; c < nfields; ++c) {
+      const Value& v = row[c];
+      char*& q = cur[c];
+      if (layout.cols[c].mode == kColTyped) {
+        if (v.is_null()) continue;
+        bitmap[c][r >> 3] |= static_cast<char>(1u << (r & 7));
+        if (ftype[c] == DataType::kString) {
+          const std::string& s = v.str_unchecked();
+          PutVarintAt(q, s.size());
+          std::memcpy(q, s.data(), s.size());
+          q += s.size();
+        } else {
+          // kInt64 / kFloat64 (typed kNull columns are all-null).
+          const uint64_t bits =
+              ftype[c] == DataType::kInt64
+                  ? static_cast<uint64_t>(v.int64_unchecked())
+                  : std::bit_cast<uint64_t>(v.float64_unchecked());
+          std::memcpy(q, &bits, 8);
+          q += 8;
+        }
+      } else if (v.is_null()) {
+        *q++ = static_cast<char>(DataType::kNull);
+      } else if (v.is_int64()) {
+        *q++ = static_cast<char>(DataType::kInt64);
+        const int64_t x = v.int64_unchecked();
+        std::memcpy(q, &x, 8);
+        q += 8;
+      } else if (v.is_float64()) {
+        *q++ = static_cast<char>(DataType::kFloat64);
+        const double d = v.float64_unchecked();
+        std::memcpy(q, &d, 8);
+        q += 8;
+      } else {
+        *q++ = static_cast<char>(DataType::kString);
+        const std::string& s = v.str_unchecked();
+        PutVarintAt(q, s.size());
+        std::memcpy(q, s.data(), s.size());
+        q += s.size();
+      }
+    }
+  }
+  const uint32_t crc =
+      Crc32(std::string_view(out.data(), layout.size - 4));
+  std::memcpy(base + layout.size - 4, &crc, 4);
+  return out;
+}
+
 }  // namespace
 
-std::string SerializeBatch(const Batch& batch) {
+std::string SerializeBatchV1(const Batch& batch) {
   std::string out;
-  out.reserve(SerializedBatchSize(batch));
-  PutU32(&out, kMagic);
+  out.reserve(SerializedBatchSizeV1(batch));
+  PutU32(&out, kMagicV1);
   PutU32(&out, static_cast<uint32_t>(batch.schema.num_fields()));
   for (const Field& f : batch.schema.fields()) {
-    PutStr(&out, f.name);
+    PutStrV1(&out, f.name);
     PutU8(&out, static_cast<uint8_t>(f.type));
   }
   PutU64(&out, batch.rows.size());
@@ -102,12 +408,20 @@ std::string SerializeBatch(const Batch& batch) {
           PutF64(&out, v.float64());
           break;
         case DataType::kString:
-          PutStr(&out, v.str());
+          PutStrV1(&out, v.str());
           break;
       }
     }
   }
   return out;
+}
+
+std::string SerializeBatch(const Batch& batch) {
+  if (!UniformRows(batch)) return SerializeBatchV1(batch);
+  if (std::optional<std::string> fast = TrySerializeFixedV2(batch)) {
+    return *std::move(fast);
+  }
+  return SerializeBatchV2(batch, ComputeV2Layout(batch));
 }
 
 // GCC 12 reports a spurious -Wmaybe-uninitialized inside std::variant's
@@ -118,12 +432,9 @@ std::string SerializeBatch(const Batch& batch) {
 #pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
 #endif
 
-Result<Batch> DeserializeBatch(const std::string& bytes) {
-  Reader rd(bytes);
-  SWIFT_ASSIGN_OR_RETURN(uint32_t magic, rd.U32());
-  if (magic != kMagic) {
-    return Status::IOError("bad batch magic");
-  }
+namespace {
+
+Result<Batch> DeserializeV1(Reader rd) {
   SWIFT_ASSIGN_OR_RETURN(uint32_t nfields, rd.U32());
   // Every field needs at least 5 bytes (name length + type tag); reject
   // counts the buffer cannot possibly hold (corruption guard).
@@ -134,7 +445,8 @@ Result<Batch> DeserializeBatch(const std::string& bytes) {
   fields.reserve(nfields);
   for (uint32_t i = 0; i < nfields; ++i) {
     Field f;
-    SWIFT_ASSIGN_OR_RETURN(f.name, rd.Str());
+    SWIFT_ASSIGN_OR_RETURN(std::string_view name, rd.StrV1());
+    f.name = std::string(name);
     SWIFT_ASSIGN_OR_RETURN(uint8_t t, rd.U8());
     if (t > static_cast<uint8_t>(DataType::kString)) {
       return Status::IOError("bad field type tag");
@@ -177,8 +489,8 @@ Result<Batch> DeserializeBatch(const std::string& bytes) {
           break;
         }
         case DataType::kString: {
-          SWIFT_ASSIGN_OR_RETURN(std::string s, rd.Str());
-          row.push_back(Value(std::move(s)));
+          SWIFT_ASSIGN_OR_RETURN(std::string_view s, rd.StrV1());
+          row.push_back(Value(std::string(s)));
           break;
         }
         default:
@@ -193,11 +505,265 @@ Result<Batch> DeserializeBatch(const std::string& bytes) {
   return batch;
 }
 
+Result<Batch> DeserializeV2(std::string_view bytes) {
+  if (bytes.size() < 8) {
+    return Status::IOError("v2 batch buffer shorter than magic + CRC");
+  }
+  // Verify the footer before trusting any decoded count: corruption is
+  // caught here, so the size guards below only defend against the
+  // astronomically unlikely CRC collision.
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - 4, 4);
+  const uint32_t actual_crc = Crc32(bytes.substr(0, bytes.size() - 4));
+  if (stored_crc != actual_crc) {
+    return Status::IOError(
+        StrFormat("batch CRC32 mismatch (stored %08x, computed %08x)",
+                  stored_crc, actual_crc));
+  }
+  Reader rd(bytes.substr(4, bytes.size() - 8));  // body: magic..footer
+  SWIFT_ASSIGN_OR_RETURN(uint64_t nfields64, rd.Varint());
+  // Every field needs at least 2 bytes (name length + type tag).
+  if (nfields64 > rd.Remaining() / 2) {
+    return Status::IOError("field count exceeds buffer");
+  }
+  const std::size_t nfields = static_cast<std::size_t>(nfields64);
+  std::vector<Field> fields;
+  fields.reserve(nfields);
+  for (std::size_t i = 0; i < nfields; ++i) {
+    Field f;
+    SWIFT_ASSIGN_OR_RETURN(std::string_view name, rd.StrV2());
+    f.name = std::string(name);
+    SWIFT_ASSIGN_OR_RETURN(uint8_t t, rd.U8());
+    if (t > static_cast<uint8_t>(DataType::kString)) {
+      return Status::IOError("bad field type tag");
+    }
+    f.type = static_cast<DataType>(t);
+    fields.push_back(std::move(f));
+  }
+  SWIFT_ASSIGN_OR_RETURN(uint64_t nrows64, rd.Varint());
+  // Plausibility: each column carries at least a bitmap bit per row, and
+  // a zero-column batch should not claim an absurd row count.
+  if (nfields > 0 && nrows64 / 8 > rd.Remaining() / nfields + 1) {
+    return Status::IOError("row count exceeds buffer");
+  }
+  if (nfields == 0 && nrows64 > (1u << 28)) {
+    return Status::IOError("row count exceeds buffer");
+  }
+  const std::size_t nrows = static_cast<std::size_t>(nrows64);
+  Batch batch;
+  batch.schema = Schema(std::move(fields));
+  // Pass 1: walk and validate every column's extent (tags, varints, and
+  // bounds), recording a bitmap view and payload cursor per column. The
+  // row-major fill below then runs on raw pointers with no per-value
+  // bounds checks.
+  enum ColKind : uint8_t {
+    kColNull,        // typed kNull column: every cell NULL
+    kColInt,         // typed int64, no nulls (bitmap all ones)
+    kColIntNulls,    // typed int64 with nulls
+    kColFloat,       // typed float64, no nulls
+    kColFloatNulls,  // typed float64 with nulls
+    kColStr,         // typed string
+    kColTags,        // tagged (mixed) column
+  };
+  struct ColCursor {
+    uint8_t kind = kColNull;
+    const uint8_t* bitmap = nullptr;  // typed columns
+    const char* p = nullptr;          // payload cursor
+  };
+  std::vector<ColCursor> cols(nfields);
+  for (std::size_t c = 0; c < nfields; ++c) {
+    ColCursor& col = cols[c];
+    const DataType ft = batch.schema.field(c).type;
+    SWIFT_ASSIGN_OR_RETURN(uint8_t mode, rd.U8());
+    if (mode == kColTyped) {
+      SWIFT_ASSIGN_OR_RETURN(std::string_view bitmap,
+                             rd.Bytes((nrows + 7) / 8));
+      col.bitmap = reinterpret_cast<const uint8_t*>(bitmap.data());
+      std::size_t nonnull = 0;
+      for (const char b : bitmap) {
+        nonnull +=
+            std::popcount(static_cast<unsigned>(static_cast<uint8_t>(b)));
+      }
+      if ((nrows & 7) != 0 && !bitmap.empty() &&
+          (static_cast<uint8_t>(bitmap.back()) >> (nrows & 7)) != 0) {
+        return Status::IOError("bitmap padding bits set");
+      }
+      switch (ft) {
+        case DataType::kNull:
+          if (nonnull != 0) {
+            return Status::IOError("non-null cell in null-typed column");
+          }
+          col.kind = kColNull;
+          break;
+        case DataType::kInt64:
+        case DataType::kFloat64: {
+          // One bounds check covers the whole fixed-width column.
+          SWIFT_ASSIGN_OR_RETURN(std::string_view data,
+                                 rd.Bytes(nonnull * 8));
+          col.p = data.data();
+          const bool full = nonnull == nrows;
+          col.kind = ft == DataType::kInt64
+                         ? (full ? kColInt : kColIntNulls)
+                         : (full ? kColFloat : kColFloatNulls);
+          break;
+        }
+        case DataType::kString: {
+          SWIFT_ASSIGN_OR_RETURN(std::string_view first, rd.Bytes(0));
+          col.p = first.data();
+          for (std::size_t i = 0; i < nonnull; ++i) {
+            SWIFT_RETURN_NOT_OK(rd.StrV2().status());
+          }
+          col.kind = kColStr;
+          break;
+        }
+      }
+    } else if (mode == kColTagged) {
+      col.kind = kColTags;
+      SWIFT_ASSIGN_OR_RETURN(std::string_view first, rd.Bytes(0));
+      col.p = first.data();
+      for (std::size_t r = 0; r < nrows; ++r) {
+        SWIFT_ASSIGN_OR_RETURN(uint8_t tag, rd.U8());
+        switch (static_cast<DataType>(tag)) {
+          case DataType::kNull:
+            break;
+          case DataType::kInt64:
+          case DataType::kFloat64:
+            SWIFT_RETURN_NOT_OK(rd.U64().status());
+            break;
+          case DataType::kString:
+            SWIFT_RETURN_NOT_OK(rd.StrV2().status());
+            break;
+          default:
+            return Status::IOError("bad value type tag");
+        }
+      }
+    } else {
+      return Status::IOError("bad column mode");
+    }
+  }
+  if (!rd.AtEnd()) {
+    return Status::IOError("trailing bytes after batch");
+  }
+  // Pass 2: materialize rows in row-major order (each Row is its own
+  // allocation, so this matches the write pattern of the output).
+  const auto raw_varint = [](const char*& q) {
+    uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      const uint8_t byte = static_cast<uint8_t>(*q++);
+      v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return v;
+      shift += 7;
+    }
+  };
+  batch.rows.reserve(nrows);
+  for (std::size_t r = 0; r < nrows; ++r) {
+    Row row;
+    row.reserve(nfields);
+    for (std::size_t c = 0; c < nfields; ++c) {
+      ColCursor& col = cols[c];
+      switch (col.kind) {
+        case kColInt: {
+          int64_t v;
+          std::memcpy(&v, col.p, 8);
+          col.p += 8;
+          row.emplace_back(v);
+          break;
+        }
+        case kColFloat: {
+          double d;
+          std::memcpy(&d, col.p, 8);
+          col.p += 8;
+          row.emplace_back(d);
+          break;
+        }
+        case kColNull:
+          row.emplace_back();  // NULL
+          break;
+        case kColIntNulls: {
+          if (((col.bitmap[r >> 3] >> (r & 7)) & 1) == 0) {
+            row.emplace_back();
+            break;
+          }
+          int64_t v;
+          std::memcpy(&v, col.p, 8);
+          col.p += 8;
+          row.emplace_back(v);
+          break;
+        }
+        case kColFloatNulls: {
+          if (((col.bitmap[r >> 3] >> (r & 7)) & 1) == 0) {
+            row.emplace_back();
+            break;
+          }
+          double d;
+          std::memcpy(&d, col.p, 8);
+          col.p += 8;
+          row.emplace_back(d);
+          break;
+        }
+        case kColStr: {
+          if (((col.bitmap[r >> 3] >> (r & 7)) & 1) == 0) {
+            row.emplace_back();
+            break;
+          }
+          const std::size_t len = static_cast<std::size_t>(raw_varint(col.p));
+          row.emplace_back(std::string(col.p, len));
+          col.p += len;
+          break;
+        }
+        case kColTags: {
+          const DataType tag = static_cast<DataType>(*col.p++);
+          switch (tag) {
+            case DataType::kNull:
+              row.emplace_back();
+              break;
+            case DataType::kInt64: {
+              int64_t v;
+              std::memcpy(&v, col.p, 8);
+              col.p += 8;
+              row.emplace_back(v);
+              break;
+            }
+            case DataType::kFloat64: {
+              double d;
+              std::memcpy(&d, col.p, 8);
+              col.p += 8;
+              row.emplace_back(d);
+              break;
+            }
+            case DataType::kString: {
+              const std::size_t len =
+                  static_cast<std::size_t>(raw_varint(col.p));
+              row.emplace_back(std::string(col.p, len));
+              col.p += len;
+              break;
+            }
+          }
+          break;
+        }
+      }
+    }
+    batch.rows.push_back(std::move(row));
+  }
+  return batch;
+}
+
+}  // namespace
+
+Result<Batch> DeserializeBatch(std::string_view bytes) {
+  Reader rd(bytes);
+  SWIFT_ASSIGN_OR_RETURN(uint32_t magic, rd.U32());
+  if (magic == kMagicV1) return DeserializeV1(rd);
+  if (magic == kMagicV2) return DeserializeV2(bytes);
+  return Status::IOError("bad batch magic");
+}
+
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC diagnostic pop
 #endif
 
-std::size_t SerializedBatchSize(const Batch& batch) {
+std::size_t SerializedBatchSizeV1(const Batch& batch) {
   std::size_t n = 4 + 4;
   for (const Field& f : batch.schema.fields()) n += 4 + f.name.size() + 1;
   n += 8;
@@ -219,6 +785,11 @@ std::size_t SerializedBatchSize(const Batch& batch) {
     }
   }
   return n;
+}
+
+std::size_t SerializedBatchSize(const Batch& batch) {
+  if (!UniformRows(batch)) return SerializedBatchSizeV1(batch);
+  return ComputeV2Layout(batch).size;
 }
 
 }  // namespace swift

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -10,16 +11,31 @@
 
 namespace swift {
 
-/// \brief Serializes a batch to a self-describing byte buffer (the wire
-/// and spill format of shuffle partitions in the local runtime).
+/// \brief Serializes a batch to the current shuffle wire format (v2:
+/// schema written once, per-column null bitmaps instead of per-value
+/// type tags, varint lengths/counts, CRC32 footer). Batches whose rows
+/// do not all match the schema width fall back to the self-describing
+/// v1 format; both carry a version magic and both are accepted by
+/// DeserializeBatch forever (spill files and recovery re-sends never
+/// need rewriting).
 std::string SerializeBatch(const Batch& batch);
 
-/// \brief Inverse of SerializeBatch; rejects truncated/corrupt buffers.
-Result<Batch> DeserializeBatch(const std::string& bytes);
+/// \brief Serializes in the legacy v1 format (a type tag per value and
+/// a column count per row). Kept for ragged batches, version-dispatch
+/// tests, and the serde_v1_vs_v2 benchmarks.
+std::string SerializeBatchV1(const Batch& batch);
 
-/// \brief Serialized size without building the buffer (for memory
-/// accounting in the Cache Worker).
+/// \brief Inverse of SerializeBatch{,V1}; dispatches on the version
+/// magic and rejects truncated/corrupt buffers (v2 verifies its CRC32
+/// footer before trusting any decoded count).
+Result<Batch> DeserializeBatch(std::string_view bytes);
+
+/// \brief Serialized size of SerializeBatch without building the buffer
+/// (exact-size preallocation and Cache Worker memory accounting).
 std::size_t SerializedBatchSize(const Batch& batch);
+
+/// \brief Serialized size of SerializeBatchV1 (exact).
+std::size_t SerializedBatchSizeV1(const Batch& batch);
 
 }  // namespace swift
 

@@ -42,6 +42,20 @@ class Value {
   double float64() const { return std::get<double>(v_); }
   const std::string& str() const { return std::get<std::string>(v_); }
 
+  /// \brief Unchecked accessors for hot loops that have already
+  /// dispatched on the discriminant (serde, partitioning). Undefined
+  /// behaviour if the held alternative differs — callers must test
+  /// is_int64()/is_float64()/is_string() first.
+  int64_t int64_unchecked() const noexcept {
+    return *std::get_if<int64_t>(&v_);
+  }
+  double float64_unchecked() const noexcept {
+    return *std::get_if<double>(&v_);
+  }
+  const std::string& str_unchecked() const noexcept {
+    return *std::get_if<std::string>(&v_);
+  }
+
   /// \brief Numeric view: int64 widened to double; requires is_numeric().
   double AsDouble() const;
 

@@ -356,9 +356,9 @@ Result<OperatorPtr> LocalRuntime::BuildTaskTree(JobContext* ctx,
           writer = it->second;
         }
         SWIFT_ASSIGN_OR_RETURN(
-            std::string bytes,
+            ShuffleBuffer buffer,
             shuffle_->ReadPartition(kind, key, machine, writer));
-        SWIFT_ASSIGN_OR_RETURN(Batch b, DeserializeBatch(bytes));
+        SWIFT_ASSIGN_OR_RETURN(Batch b, DeserializeBatch(buffer.view()));
         batches.push_back(std::move(b));
       }
       sources.push_back(
@@ -478,8 +478,11 @@ Status LocalRuntime::RunTask(JobContext* ctx, const TaskRef& task,
   }
   for (int dst = 0; dst < consumer_prog.task_count; ++dst) {
     ShuffleSlotKey key{ctx->job, task.stage, task.task, consumer, dst};
+    // One allocation per partition: the shuffle plane (direct slot,
+    // workers, retained recovery slots, re-sends) shares this buffer.
     SWIFT_RETURN_NOT_OK(shuffle_->WritePartition(
-        kind, key, SerializeBatch(parts[static_cast<std::size_t>(dst)]),
+        kind, key,
+        ShuffleBuffer(SerializeBatch(parts[static_cast<std::size_t>(dst)])),
         machine, pipelined));
   }
   {

@@ -32,10 +32,10 @@ CacheWorker::~CacheWorker() {
   }
 }
 
-Status CacheWorker::Put(const ShuffleSlotKey& key, std::string bytes,
+Status CacheWorker::Put(const ShuffleSlotKey& key, ShuffleBuffer buffer,
                         int expected_reads) {
   std::lock_guard<std::mutex> lock(mu_);
-  const int64_t size = static_cast<int64_t>(bytes.size());
+  const int64_t size = static_cast<int64_t>(buffer.size());
   auto it = slots_.find(key);
   if (it != slots_.end()) {
     // Overwrite (idempotent re-run re-sends the same partition).
@@ -43,7 +43,7 @@ Status CacheWorker::Put(const ShuffleSlotKey& key, std::string bytes,
   }
   SWIFT_RETURN_NOT_OK(EnsureCapacityLocked(size));
   Slot slot;
-  slot.bytes = std::move(bytes);
+  slot.buffer = std::move(buffer);
   slot.size = size;
   slot.expected_reads = expected_reads;
   auto [ins, ok] = slots_.emplace(key, std::move(slot));
@@ -55,15 +55,15 @@ Status CacheWorker::Put(const ShuffleSlotKey& key, std::string bytes,
   return Status::OK();
 }
 
-Result<std::string> CacheWorker::Get(const ShuffleSlotKey& key) {
+Result<ShuffleBuffer> CacheWorker::Get(const ShuffleSlotKey& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = slots_.find(key);
   if (it == slots_.end()) {
     return Status::NotFound("shuffle slot " + key.ToString());
   }
-  SWIFT_ASSIGN_OR_RETURN(std::string bytes, LoadLocked(key, &it->second));
+  SWIFT_ASSIGN_OR_RETURN(ShuffleBuffer buffer, LoadLocked(key, &it->second));
   stats_.gets += 1;
-  stats_.bytes_read += static_cast<int64_t>(bytes.size());
+  stats_.bytes_read += static_cast<int64_t>(buffer.size());
   it->second.reads += 1;
   if (it->second.expected_reads > 0 &&
       it->second.reads >= it->second.expected_reads) {
@@ -72,20 +72,20 @@ Result<std::string> CacheWorker::Get(const ShuffleSlotKey& key) {
   } else {
     TouchLocked(key, &it->second);
   }
-  return bytes;
+  return buffer;
 }
 
-Result<std::string> CacheWorker::Peek(const ShuffleSlotKey& key) {
+Result<ShuffleBuffer> CacheWorker::Peek(const ShuffleSlotKey& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = slots_.find(key);
   if (it == slots_.end()) {
     return Status::NotFound("shuffle slot " + key.ToString());
   }
-  SWIFT_ASSIGN_OR_RETURN(std::string bytes, LoadLocked(key, &it->second));
+  SWIFT_ASSIGN_OR_RETURN(ShuffleBuffer buffer, LoadLocked(key, &it->second));
   stats_.gets += 1;
-  stats_.bytes_read += static_cast<int64_t>(bytes.size());
+  stats_.bytes_read += static_cast<int64_t>(buffer.size());
   TouchLocked(key, &it->second);
-  return bytes;
+  return buffer;
 }
 
 bool CacheWorker::Contains(const ShuffleSlotKey& key) {
@@ -162,8 +162,8 @@ Status CacheWorker::SpillLocked(const ShuffleSlotKey& key, Slot* slot) {
   if (!out.good()) {
     return Status::IOError("cannot open spill file " + path);
   }
-  out.write(slot->bytes.data(),
-            static_cast<std::streamsize>(slot->bytes.size()));
+  const std::string_view bytes = slot->buffer.view();
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   out.close();
   if (!out.good()) {
     return Status::IOError("short write to spill file " + path);
@@ -171,8 +171,10 @@ Status CacheWorker::SpillLocked(const ShuffleSlotKey& key, Slot* slot) {
   stats_.spilled_slots += 1;
   stats_.spilled_bytes += slot->size;
   stats_.memory_in_use -= slot->size;
-  slot->bytes.clear();
-  slot->bytes.shrink_to_fit();
+  // Drop this worker's reference; the allocation is freed once the last
+  // sharer (an in-flight reader, another worker's replica) lets go —
+  // budget accounting charges resident slots, not shared lifetimes.
+  slot->buffer = ShuffleBuffer();
   slot->spilled = true;
   slot->spill_path = path;
   if (slot->in_lru) {
@@ -182,9 +184,9 @@ Status CacheWorker::SpillLocked(const ShuffleSlotKey& key, Slot* slot) {
   return Status::OK();
 }
 
-Result<std::string> CacheWorker::LoadLocked(const ShuffleSlotKey& key,
-                                            Slot* slot) {
-  if (!slot->spilled) return slot->bytes;
+Result<ShuffleBuffer> CacheWorker::LoadLocked(const ShuffleSlotKey& key,
+                                              Slot* slot) {
+  if (!slot->spilled) return slot->buffer;
   std::ifstream in(slot->spill_path, std::ios::binary);
   if (!in.good()) {
     return Status::IOError("cannot open spill file " + slot->spill_path);
@@ -201,10 +203,10 @@ Result<std::string> CacheWorker::LoadLocked(const ShuffleSlotKey& key,
   std::filesystem::remove(slot->spill_path, ec);
   slot->spilled = false;
   slot->spill_path.clear();
-  slot->bytes = bytes;
+  slot->buffer = ShuffleBuffer(std::move(bytes));
   stats_.memory_in_use += slot->size;
   TouchLocked(key, slot);
-  return bytes;
+  return slot->buffer;
 }
 
 void CacheWorker::EraseLocked(const ShuffleSlotKey& key) {

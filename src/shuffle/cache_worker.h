@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "dag/job_dag.h"
+#include "shuffle/shuffle_buffer.h"
 
 namespace swift {
 
@@ -36,17 +37,20 @@ struct CacheWorkerStats {
   int64_t spilled_bytes = 0;
   int64_t reloads = 0;         ///< reads served from spill files
   int64_t deletions = 0;       ///< slots freed after full consumption
-  int64_t memory_in_use = 0;
+  int64_t memory_in_use = 0;   ///< resident slot bytes charged to the budget
 };
 
 /// \brief The per-machine shuffle buffer of Sec. III-B.
 ///
 /// Local and Remote Shuffle write partitions here; readers pull them
-/// out. Memory is reclaimed once a slot has been read `expected_reads`
-/// times (data "consumed by all successor tasks"). Under memory
-/// pressure, the least-recently-used slots are swapped to spill files in
-/// `spill_dir` — the paper's LRU swap — and transparently reloaded on
-/// access. Thread-safe.
+/// out. Slots hold immutable shared ShuffleBuffers: a Get/Peek hands
+/// back the slot's allocation (reference-counted), never a copy, so
+/// retained-for-recovery re-sends and reader-side replicas are free.
+/// Memory is reclaimed once a slot has been read `expected_reads` times
+/// (data "consumed by all successor tasks"). Under memory pressure, the
+/// least-recently-used slots are swapped to spill files in `spill_dir` —
+/// the paper's LRU swap — and transparently reloaded on access.
+/// Thread-safe.
 class CacheWorker {
  public:
   /// \param memory_budget_bytes in-memory capacity before LRU spill.
@@ -58,17 +62,25 @@ class CacheWorker {
   CacheWorker(const CacheWorker&) = delete;
   CacheWorker& operator=(const CacheWorker&) = delete;
 
-  /// \brief Stores a partition. `expected_reads` <= 0 means "retain
-  /// until RemoveJob" (barrier data kept for cross-graphlet recovery).
-  Status Put(const ShuffleSlotKey& key, std::string bytes,
+  /// \brief Stores a partition, sharing the caller's allocation (no
+  /// bytes are copied). `expected_reads` <= 0 means "retain until
+  /// RemoveJob" (barrier data kept for cross-graphlet recovery).
+  Status Put(const ShuffleSlotKey& key, ShuffleBuffer buffer,
              int expected_reads);
 
-  /// \brief Reads a partition (counts toward consumption). NotFound if
-  /// the slot was never written or already fully consumed.
-  Result<std::string> Get(const ShuffleSlotKey& key);
+  /// \brief Convenience overload wrapping `bytes` in a fresh buffer.
+  Status Put(const ShuffleSlotKey& key, std::string bytes,
+             int expected_reads) {
+    return Put(key, ShuffleBuffer(std::move(bytes)), expected_reads);
+  }
+
+  /// \brief Reads a partition (counts toward consumption). The returned
+  /// buffer shares the slot's allocation. NotFound if the slot was never
+  /// written or already fully consumed.
+  Result<ShuffleBuffer> Get(const ShuffleSlotKey& key);
 
   /// \brief Reads without consuming (recovery re-sends, Sec. IV-B).
-  Result<std::string> Peek(const ShuffleSlotKey& key);
+  Result<ShuffleBuffer> Peek(const ShuffleSlotKey& key);
 
   bool Contains(const ShuffleSlotKey& key);
 
@@ -83,7 +95,7 @@ class CacheWorker {
 
  private:
   struct Slot {
-    std::string bytes;        // empty when spilled
+    ShuffleBuffer buffer;     // !valid() when spilled
     int64_t size = 0;
     int expected_reads = 0;   // <=0: pinned until RemoveJob
     int reads = 0;
@@ -95,7 +107,7 @@ class CacheWorker {
 
   Status EnsureCapacityLocked(int64_t incoming);
   Status SpillLocked(const ShuffleSlotKey& key, Slot* slot);
-  Result<std::string> LoadLocked(const ShuffleSlotKey& key, Slot* slot);
+  Result<ShuffleBuffer> LoadLocked(const ShuffleSlotKey& key, Slot* slot);
   void EraseLocked(const ShuffleSlotKey& key);
   void TouchLocked(const ShuffleSlotKey& key, Slot* slot);
 

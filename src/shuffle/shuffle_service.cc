@@ -45,19 +45,38 @@ void ShuffleService::Connect(int64_t from, int64_t to) {
   }
 }
 
+Result<ShuffleBuffer> ShuffleService::FinishRead(
+    Result<ShuffleBuffer> buffer) {
+  if (!buffer.ok() || config_.zero_copy) return buffer;
+  // Legacy plane: the worker/direct slot hands out a materialized copy.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.payload_copies += 1;
+  }
+  return ShuffleBuffer::Copy(buffer->view());
+}
+
 Status ShuffleService::WritePartition(ShuffleKind kind,
                                       const ShuffleSlotKey& key,
-                                      std::string bytes, int writer_machine,
-                                      bool pipelined) {
+                                      ShuffleBuffer buffer,
+                                      int writer_machine, bool pipelined) {
   const int expected_reads = config_.retain_for_recovery ? 0 : 1;
-  const int64_t size = static_cast<int64_t>(bytes.size());
+  const int64_t size = static_cast<int64_t>(buffer.size());
+  if (!config_.zero_copy) {
+    // Legacy plane: the hand-off into the direct slot / writer-side
+    // worker deep-copies the payload.
+    buffer = ShuffleBuffer::Copy(buffer.view());
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.payload_copies += 1;
+  }
   switch (kind) {
     case ShuffleKind::kDirect: {
       std::lock_guard<std::mutex> lock(mu_);
       Connect(TaskEndpoint(key, true), TaskEndpoint(key, false));
-      direct_[key] = std::move(bytes);
+      direct_[key] = std::move(buffer);
       stats_.direct_writes += 1;
       stats_.bytes_transferred += size;
+      stats_.modeled_memory_copies += ExtraMemoryCopies(kind);
       return Status::OK();
     }
     case ShuffleKind::kLocal: {
@@ -66,14 +85,15 @@ Status ShuffleService::WritePartition(ShuffleKind kind,
         Connect(TaskEndpoint(key, true), WorkerEndpoint(writer_machine));
         stats_.local_writes += 1;
         stats_.bytes_transferred += size;
+        stats_.modeled_memory_copies += ExtraMemoryCopies(kind);
       }
       // Pipeline edge: the writer-side worker forwards immediately; we
       // model this by parking the data on the writer's worker either
-      // way and letting the reader path account for the worker-to-
-      // worker hop (the bytes only move once in-process).
+      // way — the read path replicates the shared allocation onto the
+      // reader-side worker, so the bytes still only exist once.
       (void)pipelined;
       return workers_[static_cast<std::size_t>(writer_machine)]->Put(
-          key, std::move(bytes), expected_reads);
+          key, std::move(buffer), expected_reads);
     }
     case ShuffleKind::kRemote: {
       {
@@ -81,30 +101,37 @@ Status ShuffleService::WritePartition(ShuffleKind kind,
         Connect(TaskEndpoint(key, true), WorkerEndpoint(writer_machine));
         stats_.remote_writes += 1;
         stats_.bytes_transferred += size;
+        stats_.modeled_memory_copies += ExtraMemoryCopies(kind);
       }
       return workers_[static_cast<std::size_t>(writer_machine)]->Put(
-          key, std::move(bytes), expected_reads);
+          key, std::move(buffer), expected_reads);
     }
   }
   return Status::Internal("unknown shuffle kind");
 }
 
-Result<std::string> ShuffleService::ReadPartition(ShuffleKind kind,
-                                                  const ShuffleSlotKey& key,
-                                                  int reader_machine,
-                                                  int writer_machine) {
+Result<ShuffleBuffer> ShuffleService::ReadPartition(ShuffleKind kind,
+                                                    const ShuffleSlotKey& key,
+                                                    int reader_machine,
+                                                    int writer_machine) {
   switch (kind) {
     case ShuffleKind::kDirect: {
-      std::lock_guard<std::mutex> lock(mu_);
-      auto it = direct_.find(key);
-      if (it == direct_.end()) {
-        return Status::NotFound("direct shuffle slot " + key.ToString());
+      Result<ShuffleBuffer> buffer = ShuffleBuffer();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = direct_.find(key);
+        if (it == direct_.end()) {
+          return Status::NotFound("direct shuffle slot " + key.ToString());
+        }
+        stats_.reads += 1;
+        if (config_.retain_for_recovery) {
+          buffer = it->second;  // shared handle, not a payload copy
+        } else {
+          buffer = std::move(it->second);
+          direct_.erase(it);
+        }
       }
-      stats_.reads += 1;
-      if (config_.retain_for_recovery) return it->second;
-      std::string bytes = std::move(it->second);
-      direct_.erase(it);
-      return bytes;
+      return FinishRead(std::move(buffer));
     }
     case ShuffleKind::kLocal: {
       {
@@ -114,7 +141,26 @@ Result<std::string> ShuffleService::ReadPartition(ShuffleKind kind,
         stats_.reads += 1;
       }
       CacheWorker* src = workers_[static_cast<std::size_t>(writer_machine)].get();
-      return config_.retain_for_recovery ? src->Peek(key) : src->Get(key);
+      if (!config_.retain_for_recovery) {
+        return FinishRead(src->Get(key));
+      }
+      CacheWorker* dst = workers_[static_cast<std::size_t>(reader_machine)].get();
+      if (dst != src && dst->Contains(key)) {
+        // Served from the reader-side replica created below.
+        return FinishRead(dst->Peek(key));
+      }
+      Result<ShuffleBuffer> buffer = src->Peek(key);
+      if (buffer.ok() && dst != src) {
+        // Replicate the shared allocation onto the reader-side worker
+        // (the paper's worker-to-worker push): later readers on this
+        // machine stay local, and not a byte is copied. Best-effort —
+        // an over-budget reader-side worker just skips the replica.
+        if (dst->Put(key, *buffer, /*expected_reads=*/0).ok()) {
+          std::lock_guard<std::mutex> lock(mu_);
+          stats_.local_replicas += 1;
+        }
+      }
+      return FinishRead(std::move(buffer));
     }
     case ShuffleKind::kRemote: {
       {
@@ -123,7 +169,8 @@ Result<std::string> ShuffleService::ReadPartition(ShuffleKind kind,
         stats_.reads += 1;
       }
       CacheWorker* src = workers_[static_cast<std::size_t>(writer_machine)].get();
-      return config_.retain_for_recovery ? src->Peek(key) : src->Get(key);
+      return FinishRead(config_.retain_for_recovery ? src->Peek(key)
+                                                    : src->Get(key));
     }
   }
   return Status::Internal("unknown shuffle kind");

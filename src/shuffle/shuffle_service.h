@@ -7,10 +7,12 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "shuffle/cache_worker.h"
+#include "shuffle/shuffle_buffer.h"
 #include "shuffle/shuffle_mode.h"
 
 namespace swift {
@@ -23,12 +25,28 @@ struct ShuffleServiceStats {
   int64_t remote_writes = 0;
   int64_t reads = 0;
   int64_t bytes_transferred = 0;
+  /// Paper accounting (Sec. III-B): +0 (Direct) / +1 (Remote) / +2
+  /// (Local) modeled in-memory copies per write. Stays as bookkeeping —
+  /// the zero-copy plane shares one allocation across those hops.
+  int64_t modeled_memory_copies = 0;
+  /// Actual deep copies of payload bytes performed by the data plane.
+  /// 0 with Config::zero_copy (the default); the legacy copying plane
+  /// (zero_copy = false) pays one per write and one per read.
+  int64_t payload_copies = 0;
+  /// Reader-side Cache Worker replicas created for Local shuffle reads;
+  /// each shares the writer-side allocation (no bytes copied).
+  int64_t local_replicas = 0;
 };
 
 /// \brief The cluster-wide shuffle fabric of the local runtime: one
 /// Cache Worker per machine plus a direct task-to-task path, with the
 /// three schemes of Fig. 5 and connection accounting matching the
 /// paper's formulas.
+///
+/// Payloads travel as immutable shared ShuffleBuffers: a partition is
+/// allocated once by the producing task, and the direct slot, writer-
+/// and reader-side workers, retained recovery slots, and Peek re-sends
+/// all reference that single allocation.
 class ShuffleService {
  public:
   struct Config {
@@ -42,6 +60,10 @@ class ShuffleService {
     /// Pin shuffle data until RemoveJob instead of freeing on first read
     /// (enables fine-grained failure recovery re-reads).
     bool retain_for_recovery = true;
+    /// Share one immutable allocation across all hops (default). false
+    /// reinstates the legacy deep-copy-per-hop plane, counted in
+    /// ShuffleServiceStats::payload_copies (A/B benchmarks).
+    bool zero_copy = true;
   };
 
   explicit ShuffleService(Config config);
@@ -49,19 +71,31 @@ class ShuffleService {
   /// \brief Scheme used for a shuffle of the given edge size.
   ShuffleKind KindFor(int64_t shuffle_edge_size) const;
 
-  /// \brief Stores the partition `key` (produced on `writer_machine`).
-  /// `pipelined` distinguishes pipeline edges (data pushed to the reader
-  /// side immediately) from barrier edges (data parked on the writer
-  /// side until pulled) for Local Shuffle.
+  /// \brief Stores the partition `key` (produced on `writer_machine`),
+  /// sharing the caller's allocation. `pipelined` distinguishes pipeline
+  /// edges (data pushed to the reader side immediately) from barrier
+  /// edges (data parked on the writer side until pulled) for Local
+  /// Shuffle.
   Status WritePartition(ShuffleKind kind, const ShuffleSlotKey& key,
-                        std::string bytes, int writer_machine,
+                        ShuffleBuffer buffer, int writer_machine,
                         bool pipelined);
 
+  /// \brief Convenience overload wrapping `bytes` into a fresh buffer.
+  Status WritePartition(ShuffleKind kind, const ShuffleSlotKey& key,
+                        std::string bytes, int writer_machine,
+                        bool pipelined) {
+    return WritePartition(kind, key, ShuffleBuffer(std::move(bytes)),
+                          writer_machine, pipelined);
+  }
+
   /// \brief Fetches the partition for the reader on `reader_machine`;
-  /// `writer_machine` is where the producing task ran.
-  Result<std::string> ReadPartition(ShuffleKind kind,
-                                    const ShuffleSlotKey& key,
-                                    int reader_machine, int writer_machine);
+  /// `writer_machine` is where the producing task ran. The returned
+  /// buffer shares the stored allocation (zero copies); Local reads on a
+  /// retaining service also leave a shared replica on the reader-side
+  /// worker so later readers of that machine stay local.
+  Result<ShuffleBuffer> ReadPartition(ShuffleKind kind,
+                                      const ShuffleSlotKey& key,
+                                      int reader_machine, int writer_machine);
 
   /// \brief True when the partition is still available (recovery check).
   bool HasPartition(ShuffleKind kind, const ShuffleSlotKey& key,
@@ -84,11 +118,13 @@ class ShuffleService {
   int64_t TaskEndpoint(const ShuffleSlotKey& key, bool writer) const;
   int64_t WorkerEndpoint(int machine) const;
   void Connect(int64_t from, int64_t to);
+  /// Applies the legacy copying plane to an outgoing read result.
+  Result<ShuffleBuffer> FinishRead(Result<ShuffleBuffer> buffer);
 
   Config config_;
   std::vector<std::unique_ptr<CacheWorker>> workers_;
   std::mutex mu_;
-  std::map<ShuffleSlotKey, std::string> direct_;
+  std::map<ShuffleSlotKey, ShuffleBuffer> direct_;
   std::set<std::pair<int64_t, int64_t>> connections_;
   ShuffleServiceStats stats_;
 };

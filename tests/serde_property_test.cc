@@ -1,6 +1,9 @@
-// Property tests: random batches must round-trip through the shuffle
-// wire format byte-exactly, and corrupting any single byte must never
-// crash the decoder (it either errors or yields a decodable batch).
+// Property tests: random batches must round-trip through both shuffle
+// wire formats byte-exactly, and corrupt input (truncations, byte
+// flips, random garbage) must never crash or OOM the decoder. The v2
+// format carries a CRC32 footer, so any byte flip past the magic must
+// come back as IOError; v1 has no checksum, so flips there only have
+// to fail safely (error or decodable batch, never a crash).
 
 #include <gtest/gtest.h>
 
@@ -87,13 +90,102 @@ TEST_P(SerdePropertyTest, SingleByteCorruptionNeverCrashes) {
 
 TEST_P(SerdePropertyTest, TruncationAlwaysErrors) {
   Batch b = RandomBatch(GetParam());
-  const std::string bytes = SerializeBatch(b);
-  Rng rng(GetParam() ^ 0xBEEF);
-  for (int trial = 0; trial < 16; ++trial) {
-    const std::size_t cut = static_cast<std::size_t>(
+  for (const std::string& bytes : {SerializeBatch(b), SerializeBatchV1(b)}) {
+    Rng rng(GetParam() ^ 0xBEEF);
+    for (int trial = 0; trial < 16; ++trial) {
+      const std::size_t cut = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
+      EXPECT_FALSE(DeserializeBatch(bytes.substr(0, cut)).ok())
+          << "cut at " << cut << " of " << bytes.size();
+    }
+  }
+}
+
+TEST_P(SerdePropertyTest, RoundTripExactV1) {
+  Batch b = RandomBatch(GetParam());
+  const std::string bytes = SerializeBatchV1(b);
+  EXPECT_EQ(bytes.size(), SerializedBatchSizeV1(b));
+  auto back = DeserializeBatch(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->schema, b.schema);
+  ASSERT_EQ(back->num_rows(), b.num_rows());
+  for (std::size_t r = 0; r < b.rows.size(); ++r) {
+    for (std::size_t c = 0; c < b.rows[r].size(); ++c) {
+      EXPECT_EQ(back->rows[r][c].type(), b.rows[r][c].type());
+      EXPECT_EQ(back->rows[r][c].Compare(b.rows[r][c]), 0);
+    }
+  }
+  EXPECT_EQ(SerializeBatchV1(*back), bytes);
+}
+
+TEST_P(SerdePropertyTest, V1SingleByteCorruptionNeverCrashes) {
+  Batch b = RandomBatch(GetParam());
+  const std::string bytes = SerializeBatchV1(b);
+  Rng rng(GetParam() ^ 0xF00D);
+  for (int trial = 0; trial < 32; ++trial) {
+    std::string corrupt = bytes;
+    const std::size_t pos = static_cast<std::size_t>(
         rng.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
-    EXPECT_FALSE(DeserializeBatch(bytes.substr(0, cut)).ok())
-        << "cut at " << cut << " of " << bytes.size();
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ (1 + rng.UniformInt(0, 254)));
+    auto result = DeserializeBatch(corrupt);  // must not crash or OOM
+    (void)result;
+  }
+}
+
+TEST_P(SerdePropertyTest, V2ByteFlipAlwaysIOError) {
+  Batch b = RandomBatch(GetParam());
+  const std::string bytes = SerializeBatch(b);
+  Rng rng(GetParam() ^ 0xD00F);
+  // Any flip past the 4-byte magic leaves the buffer on the v2 decode
+  // path, where the CRC32 footer must reject it before parsing.
+  for (int trial = 0; trial < 32; ++trial) {
+    std::string corrupt = bytes;
+    const std::size_t pos = static_cast<std::size_t>(
+        rng.UniformInt(4, static_cast<int64_t>(bytes.size()) - 1));
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ (1 + rng.UniformInt(0, 254)));
+    auto result = DeserializeBatch(corrupt);
+    ASSERT_FALSE(result.ok()) << "flip at " << pos;
+    EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  }
+}
+
+TEST_P(SerdePropertyTest, V2MultiByteCorruptionAlwaysIOError) {
+  Batch b = RandomBatch(GetParam());
+  const std::string bytes = SerializeBatch(b);
+  Rng rng(GetParam() ^ 0xABCD);
+  for (int trial = 0; trial < 16; ++trial) {
+    std::string corrupt = bytes;
+    const int flips = static_cast<int>(rng.UniformInt(2, 8));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = static_cast<std::size_t>(
+          rng.UniformInt(4, static_cast<int64_t>(bytes.size()) - 1));
+      corrupt[pos] =
+          static_cast<char>(corrupt[pos] ^ (1 + rng.UniformInt(0, 254)));
+    }
+    if (corrupt == bytes) continue;  // flips cancelled out
+    auto result = DeserializeBatch(corrupt);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  }
+}
+
+TEST_P(SerdePropertyTest, RandomGarbageNeverCrashes) {
+  Rng rng(GetParam() ^ 0x6A4BA6E);
+  for (int trial = 0; trial < 16; ++trial) {
+    std::string garbage(static_cast<std::size_t>(rng.UniformInt(0, 512)), '\0');
+    for (char& ch : garbage) {
+      ch = static_cast<char>(rng.UniformInt(0, 255));
+    }
+    if (trial % 4 == 0 && garbage.size() >= 4) {
+      // Bias some trials onto the real decode paths.
+      const char* magic = (trial % 8 == 0) ? "SWFT" : "SWF2";
+      garbage[0] = magic[3];  // little-endian u32
+      garbage[1] = magic[2];
+      garbage[2] = magic[1];
+      garbage[3] = magic[0];
+    }
+    auto result = DeserializeBatch(garbage);  // must not crash or OOM
+    (void)result;
   }
 }
 

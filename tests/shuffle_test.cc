@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "shuffle/cache_worker.h"
+#include "shuffle/shuffle_buffer.h"
 #include "shuffle/shuffle_mode.h"
 #include "shuffle/shuffle_service.h"
 
@@ -48,7 +53,7 @@ TEST(CacheWorkerTest, PutGetRoundTrip) {
   EXPECT_TRUE(cw.Contains(Key(0, 0)));
   auto r = cw.Get(Key(0, 0));
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(*r, "hello");
+  EXPECT_EQ(r->view(), "hello");
   // Consumed after the expected single read.
   EXPECT_FALSE(cw.Contains(Key(0, 0)));
   EXPECT_EQ(cw.Get(Key(0, 0)).status().code(), StatusCode::kNotFound);
@@ -90,7 +95,7 @@ TEST(CacheWorkerTest, OverwriteReplacesSlot) {
   ASSERT_TRUE(cw.Put(Key(0, 0), "new", 0).ok());
   auto r = cw.Peek(Key(0, 0));
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(*r, "new");
+  EXPECT_EQ(r->view(), "new");
 }
 
 TEST(CacheWorkerTest, OverBudgetWithoutSpillFails) {
@@ -115,13 +120,13 @@ TEST(CacheWorkerTest, LruSpillAndReload) {
   // All three are still readable (spilled ones reload from disk).
   auto ra = cw.Peek(Key(0, 0));
   ASSERT_TRUE(ra.ok());
-  EXPECT_EQ(*ra, a);
+  EXPECT_EQ(ra->view(), a);
   auto rb = cw.Peek(Key(1, 0));
   ASSERT_TRUE(rb.ok());
-  EXPECT_EQ(*rb, b);
+  EXPECT_EQ(rb->view(), b);
   auto rc = cw.Peek(Key(2, 0));
   ASSERT_TRUE(rc.ok());
-  EXPECT_EQ(*rc, c);
+  EXPECT_EQ(rc->view(), c);
   EXPECT_GE(cw.stats().reloads, 2);
   std::filesystem::remove_all(dir);
 }
@@ -152,7 +157,7 @@ TEST(ShuffleServiceTest, RoutesAllKinds) {
     EXPECT_TRUE(svc.HasPartition(kind, key, 1));
     auto r = svc.ReadPartition(kind, key, 2, 1);
     ASSERT_TRUE(r.ok()) << ShuffleKindToString(kind);
-    EXPECT_EQ(*r, "payload");
+    EXPECT_EQ(r->view(), "payload");
     // Consumed (retain_for_recovery = false).
     EXPECT_FALSE(svc.HasPartition(kind, key, 1));
   }
@@ -215,6 +220,144 @@ TEST(ShuffleServiceTest, MissingPartitionIsNotFound) {
   EXPECT_EQ(svc.ReadPartition(ShuffleKind::kLocal, key, 0, 0)
                 .status().code(),
             StatusCode::kNotFound);
+}
+
+TEST(ShuffleBufferTest, SharesOneAllocationAcrossHandles) {
+  ShuffleBuffer a(std::string("0123456789"));
+  EXPECT_EQ(a.use_count(), 1);
+  ShuffleBuffer b = a;            // handle copy, same allocation
+  ShuffleBuffer c = a.Slice(2, 5);
+  EXPECT_EQ(a.use_count(), 3);
+  EXPECT_EQ(b.view(), "0123456789");
+  EXPECT_EQ(c.view(), "23456");
+  EXPECT_EQ(c.size(), 5u);
+  // Views point into the same bytes, not copies of them.
+  EXPECT_EQ(c.view().data(), a.view().data() + 2);
+  ShuffleBuffer empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.valid());
+  EXPECT_EQ(empty.view(), "");
+}
+
+TEST(ShuffleBufferTest, SliceClampsToBounds) {
+  ShuffleBuffer a(std::string("abcdef"));
+  EXPECT_EQ(a.Slice(4, 100).view(), "ef");
+  EXPECT_EQ(a.Slice(100, 5).view(), "");
+  EXPECT_EQ(a.Slice(2, 2).Slice(1, 5).view(), "d");
+}
+
+// Satellite: 8 threads hammer Put/Get/Peek on one worker under a budget
+// tight enough that slots constantly spill and reload. Every payload
+// must come back byte-exact (no slot served corrupt after reload) and
+// memory_in_use must return to 0 once everything is consumed.
+TEST(CacheWorkerTest, ConcurrentPutGetPeekUnderTightBudget) {
+  const std::string dir = ::testing::TempDir() + "/swift_conc_spill";
+  std::filesystem::remove_all(dir);
+  constexpr int kThreads = 8;
+  constexpr int kSlotsPerThread = 64;
+  auto PayloadFor = [](int t, int s) {
+    return std::string(
+        static_cast<std::size_t>(1 + (t * 131 + s * 17) % 509),
+        static_cast<char>('a' + (t * 7 + s) % 26));
+  };
+  {
+    CacheWorker cw(4096, dir);  // ~130 KB of slots vs a 4 KB budget
+    std::atomic<int> corrupt{0};
+    std::atomic<int> errors{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int s = 0; s < kSlotsPerThread; ++s) {
+          ShuffleSlotKey key{1, 0, t, 1, s};
+          if (!cw.Put(key, PayloadFor(t, s), /*expected_reads=*/1).ok()) {
+            errors.fetch_add(1);
+          }
+        }
+        // Peek everything (reload from spill, no consumption)...
+        for (int s = 0; s < kSlotsPerThread; ++s) {
+          ShuffleSlotKey key{1, 0, t, 1, s};
+          auto r = cw.Peek(key);
+          if (!r.ok()) {
+            errors.fetch_add(1);
+          } else if (r->view() != PayloadFor(t, s)) {
+            corrupt.fetch_add(1);
+          }
+        }
+        // ...then consume every slot this thread owns.
+        for (int s = 0; s < kSlotsPerThread; ++s) {
+          ShuffleSlotKey key{1, 0, t, 1, s};
+          auto r = cw.Get(key);
+          if (!r.ok()) {
+            errors.fetch_add(1);
+          } else if (r->view() != PayloadFor(t, s)) {
+            corrupt.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(corrupt.load(), 0);
+    EXPECT_EQ(errors.load(), 0);
+    auto stats = cw.stats();
+    EXPECT_EQ(stats.memory_in_use, 0);
+    EXPECT_EQ(stats.deletions, kThreads * kSlotsPerThread);
+    EXPECT_GT(stats.spilled_slots, 0);
+    EXPECT_GT(stats.reloads, 0);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ShuffleServiceTest, ZeroCopyPlanePerformsNoPayloadCopies) {
+  auto cfg = ServiceConfig();
+  cfg.retain_for_recovery = true;  // every read is a Peek re-send
+  ShuffleService svc(cfg);
+  const std::string payload(1 << 16, 'z');
+  ShuffleSlotKey key{3, 0, 0, 1, 0};
+  ASSERT_TRUE(svc.WritePartition(ShuffleKind::kLocal, key,
+                                 ShuffleBuffer(std::string(payload)), 0, true)
+                  .ok());
+  // Three reads from another machine: first replicates, rest hit the
+  // reader-side replica; all share the writer's single allocation.
+  for (int i = 0; i < 3; ++i) {
+    auto r = svc.ReadPartition(ShuffleKind::kLocal, key, 1, 0);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->view(), payload);
+    // Writer-side slot + reader-side replica + this handle.
+    EXPECT_GE(r->use_count(), 3);
+  }
+  EXPECT_TRUE(svc.worker(1)->Contains(key));
+  auto stats = svc.stats();
+  EXPECT_EQ(stats.payload_copies, 0);
+  EXPECT_EQ(stats.local_replicas, 1);
+  EXPECT_EQ(stats.modeled_memory_copies, ExtraMemoryCopies(ShuffleKind::kLocal));
+}
+
+TEST(ShuffleServiceTest, LegacyCopyPlaneCountsPayloadCopies) {
+  auto cfg = ServiceConfig();
+  cfg.retain_for_recovery = true;
+  cfg.zero_copy = false;
+  ShuffleService svc(cfg);
+  ShuffleSlotKey key{3, 0, 0, 1, 0};
+  ASSERT_TRUE(svc.WritePartition(ShuffleKind::kRemote, key,
+                                 std::string("payload"), 0, false)
+                  .ok());
+  ASSERT_TRUE(svc.ReadPartition(ShuffleKind::kRemote, key, 1, 0).ok());
+  ASSERT_TRUE(svc.ReadPartition(ShuffleKind::kRemote, key, 2, 0).ok());
+  // One copy into the worker at write, one out of it per read.
+  EXPECT_EQ(svc.stats().payload_copies, 3);
+}
+
+TEST(ShuffleServiceTest, ModeledCopyAccountingMatchesPaper) {
+  ShuffleService svc(ServiceConfig());
+  int t = 0;
+  for (ShuffleKind kind :
+       {ShuffleKind::kDirect, ShuffleKind::kLocal, ShuffleKind::kRemote}) {
+    ShuffleSlotKey key{9, 0, t++, 1, 0};
+    ASSERT_TRUE(svc.WritePartition(kind, key, std::string("x"), 0, true).ok());
+  }
+  // Sec. III-B: Direct +0, Local +2, Remote +1 modeled copies.
+  EXPECT_EQ(svc.stats().modeled_memory_copies, 3);
+  EXPECT_EQ(svc.stats().payload_copies, 0);
 }
 
 }  // namespace
