@@ -1,0 +1,95 @@
+#include "fault/fault_injector.h"
+
+namespace swift {
+
+namespace {
+
+// SplitMix64 finalizer: a good 64-bit mixer for identity hashing.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform in [0, 1) from a hash.
+double Unit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+uint64_t HashTask(uint64_t seed, uint64_t salt, const TaskRef& t) {
+  uint64_t h = Mix(seed ^ salt);
+  h = Mix(h ^ static_cast<uint64_t>(t.stage));
+  h = Mix(h ^ static_cast<uint64_t>(t.task));
+  return h;
+}
+
+uint64_t HashSlot(uint64_t seed, uint64_t salt, const ShuffleSlotKey& k) {
+  uint64_t h = Mix(seed ^ salt);
+  h = Mix(h ^ static_cast<uint64_t>(k.src_stage));
+  h = Mix(h ^ static_cast<uint64_t>(k.src_task));
+  h = Mix(h ^ static_cast<uint64_t>(k.dst_stage));
+  h = Mix(h ^ static_cast<uint64_t>(k.dst_task));
+  // Note: the job id is deliberately excluded so a schedule hits the
+  // same slots no matter how many jobs ran before it on this runtime.
+  return h;
+}
+
+constexpr uint64_t kCrashSalt = 0xC4A5;
+constexpr uint64_t kTimeoutSalt = 0x7140;
+constexpr uint64_t kCorruptSalt = 0xBADC;
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultSchedule schedule)
+    : schedule_(schedule) {}
+
+TaskFault FaultInjector::OnTaskStart(const TaskRef& task, int attempt) {
+  TaskFault out;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.task_starts += 1;
+  if (schedule_.kill_machine >= 0 && !kill_fired_ &&
+      stats_.task_starts >= schedule_.kill_after_task_starts) {
+    kill_fired_ = true;
+    stats_.machine_kills += 1;
+    out.kill_machine = schedule_.kill_machine;
+  }
+  if (schedule_.task_crash_p > 0.0 && attempt == 0 &&
+      stats_.task_crashes < schedule_.max_task_crashes &&
+      Unit(HashTask(schedule_.seed, kCrashSalt, task)) <
+          schedule_.task_crash_p) {
+    stats_.task_crashes += 1;
+    out.fail = schedule_.task_crash_kind;
+  }
+  return out;
+}
+
+ReadFault FaultInjector::OnShuffleRead(const ShuffleSlotKey& key,
+                                       int attempt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (schedule_.read_timeout_p > 0.0 &&
+      attempt < schedule_.timeouts_per_victim &&
+      stats_.read_timeouts < schedule_.max_read_timeouts &&
+      Unit(HashSlot(schedule_.seed, kTimeoutSalt, key)) <
+          schedule_.read_timeout_p) {
+    stats_.read_timeouts += 1;
+    return ReadFault::kTimeout;
+  }
+  if (schedule_.corrupt_p > 0.0 && attempt == 0 &&
+      stats_.corruptions < schedule_.max_corruptions &&
+      corrupted_.count(key) == 0 &&
+      Unit(HashSlot(schedule_.seed, kCorruptSalt, key)) <
+          schedule_.corrupt_p) {
+    corrupted_.insert(key);
+    stats_.corruptions += 1;
+    return ReadFault::kCorrupt;
+  }
+  return ReadFault::kNone;
+}
+
+FaultInjectorStats FaultInjector::stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace swift

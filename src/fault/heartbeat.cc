@@ -30,10 +30,14 @@ std::vector<int> HeartbeatMonitor::DetectFailed(double now) const {
 }
 
 MachineHealthMonitor::MachineHealthMonitor(int failure_threshold,
-                                           double window_seconds)
-    : failure_threshold_(failure_threshold), window_(window_seconds) {}
+                                           double window_seconds,
+                                           double probation_seconds)
+    : failure_threshold_(failure_threshold),
+      window_(window_seconds),
+      probation_(probation_seconds) {}
 
 void MachineHealthMonitor::RecordTaskFailure(int machine, double now) {
+  last_failure_[machine] = now;
   auto& times = failures_[machine];
   times.push_back(now);
   // Drop entries outside the sliding window.
@@ -57,6 +61,22 @@ void MachineHealthMonitor::MarkReadOnly(int machine) {
 void MachineHealthMonitor::Clear(int machine) {
   read_only_.erase(machine);
   failures_.erase(machine);
+  last_failure_.erase(machine);
+}
+
+std::vector<int> MachineHealthMonitor::ClearExpired(double now) {
+  std::vector<int> cleared;
+  if (probation_ <= 0.0) return cleared;
+  for (const auto& [m, ro] : read_only_) {
+    if (!ro) continue;
+    // Machines without a recorded failure were marked manually (machine
+    // failure handling); those stay drained until an explicit Clear.
+    auto it = last_failure_.find(m);
+    if (it == last_failure_.end()) continue;
+    if (now - it->second >= probation_) cleared.push_back(m);
+  }
+  for (int m : cleared) Clear(m);
+  return cleared;
 }
 
 std::vector<int> MachineHealthMonitor::ReadOnlyMachines() const {

@@ -50,26 +50,38 @@ class MachineHealthMonitor {
  public:
   /// \param failure_threshold failures within `window_seconds` that mark
   /// the machine read-only.
+  /// \param probation_seconds clean time after which a failure-drained
+  /// machine returns to rotation via ClearExpired (0 disables).
   MachineHealthMonitor(int failure_threshold = 5,
-                       double window_seconds = 60.0);
+                       double window_seconds = 60.0,
+                       double probation_seconds = 0.0);
 
   void RecordTaskFailure(int machine, double now);
 
   bool IsReadOnly(int machine) const;
 
-  /// \brief Manually mark (machine failure handling path).
+  /// \brief Manually mark (machine failure handling path). Manual marks
+  /// never auto-clear; only Clear() lifts them.
   void MarkReadOnly(int machine);
 
   /// \brief Back in rotation after repair.
   void Clear(int machine);
+
+  /// \brief Probation sweep: failure-drained machines whose last failure
+  /// is at least `probation_seconds` old return to rotation with their
+  /// failure history wiped (one fresh failure must not re-drain them).
+  /// Returns the machines cleared at `now`. No-op when probation is 0.
+  std::vector<int> ClearExpired(double now);
 
   std::vector<int> ReadOnlyMachines() const;
 
  private:
   int failure_threshold_;
   double window_;
+  double probation_;
   std::map<int, std::vector<double>> failures_;
   std::map<int, bool> read_only_;
+  std::map<int, double> last_failure_;
 };
 
 }  // namespace swift

@@ -62,7 +62,8 @@ struct LocalRuntime::JobContext {
         graphlets(std::move(g)),
         recovery(&p->dag, &graphlets),
         tracker(&p->dag),
-        pool(machines, executors_per_machine) {}
+        pool(machines, executors_per_machine),
+        gtracker(&graphlets) {}
 
   JobId job;
   const DistributedPlan* plan;
@@ -70,9 +71,13 @@ struct LocalRuntime::JobContext {
   RecoveryPlanner recovery;
   TaskTracker tracker;
   ResourcePool pool;
+  GraphletTracker gtracker;
   std::map<TaskRef, ExecutorId> placement;
   std::map<TaskRef, int> writer_machine;
   std::map<TaskRef, int> attempts;
+  /// producer task -> tasks that successfully consumed its output
+  /// (feeds RecoveryContext::received_output).
+  std::map<TaskRef, std::set<TaskRef>> received_by;
   Batch final_result;
   bool has_result = false;
   JobRunStats stats;
@@ -80,7 +85,10 @@ struct LocalRuntime::JobContext {
 };
 
 LocalRuntime::LocalRuntime(LocalRuntimeConfig config)
-    : config_(std::move(config)) {
+    : config_(std::move(config)),
+      heartbeat_(config_.machines),
+      health_(config_.health_failure_threshold, config_.health_window_seconds,
+              config_.health_probation_seconds) {
   ShuffleService::Config sc;
   sc.machines = config_.machines;
   sc.cache_memory_per_worker = config_.cache_memory_per_worker;
@@ -88,9 +96,46 @@ LocalRuntime::LocalRuntime(LocalRuntimeConfig config)
   sc.thresholds = config_.shuffle_thresholds;
   sc.force_kind = config_.force_shuffle_kind;
   sc.retain_for_recovery = true;
+  sc.max_read_attempts = config_.shuffle_read_attempts;
   shuffle_ = std::make_unique<ShuffleService>(sc);
+  if (config_.fault_schedule.has_value()) {
+    injector_ = std::make_unique<FaultInjector>(*config_.fault_schedule);
+    shuffle_->set_fault_injector(injector_.get());
+  }
   pool_ = std::make_unique<ThreadPool>(
       static_cast<std::size_t>(config_.worker_threads));
+  for (int m = 0; m < config_.machines; ++m) {
+    heartbeat_.ReportHeartbeat(m, clock_);
+  }
+}
+
+void LocalRuntime::FailMachine(int machine) {
+  if (machine < 0 || machine >= config_.machines) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!down_.insert(machine).second) return;
+  }
+  // The Cache Worker's memory and spill directory die with the machine.
+  shuffle_->FailMachine(machine);
+  SWIFT_LOG(Warn) << "machine " << machine
+                  << " failed: heartbeats silent, cache worker lost";
+}
+
+void LocalRuntime::RestoreMachine(int machine) {
+  if (machine < 0 || machine >= config_.machines) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    down_.erase(machine);
+    detected_.erase(machine);
+    health_.Clear(machine);
+    heartbeat_.ReportHeartbeat(machine, clock_);
+  }
+  shuffle_->RestoreMachine(machine);
+}
+
+std::vector<int> LocalRuntime::DownMachines() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<int>(down_.begin(), down_.end());
 }
 
 Result<Batch> LocalRuntime::ExecuteSql(const std::string& sql,
@@ -128,10 +173,21 @@ Result<JobRunReport> LocalRuntime::RunPlan(const DistributedPlan& plan) {
         plan.dag.ShuffleEdgeSize(e.src, e.dst))] += 1;
   }
 
-  GraphletTracker gtracker(&ctx.graphlets);
+  // Cross-graphlet recovery can reset already-complete graphlets, so
+  // the scheduling loop is bounded by attempts, not graphlet count.
+  const int max_rounds =
+      (static_cast<int>(ctx.graphlets.graphlets.size()) + 1) *
+          (config_.max_task_attempts + 2) +
+      8;
+  int rounds = 0;
   Status failure = Status::OK();
-  while (!gtracker.AllComplete() && failure.ok()) {
-    std::vector<GraphletId> ready = gtracker.Submittable();
+  while (!ctx.gtracker.AllComplete() && failure.ok()) {
+    if (++rounds > max_rounds) {
+      failure = Status::Internal("recovery did not converge: graphlet "
+                                 "resubmission limit reached");
+      break;
+    }
+    std::vector<GraphletId> ready = ctx.gtracker.Submittable();
     if (ready.empty()) {
       failure = Status::Internal("no submittable graphlet but job incomplete");
       break;
@@ -139,17 +195,30 @@ Result<JobRunReport> LocalRuntime::RunPlan(const DistributedPlan& plan) {
     // Submit in dependency order, one at a time (the paper's
     // conservative submission order, Sec. III-A-2).
     for (GraphletId gid : ready) {
-      gtracker.MarkSubmitted(gid);
+      ctx.gtracker.MarkSubmitted(gid);
       Status st = RunGraphlet(&ctx, gid);
       if (!st.ok()) {
         failure = st;
         break;
       }
-      gtracker.MarkComplete(gid);
+      if (GraphletComplete(&ctx, gid)) {
+        ctx.gtracker.MarkComplete(gid);
+      } else {
+        // Recovery reset one of its dependencies mid-run (a machine
+        // died with cross-graphlet inputs): leave the graphlet open and
+        // re-enter the scheduler so upstream work re-runs first.
+        ctx.gtracker.Reset(gid);
+        break;
+      }
     }
   }
 
   shuffle_->RemoveJob(job);
+  {
+    // An unconsumed one-shot injection must not leak into the next job.
+    std::lock_guard<std::mutex> lock(mu_);
+    injected_.clear();
+  }
   if (!failure.ok()) return failure;
   if (!ctx.tracker.AllComplete()) {
     return Status::Internal("job ended with incomplete tasks");
@@ -165,6 +234,19 @@ Status LocalRuntime::RunGraphlet(JobContext* ctx, GraphletId gid) {
   const Graphlet& g =
       ctx->graphlets.graphlets[static_cast<std::size_t>(gid)];
   const JobDag& dag = ctx->plan->dag;
+
+  // Cluster state feeds this job's pool: dead machines hold no
+  // executors, drained machines take no new tasks.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int m = 0; m < config_.machines; ++m) {
+      if (down_.count(m) > 0 || detected_.count(m) > 0) {
+        ctx->pool.RevokeMachine(m);
+      } else {
+        ctx->pool.SetReadOnly(m, health_.IsReadOnly(m));
+      }
+    }
+  }
 
   // Gang allocation: one executor per task of the graphlet, with
   // synthetic data locality for scan tasks (spread across machines).
@@ -201,6 +283,7 @@ Status LocalRuntime::RunGraphlet(JobContext* ctx, GraphletId gid) {
   for (;;) {
     bool all_done = true;
     bool progressed = false;
+    bool blocked_external = false;
     for (StageId sid : order) {
       std::vector<int> pending;
       const StageProgram& prog = ctx->plan->program(sid);
@@ -211,7 +294,17 @@ Status LocalRuntime::RunGraphlet(JobContext* ctx, GraphletId gid) {
       }
       if (pending.empty()) continue;
       all_done = false;
-      if (!ctx->tracker.StagesComplete(dag.inputs(sid))) continue;
+      if (!ctx->tracker.StagesComplete(dag.inputs(sid))) {
+        // Distinguish "waiting on a sibling stage of this graphlet"
+        // from "recovery reset an upstream graphlet" — the latter
+        // suspends this graphlet so the scheduler re-runs upstream.
+        for (StageId in : dag.inputs(sid)) {
+          if (!g.Contains(in) && !ctx->tracker.StagesComplete({in})) {
+            blocked_external = true;
+          }
+        }
+        continue;
+      }
       Status st = RunStageWave(ctx, sid, pending);
       if (!st.ok()) {
         ctx->pool.ReleaseAll(*gang);
@@ -222,12 +315,27 @@ Status LocalRuntime::RunGraphlet(JobContext* ctx, GraphletId gid) {
     if (all_done) break;
     if (!progressed) {
       ctx->pool.ReleaseAll(*gang);
+      if (blocked_external) return Status::OK();  // suspended
       return Status::Internal(
           StrFormat("graphlet %d stalled: no runnable stage", gid));
     }
   }
   ctx->pool.ReleaseAll(*gang);
   return Status::OK();
+}
+
+bool LocalRuntime::GraphletComplete(JobContext* ctx, GraphletId gid) {
+  const Graphlet& g =
+      ctx->graphlets.graphlets[static_cast<std::size_t>(gid)];
+  for (StageId sid : g.stages) {
+    const StageProgram& prog = ctx->plan->program(sid);
+    for (int t = 0; t < prog.task_count; ++t) {
+      if (ctx->tracker.state(TaskRef{sid, t}) != TaskState::kCompleted) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 Status LocalRuntime::RunStageWave(JobContext* ctx, StageId stage,
@@ -250,9 +358,7 @@ Status LocalRuntime::RunStageWave(JobContext* ctx, StageId stage,
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       const TaskRef task = outcomes[i].task;
       Outcome* slot = &outcomes[i];
-      const int machine = ctx->placement.count(task) > 0
-                              ? ctx->placement[task].machine
-                              : 0;
+      const int machine = ResolveMachine(ctx, task);
       const bool submitted = pool_->Submit([this, ctx, task, machine, slot,
                                             &wg] {
         slot->status = RunTask(ctx, task, machine);
@@ -273,6 +379,9 @@ Status LocalRuntime::RunStageWave(JobContext* ctx, StageId stage,
       ctx->stats.tasks_executed += 1;
     }
   }
+  // One heartbeat interval elapses per wave; detection of silent
+  // machines (and probation expirations) runs here, between waves.
+  SWIFT_RETURN_NOT_OK(TickClusterHealth(ctx));
   for (Outcome& o : outcomes) {
     if (!o.status.ok()) {
       {
@@ -288,14 +397,41 @@ Status LocalRuntime::RunStageWave(JobContext* ctx, StageId stage,
 
 Status LocalRuntime::HandleFailure(JobContext* ctx, const TaskRef& task,
                                    FailureKind kind, const Status& error) {
+  if (kind != FailureKind::kApplicationError) {
+    // The failed-RPC detection path (Sec. IV-A): a machine-flavored
+    // failure surfaces dead machines before the heartbeat deadline.
+    SWIFT_RETURN_NOT_OK(DetectDownMachines(ctx));
+    // A machine-loss cascade may already have replanned this task.
+    if (ctx->tracker.state(task) == TaskState::kPending) return Status::OK();
+  }
+  const bool was_completed =
+      ctx->tracker.state(task) == TaskState::kCompleted;
   ctx->tracker.SetState(task, TaskState::kFailed);
-  const int attempt = ++ctx->attempts[task];
+  int attempt;
+  {
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    attempt = ++ctx->attempts[task];
+  }
   if (attempt >= config_.max_task_attempts) {
     return error.WithContext(StrFormat(
         "task %s failed %d times", task.ToString().c_str(), attempt));
   }
+  if (kind != FailureKind::kApplicationError) {
+    auto it = ctx->placement.find(task);
+    RecordMachineFailure(ctx, it != ctx->placement.end()
+                                  ? it->second.machine
+                                  : 0);
+  }
+
   RecoveryContext rctx;
   rctx.executed = ctx->tracker.CompletedTasks();
+  {
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    auto it = ctx->received_by.find(task);
+    if (it != ctx->received_by.end()) rctx.received_output = it->second;
+  }
+  rctx.failed_output_available = was_completed && OutputsAvailable(ctx, task);
+
   RecoveryDecision decision = ctx->recovery.Plan(task, kind, rctx);
   if (decision.report_only) {
     // Sec. IV-C: application failures are reported, never retried.
@@ -304,21 +440,196 @@ Status LocalRuntime::HandleFailure(JobContext* ctx, const TaskRef& task,
   {
     std::lock_guard<std::mutex> lock(ctx->mu);
     ctx->stats.recoveries += 1;
+    ctx->stats.recoveries_by_case[decision.kase] += 1;
     ctx->stats.resend_notifications +=
         static_cast<int>(decision.resend_upstream.size());
     ctx->stats.tasks_rerun += static_cast<int>(decision.rerun.size());
-  }
-  for (StageId s : decision.invalidate_outputs) {
-    shuffle_->RemoveStageOutput(ctx->job, s);
-  }
-  for (const TaskRef& t : decision.rerun) {
-    ctx->tracker.Reset(t);
+    ctx->stats.job_restart_equivalent_tasks +=
+        static_cast<int64_t>(ctx->recovery.JobRestartRerunSet(rctx).size());
   }
   SWIFT_LOG(Info) << "recovered " << task.ToString() << " via "
                   << RecoveryCaseToString(decision.kase) << " (rerun "
                   << decision.rerun.size() << ", resend "
                   << decision.resend_upstream.size() << ")";
+  if (decision.kase == RecoveryCase::kNone) {
+    // Every consumer already holds the data; the completed task stays
+    // completed (the paper's recovery-avoidance for consumed outputs).
+    if (was_completed) ctx->tracker.SetState(task, TaskState::kCompleted);
+    return Status::OK();
+  }
+  for (StageId s : decision.invalidate_outputs) {
+    shuffle_->RemoveStageOutput(ctx->job, s);
+  }
+  for (const TaskRef& t : decision.rerun) {
+    ResetTask(ctx, t);
+  }
+  // A machine loss can also take the rerun's *inputs*: re-run any
+  // producer whose retained slot feeding `task` is gone (Fig. 7(a)).
+  return EnsureInputsAvailable(ctx, task);
+}
+
+void LocalRuntime::ResetTask(JobContext* ctx, const TaskRef& t) {
+  ctx->tracker.Reset(t);
+  {
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    ctx->received_by.erase(t);
+    for (auto& [producer, consumers] : ctx->received_by) {
+      consumers.erase(t);
+    }
+  }
+  // Re-open the task's graphlet so the scheduler resubmits it.
+  ctx->gtracker.Reset(ctx->graphlets.GraphletOf(t.stage));
+}
+
+bool LocalRuntime::OutputsAvailable(JobContext* ctx, const TaskRef& task) {
+  const StageId consumer = ctx->plan->ConsumerOf(task.stage);
+  if (consumer < 0) {
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    return ctx->has_result;  // final stage: delivered to the client
+  }
+  const StageProgram& consumer_prog = ctx->plan->program(consumer);
+  const ShuffleKind kind = shuffle_->KindFor(
+      ctx->plan->dag.ShuffleEdgeSize(task.stage, consumer));
+  for (int dst = 0; dst < consumer_prog.task_count; ++dst) {
+    const ShuffleSlotKey key{ctx->job, task.stage, task.task, consumer, dst};
+    if (!shuffle_->PartitionAvailable(kind, key)) return false;
+  }
+  return true;
+}
+
+Status LocalRuntime::EnsureInputsAvailable(JobContext* ctx,
+                                           const TaskRef& task) {
+  const StageProgram& prog = ctx->plan->program(task.stage);
+  if (!prog.scan_table.empty()) return Status::OK();
+  const JobDag& dag = ctx->plan->dag;
+  for (StageId src : prog.inputs) {
+    const StageProgram& producer = ctx->plan->program(src);
+    const ShuffleKind kind =
+        shuffle_->KindFor(dag.ShuffleEdgeSize(src, task.stage));
+    for (int st = 0; st < producer.task_count; ++st) {
+      const TaskRef p{src, st};
+      if (ctx->tracker.state(p) != TaskState::kCompleted) continue;
+      const ShuffleSlotKey key{ctx->job, src, st, task.stage, task.task};
+      if (shuffle_->PartitionAvailable(kind, key)) continue;
+      SWIFT_RETURN_NOT_OK(HandleFailure(
+          ctx, p, FailureKind::kMachineFailure,
+          Status::MachineUnhealthy(StrFormat(
+              "retained slot %s lost", key.ToString().c_str()))));
+    }
+  }
   return Status::OK();
+}
+
+Status LocalRuntime::TickClusterHealth(JobContext* ctx) {
+  std::vector<int> lost;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    clock_ += heartbeat_.interval();
+    for (int m = 0; m < config_.machines; ++m) {
+      if (down_.count(m) == 0) heartbeat_.ReportHeartbeat(m, clock_);
+    }
+    for (int m : heartbeat_.DetectFailed(clock_)) {
+      if (detected_.insert(m).second) lost.push_back(m);
+    }
+    // Probation: drained machines with a clean window rejoin.
+    for (int m : health_.ClearExpired(clock_)) {
+      ctx->pool.SetReadOnly(m, false);
+      SWIFT_LOG(Info) << "machine " << m
+                      << " back in rotation after clean probation";
+    }
+  }
+  for (int m : lost) {
+    SWIFT_RETURN_NOT_OK(HandleMachineLoss(ctx, m));
+  }
+  return Status::OK();
+}
+
+Status LocalRuntime::DetectDownMachines(JobContext* ctx) {
+  std::vector<int> lost;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int m : down_) {
+      if (detected_.insert(m).second) lost.push_back(m);
+    }
+  }
+  for (int m : lost) {
+    SWIFT_RETURN_NOT_OK(HandleMachineLoss(ctx, m));
+  }
+  return Status::OK();
+}
+
+Status LocalRuntime::HandleMachineLoss(JobContext* ctx, int machine) {
+  SWIFT_LOG(Warn) << "machine " << machine
+                  << " loss detected: replanning its retained outputs";
+  ctx->pool.RevokeMachine(machine);
+  {
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    ctx->stats.machine_failures += 1;
+  }
+  // Completed tasks that ran there lost their retained outputs with the
+  // Cache Worker; replan each unless a replica survives (Fig. 7).
+  std::vector<TaskRef> victims;
+  {
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    for (const auto& [t, wm] : ctx->writer_machine) {
+      if (wm == machine) victims.push_back(t);
+    }
+  }
+  for (const TaskRef& t : victims) {
+    if (ctx->tracker.state(t) != TaskState::kCompleted) continue;
+    if (OutputsAvailable(ctx, t)) continue;
+    SWIFT_RETURN_NOT_OK(HandleFailure(
+        ctx, t, FailureKind::kMachineFailure,
+        Status::MachineUnhealthy(StrFormat(
+            "machine %d died holding retained output of %s", machine,
+            t.ToString().c_str()))));
+  }
+  return Status::OK();
+}
+
+void LocalRuntime::RecordMachineFailure(JobContext* ctx, int machine) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool was_read_only = health_.IsReadOnly(machine);
+  health_.RecordTaskFailure(machine, clock_);
+  if (was_read_only || !health_.IsReadOnly(machine)) return;
+  // Drain read-only only while at least one other machine still takes
+  // new tasks; never strand the job.
+  int available = 0;
+  for (int m = 0; m < config_.machines; ++m) {
+    if (m == machine || down_.count(m) > 0 || detected_.count(m) > 0) {
+      continue;
+    }
+    if (!health_.IsReadOnly(m)) available += 1;
+  }
+  if (available == 0) {
+    health_.Clear(machine);
+    return;
+  }
+  ctx->pool.SetReadOnly(machine, true);
+  SWIFT_LOG(Info) << "machine " << machine
+                  << " drained read-only after repeated task failures";
+}
+
+int LocalRuntime::ResolveMachine(JobContext* ctx, const TaskRef& task) {
+  auto it = ctx->placement.find(task);
+  int preferred = it != ctx->placement.end() ? it->second.machine : 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto alive = [this](int m) {
+    return down_.count(m) == 0 && detected_.count(m) == 0;
+  };
+  if (alive(preferred) && !health_.IsReadOnly(preferred)) return preferred;
+  // Deterministic failover: the next live, undrained machine; if every
+  // live machine is drained, any live one (drain is best-effort).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int k = 1; k <= config_.machines; ++k) {
+      const int m = (preferred + k) % config_.machines;
+      if (!alive(m)) continue;
+      if (pass == 0 && health_.IsReadOnly(m)) continue;
+      ctx->placement[task] = ExecutorId{m, -1};
+      return m;
+    }
+  }
+  return preferred;  // no machine is alive; the task fails upstream
 }
 
 Result<OperatorPtr> LocalRuntime::BuildTaskTree(JobContext* ctx,
@@ -356,9 +667,13 @@ Result<OperatorPtr> LocalRuntime::BuildTaskTree(JobContext* ctx,
           writer = it->second;
         }
         SWIFT_ASSIGN_OR_RETURN(
-            ShuffleBuffer buffer,
-            shuffle_->ReadPartition(kind, key, machine, writer));
-        SWIFT_ASSIGN_OR_RETURN(Batch b, DeserializeBatch(buffer.view()));
+            Batch b, FetchShuffleInput(ctx, kind, key, machine, writer));
+        {
+          // This task now holds the producer's output — the planner's
+          // received_output set for any later failure of that producer.
+          std::lock_guard<std::mutex> lock(ctx->mu);
+          ctx->received_by[TaskRef{src, st}].insert(task);
+        }
         batches.push_back(std::move(b));
       }
       sources.push_back(
@@ -434,8 +749,49 @@ Result<OperatorPtr> LocalRuntime::BuildTaskTree(JobContext* ctx,
   return tree;
 }
 
+Result<Batch> LocalRuntime::FetchShuffleInput(JobContext* ctx,
+                                              ShuffleKind kind,
+                                              const ShuffleSlotKey& key,
+                                              int reader, int writer) {
+  for (int refetch = 0;; ++refetch) {
+    Result<ShuffleBuffer> buffer =
+        shuffle_->ReadPartition(kind, key, reader, writer);
+    if (!buffer.ok()) {
+      if (buffer.status().code() == StatusCode::kNotFound) {
+        // The retained slot is gone — a machine died holding it.
+        // NotFound would be misread as an application error; surface it
+        // as machine-level so recovery re-runs the producer.
+        return Status::MachineUnhealthy(
+            std::string(buffer.status().message()));
+      }
+      return buffer.status();  // timeout budget exhausted etc.
+    }
+    Result<Batch> batch = DeserializeBatch(buffer->view());
+    if (batch.ok()) return batch;
+    if (refetch >= config_.max_corrupt_rereads) {
+      return batch.status().WithContext(StrFormat(
+          "payload %s rejected %d times", key.ToString().c_str(),
+          refetch + 1));
+    }
+    // The CRC-32C footer rejected the payload (bit flip in flight):
+    // drop this copy and re-fetch from the shuffle fabric.
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    ctx->stats.corrupt_read_retries += 1;
+  }
+}
+
 Status LocalRuntime::RunTask(JobContext* ctx, const TaskRef& task,
                              int machine) {
+  if (injector_ != nullptr) {
+    int attempt;
+    {
+      std::lock_guard<std::mutex> lock(ctx->mu);
+      attempt = ctx->attempts[task];
+    }
+    const TaskFault fault = injector_->OnTaskStart(task, attempt);
+    if (fault.kill_machine.has_value()) FailMachine(*fault.kill_machine);
+    if (fault.fail.has_value()) return StatusForFailure(*fault.fail, task);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = injected_.find(task);
@@ -444,11 +800,25 @@ Status LocalRuntime::RunTask(JobContext* ctx, const TaskRef& task,
       injected_.erase(it);
       return StatusForFailure(kind, task);
     }
+    if (down_.count(machine) > 0) {
+      return Status::MachineUnhealthy(StrFormat(
+          "task %s placed on dead machine %d", task.ToString().c_str(),
+          machine));
+    }
   }
   const StageProgram& program = ctx->plan->program(task.stage);
   SWIFT_ASSIGN_OR_RETURN(OperatorPtr tree,
                          BuildTaskTree(ctx, program, task, machine));
   SWIFT_ASSIGN_OR_RETURN(Batch out, CollectAll(tree.get()));
+  {
+    // A machine killed mid-run takes its in-flight task results along.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (down_.count(machine) > 0) {
+      return Status::MachineUnhealthy(StrFormat(
+          "machine %d died while %s ran", machine,
+          task.ToString().c_str()));
+    }
+  }
 
   const JobDag& dag = ctx->plan->dag;
   const StageId consumer = ctx->plan->ConsumerOf(task.stage);

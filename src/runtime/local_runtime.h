@@ -4,12 +4,16 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <set>
 #include <string>
 
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "exec/table.h"
 #include "fault/failure.h"
+#include "fault/fault_injector.h"
+#include "fault/heartbeat.h"
 #include "fault/recovery.h"
 #include "partition/partitioners.h"
 #include "scheduler/resource_pool.h"
@@ -32,6 +36,20 @@ struct LocalRuntimeConfig {
   std::optional<ShuffleKind> force_shuffle_kind;
   ShuffleThresholds shuffle_thresholds;
   int max_task_attempts = 3;
+  /// Bounded exponential-backoff retry budget for one shuffle read
+  /// (transient timeouts retry in place; permanent loss escalates).
+  int shuffle_read_attempts = 4;
+  /// Re-fetches of a payload whose CRC-32C footer failed verification.
+  int max_corrupt_rereads = 2;
+  /// Read-only drain (Sec. IV-A): this many non-application failures on
+  /// one machine within `health_window_seconds` stop new placements
+  /// there; after `health_probation_seconds` without further failures
+  /// the machine returns to rotation.
+  int health_failure_threshold = 3;
+  double health_window_seconds = 60.0;
+  double health_probation_seconds = 120.0;
+  /// Seeded chaos engine driving injected faults (nullopt = none).
+  std::optional<FaultSchedule> fault_schedule;
 };
 
 /// \brief Outcome counters of one job run.
@@ -41,6 +59,14 @@ struct JobRunStats {
   int tasks_rerun = 0;      ///< re-executions triggered by recovery
   int recoveries = 0;       ///< recovery decisions acted on
   int resend_notifications = 0;  ///< upstream re-send requests issued
+  int machine_failures = 0;      ///< machine losses detected and handled
+  /// Shuffle payloads re-fetched after the CRC-32C footer rejected them.
+  int corrupt_read_retries = 0;
+  /// Recovery decisions by Sec. IV-B scenario.
+  std::map<RecoveryCase, int> recoveries_by_case;
+  /// What the job-restart baseline would have re-executed instead: the
+  /// count of already-finished tasks summed over every recovery.
+  int64_t job_restart_equivalent_tasks = 0;
   std::map<ShuffleKind, int> edges_by_kind;
   ShuffleServiceStats shuffle;
 };
@@ -78,7 +104,22 @@ class LocalRuntime {
   /// (fires once; recovery then re-runs it successfully).
   void InjectFailureOnce(const TaskRef& task, FailureKind kind);
 
+  /// \brief Kills machine `machine` mid-flight: its Cache Worker state
+  /// and retained partitions are lost, its heartbeats stop, and tasks
+  /// placed there fail. Detection runs through the HeartbeatMonitor (or
+  /// eagerly, when a reader trips over the missing data); recovery then
+  /// replans through the surviving machines.
+  void FailMachine(int machine);
+
+  /// \brief Brings `machine` back with a fresh, empty Cache Worker.
+  void RestoreMachine(int machine);
+
+  /// \brief Machines currently down (killed and not yet restored).
+  std::vector<int> DownMachines();
+
   ShuffleService* shuffle_service() { return shuffle_.get(); }
+  FaultInjector* fault_injector() { return injector_.get(); }
+  MachineHealthMonitor* health_monitor() { return &health_; }
 
  private:
   struct JobContext;
@@ -92,13 +133,45 @@ class LocalRuntime {
   Result<OperatorPtr> BuildTaskTree(JobContext* ctx,
                                     const StageProgram& program,
                                     const TaskRef& task, int machine);
+  Result<Batch> FetchShuffleInput(JobContext* ctx, ShuffleKind kind,
+                                  const ShuffleSlotKey& key, int reader,
+                                  int writer);
+  /// Advance the logical cluster clock one heartbeat interval, run
+  /// detection, and handle newly detected machine losses and probation
+  /// expirations. Called between stage waves.
+  Status TickClusterHealth(JobContext* ctx);
+  /// A machine loss was detected: revoke it and replan recovery for
+  /// every completed task whose retained output died with it.
+  Status HandleMachineLoss(JobContext* ctx, int machine);
+  /// Eager detection: machine-flavored failures surface losses before
+  /// the heartbeat deadline (the failed-RPC path of Sec. IV-A).
+  Status DetectDownMachines(JobContext* ctx);
+  /// All retained output slots of completed task `task` still readable?
+  bool OutputsAvailable(JobContext* ctx, const TaskRef& task);
+  /// Re-run producers whose retained slots feeding `task` are gone.
+  Status EnsureInputsAvailable(JobContext* ctx, const TaskRef& task);
+  /// True once every stage of graphlet `gid` has all tasks completed.
+  bool GraphletComplete(JobContext* ctx, GraphletId gid);
+  /// Pick the machine `task` runs on, avoiding dead/drained machines.
+  int ResolveMachine(JobContext* ctx, const TaskRef& task);
+  /// Reset `task` to pending and forget who consumed its output.
+  void ResetTask(JobContext* ctx, const TaskRef& t);
+  /// Record a non-application failure against `machine`; drains it
+  /// read-only when the sliding window fills (never the last machine).
+  void RecordMachineFailure(JobContext* ctx, int machine);
 
   LocalRuntimeConfig config_;
   Catalog catalog_;
   std::unique_ptr<ShuffleService> shuffle_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<FaultInjector> injector_;
+  HeartbeatMonitor heartbeat_;
+  MachineHealthMonitor health_;
   std::mutex mu_;
   std::map<TaskRef, FailureKind> injected_;
+  std::set<int> down_;      ///< machines killed (heartbeats silent)
+  std::set<int> detected_;  ///< down machines already detected + handled
+  double clock_ = 0.0;      ///< logical cluster time, one tick per wave
   JobId next_job_id_ = 1;
 };
 

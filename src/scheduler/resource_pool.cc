@@ -116,6 +116,10 @@ bool ResourcePool::IsReadOnly(int machine) const {
 std::vector<ExecutorId> ResourcePool::RevokeMachine(int machine) {
   std::vector<ExecutorId> busy;
   if (machine < 0 || machine >= machines_) return busy;
+  // Idempotent: a second revocation (e.g. the runtime re-syncing pool
+  // state every graphlet while a machine stays down) reports no busy
+  // executors instead of re-reporting every slot.
+  if (revoked_.count(machine) > 0) return busy;
   auto& slots = free_slots_[static_cast<std::size_t>(machine)];
   for (int s = 0; s < per_machine_; ++s) {
     if (slots.count(s) == 0) busy.push_back(ExecutorId{machine, s});

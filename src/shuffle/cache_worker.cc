@@ -119,6 +119,15 @@ void CacheWorker::RemoveStageOutput(JobId job, StageId stage) {
   }
 }
 
+void CacheWorker::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    auto next = std::next(it);
+    EraseLocked(it->first);
+    it = next;
+  }
+}
+
 CacheWorkerStats CacheWorker::stats() {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;

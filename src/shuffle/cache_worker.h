@@ -91,6 +91,10 @@ class CacheWorker {
   /// upstream re-run invalidates retained data).
   void RemoveStageOutput(JobId job, StageId stage);
 
+  /// \brief Drops every slot, spilled or resident (machine failure: the
+  /// worker's memory and local disk die with the machine).
+  void Clear();
+
   CacheWorkerStats stats();
 
  private:

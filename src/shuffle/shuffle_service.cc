@@ -1,9 +1,26 @@
 #include "shuffle/shuffle_service.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "common/macros.h"
 #include "common/string_util.h"
 
 namespace swift {
+
+namespace {
+
+// A corrupted wire payload: one bit flipped in the CRC-covered region,
+// on a private copy — the retained slot keeps the good bytes, so the
+// re-fetch after the CRC failure succeeds.
+ShuffleBuffer CorruptCopy(const ShuffleBuffer& buffer) {
+  std::string bytes(buffer.view());
+  if (!bytes.empty()) bytes[bytes.size() / 2] ^= 0x01;
+  return ShuffleBuffer(std::move(bytes));
+}
+
+}  // namespace
 
 ShuffleService::ShuffleService(Config config) : config_(std::move(config)) {
   if (config_.machines < 1) config_.machines = 1;
@@ -62,6 +79,14 @@ Status ShuffleService::WritePartition(ShuffleKind kind,
                                       int writer_machine, bool pipelined) {
   const int expected_reads = config_.retain_for_recovery ? 0 : 1;
   const int64_t size = static_cast<int64_t>(buffer.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (IsMachineDeadLocked(writer_machine)) {
+      return Status::MachineUnhealthy(StrFormat(
+          "cannot write %s: machine %d is down", key.ToString().c_str(),
+          writer_machine));
+    }
+  }
   if (!config_.zero_copy) {
     // Legacy plane: the hand-off into the direct slot / writer-side
     // worker deep-copies the payload.
@@ -74,6 +99,7 @@ Status ShuffleService::WritePartition(ShuffleKind kind,
       std::lock_guard<std::mutex> lock(mu_);
       Connect(TaskEndpoint(key, true), TaskEndpoint(key, false));
       direct_[key] = std::move(buffer);
+      direct_writer_[key] = writer_machine;
       stats_.direct_writes += 1;
       stats_.bytes_transferred += size;
       stats_.modeled_memory_copies += ExtraMemoryCopies(kind);
@@ -114,6 +140,92 @@ Result<ShuffleBuffer> ShuffleService::ReadPartition(ShuffleKind kind,
                                                     const ShuffleSlotKey& key,
                                                     int reader_machine,
                                                     int writer_machine) {
+  const int max_attempts = std::max(1, config_.max_read_attempts);
+  for (int attempt = 0;; ++attempt) {
+    if (injector_ != nullptr) {
+      switch (injector_->OnShuffleRead(key, attempt)) {
+        case ReadFault::kTimeout: {
+          std::lock_guard<std::mutex> lock(mu_);
+          stats_.read_timeouts += 1;
+          if (attempt + 1 >= max_attempts) {
+            return Status::Timeout(StrFormat(
+                "shuffle read %s timed out %d times, giving up",
+                key.ToString().c_str(), attempt + 1));
+          }
+          stats_.read_retries += 1;
+          break;  // fall through to backoff + retry
+        }
+        case ReadFault::kCorrupt: {
+          Result<ShuffleBuffer> buffer =
+              ReadPartitionOnce(kind, key, reader_machine, writer_machine);
+          if (buffer.ok()) {
+            std::lock_guard<std::mutex> lock(mu_);
+            stats_.corrupt_payloads += 1;
+            return CorruptCopy(*buffer);
+          }
+          return buffer;
+        }
+        case ReadFault::kNone: {
+          Result<ShuffleBuffer> buffer =
+              ReadPartitionOnce(kind, key, reader_machine, writer_machine);
+          // Transient-looking errors (spill IO) retry in place; NotFound
+          // is permanent loss and escalates to recovery immediately.
+          if (!buffer.ok() && buffer.status().code() == StatusCode::kIOError &&
+              attempt + 1 < max_attempts) {
+            std::lock_guard<std::mutex> lock(mu_);
+            stats_.read_retries += 1;
+            break;
+          }
+          return buffer;
+        }
+      }
+    } else {
+      Result<ShuffleBuffer> buffer =
+          ReadPartitionOnce(kind, key, reader_machine, writer_machine);
+      if (!buffer.ok() && buffer.status().code() == StatusCode::kIOError &&
+          attempt + 1 < max_attempts) {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.read_retries += 1;
+      } else {
+        return buffer;
+      }
+    }
+    const double ms = std::min(
+        config_.read_backoff_max_ms,
+        config_.read_backoff_base_ms * static_cast<double>(1 << attempt));
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(ms * 1000.0)));
+  }
+}
+
+Result<ShuffleBuffer> ShuffleService::PeekAnyReplica(const ShuffleSlotKey& key,
+                                                     int writer_machine) {
+  // Writer-side copy first (the normal home of the data), then any
+  // surviving replica left behind by earlier Local reads.
+  if (!IsMachineDead(writer_machine)) {
+    Result<ShuffleBuffer> buffer =
+        workers_[static_cast<std::size_t>(writer_machine)]->Peek(key);
+    if (buffer.ok()) return buffer;
+  }
+  for (int m = 0; m < machines(); ++m) {
+    if (m == writer_machine || IsMachineDead(m)) continue;
+    CacheWorker* w = workers_[static_cast<std::size_t>(m)].get();
+    if (!w->Contains(key)) continue;
+    Result<ShuffleBuffer> buffer = w->Peek(key);
+    if (buffer.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.failover_reads += 1;
+      return buffer;
+    }
+  }
+  return Status::NotFound(StrFormat(
+      "partition %s lost: no live Cache Worker holds a copy",
+      key.ToString().c_str()));
+}
+
+Result<ShuffleBuffer> ShuffleService::ReadPartitionOnce(
+    ShuffleKind kind, const ShuffleSlotKey& key, int reader_machine,
+    int writer_machine) {
   switch (kind) {
     case ShuffleKind::kDirect: {
       Result<ShuffleBuffer> buffer = ShuffleBuffer();
@@ -129,6 +241,7 @@ Result<ShuffleBuffer> ShuffleService::ReadPartition(ShuffleKind kind,
         } else {
           buffer = std::move(it->second);
           direct_.erase(it);
+          direct_writer_.erase(key);
         }
       }
       return FinishRead(std::move(buffer));
@@ -145,12 +258,12 @@ Result<ShuffleBuffer> ShuffleService::ReadPartition(ShuffleKind kind,
         return FinishRead(src->Get(key));
       }
       CacheWorker* dst = workers_[static_cast<std::size_t>(reader_machine)].get();
-      if (dst != src && dst->Contains(key)) {
+      if (dst != src && !IsMachineDead(reader_machine) && dst->Contains(key)) {
         // Served from the reader-side replica created below.
         return FinishRead(dst->Peek(key));
       }
-      Result<ShuffleBuffer> buffer = src->Peek(key);
-      if (buffer.ok() && dst != src) {
+      Result<ShuffleBuffer> buffer = PeekAnyReplica(key, writer_machine);
+      if (buffer.ok() && dst != src && !IsMachineDead(reader_machine)) {
         // Replicate the shared allocation onto the reader-side worker
         // (the paper's worker-to-worker push): later readers on this
         // machine stay local, and not a byte is copied. Best-effort —
@@ -169,8 +282,10 @@ Result<ShuffleBuffer> ShuffleService::ReadPartition(ShuffleKind kind,
         stats_.reads += 1;
       }
       CacheWorker* src = workers_[static_cast<std::size_t>(writer_machine)].get();
-      return FinishRead(config_.retain_for_recovery ? src->Peek(key)
-                                                    : src->Get(key));
+      if (!config_.retain_for_recovery) {
+        return FinishRead(src->Get(key));
+      }
+      return FinishRead(PeekAnyReplica(key, writer_machine));
     }
   }
   return Status::Internal("unknown shuffle kind");
@@ -191,6 +306,9 @@ void ShuffleService::RemoveJob(JobId job) {
     for (auto it = direct_.begin(); it != direct_.end();) {
       it = it->first.job == job ? direct_.erase(it) : std::next(it);
     }
+    for (auto it = direct_writer_.begin(); it != direct_writer_.end();) {
+      it = it->first.job == job ? direct_writer_.erase(it) : std::next(it);
+    }
   }
   for (auto& w : workers_) w->RemoveJob(job);
 }
@@ -203,8 +321,57 @@ void ShuffleService::RemoveStageOutput(JobId job, StageId stage) {
                ? direct_.erase(it)
                : std::next(it);
     }
+    for (auto it = direct_writer_.begin(); it != direct_writer_.end();) {
+      it = (it->first.job == job && it->first.src_stage == stage)
+               ? direct_writer_.erase(it)
+               : std::next(it);
+    }
   }
   for (auto& w : workers_) w->RemoveStageOutput(job, stage);
+}
+
+bool ShuffleService::PartitionAvailable(ShuffleKind kind,
+                                        const ShuffleSlotKey& key) {
+  if (kind == ShuffleKind::kDirect) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return direct_.count(key) > 0;
+  }
+  for (int m = 0; m < machines(); ++m) {
+    if (IsMachineDead(m)) continue;
+    if (workers_[static_cast<std::size_t>(m)]->Contains(key)) return true;
+  }
+  return false;
+}
+
+void ShuffleService::FailMachine(int machine) {
+  if (machine < 0 || machine >= machines()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!dead_.insert(machine).second) return;
+    stats_.machine_failures += 1;
+    // Direct slots live in the producing task's process, so they die
+    // with the machine too.
+    for (auto it = direct_writer_.begin(); it != direct_writer_.end();) {
+      if (it->second == machine) {
+        direct_.erase(it->first);
+        it = direct_writer_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  workers_[static_cast<std::size_t>(machine)]->Clear();
+}
+
+void ShuffleService::RestoreMachine(int machine) {
+  if (machine < 0 || machine >= machines()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  dead_.erase(machine);
+}
+
+bool ShuffleService::IsMachineDead(int machine) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return IsMachineDeadLocked(machine);
 }
 
 ShuffleServiceStats ShuffleService::stats() {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "fault/fault_injector.h"
 #include "shuffle/cache_worker.h"
 #include "shuffle/shuffle_buffer.h"
 #include "shuffle/shuffle_mode.h"
@@ -36,6 +37,17 @@ struct ShuffleServiceStats {
   /// Reader-side Cache Worker replicas created for Local shuffle reads;
   /// each shares the writer-side allocation (no bytes copied).
   int64_t local_replicas = 0;
+  /// Read attempts repeated after a transient (timeout / IO) error.
+  int64_t read_retries = 0;
+  /// Transient read timeouts observed (injected or real).
+  int64_t read_timeouts = 0;
+  /// Reads served from a surviving replica after the writer-side copy
+  /// was lost (machine failure failover).
+  int64_t failover_reads = 0;
+  /// Payloads handed out with an injected bit flip (chaos engine).
+  int64_t corrupt_payloads = 0;
+  /// FailMachine calls acted on.
+  int64_t machine_failures = 0;
 };
 
 /// \brief The cluster-wide shuffle fabric of the local runtime: one
@@ -64,6 +76,12 @@ class ShuffleService {
     /// reinstates the legacy deep-copy-per-hop plane, counted in
     /// ShuffleServiceStats::payload_copies (A/B benchmarks).
     bool zero_copy = true;
+    /// Bounded exponential-backoff retry of transient read errors
+    /// (timeouts, spill IO races). Permanent loss — NotFound with no
+    /// surviving replica — is never retried; it escalates to recovery.
+    int max_read_attempts = 4;
+    double read_backoff_base_ms = 0.2;
+    double read_backoff_max_ms = 5.0;
   };
 
   explicit ShuffleService(Config config);
@@ -101,6 +119,26 @@ class ShuffleService {
   bool HasPartition(ShuffleKind kind, const ShuffleSlotKey& key,
                     int writer_machine);
 
+  /// \brief True when the partition survives anywhere — the direct path
+  /// or any live Cache Worker (writer-side or a reader-side replica).
+  /// Feeds RecoveryContext::failed_output_available.
+  bool PartitionAvailable(ShuffleKind kind, const ShuffleSlotKey& key);
+
+  /// \brief Machine `m` died: its Cache Worker state (memory and spill)
+  /// and the direct slots written by its tasks are gone. Reads fall over
+  /// to surviving replicas where one exists; otherwise they report
+  /// permanent loss for recovery to handle.
+  void FailMachine(int machine);
+
+  /// \brief Machine `m` repaired: rejoins with an empty Cache Worker.
+  void RestoreMachine(int machine);
+
+  bool IsMachineDead(int machine);
+
+  /// \brief Chaos-engine hook consulted on every read attempt (not
+  /// owned; nullptr disables injection).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   /// \brief Frees all state of `job` across workers and the direct path.
   void RemoveJob(JobId job);
 
@@ -120,11 +158,25 @@ class ShuffleService {
   void Connect(int64_t from, int64_t to);
   /// Applies the legacy copying plane to an outgoing read result.
   Result<ShuffleBuffer> FinishRead(Result<ShuffleBuffer> buffer);
+  /// One read attempt, including replica failover; no retry.
+  Result<ShuffleBuffer> ReadPartitionOnce(ShuffleKind kind,
+                                          const ShuffleSlotKey& key,
+                                          int reader_machine,
+                                          int writer_machine);
+  /// Scans live workers (writer first) for any copy of `key`.
+  Result<ShuffleBuffer> PeekAnyReplica(const ShuffleSlotKey& key,
+                                       int writer_machine);
+  bool IsMachineDeadLocked(int machine) const {
+    return dead_.count(machine) > 0;
+  }
 
   Config config_;
   std::vector<std::unique_ptr<CacheWorker>> workers_;
+  FaultInjector* injector_ = nullptr;
   std::mutex mu_;
   std::map<ShuffleSlotKey, ShuffleBuffer> direct_;
+  std::map<ShuffleSlotKey, int> direct_writer_;  // machine that wrote it
+  std::set<int> dead_;
   std::set<std::pair<int64_t, int64_t>> connections_;
   ShuffleServiceStats stats_;
 };

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/tpch.h"
+#include "runtime/local_runtime.h"
+#include "sql/tpch_queries.h"
+
+namespace swift {
+namespace {
+
+// Chaos soak (ctest label `chaos_smoke`): the runnable TPC-H suite
+// executed under a matrix of seeded fault schedules — task crashes,
+// flaky links, payload bit-flips, a mid-wave machine loss, and all of
+// them combined. Every run must return byte-identical results to the
+// clean run with a bounded number of task re-runs; across the matrix
+// the paper's kInputFailure and kOutputFailure scenarios and the
+// retry-in-place transient-read path must each fire at least once.
+
+std::vector<std::string> Canonical(const Batch& b) {
+  std::vector<std::string> rows;
+  rows.reserve(b.rows.size());
+  for (const Row& r : b.rows) {
+    std::string s;
+    for (const Value& v : r) {
+      s += v.ToString();
+      s += '|';
+    }
+    rows.push_back(std::move(s));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::unique_ptr<LocalRuntime> MakeRuntime(LocalRuntimeConfig cfg = {}) {
+  auto rt = std::make_unique<LocalRuntime>(cfg);
+  TpchConfig tpch;
+  tpch.scale_factor = 0.001;
+  EXPECT_TRUE(GenerateTpch(tpch, rt->catalog()).ok());
+  return rt;
+}
+
+struct ChaosSchedule {
+  const char* name;
+  FaultSchedule fs;
+};
+
+std::vector<ChaosSchedule> Schedules() {
+  std::vector<ChaosSchedule> out;
+  {
+    FaultSchedule fs;
+    fs.seed = 11;
+    fs.task_crash_p = 0.25;
+    fs.max_task_crashes = 16;
+    out.push_back({"task-crashes", fs});
+  }
+  {
+    FaultSchedule fs;
+    fs.seed = 12;
+    fs.task_crash_p = 0.2;
+    fs.task_crash_kind = FailureKind::kNetworkTimeout;
+    fs.max_task_crashes = 16;
+    out.push_back({"network-timeouts", fs});
+  }
+  {
+    FaultSchedule fs;
+    fs.seed = 13;
+    fs.read_timeout_p = 0.5;
+    fs.timeouts_per_victim = 2;
+    fs.max_read_timeouts = 1 << 20;
+    out.push_back({"flaky-links", fs});
+  }
+  {
+    FaultSchedule fs;
+    fs.seed = 14;
+    fs.corrupt_p = 0.5;
+    fs.max_corruptions = 16;
+    out.push_back({"bit-corruption", fs});
+  }
+  {
+    FaultSchedule fs;
+    fs.seed = 15;
+    fs.kill_machine = 1;
+    fs.kill_after_task_starts = 3;  // mid-wave, first job of the suite
+    out.push_back({"machine-loss", fs});
+  }
+  {
+    FaultSchedule fs;
+    fs.seed = 16;
+    fs.task_crash_p = 0.12;
+    fs.max_task_crashes = 8;
+    fs.read_timeout_p = 0.2;
+    fs.max_read_timeouts = 1 << 20;
+    fs.corrupt_p = 0.15;
+    fs.max_corruptions = 8;
+    fs.kill_machine = 2;
+    fs.kill_after_task_starts = 7;
+    out.push_back({"combined", fs});
+  }
+  return out;
+}
+
+TEST(ChaosSoak, TpchSuiteByteIdenticalUnderFaultMatrix) {
+  const std::vector<int> queries = RunnableTpchQueries();
+  ASSERT_FALSE(queries.empty());
+
+  // Clean reference run: one fault-free runtime over the whole suite.
+  std::map<int, std::vector<std::string>> want;
+  {
+    auto rt = MakeRuntime();
+    for (int q : queries) {
+      auto sql = TpchQuerySql(q);
+      ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+      auto got = rt->ExecuteSql(*sql);
+      ASSERT_TRUE(got.ok()) << "Q" << q << ": " << got.status().ToString();
+      want[q] = Canonical(*got);
+    }
+  }
+
+  // Matrix-wide fault accounting.
+  int64_t input_failures = 0;
+  int64_t output_failures = 0;
+  int64_t task_crashes = 0;
+  int64_t machine_failures = 0;
+  int64_t corrupt_retries = 0;
+  int64_t read_retries = 0;
+  int64_t read_timeouts = 0;
+
+  for (const ChaosSchedule& sched : Schedules()) {
+    SCOPED_TRACE(sched.name);
+    LocalRuntimeConfig cfg;
+    cfg.fault_schedule = sched.fs;
+    auto rt = MakeRuntime(cfg);
+    for (int q : queries) {
+      SCOPED_TRACE("Q" + std::to_string(q));
+      auto sql = TpchQuerySql(q);
+      ASSERT_TRUE(sql.ok());
+      auto report = rt->RunSql(*sql);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      EXPECT_EQ(Canonical(report->result), want[q])
+          << "results diverged under injected faults";
+      const JobRunStats& s = report->stats;
+      // Bounded recovery: with max_task_attempts = 3, no task runs more
+      // than twice beyond its first attempt.
+      const int fresh = s.tasks_executed - s.tasks_rerun;
+      EXPECT_LE(s.tasks_rerun, 2 * fresh) << "task re-runs unbounded";
+      auto by_case = s.recoveries_by_case;
+      input_failures += by_case[RecoveryCase::kInputFailure];
+      output_failures += by_case[RecoveryCase::kOutputFailure];
+      machine_failures += s.machine_failures;
+      corrupt_retries += s.corrupt_read_retries;
+    }
+    // Shuffle/injector counters are cumulative per runtime.
+    const ShuffleServiceStats ss = rt->shuffle_service()->stats();
+    read_retries += ss.read_retries;
+    read_timeouts += ss.read_timeouts;
+    ASSERT_NE(rt->fault_injector(), nullptr);
+    task_crashes += rt->fault_injector()->stats().task_crashes;
+  }
+
+  // Every paper scenario the schedules target actually fired somewhere.
+  EXPECT_GE(task_crashes, 1);
+  EXPECT_GE(input_failures, 1) << "no run hit Fig. 7(a) input failure";
+  EXPECT_GE(output_failures, 1) << "no run hit Fig. 7(b) output failure";
+  EXPECT_GE(machine_failures, 1);
+  EXPECT_GE(read_timeouts, 1);
+  EXPECT_GE(read_retries, 1) << "no transient read was retried in place";
+  EXPECT_GE(corrupt_retries, 1) << "no CRC-rejected payload was re-fetched";
+}
+
+}  // namespace
+}  // namespace swift

@@ -207,5 +207,73 @@ TEST(HealthMonitorTest, ManualMarkAndClear) {
   EXPECT_FALSE(hm.IsReadOnly(2));
 }
 
+TEST(HealthMonitorTest, WindowBoundaryIsInclusive) {
+  // An entry exactly window_seconds old still counts (drop is strict >).
+  MachineHealthMonitor hm(3, 10.0);
+  hm.RecordTaskFailure(1, 0.0);
+  hm.RecordTaskFailure(1, 5.0);
+  hm.RecordTaskFailure(1, 10.0);  // first failure is exactly 10 s old
+  EXPECT_TRUE(hm.IsReadOnly(1));
+
+  MachineHealthMonitor hm2(3, 10.0);
+  hm2.RecordTaskFailure(1, 0.0);
+  hm2.RecordTaskFailure(1, 5.0);
+  hm2.RecordTaskFailure(1, 10.1);  // now the first one aged out
+  EXPECT_FALSE(hm2.IsReadOnly(1));
+}
+
+TEST(HealthMonitorTest, ProbationReturnsMachineToRotation) {
+  MachineHealthMonitor hm(3, 10.0, /*probation=*/30.0);
+  hm.RecordTaskFailure(4, 1.0);
+  hm.RecordTaskFailure(4, 2.0);
+  hm.RecordTaskFailure(4, 3.0);
+  ASSERT_TRUE(hm.IsReadOnly(4));
+  // Just inside probation: still drained.
+  EXPECT_TRUE(hm.ClearExpired(32.9).empty());
+  EXPECT_TRUE(hm.IsReadOnly(4));
+  // Clean for a full probation window: back in rotation.
+  EXPECT_EQ(hm.ClearExpired(33.0), std::vector<int>{4});
+  EXPECT_FALSE(hm.IsReadOnly(4));
+  // History is wiped: one fresh failure must not re-drain it...
+  hm.RecordTaskFailure(4, 34.0);
+  EXPECT_FALSE(hm.IsReadOnly(4));
+  // ...but a fresh burst does.
+  hm.RecordTaskFailure(4, 35.0);
+  hm.RecordTaskFailure(4, 36.0);
+  EXPECT_TRUE(hm.IsReadOnly(4));
+}
+
+TEST(HealthMonitorTest, ProbationDisabledByDefault) {
+  MachineHealthMonitor hm(3, 10.0);  // probation defaults to 0 = off
+  hm.RecordTaskFailure(2, 1.0);
+  hm.RecordTaskFailure(2, 1.5);
+  hm.RecordTaskFailure(2, 2.0);
+  ASSERT_TRUE(hm.IsReadOnly(2));
+  EXPECT_TRUE(hm.ClearExpired(1e9).empty());
+  EXPECT_TRUE(hm.IsReadOnly(2));
+}
+
+TEST(HealthMonitorTest, ProbationTimerResetsOnNewFailure) {
+  MachineHealthMonitor hm(3, 10.0, /*probation=*/30.0);
+  hm.RecordTaskFailure(7, 1.0);
+  hm.RecordTaskFailure(7, 2.0);
+  hm.RecordTaskFailure(7, 3.0);
+  ASSERT_TRUE(hm.IsReadOnly(7));
+  // A failure while drained pushes the probation deadline out.
+  hm.RecordTaskFailure(7, 20.0);
+  EXPECT_TRUE(hm.ClearExpired(33.0).empty());
+  EXPECT_TRUE(hm.IsReadOnly(7));
+  EXPECT_EQ(hm.ClearExpired(50.0), std::vector<int>{7});
+}
+
+TEST(HealthMonitorTest, ManualMarksNeverAutoClear) {
+  MachineHealthMonitor hm(3, 10.0, /*probation=*/30.0);
+  hm.MarkReadOnly(9);  // machine-failure path, no recorded task failure
+  EXPECT_TRUE(hm.ClearExpired(1e9).empty());
+  EXPECT_TRUE(hm.IsReadOnly(9));
+  hm.Clear(9);
+  EXPECT_FALSE(hm.IsReadOnly(9));
+}
+
 }  // namespace
 }  // namespace swift

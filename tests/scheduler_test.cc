@@ -90,6 +90,19 @@ TEST(ResourcePoolTest, RevokeMachineReturnsBusyExecutors) {
   EXPECT_EQ(pool.free_executors(), 4);
 }
 
+TEST(ResourcePoolTest, RevokeMachineIsIdempotent) {
+  ResourcePool pool(2, 2);
+  auto gang = pool.AllocateGang({{0}, {0}});
+  ASSERT_TRUE(gang.ok());
+  EXPECT_EQ(pool.RevokeMachine(0).size(), 2u);
+  // A second revocation while the machine stays down finds no busy
+  // executors — nothing was running there anymore.
+  EXPECT_TRUE(pool.RevokeMachine(0).empty());
+  EXPECT_EQ(pool.free_on_machine(0), 0);
+  pool.RestoreMachine(0);
+  EXPECT_EQ(pool.free_executors(), 4);
+}
+
 JobDag ChainDag() {
   DagBuilder b("chain");
   StageId a = b.AddStage("a", 1, {OK::kMergeSort});
