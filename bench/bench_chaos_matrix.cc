@@ -12,6 +12,7 @@
 
 #include "bench/bench_util.h"
 #include "exec/tpch.h"
+#include "obs/metrics.h"
 #include "runtime/local_runtime.h"
 #include "sql/tpch_queries.h"
 
@@ -82,8 +83,13 @@ int Run() {
               "restart-eq", "resends", "wall-ms"});
   double clean_ms = 0.0;
   for (const Schedule& sched : Matrix()) {
+    // One registry per schedule: the table below reads the runtime's
+    // counters instead of summing per-report JobRunStats fields (the
+    // two stay in lockstep; tests/chaos_soak_test.cc asserts it).
+    obs::MetricsRegistry reg;
     LocalRuntimeConfig cfg;
     cfg.fault_schedule = sched.fs;
+    cfg.metrics = &reg;
     LocalRuntime rt(cfg);
     TpchConfig tpch;
     tpch.scale_factor = 0.001;
@@ -91,8 +97,6 @@ int Run() {
       std::fprintf(stderr, "tpch: %s\n", st.ToString().c_str());
       return 1;
     }
-    int64_t tasks = 0, reruns = 0, recoveries = 0, machine_failures = 0;
-    int64_t restart_eq = 0, resends = 0;
     const auto t0 = std::chrono::steady_clock::now();
     for (int q : queries) {
       auto sql = TpchQuerySql(q);
@@ -103,21 +107,21 @@ int Run() {
                      report.status().ToString().c_str());
         return 1;
       }
-      const JobRunStats& s = report->stats;
-      tasks += s.tasks_executed;
-      reruns += s.tasks_rerun;
-      recoveries += s.recoveries;
-      machine_failures += s.machine_failures;
-      restart_eq += s.job_restart_equivalent_tasks;
-      resends += s.resend_notifications;
     }
     const double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
     if (sched.name == "clean") clean_ms = ms;
-    bench::Row({sched.name, std::to_string(tasks), std::to_string(reruns),
-                std::to_string(recoveries), std::to_string(machine_failures),
-                std::to_string(restart_eq), std::to_string(resends),
+    const int64_t tasks = reg.CounterValue("runtime.tasks.completed") +
+                          reg.CounterValue("runtime.tasks.failed");
+    bench::Row({sched.name, std::to_string(tasks),
+                std::to_string(reg.CounterValue("runtime.tasks.rerun")),
+                std::to_string(reg.CounterValue("runtime.recoveries")),
+                std::to_string(reg.CounterValue("runtime.machine_failures")),
+                std::to_string(
+                    reg.CounterValue("runtime.restart_equivalent_tasks")),
+                std::to_string(
+                    reg.CounterValue("runtime.resend_notifications")),
                 bench::F(ms, 1)});
   }
   std::printf(

@@ -9,7 +9,9 @@
 
 #include "baselines/baseline_configs.h"
 #include "bench/bench_util.h"
+#include "common/stats.h"
 #include "dag/dag_builder.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -73,15 +75,16 @@ int main() {
       SimConfig cfg = MakeSwiftSimConfig(2000, 40);
       cfg.medium = ShuffleMedium::kMemoryForcedKind;
       cfg.forced_kind = kinds[k];
-      // Average over a few job shapes per category.
-      double total = 0.0;
+      // Average over a few job shapes per category, reading each run's
+      // latency from the registry's sim.job.latency_s series (one fresh
+      // registry per forced scheme).
+      obs::MetricsRegistry reg;
+      cfg.metrics = &reg;
       for (int rep = 0; rep < 5; ++rep) {
-        total += RunSingleJob(
-                     cfg, ShuffleHeavyJob(cat.tasks, cat.mb_per_task,
-                                          static_cast<uint64_t>(rep)))
-                     .Latency();
+        (void)RunSingleJob(cfg, ShuffleHeavyJob(cat.tasks, cat.mb_per_task,
+                                                static_cast<uint64_t>(rep)));
       }
-      t[k] = total / 5.0;
+      t[k] = Mean(reg.SeriesValue("sim.job.latency_s"));
     }
     const double base = t[0];  // Direct normalized to 1
     const char* best = t[0] <= t[1] && t[0] <= t[2]

@@ -8,6 +8,7 @@
 
 #include "core/swift.h"
 #include "exec/tpch.h"
+#include "obs/obs.h"
 
 using namespace swift;
 
@@ -30,7 +31,12 @@ void RunQuery(SwiftSystem* sys, const char* title, const std::string& sql,
 }  // namespace
 
 int main() {
-  SwiftSystem sys;
+  // Observability on: every query below feeds the process-wide metric
+  // registry and span recorder; the timeline lands on disk at the end.
+  LocalRuntimeConfig cfg;
+  cfg.metrics = obs::DefaultMetrics();
+  cfg.tracer = obs::DefaultTracer();
+  SwiftSystem sys(cfg);
   TpchConfig tpch;
   tpch.scale_factor = 0.002;
   if (auto st = GenerateTpch(tpch, sys.catalog()); !st.ok()) {
@@ -80,5 +86,18 @@ int main() {
   PlannerConfig hash_mode;
   hash_mode.sort_mode = false;
   RunQuery(&sys, "TPC-H Q9, hash mode (fewer graphlets)", q9, hash_mode);
+
+  // Export the recorded graphlet/wave/task spans: open the file in
+  // chrome://tracing or https://ui.perfetto.dev.
+  if (auto st = obs::DumpTimeline("tpch_timeline.json"); st.ok()) {
+    std::printf("timeline written to tpch_timeline.json "
+                "(open in chrome://tracing)\n");
+  } else {
+    std::fprintf(stderr, "timeline export failed: %s\n",
+                 st.ToString().c_str());
+  }
+  if (obs::DumpMetrics("tpch_metrics.json").ok()) {
+    std::printf("metric snapshot written to tpch_metrics.json\n");
+  }
   return 0;
 }

@@ -69,6 +69,7 @@ std::vector<std::size_t> Histogram(const std::vector<double>& values,
   if (bins == 0 || hi <= lo) return out;
   const double width = (hi - lo) / static_cast<double>(bins);
   for (double v : values) {
+    if (std::isnan(v)) continue;  // NaN would index UB through the cast
     double idx = (v - lo) / width;
     std::size_t b;
     if (idx < 0.0) {

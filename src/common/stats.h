@@ -39,8 +39,11 @@ struct CdfPoint {
 /// \brief Full empirical CDF as a step function (one point per sample).
 std::vector<CdfPoint> BuildCdf(std::vector<double> values);
 
-/// \brief Fixed-width histogram over [lo, hi) with `bins` buckets;
-/// out-of-range samples clamp to the first/last bucket.
+/// \brief Fixed-width histogram over [lo, hi) with `bins` buckets.
+/// Defined edge behavior: finite out-of-range samples (and +/-inf)
+/// clamp to the first/last bucket; NaN samples are dropped; `bins == 0`
+/// returns an empty vector; `lo >= hi` returns `bins` zero buckets
+/// (no sample falls in an empty range).
 std::vector<std::size_t> Histogram(const std::vector<double>& values,
                                    double lo, double hi, std::size_t bins);
 

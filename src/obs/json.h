@@ -1,0 +1,81 @@
+#ifndef SWIFT_OBS_JSON_H_
+#define SWIFT_OBS_JSON_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace swift {
+namespace obs {
+
+/// \brief Minimal JSON document model backing the observability
+/// exporters and their round-trip tests. Covers the full value grammar
+/// (objects, arrays, strings with escapes, numbers, booleans, null) —
+/// enough to write and re-parse Chrome trace_event timelines and metric
+/// summaries without an external dependency.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double n);
+  static JsonValue String(std::string_view s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+
+  // Array access.
+  std::size_t size() const { return array_.size(); }
+  const JsonValue& at(std::size_t i) const { return array_[i]; }
+  const std::vector<JsonValue>& items() const { return array_; }
+  void Append(JsonValue v);
+
+  // Object access. Get returns a shared null value for missing keys.
+  bool Has(std::string_view key) const;
+  const JsonValue& Get(std::string_view key) const;
+  void Set(std::string_view key, JsonValue v);
+  const std::map<std::string, JsonValue, std::less<>>& members() const {
+    return object_;
+  }
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue, std::less<>> object_;
+};
+
+/// \brief Parses one JSON document (trailing whitespace allowed,
+/// trailing garbage is an error).
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// \brief Compact single-line serialization.
+std::string WriteJson(const JsonValue& value);
+
+/// \brief Appends `s` to `out` with JSON string escaping (no quotes).
+void AppendJsonEscaped(std::string* out, std::string_view s);
+
+}  // namespace obs
+}  // namespace swift
+
+#endif  // SWIFT_OBS_JSON_H_

@@ -1,0 +1,227 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace swift {
+namespace obs {
+
+namespace {
+
+// Relaxed CAS accumulate of a double stored as bits.
+void AtomicDoubleAdd(std::atomic<uint64_t>* bits, double delta) {
+  uint64_t expected = bits->load(std::memory_order_relaxed);
+  for (;;) {
+    const double next = std::bit_cast<double>(expected) + delta;
+    if (bits->compare_exchange_weak(expected, std::bit_cast<uint64_t>(next),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void AtomicDoubleMin(std::atomic<uint64_t>* bits, double v) {
+  uint64_t expected = bits->load(std::memory_order_relaxed);
+  while (v < std::bit_cast<double>(expected)) {
+    if (bits->compare_exchange_weak(expected, std::bit_cast<uint64_t>(v),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void AtomicDoubleMax(std::atomic<uint64_t>* bits, double v) {
+  uint64_t expected = bits->load(std::memory_order_relaxed);
+  while (v > std::bit_cast<double>(expected)) {
+    if (bits->compare_exchange_weak(expected, std::bit_cast<uint64_t>(v),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+template <typename Map, typename Make>
+auto* Lookup(std::mutex* mu, Map* map, std::string_view name, Make make) {
+  std::lock_guard<std::mutex> lock(*mu);
+  auto it = map->find(name);
+  if (it == map->end()) {
+    it = map->emplace(std::string(name), make()).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      hi_(hi),
+      width_(bins > 0 && hi > lo ? (hi - lo) / static_cast<double>(bins)
+                                 : 0.0),
+      buckets_(bins),
+      min_bits_(std::bit_cast<uint64_t>(
+          std::numeric_limits<double>::infinity())),
+      max_bits_(std::bit_cast<uint64_t>(
+          -std::numeric_limits<double>::infinity())) {}
+
+void HistogramMetric::Record(double v) {
+  if (std::isnan(v)) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicDoubleAdd(&sum_bits_, v);
+  AtomicDoubleMin(&min_bits_, v);
+  AtomicDoubleMax(&max_bits_, v);
+  if (buckets_.empty()) return;
+  std::size_t b = 0;
+  if (width_ > 0.0) {
+    const double idx = (v - lo_) / width_;
+    if (idx >= static_cast<double>(buckets_.size())) {
+      b = buckets_.size() - 1;
+    } else if (idx > 0.0) {
+      b = static_cast<std::size_t>(idx);
+    }
+  }
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot HistogramMetric::Snapshot() const {
+  HistogramSnapshot s;
+  s.lo = lo_;
+  s.hi = hi_;
+  s.buckets.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    s.buckets.push_back(b.load(std::memory_order_relaxed));
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  if (s.count > 0) {
+    s.min = std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
+    s.max = std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+void Series::Record(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(v);
+}
+
+std::vector<double> Series::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+int64_t Series::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(samples_.size());
+}
+
+double Series::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double s = 0.0;
+  for (double v : samples_) s += v;
+  return s;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  return Lookup(&mu_, &counters_, name,
+                [] { return std::make_unique<Counter>(); });
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  return Lookup(&mu_, &gauges_, name,
+                [] { return std::make_unique<Gauge>(); });
+}
+
+HistogramMetric* MetricsRegistry::histogram(std::string_view name, double lo,
+                                            double hi, std::size_t bins) {
+  return Lookup(&mu_, &histograms_, name, [&] {
+    return std::make_unique<HistogramMetric>(lo, hi, bins);
+  });
+}
+
+Series* MetricsRegistry::series(std::string_view name) {
+  return Lookup(&mu_, &series_, name,
+                [] { return std::make_unique<Series>(); });
+}
+
+int64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it != counters_.end() ? it->second->value() : 0;
+}
+
+double MetricsRegistry::GaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second->value() : 0.0;
+}
+
+HistogramSnapshot MetricsRegistry::HistogramValue(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it != histograms_.end() ? it->second->Snapshot()
+                                 : HistogramSnapshot{};
+}
+
+std::vector<double> MetricsRegistry::SeriesValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  return it != series_.end() ? it->second->Samples() : std::vector<double>{};
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    s.histograms[name] = h->Snapshot();
+  }
+  for (const auto& [name, sr] : series_) s.series[name] = sr->Samples();
+  return s;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  const Snapshot snap = TakeSnapshot();
+  JsonValue root = JsonValue::Object();
+  JsonValue counters = JsonValue::Object();
+  for (const auto& [name, v] : snap.counters) {
+    counters.Set(name, JsonValue::Number(static_cast<double>(v)));
+  }
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [name, v] : snap.gauges) {
+    gauges.Set(name, JsonValue::Number(v));
+  }
+  JsonValue histograms = JsonValue::Object();
+  for (const auto& [name, h] : snap.histograms) {
+    JsonValue hv = JsonValue::Object();
+    hv.Set("lo", JsonValue::Number(h.lo));
+    hv.Set("hi", JsonValue::Number(h.hi));
+    hv.Set("count", JsonValue::Number(static_cast<double>(h.count)));
+    hv.Set("sum", JsonValue::Number(h.sum));
+    hv.Set("min", JsonValue::Number(h.min));
+    hv.Set("max", JsonValue::Number(h.max));
+    JsonValue buckets = JsonValue::Array();
+    for (int64_t b : h.buckets) {
+      buckets.Append(JsonValue::Number(static_cast<double>(b)));
+    }
+    hv.Set("buckets", std::move(buckets));
+    histograms.Set(name, std::move(hv));
+  }
+  JsonValue series = JsonValue::Object();
+  for (const auto& [name, samples] : snap.series) {
+    JsonValue sv = JsonValue::Array();
+    for (double v : samples) sv.Append(JsonValue::Number(v));
+    series.Set(name, std::move(sv));
+  }
+  root.Set("counters", std::move(counters));
+  root.Set("gauges", std::move(gauges));
+  root.Set("histograms", std::move(histograms));
+  root.Set("series", std::move(series));
+  return WriteJson(root);
+}
+
+}  // namespace obs
+}  // namespace swift

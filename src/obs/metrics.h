@@ -1,0 +1,167 @@
+#ifndef SWIFT_OBS_METRICS_H_
+#define SWIFT_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swift {
+namespace obs {
+
+/// \brief Monotonically increasing named count. Increments are single
+/// relaxed atomic adds; safe to hammer from any number of threads.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Last-write-wins instantaneous value (e.g. an idle ratio).
+class Gauge {
+ public:
+  void Set(double v) {
+    bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+  }
+  double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<uint64_t> bits_{std::bit_cast<uint64_t>(0.0)};
+};
+
+/// \brief Point-in-time copy of a HistogramMetric.
+struct HistogramSnapshot {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<int64_t> buckets;
+  int64_t count = 0;  ///< samples recorded (NaN samples are dropped)
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when count == 0
+  double max = 0.0;
+
+  double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// \brief Fixed-bucket histogram over [lo, hi). Out-of-range samples
+/// clamp to the edge buckets; NaN samples are dropped. Recording is a
+/// handful of relaxed atomic ops (bucket add + CAS loops for sum and
+/// extrema), no lock.
+class HistogramMetric {
+ public:
+  /// Degenerate shapes follow common/stats.h Histogram(): bins == 0
+  /// means no buckets (count/sum/extrema still track), lo >= hi clamps
+  /// everything into bucket 0.
+  HistogramMetric(double lo, double hi, std::size_t bins);
+
+  void Record(double v);
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  const double lo_;
+  const double hi_;
+  const double width_;  // 0 when degenerate
+  std::vector<std::atomic<int64_t>> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{std::bit_cast<uint64_t>(0.0)};
+  std::atomic<uint64_t> min_bits_;
+  std::atomic<uint64_t> max_bits_;
+};
+
+/// \brief Exact sample list (mutex-protected append). For per-job
+/// measurements reported with the paper's quartile method, where a
+/// fixed-bucket histogram would lose resolution. Keep off per-row hot
+/// paths.
+class Series {
+ public:
+  void Record(double v);
+  std::vector<double> Samples() const;
+  int64_t count() const;
+  double sum() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+};
+
+/// \brief Named metric directory. Handle acquisition (`counter(name)`
+/// etc.) takes a mutex once; the returned handles are stable for the
+/// registry's lifetime and record through atomics only. Components
+/// cache handles at construction, so an installed registry costs a few
+/// relaxed atomic ops per event and an absent one costs a null check
+/// (see the free Add/Set/Record helpers below).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  /// Returns the existing histogram when `name` is already registered
+  /// (the first registration decides the bucket shape).
+  HistogramMetric* histogram(std::string_view name, double lo, double hi,
+                             std::size_t bins);
+  Series* series(std::string_view name);
+
+  /// \brief Value of a counter/gauge, 0 when never registered.
+  int64_t CounterValue(std::string_view name) const;
+  double GaugeValue(std::string_view name) const;
+  /// \brief Empty snapshot when never registered.
+  HistogramSnapshot HistogramValue(std::string_view name) const;
+  std::vector<double> SeriesValue(std::string_view name) const;
+
+  struct Snapshot {
+    std::map<std::string, int64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+    std::map<std::string, std::vector<double>> series;
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// \brief JSON object {"counters":{...},"gauges":{...},
+  /// "histograms":{...},"series":{...}} of the current snapshot.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>>
+      histograms_;
+  std::map<std::string, std::unique_ptr<Series>, std::less<>> series_;
+};
+
+/// Null-safe recording helpers: instrumented code caches handles that
+/// are nullptr when no registry is installed, making recording a
+/// predictable-branch no-op in that case.
+inline void Add(Counter* c, int64_t delta = 1) {
+  if (c != nullptr) c->Add(delta);
+}
+inline void Set(Gauge* g, double v) {
+  if (g != nullptr) g->Set(v);
+}
+inline void Record(HistogramMetric* h, double v) {
+  if (h != nullptr) h->Record(v);
+}
+inline void Record(Series* s, double v) {
+  if (s != nullptr) s->Record(v);
+}
+
+}  // namespace obs
+}  // namespace swift
+
+#endif  // SWIFT_OBS_METRICS_H_

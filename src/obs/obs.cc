@@ -1,0 +1,33 @@
+#include "obs/obs.h"
+
+#include <fstream>
+
+namespace swift {
+namespace obs {
+
+MetricsRegistry* DefaultMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+TraceRecorder* DefaultTracer() {
+  static TraceRecorder* recorder =
+      new TraceRecorder(new SystemClock());  // both live for the process
+  return recorder;
+}
+
+Status DumpTimeline(const std::string& path) {
+  return DefaultTracer()->ExportChromeTrace(path);
+}
+
+Status DumpMetrics(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) return Status::IOError("cannot open " + path);
+  out << DefaultMetrics()->ToJson();
+  out.close();
+  if (!out.good()) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace swift

@@ -1,0 +1,44 @@
+#ifndef SWIFT_OBS_OBS_H_
+#define SWIFT_OBS_OBS_H_
+
+/// \file
+/// Process-wide observability entry points.
+///
+/// Components take non-owning `MetricsRegistry*` / `TraceRecorder*`
+/// pointers through their configs; these defaults are the convenient
+/// instances for examples and ad-hoc runs:
+///
+///   LocalRuntimeConfig cfg;
+///   cfg.metrics = obs::DefaultMetrics();
+///   cfg.tracer = obs::DefaultTracer();
+///   ...run queries...
+///   obs::DumpTimeline("timeline.json");   // open in chrome://tracing
+///   obs::DumpMetrics("metrics.json");
+
+#include <string>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+
+namespace swift {
+namespace obs {
+
+/// \brief Lazily-created process-wide registry (never destroyed).
+MetricsRegistry* DefaultMetrics();
+
+/// \brief Lazily-created process-wide recorder stamping wall-clock
+/// microseconds (never destroyed).
+TraceRecorder* DefaultTracer();
+
+/// \brief Writes the default recorder's spans as a Chrome trace_event
+/// timeline to `path`.
+Status DumpTimeline(const std::string& path);
+
+/// \brief Writes the default registry's snapshot as JSON to `path`.
+Status DumpMetrics(const std::string& path);
+
+}  // namespace obs
+}  // namespace swift
+
+#endif  // SWIFT_OBS_OBS_H_

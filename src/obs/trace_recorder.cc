@@ -1,0 +1,131 @@
+#include "obs/trace_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/stats.h"
+#include "obs/json.h"
+
+namespace swift {
+namespace obs {
+
+int64_t TraceRecorder::NowUs() {
+  if (clock_ != nullptr) {
+    return static_cast<int64_t>(std::llround(clock_->Now() * 1e6));
+  }
+  return tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+uint64_t TraceRecorder::Begin(Span meta) {
+  meta.start_us = NowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_id_++;
+  open_.emplace(id, std::move(meta));
+  return id;
+}
+
+void TraceRecorder::End(uint64_t id) {
+  const int64_t now = NowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  Span span = std::move(it->second);
+  open_.erase(it);
+  span.dur_us = std::max<int64_t>(0, now - span.start_us);
+  spans_.push_back(std::move(span));
+}
+
+void TraceRecorder::Record(Span span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<Span> TraceRecorder::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  open_.clear();
+}
+
+std::string TraceRecorder::ChromeTraceJson() const {
+  const std::vector<Span> spans = Spans();
+  JsonValue events = JsonValue::Array();
+  for (const Span& s : spans) {
+    JsonValue e = JsonValue::Object();
+    e.Set("name", JsonValue::String(s.name));
+    e.Set("cat", JsonValue::String(s.category));
+    e.Set("ph", JsonValue::String("X"));
+    e.Set("ts", JsonValue::Number(static_cast<double>(s.start_us)));
+    e.Set("dur", JsonValue::Number(static_cast<double>(s.dur_us)));
+    e.Set("pid", JsonValue::Number(static_cast<double>(
+                     s.job >= 0 ? s.job : 0)));
+    e.Set("tid", JsonValue::Number(static_cast<double>(
+                     s.machine >= 0 ? s.machine : 0)));
+    JsonValue args = JsonValue::Object();
+    args.Set("stage", JsonValue::Number(s.stage));
+    args.Set("task", JsonValue::Number(s.task));
+    args.Set("attempt", JsonValue::Number(s.attempt));
+    args.Set("machine", JsonValue::Number(s.machine));
+    args.Set("job", JsonValue::Number(static_cast<double>(s.job)));
+    e.Set("args", std::move(args));
+    events.Append(std::move(e));
+  }
+  JsonValue root = JsonValue::Object();
+  root.Set("traceEvents", std::move(events));
+  root.Set("displayTimeUnit", JsonValue::String("ms"));
+  return WriteJson(root);
+}
+
+std::string TraceRecorder::SummaryJson() const {
+  const std::vector<Span> spans = Spans();
+  std::map<std::string, std::vector<double>> durs_by_category;
+  for (const Span& s : spans) {
+    durs_by_category[s.category].push_back(static_cast<double>(s.dur_us));
+  }
+  JsonValue categories = JsonValue::Object();
+  for (auto& [category, durs] : durs_by_category) {
+    const QuartileSummary q = Quartiles(durs);
+    JsonValue c = JsonValue::Object();
+    c.Set("count", JsonValue::Number(static_cast<double>(durs.size())));
+    c.Set("dur_us_min", JsonValue::Number(q.min));
+    c.Set("dur_us_q1", JsonValue::Number(q.q1));
+    c.Set("dur_us_median", JsonValue::Number(q.median));
+    c.Set("dur_us_q3", JsonValue::Number(q.q3));
+    c.Set("dur_us_max", JsonValue::Number(q.max));
+    c.Set("dur_us_mean", JsonValue::Number(q.mean));
+    categories.Set(category, std::move(c));
+  }
+  JsonValue root = JsonValue::Object();
+  root.Set("spans", JsonValue::Number(static_cast<double>(spans.size())));
+  root.Set("categories", std::move(categories));
+  return WriteJson(root);
+}
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) return Status::IOError("cannot open " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.close();
+  if (!out.good()) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status TraceRecorder::ExportChromeTrace(const std::string& path) const {
+  return WriteFile(path, ChromeTraceJson());
+}
+
+Status TraceRecorder::ExportJsonSummary(const std::string& path) const {
+  return WriteFile(path, SummaryJson());
+}
+
+}  // namespace obs
+}  // namespace swift

@@ -1,0 +1,111 @@
+#ifndef SWIFT_OBS_TRACE_RECORDER_H_
+#define SWIFT_OBS_TRACE_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace swift {
+namespace obs {
+
+/// \brief One recorded interval of work. Categories form the span
+/// taxonomy (DESIGN.md Sec. 11): "job" ⊃ "graphlet" ⊃ "wave" ⊃ "task",
+/// plus point-in-time categories like "gang" and "recovery".
+struct Span {
+  std::string name;
+  std::string category;
+  int64_t start_us = 0;
+  int64_t dur_us = 0;
+  int machine = -1;
+  int stage = -1;
+  int task = -1;
+  int attempt = -1;
+  int64_t job = -1;
+};
+
+/// \brief Collects spans and exports them as a Chrome `trace_event`
+/// timeline (open in chrome://tracing or https://ui.perfetto.dev) plus a
+/// per-category JSON summary.
+///
+/// Timestamps come from the clock.h abstraction: pass a Clock to stamp
+/// wall-clock (benches, examples), or pass nullptr for the built-in
+/// logical tick clock — every timestamp request returns the next integer
+/// microsecond, so Begin/End order alone decides the timeline and traces
+/// are deterministic under test.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(const Clock* clock = nullptr) : clock_(clock) {}
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// \brief Current timestamp in microseconds (logical ticks advance by
+  /// one per call when no clock is installed).
+  int64_t NowUs();
+
+  /// \brief Opens a span; `meta.start_us` is stamped here. Returns an id
+  /// for End(). Thread-safe; spans opened on different threads may
+  /// overlap freely (the export keys rows by machine).
+  uint64_t Begin(Span meta);
+
+  /// \brief Closes the span, stamping its duration. Unknown ids are
+  /// ignored (the span's recorder may have been cleared mid-flight).
+  void End(uint64_t id);
+
+  /// \brief Appends an already-measured span.
+  void Record(Span span);
+
+  /// \brief Completed spans, in completion order.
+  std::vector<Span> Spans() const;
+
+  /// \brief Drops all spans (open spans keep their start stamps and
+  /// are dropped on End).
+  void Clear();
+
+  /// \brief Chrome trace_event JSON: {"traceEvents":[...],
+  /// "displayTimeUnit":"ms"}; one complete ("ph":"X") event per span,
+  /// pid = job, tid = machine, metadata in "args".
+  std::string ChromeTraceJson() const;
+  Status ExportChromeTrace(const std::string& path) const;
+
+  /// \brief Per-category summary: span count and duration quartiles.
+  std::string SummaryJson() const;
+  Status ExportJsonSummary(const std::string& path) const;
+
+ private:
+  const Clock* clock_;  // not owned; nullptr = logical ticks
+  std::atomic<int64_t> tick_{0};
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::map<uint64_t, Span> open_;
+  uint64_t next_id_ = 1;
+};
+
+/// \brief RAII span: begins on construction, ends on destruction. A
+/// null recorder makes both no-ops.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* recorder, Span meta) : recorder_(recorder) {
+    if (recorder_ != nullptr) id_ = recorder_->Begin(std::move(meta));
+  }
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) recorder_->End(id_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  uint64_t id_ = 0;
+};
+
+}  // namespace obs
+}  // namespace swift
+
+#endif  // SWIFT_OBS_TRACE_RECORDER_H_

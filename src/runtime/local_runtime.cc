@@ -1,6 +1,8 @@
 #include "runtime/local_runtime.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 
 #include "common/logging.h"
 #include "common/macros.h"
@@ -81,6 +83,8 @@ struct LocalRuntime::JobContext {
   Batch final_result;
   bool has_result = false;
   JobRunStats stats;
+  /// Wall time spent inside RunTask, for the executor idle ratio.
+  std::atomic<int64_t> busy_ns{0};
   std::mutex mu;  // worker-thread shared state
 };
 
@@ -97,7 +101,34 @@ LocalRuntime::LocalRuntime(LocalRuntimeConfig config)
   sc.force_kind = config_.force_shuffle_kind;
   sc.retain_for_recovery = true;
   sc.max_read_attempts = config_.shuffle_read_attempts;
+  sc.metrics = config_.metrics;
   shuffle_ = std::make_unique<ShuffleService>(sc);
+  tracer_ = config_.tracer;
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry* reg = config_.metrics;
+    metrics_.tasks_started = reg->counter("runtime.tasks.started");
+    metrics_.tasks_completed = reg->counter("runtime.tasks.completed");
+    metrics_.tasks_failed = reg->counter("runtime.tasks.failed");
+    metrics_.tasks_rerun = reg->counter("runtime.tasks.rerun");
+    metrics_.recoveries = reg->counter("runtime.recoveries");
+    for (int c = 0; c <= static_cast<int>(RecoveryCase::kUseless); ++c) {
+      metrics_.recovery_by_case[c] = reg->counter(
+          "runtime.recovery." +
+          std::string(RecoveryCaseToString(static_cast<RecoveryCase>(c))));
+    }
+    metrics_.resend_notifications = reg->counter("runtime.resend_notifications");
+    metrics_.restart_equivalent_tasks =
+        reg->counter("runtime.restart_equivalent_tasks");
+    metrics_.machine_failures = reg->counter("runtime.machine_failures");
+    metrics_.corrupt_read_retries = reg->counter("runtime.corrupt_read_retries");
+    metrics_.heartbeat_misses = reg->counter("fault.heartbeat.misses");
+    metrics_.detection_delay =
+        reg->histogram("fault.detection_delay_s", 0.0, 60.0, 60);
+    metrics_.queue_wait = reg->histogram("scheduler.queue_wait_s", 0.0, 1.0, 50);
+    metrics_.queue_wait_last = reg->gauge("scheduler.queue_wait_last_s");
+    metrics_.executor_idle_ratio = reg->gauge("scheduler.executor_idle_ratio");
+    metrics_.graphlet_idle_ratio = reg->series("scheduler.graphlet_idle_ratio");
+  }
   if (config_.fault_schedule.has_value()) {
     injector_ = std::make_unique<FaultInjector>(*config_.fault_schedule);
     shuffle_->set_fault_injector(injector_.get());
@@ -114,6 +145,7 @@ void LocalRuntime::FailMachine(int machine) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!down_.insert(machine).second) return;
+    down_since_[machine] = clock_;  // detection delay measured from here
   }
   // The Cache Worker's memory and spill directory die with the machine.
   shuffle_->FailMachine(machine);
@@ -127,6 +159,7 @@ void LocalRuntime::RestoreMachine(int machine) {
     std::lock_guard<std::mutex> lock(mu_);
     down_.erase(machine);
     detected_.erase(machine);
+    down_since_.erase(machine);
     health_.Clear(machine);
     heartbeat_.ReportHeartbeat(machine, clock_);
   }
@@ -234,6 +267,15 @@ Status LocalRuntime::RunGraphlet(JobContext* ctx, GraphletId gid) {
   const Graphlet& g =
       ctx->graphlets.graphlets[static_cast<std::size_t>(gid)];
   const JobDag& dag = ctx->plan->dag;
+  obs::Span graphlet_meta;
+  if (tracer_ != nullptr) {
+    graphlet_meta.name = StrFormat("graphlet%d", gid);
+    graphlet_meta.category = "graphlet";
+    graphlet_meta.job = ctx->job;
+  }
+  obs::ScopedSpan graphlet_span(tracer_, std::move(graphlet_meta));
+  const auto graphlet_t0 = std::chrono::steady_clock::now();
+  const int64_t busy_before = ctx->busy_ns.load(std::memory_order_relaxed);
 
   // Cluster state feeds this job's pool: dead machines hold no
   // executors, drained machines take no new tasks.
@@ -263,7 +305,16 @@ Status LocalRuntime::RunGraphlet(JobContext* ctx, GraphletId gid) {
       }
     }
   }
-  auto gang = ctx->pool.AllocateGang(prefs);
+  auto gang = [&] {
+    obs::Span gang_meta;
+    if (tracer_ != nullptr) {
+      gang_meta.name = StrFormat("gang%d", gid);
+      gang_meta.category = "gang";
+      gang_meta.job = ctx->job;
+    }
+    obs::ScopedSpan gang_span(tracer_, std::move(gang_meta));
+    return ctx->pool.AllocateGang(prefs);
+  }();
   if (!gang.ok()) {
     return gang.status().WithContext(StrFormat(
         "gang-scheduling graphlet %d (%zu tasks); raise "
@@ -321,6 +372,23 @@ Status LocalRuntime::RunGraphlet(JobContext* ctx, GraphletId gid) {
     }
   }
   ctx->pool.ReleaseAll(*gang);
+  if (metrics_.graphlet_idle_ratio != nullptr && !members.empty()) {
+    // Executor idle ratio over this graphlet's gang (Fig. 3): wall time
+    // the gang held its executors minus time actually spent in tasks.
+    const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - graphlet_t0)
+                             .count();
+    const int64_t busy_ns =
+        ctx->busy_ns.load(std::memory_order_relaxed) - busy_before;
+    const double capacity_ns =
+        static_cast<double>(wall_ns) * static_cast<double>(members.size());
+    if (capacity_ns > 0.0) {
+      const double idle =
+          std::max(0.0, 1.0 - static_cast<double>(busy_ns) / capacity_ns);
+      obs::Record(metrics_.graphlet_idle_ratio, idle);
+      obs::Set(metrics_.executor_idle_ratio, idle);
+    }
+  }
   return Status::OK();
 }
 
@@ -351,6 +419,14 @@ Status LocalRuntime::RunStageWave(JobContext* ctx, StageId stage,
     outcomes[i].task = task;
   }
   {
+    obs::Span wave_meta;
+    if (tracer_ != nullptr) {
+      wave_meta.name = StrFormat("wave.s%d", stage);
+      wave_meta.category = "wave";
+      wave_meta.stage = stage;
+      wave_meta.job = ctx->job;
+    }
+    obs::ScopedSpan wave_span(tracer_, std::move(wave_meta));
     // Dispatch the wave to the executor thread pool and wait on this
     // wave's own latch — not ThreadPool::Wait(), which blocks on every
     // pool task and would let concurrent RunPlan calls stall each other.
@@ -359,8 +435,18 @@ Status LocalRuntime::RunStageWave(JobContext* ctx, StageId stage,
       const TaskRef task = outcomes[i].task;
       Outcome* slot = &outcomes[i];
       const int machine = ResolveMachine(ctx, task);
+      obs::Add(metrics_.tasks_started);
+      const auto enqueued = std::chrono::steady_clock::now();
       const bool submitted = pool_->Submit([this, ctx, task, machine, slot,
-                                            &wg] {
+                                            enqueued, &wg] {
+        if (metrics_.queue_wait != nullptr) {
+          const double wait_s =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            enqueued)
+                  .count();
+          obs::Record(metrics_.queue_wait, wait_s);
+          obs::Set(metrics_.queue_wait_last, wait_s);
+        }
         slot->status = RunTask(ctx, task, machine);
         wg.Done();
       });
@@ -373,6 +459,9 @@ Status LocalRuntime::RunStageWave(JobContext* ctx, StageId stage,
   }
 
   for (Outcome& o : outcomes) {
+    // Count every outcome up front so started == completed + failed
+    // holds even when failure handling aborts the job mid-wave.
+    obs::Add(o.status.ok() ? metrics_.tasks_completed : metrics_.tasks_failed);
     if (o.status.ok()) {
       ctx->tracker.SetState(o.task, TaskState::kCompleted);
       std::lock_guard<std::mutex> lock(ctx->mu);
@@ -446,6 +535,14 @@ Status LocalRuntime::HandleFailure(JobContext* ctx, const TaskRef& task,
     ctx->stats.tasks_rerun += static_cast<int>(decision.rerun.size());
     ctx->stats.job_restart_equivalent_tasks +=
         static_cast<int64_t>(ctx->recovery.JobRestartRerunSet(rctx).size());
+    obs::Add(metrics_.recoveries);
+    obs::Add(metrics_.recovery_by_case[static_cast<int>(decision.kase)]);
+    obs::Add(metrics_.resend_notifications,
+             static_cast<int64_t>(decision.resend_upstream.size()));
+    obs::Add(metrics_.tasks_rerun,
+             static_cast<int64_t>(decision.rerun.size()));
+    obs::Add(metrics_.restart_equivalent_tasks,
+             static_cast<int64_t>(ctx->recovery.JobRestartRerunSet(rctx).size()));
   }
   SWIFT_LOG(Info) << "recovered " << task.ToString() << " via "
                   << RecoveryCaseToString(decision.kase) << " (rerun "
@@ -526,10 +623,19 @@ Status LocalRuntime::TickClusterHealth(JobContext* ctx) {
     std::lock_guard<std::mutex> lock(mu_);
     clock_ += heartbeat_.interval();
     for (int m = 0; m < config_.machines; ++m) {
-      if (down_.count(m) == 0) heartbeat_.ReportHeartbeat(m, clock_);
+      if (down_.count(m) == 0) {
+        heartbeat_.ReportHeartbeat(m, clock_);
+      } else if (detected_.count(m) == 0) {
+        // A silent machine misses one heartbeat per tick until the
+        // monitor declares it failed.
+        obs::Add(metrics_.heartbeat_misses);
+      }
     }
     for (int m : heartbeat_.DetectFailed(clock_)) {
-      if (detected_.insert(m).second) lost.push_back(m);
+      if (detected_.insert(m).second) {
+        lost.push_back(m);
+        RecordDetectionDelayLocked(m);
+      }
     }
     // Probation: drained machines with a clean window rejoin.
     for (int m : health_.ClearExpired(clock_)) {
@@ -544,12 +650,21 @@ Status LocalRuntime::TickClusterHealth(JobContext* ctx) {
   return Status::OK();
 }
 
+void LocalRuntime::RecordDetectionDelayLocked(int machine) {
+  auto it = down_since_.find(machine);
+  if (it == down_since_.end()) return;
+  obs::Record(metrics_.detection_delay, clock_ - it->second);
+}
+
 Status LocalRuntime::DetectDownMachines(JobContext* ctx) {
   std::vector<int> lost;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (int m : down_) {
-      if (detected_.insert(m).second) lost.push_back(m);
+      if (detected_.insert(m).second) {
+        lost.push_back(m);
+        RecordDetectionDelayLocked(m);
+      }
     }
   }
   for (int m : lost) {
@@ -565,6 +680,7 @@ Status LocalRuntime::HandleMachineLoss(JobContext* ctx, int machine) {
   {
     std::lock_guard<std::mutex> lock(ctx->mu);
     ctx->stats.machine_failures += 1;
+    obs::Add(metrics_.machine_failures);
   }
   // Completed tasks that ran there lost their retained outputs with the
   // Cache Worker; replan each unless a replica survives (Fig. 7).
@@ -777,17 +893,41 @@ Result<Batch> LocalRuntime::FetchShuffleInput(JobContext* ctx,
     // drop this copy and re-fetch from the shuffle fabric.
     std::lock_guard<std::mutex> lock(ctx->mu);
     ctx->stats.corrupt_read_retries += 1;
+    obs::Add(metrics_.corrupt_read_retries);
   }
 }
 
 Status LocalRuntime::RunTask(JobContext* ctx, const TaskRef& task,
                              int machine) {
-  if (injector_ != nullptr) {
-    int attempt;
-    {
-      std::lock_guard<std::mutex> lock(ctx->mu);
-      attempt = ctx->attempts[task];
+  int attempt;
+  {
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    attempt = ctx->attempts[task];
+  }
+  obs::Span task_meta;
+  if (tracer_ != nullptr) {
+    task_meta.name = task.ToString();
+    task_meta.category = "task";
+    task_meta.machine = machine;
+    task_meta.stage = task.stage;
+    task_meta.task = task.task;
+    task_meta.attempt = attempt;
+    task_meta.job = ctx->job;
+  }
+  obs::ScopedSpan task_span(tracer_, std::move(task_meta));
+  struct BusyClock {
+    JobContext* ctx;
+    std::chrono::steady_clock::time_point t0 =
+        std::chrono::steady_clock::now();
+    ~BusyClock() {
+      ctx->busy_ns.fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count(),
+          std::memory_order_relaxed);
     }
+  } busy{ctx};
+  if (injector_ != nullptr) {
     const TaskFault fault = injector_->OnTaskStart(task, attempt);
     if (fault.kill_machine.has_value()) FailMachine(*fault.kill_machine);
     if (fault.fail.has_value()) return StatusForFailure(*fault.fail, task);

@@ -15,6 +15,8 @@
 #include "fault/fault_injector.h"
 #include "fault/heartbeat.h"
 #include "fault/recovery.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "partition/partitioners.h"
 #include "scheduler/resource_pool.h"
 #include "shuffle/shuffle_service.h"
@@ -50,6 +52,13 @@ struct LocalRuntimeConfig {
   double health_probation_seconds = 120.0;
   /// Seeded chaos engine driving injected faults (nullopt = none).
   std::optional<FaultSchedule> fault_schedule;
+  /// Optional observability sinks (not owned). The registry feeds the
+  /// metric catalog of DESIGN.md Sec. 11 (task/recovery counters,
+  /// detection-delay histogram, scheduler gauges, shuffle byte
+  /// conservation); the tracer records graphlet ⊃ wave ⊃ task spans.
+  /// Both null by default: instrumentation then costs one pointer test.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* tracer = nullptr;
 };
 
 /// \brief Outcome counters of one job run.
@@ -159,6 +168,8 @@ class LocalRuntime {
   /// Record a non-application failure against `machine`; drains it
   /// read-only when the sliding window fills (never the last machine).
   void RecordMachineFailure(JobContext* ctx, int machine);
+  /// Feeds the fault.detection_delay_s histogram (requires mu_).
+  void RecordDetectionDelayLocked(int machine);
 
   LocalRuntimeConfig config_;
   Catalog catalog_;
@@ -171,8 +182,30 @@ class LocalRuntime {
   std::map<TaskRef, FailureKind> injected_;
   std::set<int> down_;      ///< machines killed (heartbeats silent)
   std::set<int> detected_;  ///< down machines already detected + handled
+  std::map<int, double> down_since_;  ///< machine -> clock_ at failure
   double clock_ = 0.0;      ///< logical cluster time, one tick per wave
   JobId next_job_id_ = 1;
+  obs::TraceRecorder* tracer_ = nullptr;  // == config_.tracer
+
+  // Cached registry handles (nullptr when Config::metrics is null).
+  struct Instruments {
+    obs::Counter* tasks_started = nullptr;
+    obs::Counter* tasks_completed = nullptr;
+    obs::Counter* tasks_failed = nullptr;
+    obs::Counter* tasks_rerun = nullptr;
+    obs::Counter* recoveries = nullptr;
+    obs::Counter* recovery_by_case[6] = {};  // indexed by RecoveryCase
+    obs::Counter* resend_notifications = nullptr;
+    obs::Counter* restart_equivalent_tasks = nullptr;
+    obs::Counter* machine_failures = nullptr;
+    obs::Counter* corrupt_read_retries = nullptr;
+    obs::Counter* heartbeat_misses = nullptr;
+    obs::HistogramMetric* detection_delay = nullptr;
+    obs::HistogramMetric* queue_wait = nullptr;
+    obs::Gauge* queue_wait_last = nullptr;
+    obs::Gauge* executor_idle_ratio = nullptr;
+    obs::Series* graphlet_idle_ratio = nullptr;
+  } metrics_;
 };
 
 }  // namespace swift

@@ -14,11 +14,25 @@ std::string ShuffleSlotKey::ToString() const {
                    src_stage, src_task, dst_stage, dst_task);
 }
 
-CacheWorker::CacheWorker(int64_t memory_budget_bytes, std::string spill_dir)
+CacheWorker::CacheWorker(int64_t memory_budget_bytes, std::string spill_dir,
+                         obs::MetricsRegistry* metrics)
     : budget_(memory_budget_bytes), spill_dir_(std::move(spill_dir)) {
   if (!spill_dir_.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(spill_dir_, ec);
+  }
+  if (metrics != nullptr) {
+    metrics_.puts = metrics->counter("cache.puts");
+    metrics_.gets = metrics->counter("cache.gets");
+    metrics_.bytes_read = metrics->counter("cache.bytes_read");
+    metrics_.bytes_written = metrics->counter("shuffle.bytes_written");
+    metrics_.bytes_consumed = metrics->counter("shuffle.bytes_consumed");
+    metrics_.bytes_evicted_unconsumed =
+        metrics->counter("shuffle.bytes_evicted_unconsumed");
+    metrics_.spill_slots = metrics->counter("cache.spill.slots");
+    metrics_.spill_bytes = metrics->counter("cache.spill.bytes");
+    metrics_.reloads = metrics->counter("cache.reloads");
+    metrics_.deletions = metrics->counter("cache.deletions");
   }
 }
 
@@ -52,6 +66,8 @@ Status CacheWorker::Put(const ShuffleSlotKey& key, ShuffleBuffer buffer,
   stats_.puts += 1;
   stats_.bytes_written += size;
   stats_.memory_in_use += size;
+  obs::Add(metrics_.puts);
+  obs::Add(metrics_.bytes_written, size);
   return Status::OK();
 }
 
@@ -64,11 +80,15 @@ Result<ShuffleBuffer> CacheWorker::Get(const ShuffleSlotKey& key) {
   SWIFT_ASSIGN_OR_RETURN(ShuffleBuffer buffer, LoadLocked(key, &it->second));
   stats_.gets += 1;
   stats_.bytes_read += static_cast<int64_t>(buffer.size());
+  obs::Add(metrics_.gets);
+  obs::Add(metrics_.bytes_read, static_cast<int64_t>(buffer.size()));
+  MarkConsumedLocked(&it->second);
   it->second.reads += 1;
   if (it->second.expected_reads > 0 &&
       it->second.reads >= it->second.expected_reads) {
     EraseLocked(key);
     stats_.deletions += 1;
+    obs::Add(metrics_.deletions);
   } else {
     TouchLocked(key, &it->second);
   }
@@ -84,6 +104,9 @@ Result<ShuffleBuffer> CacheWorker::Peek(const ShuffleSlotKey& key) {
   SWIFT_ASSIGN_OR_RETURN(ShuffleBuffer buffer, LoadLocked(key, &it->second));
   stats_.gets += 1;
   stats_.bytes_read += static_cast<int64_t>(buffer.size());
+  obs::Add(metrics_.gets);
+  obs::Add(metrics_.bytes_read, static_cast<int64_t>(buffer.size()));
+  MarkConsumedLocked(&it->second);
   TouchLocked(key, &it->second);
   return buffer;
 }
@@ -180,6 +203,8 @@ Status CacheWorker::SpillLocked(const ShuffleSlotKey& key, Slot* slot) {
   stats_.spilled_slots += 1;
   stats_.spilled_bytes += slot->size;
   stats_.memory_in_use -= slot->size;
+  obs::Add(metrics_.spill_slots);
+  obs::Add(metrics_.spill_bytes, slot->size);
   // Drop this worker's reference; the allocation is freed once the last
   // sharer (an in-flight reader, another worker's replica) lets go —
   // budget accounting charges resident slots, not shared lifetimes.
@@ -206,6 +231,7 @@ Result<ShuffleBuffer> CacheWorker::LoadLocked(const ShuffleSlotKey& key,
     return Status::IOError("short read from spill file " + slot->spill_path);
   }
   stats_.reloads += 1;
+  obs::Add(metrics_.reloads);
   // Re-admit into memory (it is being used again).
   SWIFT_RETURN_NOT_OK(EnsureCapacityLocked(slot->size));
   std::error_code ec;
@@ -218,10 +244,21 @@ Result<ShuffleBuffer> CacheWorker::LoadLocked(const ShuffleSlotKey& key,
   return slot->buffer;
 }
 
+void CacheWorker::MarkConsumedLocked(Slot* slot) {
+  if (slot->touched) return;
+  slot->touched = true;
+  stats_.bytes_consumed += slot->size;
+  obs::Add(metrics_.bytes_consumed, slot->size);
+}
+
 void CacheWorker::EraseLocked(const ShuffleSlotKey& key) {
   auto it = slots_.find(key);
   if (it == slots_.end()) return;
   Slot& slot = it->second;
+  if (!slot.touched) {
+    stats_.bytes_evicted_unconsumed += slot.size;
+    obs::Add(metrics_.bytes_evicted_unconsumed, slot.size);
+  }
   if (slot.in_lru) lru_.erase(slot.lru_it);
   if (slot.spilled) {
     std::error_code ec;

@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "dag/job_dag.h"
+#include "obs/metrics.h"
 #include "shuffle/shuffle_buffer.h"
 
 namespace swift {
@@ -38,6 +39,13 @@ struct CacheWorkerStats {
   int64_t reloads = 0;         ///< reads served from spill files
   int64_t deletions = 0;       ///< slots freed after full consumption
   int64_t memory_in_use = 0;   ///< resident slot bytes charged to the budget
+  /// Conservation-law accounting (tests/obs_invariant_test.cc): every
+  /// stored byte is eventually either consumed (its slot read at least
+  /// once) or evicted unconsumed (its slot dropped before any read), so
+  /// after all slots are removed:
+  ///   bytes_written == bytes_consumed + bytes_evicted_unconsumed.
+  int64_t bytes_consumed = 0;           ///< slot size on its first read
+  int64_t bytes_evicted_unconsumed = 0; ///< slot size when dropped unread
 };
 
 /// \brief The per-machine shuffle buffer of Sec. III-B.
@@ -56,7 +64,11 @@ class CacheWorker {
   /// \param memory_budget_bytes in-memory capacity before LRU spill.
   /// \param spill_dir directory for spill files ("" disables spilling:
   ///        over-budget puts then fail with ResourceExhausted).
-  CacheWorker(int64_t memory_budget_bytes, std::string spill_dir);
+  /// \param metrics optional registry (not owned); all workers of one
+  ///        service share the same counters, so registry values are
+  ///        cluster-wide aggregates.
+  CacheWorker(int64_t memory_budget_bytes, std::string spill_dir,
+              obs::MetricsRegistry* metrics = nullptr);
   ~CacheWorker();
 
   CacheWorker(const CacheWorker&) = delete;
@@ -103,6 +115,7 @@ class CacheWorker {
     int64_t size = 0;
     int expected_reads = 0;   // <=0: pinned until RemoveJob
     int reads = 0;
+    bool touched = false;     // read at least once (Get or Peek)
     bool spilled = false;
     std::string spill_path;
     std::list<ShuffleSlotKey>::iterator lru_it;
@@ -114,6 +127,8 @@ class CacheWorker {
   Result<ShuffleBuffer> LoadLocked(const ShuffleSlotKey& key, Slot* slot);
   void EraseLocked(const ShuffleSlotKey& key);
   void TouchLocked(const ShuffleSlotKey& key, Slot* slot);
+  /// First read of a slot: flips `touched` and counts its bytes consumed.
+  void MarkConsumedLocked(Slot* slot);
 
   const int64_t budget_;
   const std::string spill_dir_;
@@ -122,6 +137,20 @@ class CacheWorker {
   std::list<ShuffleSlotKey> lru_;  // front = least recently used
   CacheWorkerStats stats_;
   int64_t spill_seq_ = 0;
+
+  // Cached registry handles (nullptr when no registry is installed).
+  struct {
+    obs::Counter* puts = nullptr;
+    obs::Counter* gets = nullptr;
+    obs::Counter* bytes_read = nullptr;
+    obs::Counter* bytes_written = nullptr;
+    obs::Counter* bytes_consumed = nullptr;
+    obs::Counter* bytes_evicted_unconsumed = nullptr;
+    obs::Counter* spill_slots = nullptr;
+    obs::Counter* spill_bytes = nullptr;
+    obs::Counter* reloads = nullptr;
+    obs::Counter* deletions = nullptr;
+  } metrics_;
 };
 
 }  // namespace swift

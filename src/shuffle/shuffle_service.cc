@@ -31,7 +31,31 @@ ShuffleService::ShuffleService(Config config) : config_(std::move(config)) {
       dir = StrFormat("%s/cw%d", config_.spill_root.c_str(), m);
     }
     workers_.push_back(std::make_unique<CacheWorker>(
-        config_.cache_memory_per_worker, dir));
+        config_.cache_memory_per_worker, dir, config_.metrics));
+  }
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry* reg = config_.metrics;
+    for (ShuffleKind kind : {ShuffleKind::kDirect, ShuffleKind::kLocal,
+                             ShuffleKind::kRemote}) {
+      const std::string mode(ShuffleKindToString(kind));
+      const auto i = static_cast<std::size_t>(kind);
+      metrics_.connections[i] = reg->counter("shuffle.connections." + mode);
+      metrics_.bytes_written[i] = reg->counter("shuffle." + mode + ".bytes_written");
+      metrics_.bytes_read[i] = reg->counter("shuffle." + mode + ".bytes_read");
+    }
+    // The same conservation-law counters the Cache Workers feed; the
+    // direct path bypasses the workers, so the service covers it here.
+    metrics_.bytes_written_total = reg->counter("shuffle.bytes_written");
+    metrics_.bytes_consumed = reg->counter("shuffle.bytes_consumed");
+    metrics_.bytes_evicted_unconsumed =
+        reg->counter("shuffle.bytes_evicted_unconsumed");
+    metrics_.read_retries = reg->counter("shuffle.read_retries");
+    metrics_.read_timeouts = reg->counter("shuffle.read_timeouts");
+    metrics_.failover_reads = reg->counter("shuffle.failover_reads");
+    metrics_.corrupt_payloads = reg->counter("shuffle.corrupt_payloads");
+    metrics_.machine_failures = reg->counter("shuffle.machine_failures");
+    metrics_.payload_copies = reg->counter("shuffle.payload_copies");
+    metrics_.local_replicas = reg->counter("shuffle.local_replicas");
   }
 }
 
@@ -54,12 +78,31 @@ int64_t ShuffleService::WorkerEndpoint(int machine) const {
   return -(static_cast<int64_t>(machine) + 1);  // negative = cache worker
 }
 
-void ShuffleService::Connect(int64_t from, int64_t to) {
+void ShuffleService::Connect(int64_t from, int64_t to, ShuffleKind kind) {
   if (from == to) return;
   if (from > to) std::swap(from, to);
   if (connections_.insert({from, to}).second) {
     stats_.tcp_connections += 1;
+    obs::Add(metrics_.connections[static_cast<std::size_t>(kind)]);
   }
+}
+
+void ShuffleService::DirectConsumedLocked(const ShuffleSlotKey& key) {
+  auto it = direct_.find(key);
+  if (it == direct_.end()) return;
+  if (!direct_touched_.insert(key).second) return;  // already consumed
+  const auto size = static_cast<int64_t>(it->second.size());
+  obs::Add(metrics_.bytes_consumed, size);
+}
+
+void ShuffleService::DirectDropLocked(const ShuffleSlotKey& key) {
+  auto it = direct_.find(key);
+  if (it == direct_.end()) return;
+  if (direct_touched_.count(key) == 0) {
+    obs::Add(metrics_.bytes_evicted_unconsumed,
+             static_cast<int64_t>(it->second.size()));
+  }
+  direct_touched_.erase(key);
 }
 
 Result<ShuffleBuffer> ShuffleService::FinishRead(
@@ -70,7 +113,17 @@ Result<ShuffleBuffer> ShuffleService::FinishRead(
     std::lock_guard<std::mutex> lock(mu_);
     stats_.payload_copies += 1;
   }
+  obs::Add(metrics_.payload_copies);
   return ShuffleBuffer::Copy(buffer->view());
+}
+
+Result<ShuffleBuffer> ShuffleService::CountRead(ShuffleKind kind,
+                                                Result<ShuffleBuffer> buffer) {
+  if (buffer.ok()) {
+    obs::Add(metrics_.bytes_read[static_cast<std::size_t>(kind)],
+             static_cast<int64_t>(buffer->size()));
+  }
+  return buffer;
 }
 
 Status ShuffleService::WritePartition(ShuffleKind kind,
@@ -93,25 +146,30 @@ Status ShuffleService::WritePartition(ShuffleKind kind,
     buffer = ShuffleBuffer::Copy(buffer.view());
     std::lock_guard<std::mutex> lock(mu_);
     stats_.payload_copies += 1;
+    obs::Add(metrics_.payload_copies);
   }
   switch (kind) {
     case ShuffleKind::kDirect: {
       std::lock_guard<std::mutex> lock(mu_);
-      Connect(TaskEndpoint(key, true), TaskEndpoint(key, false));
+      Connect(TaskEndpoint(key, true), TaskEndpoint(key, false), kind);
+      DirectDropLocked(key);  // overwrite of an unread slot drops its bytes
       direct_[key] = std::move(buffer);
       direct_writer_[key] = writer_machine;
       stats_.direct_writes += 1;
       stats_.bytes_transferred += size;
       stats_.modeled_memory_copies += ExtraMemoryCopies(kind);
+      obs::Add(metrics_.bytes_written[0], size);
+      obs::Add(metrics_.bytes_written_total, size);
       return Status::OK();
     }
     case ShuffleKind::kLocal: {
       {
         std::lock_guard<std::mutex> lock(mu_);
-        Connect(TaskEndpoint(key, true), WorkerEndpoint(writer_machine));
+        Connect(TaskEndpoint(key, true), WorkerEndpoint(writer_machine), kind);
         stats_.local_writes += 1;
         stats_.bytes_transferred += size;
         stats_.modeled_memory_copies += ExtraMemoryCopies(kind);
+        obs::Add(metrics_.bytes_written[1], size);
       }
       // Pipeline edge: the writer-side worker forwards immediately; we
       // model this by parking the data on the writer's worker either
@@ -124,10 +182,11 @@ Status ShuffleService::WritePartition(ShuffleKind kind,
     case ShuffleKind::kRemote: {
       {
         std::lock_guard<std::mutex> lock(mu_);
-        Connect(TaskEndpoint(key, true), WorkerEndpoint(writer_machine));
+        Connect(TaskEndpoint(key, true), WorkerEndpoint(writer_machine), kind);
         stats_.remote_writes += 1;
         stats_.bytes_transferred += size;
         stats_.modeled_memory_copies += ExtraMemoryCopies(kind);
+        obs::Add(metrics_.bytes_written[2], size);
       }
       return workers_[static_cast<std::size_t>(writer_machine)]->Put(
           key, std::move(buffer), expected_reads);
@@ -147,12 +206,14 @@ Result<ShuffleBuffer> ShuffleService::ReadPartition(ShuffleKind kind,
         case ReadFault::kTimeout: {
           std::lock_guard<std::mutex> lock(mu_);
           stats_.read_timeouts += 1;
+          obs::Add(metrics_.read_timeouts);
           if (attempt + 1 >= max_attempts) {
             return Status::Timeout(StrFormat(
                 "shuffle read %s timed out %d times, giving up",
                 key.ToString().c_str(), attempt + 1));
           }
           stats_.read_retries += 1;
+          obs::Add(metrics_.read_retries);
           break;  // fall through to backoff + retry
         }
         case ReadFault::kCorrupt: {
@@ -161,6 +222,7 @@ Result<ShuffleBuffer> ShuffleService::ReadPartition(ShuffleKind kind,
           if (buffer.ok()) {
             std::lock_guard<std::mutex> lock(mu_);
             stats_.corrupt_payloads += 1;
+            obs::Add(metrics_.corrupt_payloads);
             return CorruptCopy(*buffer);
           }
           return buffer;
@@ -174,6 +236,7 @@ Result<ShuffleBuffer> ShuffleService::ReadPartition(ShuffleKind kind,
               attempt + 1 < max_attempts) {
             std::lock_guard<std::mutex> lock(mu_);
             stats_.read_retries += 1;
+            obs::Add(metrics_.read_retries);
             break;
           }
           return buffer;
@@ -186,6 +249,7 @@ Result<ShuffleBuffer> ShuffleService::ReadPartition(ShuffleKind kind,
           attempt + 1 < max_attempts) {
         std::lock_guard<std::mutex> lock(mu_);
         stats_.read_retries += 1;
+        obs::Add(metrics_.read_retries);
       } else {
         return buffer;
       }
@@ -215,6 +279,7 @@ Result<ShuffleBuffer> ShuffleService::PeekAnyReplica(const ShuffleSlotKey& key,
     if (buffer.ok()) {
       std::lock_guard<std::mutex> lock(mu_);
       stats_.failover_reads += 1;
+      obs::Add(metrics_.failover_reads);
       return buffer;
     }
   }
@@ -236,31 +301,34 @@ Result<ShuffleBuffer> ShuffleService::ReadPartitionOnce(
           return Status::NotFound("direct shuffle slot " + key.ToString());
         }
         stats_.reads += 1;
+        DirectConsumedLocked(key);
         if (config_.retain_for_recovery) {
           buffer = it->second;  // shared handle, not a payload copy
         } else {
           buffer = std::move(it->second);
           direct_.erase(it);
           direct_writer_.erase(key);
+          direct_touched_.erase(key);
         }
       }
-      return FinishRead(std::move(buffer));
+      return CountRead(kind, FinishRead(std::move(buffer)));
     }
     case ShuffleKind::kLocal: {
       {
         std::lock_guard<std::mutex> lock(mu_);
-        Connect(WorkerEndpoint(writer_machine), WorkerEndpoint(reader_machine));
-        Connect(TaskEndpoint(key, false), WorkerEndpoint(reader_machine));
+        Connect(WorkerEndpoint(writer_machine), WorkerEndpoint(reader_machine),
+                kind);
+        Connect(TaskEndpoint(key, false), WorkerEndpoint(reader_machine), kind);
         stats_.reads += 1;
       }
       CacheWorker* src = workers_[static_cast<std::size_t>(writer_machine)].get();
       if (!config_.retain_for_recovery) {
-        return FinishRead(src->Get(key));
+        return CountRead(kind, FinishRead(src->Get(key)));
       }
       CacheWorker* dst = workers_[static_cast<std::size_t>(reader_machine)].get();
       if (dst != src && !IsMachineDead(reader_machine) && dst->Contains(key)) {
         // Served from the reader-side replica created below.
-        return FinishRead(dst->Peek(key));
+        return CountRead(kind, FinishRead(dst->Peek(key)));
       }
       Result<ShuffleBuffer> buffer = PeekAnyReplica(key, writer_machine);
       if (buffer.ok() && dst != src && !IsMachineDead(reader_machine)) {
@@ -271,21 +339,22 @@ Result<ShuffleBuffer> ShuffleService::ReadPartitionOnce(
         if (dst->Put(key, *buffer, /*expected_reads=*/0).ok()) {
           std::lock_guard<std::mutex> lock(mu_);
           stats_.local_replicas += 1;
+          obs::Add(metrics_.local_replicas);
         }
       }
-      return FinishRead(std::move(buffer));
+      return CountRead(kind, FinishRead(std::move(buffer)));
     }
     case ShuffleKind::kRemote: {
       {
         std::lock_guard<std::mutex> lock(mu_);
-        Connect(TaskEndpoint(key, false), WorkerEndpoint(writer_machine));
+        Connect(TaskEndpoint(key, false), WorkerEndpoint(writer_machine), kind);
         stats_.reads += 1;
       }
       CacheWorker* src = workers_[static_cast<std::size_t>(writer_machine)].get();
       if (!config_.retain_for_recovery) {
-        return FinishRead(src->Get(key));
+        return CountRead(kind, FinishRead(src->Get(key)));
       }
-      return FinishRead(PeekAnyReplica(key, writer_machine));
+      return CountRead(kind, FinishRead(PeekAnyReplica(key, writer_machine)));
     }
   }
   return Status::Internal("unknown shuffle kind");
@@ -304,7 +373,12 @@ void ShuffleService::RemoveJob(JobId job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto it = direct_.begin(); it != direct_.end();) {
-      it = it->first.job == job ? direct_.erase(it) : std::next(it);
+      if (it->first.job == job) {
+        DirectDropLocked(it->first);
+        it = direct_.erase(it);
+      } else {
+        ++it;
+      }
     }
     for (auto it = direct_writer_.begin(); it != direct_writer_.end();) {
       it = it->first.job == job ? direct_writer_.erase(it) : std::next(it);
@@ -317,9 +391,12 @@ void ShuffleService::RemoveStageOutput(JobId job, StageId stage) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto it = direct_.begin(); it != direct_.end();) {
-      it = (it->first.job == job && it->first.src_stage == stage)
-               ? direct_.erase(it)
-               : std::next(it);
+      if (it->first.job == job && it->first.src_stage == stage) {
+        DirectDropLocked(it->first);
+        it = direct_.erase(it);
+      } else {
+        ++it;
+      }
     }
     for (auto it = direct_writer_.begin(); it != direct_writer_.end();) {
       it = (it->first.job == job && it->first.src_stage == stage)
@@ -349,10 +426,12 @@ void ShuffleService::FailMachine(int machine) {
     std::lock_guard<std::mutex> lock(mu_);
     if (!dead_.insert(machine).second) return;
     stats_.machine_failures += 1;
+    obs::Add(metrics_.machine_failures);
     // Direct slots live in the producing task's process, so they die
     // with the machine too.
     for (auto it = direct_writer_.begin(); it != direct_writer_.end();) {
       if (it->second == machine) {
+        DirectDropLocked(it->first);
         direct_.erase(it->first);
         it = direct_writer_.erase(it);
       } else {

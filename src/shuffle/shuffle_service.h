@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "fault/fault_injector.h"
+#include "obs/metrics.h"
 #include "shuffle/cache_worker.h"
 #include "shuffle/shuffle_buffer.h"
 #include "shuffle/shuffle_mode.h"
@@ -82,6 +83,10 @@ class ShuffleService {
     int max_read_attempts = 4;
     double read_backoff_base_ms = 0.2;
     double read_backoff_max_ms = 5.0;
+    /// Optional metrics sink (not owned): per-mode byte/connection
+    /// counters plus the byte-conservation accounting shared with the
+    /// Cache Workers (see DESIGN.md Sec. 11).
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   explicit ShuffleService(Config config);
@@ -155,9 +160,12 @@ class ShuffleService {
   // distinct-connection count follows the paper's formulas.
   int64_t TaskEndpoint(const ShuffleSlotKey& key, bool writer) const;
   int64_t WorkerEndpoint(int machine) const;
-  void Connect(int64_t from, int64_t to);
+  void Connect(int64_t from, int64_t to, ShuffleKind kind);
   /// Applies the legacy copying plane to an outgoing read result.
   Result<ShuffleBuffer> FinishRead(Result<ShuffleBuffer> buffer);
+  /// Attributes a successful read's bytes to the per-mode counter.
+  Result<ShuffleBuffer> CountRead(ShuffleKind kind,
+                                  Result<ShuffleBuffer> buffer);
   /// One read attempt, including replica failover; no retry.
   Result<ShuffleBuffer> ReadPartitionOnce(ShuffleKind kind,
                                           const ShuffleSlotKey& key,
@@ -169,6 +177,9 @@ class ShuffleService {
   bool IsMachineDeadLocked(int machine) const {
     return dead_.count(machine) > 0;
   }
+  /// Direct-slot byte-conservation bookkeeping; all require mu_.
+  void DirectConsumedLocked(const ShuffleSlotKey& key);
+  void DirectDropLocked(const ShuffleSlotKey& key);
 
   Config config_;
   std::vector<std::unique_ptr<CacheWorker>> workers_;
@@ -176,9 +187,27 @@ class ShuffleService {
   std::mutex mu_;
   std::map<ShuffleSlotKey, ShuffleBuffer> direct_;
   std::map<ShuffleSlotKey, int> direct_writer_;  // machine that wrote it
+  std::set<ShuffleSlotKey> direct_touched_;      // direct slots read >= once
   std::set<int> dead_;
   std::set<std::pair<int64_t, int64_t>> connections_;
   ShuffleServiceStats stats_;
+
+  // Cached registry handles (nullptr when Config::metrics is null).
+  struct Instruments {
+    obs::Counter* connections[3] = {nullptr, nullptr, nullptr};
+    obs::Counter* bytes_written[3] = {nullptr, nullptr, nullptr};
+    obs::Counter* bytes_read[3] = {nullptr, nullptr, nullptr};
+    obs::Counter* bytes_written_total = nullptr;
+    obs::Counter* bytes_consumed = nullptr;
+    obs::Counter* bytes_evicted_unconsumed = nullptr;
+    obs::Counter* read_retries = nullptr;
+    obs::Counter* read_timeouts = nullptr;
+    obs::Counter* failover_reads = nullptr;
+    obs::Counter* corrupt_payloads = nullptr;
+    obs::Counter* machine_failures = nullptr;
+    obs::Counter* payload_copies = nullptr;
+    obs::Counter* local_replicas = nullptr;
+  } metrics_;
 };
 
 }  // namespace swift

@@ -397,6 +397,17 @@ void ClusterSim::CompleteJob(int job, bool aborted) {
   js.running_units.clear();
   js.queued_units.clear();
   --jobs_remaining_;
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry* reg = config_.metrics;
+    reg->counter(aborted ? "sim.jobs.aborted" : "sim.jobs.completed")->Add(1);
+    reg->counter("sim.tasks.run")->Add(js.result.tasks_run);
+    reg->counter("sim.tasks.rerun")->Add(js.result.tasks_rerun);
+    reg->counter("sim.recoveries")->Add(js.result.recoveries);
+    if (!aborted) {
+      reg->series("sim.job.latency_s")->Record(js.result.Latency());
+      reg->series("sim.job.idle_ratio")->Record(js.result.mean_idle_ratio);
+    }
+  }
   TrySchedule();
 }
 

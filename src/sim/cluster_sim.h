@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "fault/recovery.h"
+#include "obs/metrics.h"
 #include "partition/partitioners.h"
 #include "sim/event_engine.h"
 #include "sim/models.h"
@@ -69,6 +70,9 @@ struct SimConfig {
   ShuffleThresholds thresholds;
   double sample_interval = 1.0;
   uint64_t seed = 42;
+  /// Optional metrics sink (not owned): per-job latency / idle-ratio
+  /// series plus completion counters, published as jobs finish.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// \brief Discrete-event simulation of a Swift-style cluster running a

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "exec/tpch.h"
+#include "obs/metrics.h"
 #include "runtime/local_runtime.h"
 #include "sql/tpch_queries.h"
 
@@ -170,6 +171,99 @@ TEST(ChaosSoak, TpchSuiteByteIdenticalUnderFaultMatrix) {
   EXPECT_GE(read_timeouts, 1);
   EXPECT_GE(read_retries, 1) << "no transient read was retried in place";
   EXPECT_GE(corrupt_retries, 1) << "no CRC-rejected payload was re-fetched";
+}
+
+// The metrics registry must stay in lockstep with the per-report
+// JobRunStats, the shuffle service's stats struct, and the chaos
+// engine's own ledger — under every schedule, not just clean runs.
+// bench_chaos_matrix reads the registry instead of the structs; this
+// test is what makes that substitution safe.
+TEST(ChaosSoak, RegistryMatchesInjectorAndRunStats) {
+  const std::vector<int> queries = RunnableTpchQueries();
+  ASSERT_FALSE(queries.empty());
+
+  for (const ChaosSchedule& sched : Schedules()) {
+    SCOPED_TRACE(sched.name);
+    obs::MetricsRegistry reg;
+    LocalRuntimeConfig cfg;
+    cfg.fault_schedule = sched.fs;
+    cfg.metrics = &reg;
+    auto rt = MakeRuntime(cfg);
+
+    // Suite-wide sums of the per-report stats the registry mirrors.
+    int64_t tasks_executed = 0;
+    int64_t tasks_rerun = 0;
+    int64_t recoveries = 0;
+    int64_t resends = 0;
+    int64_t machine_failures = 0;
+    int64_t corrupt_retries = 0;
+    int64_t restart_equivalent = 0;
+    std::map<RecoveryCase, int64_t> by_case;
+    for (int q : queries) {
+      SCOPED_TRACE("Q" + std::to_string(q));
+      auto sql = TpchQuerySql(q);
+      ASSERT_TRUE(sql.ok());
+      auto report = rt->RunSql(*sql);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      const JobRunStats& s = report->stats;
+      tasks_executed += s.tasks_executed;
+      tasks_rerun += s.tasks_rerun;
+      recoveries += s.recoveries;
+      resends += s.resend_notifications;
+      machine_failures += s.machine_failures;
+      corrupt_retries += s.corrupt_read_retries;
+      restart_equivalent += s.job_restart_equivalent_tasks;
+      for (const auto& [kase, n] : s.recoveries_by_case) by_case[kase] += n;
+    }
+
+    // Runtime counters vs JobRunStats sums.
+    EXPECT_EQ(reg.CounterValue("runtime.tasks.started"), tasks_executed);
+    EXPECT_EQ(reg.CounterValue("runtime.tasks.started"),
+              reg.CounterValue("runtime.tasks.completed") +
+                  reg.CounterValue("runtime.tasks.failed"));
+    EXPECT_EQ(reg.CounterValue("runtime.tasks.rerun"), tasks_rerun);
+    EXPECT_EQ(reg.CounterValue("runtime.recoveries"), recoveries);
+    EXPECT_EQ(reg.CounterValue("runtime.resend_notifications"), resends);
+    EXPECT_EQ(reg.CounterValue("runtime.machine_failures"), machine_failures);
+    EXPECT_EQ(reg.CounterValue("runtime.corrupt_read_retries"),
+              corrupt_retries);
+    EXPECT_EQ(reg.CounterValue("runtime.restart_equivalent_tasks"),
+              restart_equivalent);
+    int64_t case_total = 0;
+    for (const auto& [kase, n] : by_case) {
+      EXPECT_EQ(reg.CounterValue("runtime.recovery." +
+                                 std::string(RecoveryCaseToString(kase))),
+                n);
+      case_total += n;
+    }
+    EXPECT_EQ(reg.CounterValue("runtime.recoveries"), case_total);
+
+    // Shuffle counters vs the service's stats struct and the injector.
+    const ShuffleServiceStats ss = rt->shuffle_service()->stats();
+    EXPECT_EQ(reg.CounterValue("shuffle.read_retries"), ss.read_retries);
+    EXPECT_EQ(reg.CounterValue("shuffle.read_timeouts"), ss.read_timeouts);
+    EXPECT_EQ(reg.CounterValue("shuffle.failover_reads"), ss.failover_reads);
+    EXPECT_EQ(reg.CounterValue("shuffle.corrupt_payloads"),
+              ss.corrupt_payloads);
+    ASSERT_NE(rt->fault_injector(), nullptr);
+    const FaultInjectorStats fi = rt->fault_injector()->stats();
+    EXPECT_EQ(reg.CounterValue("shuffle.read_timeouts"), fi.read_timeouts);
+    EXPECT_EQ(reg.CounterValue("shuffle.corrupt_payloads"), fi.corruptions);
+    // Every injected crash surfaced as a failed (then recovered) task.
+    EXPECT_GE(reg.CounterValue("runtime.tasks.failed"), fi.task_crashes);
+
+    // Machine loss: each detection feeds the detection-delay histogram
+    // exactly once, and the delay is bounded by the heartbeat budget
+    // that the misses counter tracks.
+    const obs::HistogramSnapshot delay =
+        reg.HistogramValue("fault.detection_delay_s");
+    EXPECT_EQ(delay.count, reg.CounterValue("runtime.machine_failures"));
+    if (sched.fs.kill_machine >= 0) {
+      EXPECT_GE(delay.count, 1) << "machine loss was never detected";
+      EXPECT_GE(delay.min, 0.0);
+      EXPECT_GE(reg.CounterValue("fault.heartbeat.misses"), 0);
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "exec/tpch.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+#include "runtime/local_runtime.h"
+#include "shuffle/shuffle_service.h"
+#include "sql/tpch_queries.h"
+
+namespace swift {
+namespace {
+
+// Invariant tests over the observability layer (DESIGN.md Sec. 11):
+// the metric catalog is only trustworthy if its counters obey the
+// conservation laws of the system they measure. These tests run the
+// real TPC-H suite on the real runtime and check the books balance.
+
+std::unique_ptr<LocalRuntime> MakeRuntime(LocalRuntimeConfig cfg = {}) {
+  auto rt = std::make_unique<LocalRuntime>(cfg);
+  TpchConfig tpch;
+  tpch.scale_factor = 0.001;
+  EXPECT_TRUE(GenerateTpch(tpch, rt->catalog()).ok());
+  return rt;
+}
+
+void RunSuite(LocalRuntime* rt) {
+  for (int q : RunnableTpchQueries()) {
+    SCOPED_TRACE("Q" + std::to_string(q));
+    auto sql = TpchQuerySql(q);
+    ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+    auto report = rt->RunSql(*sql);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+  }
+}
+
+// Every shuffle byte written is eventually consumed by a first read or
+// evicted unread — nothing leaks and nothing is double-counted. Exact
+// once RunPlan's end-of-job RemoveJob has swept the retained slots.
+TEST(ObsInvariant, ShuffleByteConservationOverTpchSuite) {
+  obs::MetricsRegistry reg;
+  LocalRuntimeConfig cfg;
+  cfg.metrics = &reg;
+  auto rt = MakeRuntime(cfg);
+  RunSuite(rt.get());
+
+  const int64_t written = reg.CounterValue("shuffle.bytes_written");
+  const int64_t consumed = reg.CounterValue("shuffle.bytes_consumed");
+  const int64_t evicted = reg.CounterValue("shuffle.bytes_evicted_unconsumed");
+  EXPECT_GT(written, 0) << "suite ran without shuffling anything";
+  EXPECT_EQ(written, consumed + evicted)
+      << "written=" << written << " consumed=" << consumed
+      << " evicted=" << evicted;
+}
+
+// Dispatch accounting: every task counted at dispatch shows up exactly
+// once as completed or failed, even when a wave is cut short.
+TEST(ObsInvariant, TaskSpansStartedEqualsCompletedPlusFailed) {
+  obs::MetricsRegistry reg;
+  LocalRuntimeConfig cfg;
+  cfg.metrics = &reg;
+  auto rt = MakeRuntime(cfg);
+  RunSuite(rt.get());
+
+  const int64_t started = reg.CounterValue("runtime.tasks.started");
+  EXPECT_GT(started, 0);
+  EXPECT_EQ(started, reg.CounterValue("runtime.tasks.completed") +
+                         reg.CounterValue("runtime.tasks.failed"));
+  EXPECT_EQ(reg.CounterValue("runtime.tasks.failed"), 0)
+      << "clean run recorded failures";
+}
+
+// The same balance must survive the chaos engine: crashes, flaky
+// links, bit flips, and a mid-suite machine loss all end in a failed
+// or completed count, never a silently dropped dispatch.
+TEST(ObsInvariant, InvariantsHoldUnderInjectedFaults) {
+  FaultSchedule fs;
+  fs.seed = 16;
+  fs.task_crash_p = 0.12;
+  fs.max_task_crashes = 8;
+  fs.read_timeout_p = 0.2;
+  fs.max_read_timeouts = 1 << 20;
+  fs.corrupt_p = 0.15;
+  fs.max_corruptions = 8;
+  fs.kill_machine = 2;
+  fs.kill_after_task_starts = 7;
+
+  obs::MetricsRegistry reg;
+  LocalRuntimeConfig cfg;
+  cfg.fault_schedule = fs;
+  cfg.metrics = &reg;
+  auto rt = MakeRuntime(cfg);
+  RunSuite(rt.get());
+
+  EXPECT_EQ(reg.CounterValue("runtime.tasks.started"),
+            reg.CounterValue("runtime.tasks.completed") +
+                reg.CounterValue("runtime.tasks.failed"));
+  EXPECT_GE(reg.CounterValue("runtime.tasks.failed"), 1)
+      << "chaos schedule injected nothing";
+  EXPECT_EQ(reg.CounterValue("shuffle.bytes_written"),
+            reg.CounterValue("shuffle.bytes_consumed") +
+                reg.CounterValue("shuffle.bytes_evicted_unconsumed"));
+}
+
+// Task spans carry attempt numbers; per task they must be dense
+// 0..max — a gap means an attempt ran untraced, a duplicate means two
+// executions shared an attempt id.
+TEST(ObsInvariant, AttemptNumbersAreDensePerTask) {
+  FaultSchedule fs;
+  fs.seed = 11;
+  fs.task_crash_p = 0.25;
+  fs.max_task_crashes = 16;
+
+  obs::MetricsRegistry reg;
+  obs::TraceRecorder tracer;  // logical tick clock: deterministic
+  LocalRuntimeConfig cfg;
+  cfg.fault_schedule = fs;
+  cfg.metrics = &reg;
+  cfg.tracer = &tracer;
+  auto rt = MakeRuntime(cfg);
+  RunSuite(rt.get());
+
+  std::map<std::tuple<int64_t, int, int>, std::set<int>> attempts;
+  for (const obs::Span& s : tracer.Spans()) {
+    if (s.category != "task") continue;
+    ASSERT_GE(s.attempt, 0) << s.name;
+    auto& set = attempts[{s.job, s.stage, s.task}];
+    EXPECT_TRUE(set.insert(s.attempt).second)
+        << s.name << " recorded attempt " << s.attempt << " twice";
+  }
+  ASSERT_FALSE(attempts.empty());
+  int retried_tasks = 0;
+  for (const auto& [key, set] : attempts) {
+    // Dense: {0, 1, ..., max}.
+    EXPECT_EQ(*set.begin(), 0);
+    EXPECT_EQ(*set.rbegin(), static_cast<int>(set.size()) - 1);
+    if (set.size() > 1) ++retried_tasks;
+  }
+  EXPECT_GE(retried_tasks, 1) << "no task was ever re-attempted";
+}
+
+// Connection accounting matches the paper's Sec. III-B formulas for an
+// M x N shuffle over Y machines: Direct opens M*N task-to-task pairs,
+// Local M + N + C(Y,2) via the Cache Workers, Remote M + N*Y.
+TEST(ObsInvariant, ConnectionCountsMatchPaperFormulas) {
+  constexpr int kWriters = 4;   // M
+  constexpr int kReaders = 4;   // N
+  constexpr int kMachines = 2;  // Y
+
+  struct Case {
+    ShuffleKind kind;
+    const char* counter;
+    int64_t want;
+  };
+  const Case cases[] = {
+      {ShuffleKind::kDirect, "shuffle.connections.direct",
+       kWriters * kReaders},  // M*N = 16
+      {ShuffleKind::kLocal, "shuffle.connections.local",
+       kWriters + kReaders +
+           kMachines * (kMachines - 1) / 2},  // M+N+C(Y,2) = 9
+      {ShuffleKind::kRemote, "shuffle.connections.remote",
+       kWriters + kReaders * kMachines},  // M+N*Y = 12
+  };
+
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.counter);
+    obs::MetricsRegistry reg;
+    ShuffleService::Config cfg;
+    cfg.machines = kMachines;
+    cfg.metrics = &reg;
+    ShuffleService service(cfg);
+
+    for (int w = 0; w < kWriters; ++w) {
+      for (int r = 0; r < kReaders; ++r) {
+        ShuffleSlotKey key;
+        key.job = 1;
+        key.src_stage = 0;
+        key.src_task = w;
+        key.dst_stage = 1;
+        key.dst_task = r;
+        ASSERT_TRUE(service
+                        .WritePartition(c.kind, key, std::string("payload"),
+                                        /*writer_machine=*/w % kMachines,
+                                        /*pipelined=*/false)
+                        .ok());
+      }
+    }
+    for (int r = 0; r < kReaders; ++r) {
+      for (int w = 0; w < kWriters; ++w) {
+        ShuffleSlotKey key;
+        key.job = 1;
+        key.src_stage = 0;
+        key.src_task = w;
+        key.dst_stage = 1;
+        key.dst_task = r;
+        auto got = service.ReadPartition(c.kind, key,
+                                         /*reader_machine=*/r % kMachines,
+                                         /*writer_machine=*/w % kMachines);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+      }
+    }
+    EXPECT_EQ(reg.CounterValue(c.counter), c.want);
+    EXPECT_EQ(service.stats().tcp_connections, c.want)
+        << "registry and stats struct disagree";
+  }
+}
+
+}  // namespace
+}  // namespace swift

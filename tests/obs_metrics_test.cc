@@ -1,0 +1,127 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace swift {
+namespace obs {
+namespace {
+
+TEST(MetricsTest, CounterAccumulates) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("x");
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42);
+  EXPECT_EQ(reg.CounterValue("x"), 42);
+  EXPECT_EQ(reg.CounterValue("never-registered"), 0);
+}
+
+TEST(MetricsTest, HandleIsStableAcrossLookups) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("same");
+  // Force rebalancing pressure on the name map.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("other" + std::to_string(i));
+  }
+  EXPECT_EQ(reg.counter("same"), a);
+}
+
+TEST(MetricsTest, GaugeLastWriteWins) {
+  MetricsRegistry reg;
+  Gauge* g = reg.gauge("ratio");
+  g->Set(0.25);
+  g->Set(0.75);
+  EXPECT_DOUBLE_EQ(reg.GaugeValue("ratio"), 0.75);
+}
+
+TEST(MetricsTest, HistogramBucketsClampAndDropNaN) {
+  MetricsRegistry reg;
+  HistogramMetric* h = reg.histogram("lat", 0.0, 10.0, 10);
+  h->Record(-5.0);                                      // clamps to bucket 0
+  h->Record(3.5);                                       // bucket 3
+  h->Record(99.0);                                      // clamps to bucket 9
+  h->Record(std::numeric_limits<double>::quiet_NaN());  // dropped
+  HistogramSnapshot s = reg.HistogramValue("lat");
+  ASSERT_EQ(s.buckets.size(), 10u);
+  EXPECT_EQ(s.count, 3);
+  EXPECT_EQ(s.buckets[0], 1);
+  EXPECT_EQ(s.buckets[3], 1);
+  EXPECT_EQ(s.buckets[9], 1);
+  EXPECT_DOUBLE_EQ(s.min, -5.0);
+  EXPECT_DOUBLE_EQ(s.max, 99.0);
+  EXPECT_DOUBLE_EQ(s.sum, 97.5);
+}
+
+TEST(MetricsTest, HistogramDegenerateShapes) {
+  MetricsRegistry reg;
+  HistogramMetric* none = reg.histogram("no-bins", 0.0, 1.0, 0);
+  none->Record(0.5);
+  EXPECT_TRUE(reg.HistogramValue("no-bins").buckets.empty());
+  EXPECT_EQ(reg.HistogramValue("no-bins").count, 1);
+
+  HistogramMetric* flipped = reg.histogram("flipped", 9.0, 1.0, 4);
+  flipped->Record(5.0);
+  HistogramSnapshot s = reg.HistogramValue("flipped");
+  ASSERT_EQ(s.buckets.size(), 4u);
+  EXPECT_EQ(s.buckets[0], 1);  // everything lands in bucket 0
+}
+
+TEST(MetricsTest, SeriesKeepsExactSamples) {
+  MetricsRegistry reg;
+  Series* s = reg.series("per-job");
+  s->Record(1.5);
+  s->Record(-2.5);
+  EXPECT_EQ(s->count(), 2);
+  EXPECT_DOUBLE_EQ(s->sum(), -1.0);
+  std::vector<double> v = reg.SeriesValue("per-job");
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 1.5);
+  EXPECT_DOUBLE_EQ(v[1], -2.5);
+}
+
+TEST(MetricsTest, NullSafeHelpersAreNoOps) {
+  Add(static_cast<Counter*>(nullptr));
+  Add(static_cast<Counter*>(nullptr), 7);
+  Set(nullptr, 1.0);
+  Record(static_cast<HistogramMetric*>(nullptr), 1.0);
+  Record(static_cast<Series*>(nullptr), 1.0);
+}
+
+TEST(MetricsTest, SnapshotAndJsonRoundTrip) {
+  MetricsRegistry reg;
+  reg.counter("c")->Add(3);
+  reg.gauge("g")->Set(0.5);
+  reg.histogram("h", 0.0, 4.0, 4)->Record(1.0);
+  reg.series("s")->Record(2.0);
+
+  MetricsRegistry::Snapshot snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("c"), 3);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 0.5);
+  EXPECT_EQ(snap.histograms.at("h").count, 1);
+  EXPECT_EQ(snap.series.at("s").size(), 1u);
+
+  Result<JsonValue> parsed = ParseJson(reg.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Get("counters").Get("c").AsInt(), 3);
+  EXPECT_DOUBLE_EQ(parsed->Get("gauges").Get("g").AsNumber(), 0.5);
+  EXPECT_EQ(parsed->Get("histograms").Get("h").Get("count").AsInt(), 1);
+  EXPECT_EQ(parsed->Get("series").Get("s").size(), 1u);
+}
+
+TEST(JsonTest, ParsesEscapesAndRejectsGarbage) {
+  Result<JsonValue> v = ParseJson(R"({"a":"x\nA","b":[1,2.5,true,null]})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Get("a").AsString(), "x\nA");
+  EXPECT_EQ(v->Get("b").size(), 4u);
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("{broken").ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace swift

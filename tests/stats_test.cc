@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 namespace swift {
@@ -68,6 +69,33 @@ TEST(StatsTest, HistogramDegenerateRange) {
   auto h = Histogram({1, 2}, 5.0, 5.0, 4);
   ASSERT_EQ(h.size(), 4u);
   for (auto c : h) EXPECT_EQ(c, 0u);
+}
+
+TEST(StatsTest, HistogramZeroBinsReturnsEmpty) {
+  auto h = Histogram({1, 2, 3}, 0.0, 10.0, 0);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(StatsTest, HistogramInvertedRangeReturnsZeroBuckets) {
+  auto h = Histogram({1, 2, 3}, 10.0, 0.0, 3);
+  ASSERT_EQ(h.size(), 3u);
+  for (auto c : h) EXPECT_EQ(c, 0u);
+}
+
+TEST(StatsTest, HistogramDropsNaNSamples) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  auto h = Histogram({nan, 0.5, nan, 1.5}, 0.0, 2.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[1], 1u);
+}
+
+TEST(StatsTest, HistogramClampsInfinities) {
+  const double inf = std::numeric_limits<double>::infinity();
+  auto h = Histogram({-inf, inf, inf}, 0.0, 2.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 1u);  // -inf clamps to the first bucket
+  EXPECT_EQ(h[1], 2u);  // +inf clamps to the last
 }
 
 }  // namespace

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/tpch.h"
+#include "obs/json.h"
+#include "obs/trace_recorder.h"
+#include "runtime/local_runtime.h"
+#include "sql/tpch_queries.h"
+
+namespace swift {
+namespace {
+
+// Round-trip test of the timeline export: run real queries with the
+// deterministic logical tick clock, write the Chrome trace_event file,
+// re-parse it with the same JSON layer, and check the structural
+// invariants a trace viewer relies on — valid complete events, monotone
+// positive timestamps, and the span taxonomy nesting task ⊂ wave ⊂
+// graphlet per job (DESIGN.md Sec. 11).
+
+struct Interval {
+  int64_t start = 0;
+  int64_t end = 0;
+  bool Contains(const Interval& inner) const {
+    return start <= inner.start && inner.end <= end;
+  }
+};
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(TraceExport, ChromeTraceRoundTripsAndNests) {
+  obs::TraceRecorder tracer;  // nullptr clock -> logical ticks
+  LocalRuntimeConfig cfg;
+  cfg.tracer = &tracer;
+  LocalRuntime rt(cfg);
+  TpchConfig tpch;
+  tpch.scale_factor = 0.001;
+  ASSERT_TRUE(GenerateTpch(tpch, rt.catalog()).ok());
+  for (int q : {1, 9}) {
+    auto sql = TpchQuerySql(q);
+    ASSERT_TRUE(sql.ok());
+    ASSERT_TRUE(rt.ExecuteSql(*sql).ok());
+  }
+
+  const std::string path = testing::TempDir() + "/swift_trace_test.json";
+  ASSERT_TRUE(tracer.ExportChromeTrace(path).ok());
+
+  Result<obs::JsonValue> parsed = obs::ParseJson(ReadWholeFile(path));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Get("displayTimeUnit").AsString(), "ms");
+  const obs::JsonValue& events = parsed->Get("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_GT(events.size(), 0u);
+
+  // Per job: interval lists by category, for the nesting check below.
+  std::map<int64_t, std::vector<Interval>> graphlets, waves;
+  std::map<int64_t, std::vector<std::pair<Interval, std::string>>> tasks;
+  std::set<std::string> categories;
+  for (const obs::JsonValue& e : events.items()) {
+    // Chrome trace_event complete-event contract.
+    ASSERT_TRUE(e.is_object());
+    EXPECT_TRUE(e.Get("name").is_string());
+    EXPECT_TRUE(e.Get("cat").is_string());
+    EXPECT_EQ(e.Get("ph").AsString(), "X");
+    ASSERT_TRUE(e.Get("ts").is_number());
+    ASSERT_TRUE(e.Get("dur").is_number());
+    EXPECT_TRUE(e.Get("pid").is_number());
+    EXPECT_TRUE(e.Get("tid").is_number());
+    ASSERT_TRUE(e.Get("args").is_object());
+    EXPECT_TRUE(e.Get("args").Has("attempt"));
+
+    // Logical ticks start at 1 and only move forward.
+    const int64_t ts = e.Get("ts").AsInt();
+    const int64_t dur = e.Get("dur").AsInt();
+    EXPECT_GE(ts, 1);
+    EXPECT_GE(dur, 0);
+
+    const std::string cat = e.Get("cat").AsString();
+    categories.insert(cat);
+    const int64_t job = e.Get("pid").AsInt();
+    const Interval iv{ts, ts + dur};
+    if (cat == "graphlet") graphlets[job].push_back(iv);
+    if (cat == "wave") waves[job].push_back(iv);
+    if (cat == "task") tasks[job].emplace_back(iv, e.Get("name").AsString());
+  }
+  EXPECT_TRUE(categories.count("graphlet"));
+  EXPECT_TRUE(categories.count("wave"));
+  EXPECT_TRUE(categories.count("task"));
+
+  // Span taxonomy: every task lies inside a wave of its job, every wave
+  // inside a graphlet. With the logical clock this is pure Begin/End
+  // ordering, so a violation means the instrumentation points moved.
+  ASSERT_FALSE(tasks.empty());
+  for (const auto& [job, list] : tasks) {
+    for (const auto& [iv, name] : list) {
+      bool inside_wave = false;
+      for (const Interval& w : waves[job]) {
+        if (w.Contains(iv)) {
+          inside_wave = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(inside_wave) << "task span " << name << " of job " << job
+                               << " outside every wave";
+    }
+  }
+  for (const auto& [job, list] : waves) {
+    for (const Interval& w : list) {
+      bool inside_graphlet = false;
+      for (const Interval& g : graphlets[job]) {
+        if (g.Contains(w)) {
+          inside_graphlet = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(inside_graphlet)
+          << "wave span of job " << job << " outside every graphlet";
+    }
+  }
+
+  // The sibling summary export parses too and agrees on the span count.
+  Result<obs::JsonValue> summary = obs::ParseJson(tracer.SummaryJson());
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(static_cast<std::size_t>(summary->Get("spans").AsInt()),
+            events.size());
+  EXPECT_TRUE(summary->Get("categories").Has("task"));
+}
+
+TEST(TraceExport, LogicalClockIsDeterministicAcrossRuns) {
+  auto run = [] {
+    obs::TraceRecorder tracer;
+    obs::ScopedSpan outer(&tracer, {.name = "outer", .category = "a"});
+    {
+      obs::ScopedSpan inner(&tracer, {.name = "inner", .category = "b"});
+    }
+    return tracer.ChromeTraceJson();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(TraceExport, EndOfUnknownIdIsIgnoredAndClearDropsOpenSpans) {
+  obs::TraceRecorder tracer;
+  tracer.End(12345);  // never began
+  const uint64_t id = tracer.Begin({.name = "x", .category = "c"});
+  tracer.Clear();
+  tracer.End(id);  // span was dropped by Clear; must not reappear
+  EXPECT_TRUE(tracer.Spans().empty());
+}
+
+}  // namespace
+}  // namespace swift
