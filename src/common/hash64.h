@@ -1,0 +1,128 @@
+#ifndef SWIFT_COMMON_HASH64_H_
+#define SWIFT_COMMON_HASH64_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace swift {
+
+/// One shared 64-bit hash family (wyhash-style multiply-fold) for every
+/// hash-keyed kernel: join/aggregate table lookups, window partition
+/// grouping, and shuffle-write partitioning. Replaces the per-call-site
+/// std::hash chains whose identity int64 hashing made `h % n` stripe on
+/// strided keys (the FuxiShuffle hot-spot pathology).
+
+namespace hash_internal {
+
+inline uint64_t Load64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint64_t Load32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// 64x64 -> 128 multiply, folded to 64 bits by xor of the halves.
+inline uint64_t Mum(uint64_t a, uint64_t b) {
+#if defined(__SIZEOF_INT128__)
+  const unsigned __int128 r = static_cast<unsigned __int128>(a) * b;
+  return static_cast<uint64_t>(r >> 64) ^ static_cast<uint64_t>(r);
+#else
+  const uint64_t ha = a >> 32, la = a & 0xffffffffu;
+  const uint64_t hb = b >> 32, lb = b & 0xffffffffu;
+  const uint64_t rh = ha * hb, rm0 = ha * lb, rm1 = hb * la, rl = la * lb;
+  const uint64_t t = rl + (rm0 << 32);
+  uint64_t carry = t < rl ? 1 : 0;
+  const uint64_t lo = t + (rm1 << 32);
+  carry += lo < t ? 1 : 0;
+  const uint64_t hi = rh + (rm0 >> 32) + (rm1 >> 32) + carry;
+  return hi ^ lo;
+#endif
+}
+
+constexpr uint64_t kSecret0 = 0xa0761d6478bd642fULL;
+constexpr uint64_t kSecret1 = 0xe7037ed1a0b428dbULL;
+constexpr uint64_t kSecret2 = 0x8ebc6af09c88c6e3ULL;
+constexpr uint64_t kSecret3 = 0x589965cc75374cc3ULL;
+
+}  // namespace hash_internal
+
+/// \brief Mixes one 64-bit value (sequential inputs come out decorrelated
+/// in every bit, unlike std::hash<int64_t>'s identity).
+inline uint64_t Mix64(uint64_t x) {
+  using namespace hash_internal;
+  x ^= kSecret0;
+  return Mum(x, x ^ kSecret1);
+}
+
+/// \brief Hashes `len` bytes (wyhash-final style). Every byte influences
+/// every output bit; suitable for power-of-two tables and RangeReduce.
+inline uint64_t Hash64(const void* data, std::size_t len, uint64_t seed = 0) {
+  using namespace hash_internal;
+  const char* p = static_cast<const char*>(data);
+  seed ^= kSecret0;
+  uint64_t a, b;
+  if (len <= 16) {
+    if (len >= 4) {
+      a = (Load32(p) << 32) | Load32(p + ((len >> 3) << 2));
+      b = (Load32(p + len - 4) << 32) |
+          Load32(p + len - 4 - ((len >> 3) << 2));
+    } else if (len > 0) {
+      a = (static_cast<uint64_t>(static_cast<uint8_t>(p[0])) << 16) |
+          (static_cast<uint64_t>(static_cast<uint8_t>(p[len >> 1])) << 8) |
+          static_cast<uint8_t>(p[len - 1]);
+      b = 0;
+    } else {
+      a = b = 0;
+    }
+  } else {
+    std::size_t i = len;
+    if (i > 48) {
+      uint64_t s1 = seed, s2 = seed;
+      do {
+        seed = Mum(Load64(p) ^ kSecret1, Load64(p + 8) ^ seed);
+        s1 = Mum(Load64(p + 16) ^ kSecret2, Load64(p + 24) ^ s1);
+        s2 = Mum(Load64(p + 32) ^ kSecret3, Load64(p + 40) ^ s2);
+        p += 48;
+        i -= 48;
+      } while (i > 48);
+      seed ^= s1 ^ s2;
+    }
+    while (i > 16) {
+      seed = Mum(Load64(p) ^ kSecret1, Load64(p + 8) ^ seed);
+      i -= 16;
+      p += 16;
+    }
+    a = Load64(p + i - 16);
+    b = Load64(p + i - 8);
+  }
+  a ^= kSecret1;
+  b ^= seed;
+  const uint64_t lo = Mum(a, b);
+  return Mum(lo ^ kSecret0 ^ len, b ^ kSecret1);
+}
+
+inline uint64_t Hash64(std::string_view s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+/// \brief Maps a full-entropy 64-bit hash onto [0, n) without the modulo
+/// bias/stripe of `h % n` (Lemire's multiply-shift range reduction).
+inline uint32_t RangeReduce(uint64_t h, uint32_t n) {
+#if defined(__SIZEOF_INT128__)
+  return static_cast<uint32_t>(
+      (static_cast<unsigned __int128>(h) * n) >> 64);
+#else
+  return static_cast<uint32_t>(((h >> 32) * n) >> 32);
+#endif
+}
+
+}  // namespace swift
+
+#endif  // SWIFT_COMMON_HASH64_H_

@@ -67,6 +67,10 @@ class BoundColumn final : public BoundExpr {
     return Status::OK();
   }
 
+  int64_t column_ordinal() const override {
+    return static_cast<int64_t>(idx_);
+  }
+
  private:
   std::size_t idx_;
   std::string name_;

@@ -52,6 +52,11 @@ class BoundExpr {
   /// nodes (introspection for tests and the planner).
   virtual const Value* literal() const { return nullptr; }
 
+  /// \brief Row ordinal when this node is a plain column reference, -1
+  /// otherwise. Key-hashing loops use this to read `row[ordinal]`
+  /// directly instead of boxing a Value through Evaluate() per row.
+  virtual int64_t column_ordinal() const { return -1; }
+
  protected:
   explicit BoundExpr(DataType t) : static_type_(t) {}
 

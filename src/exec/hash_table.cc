@@ -1,0 +1,58 @@
+#include "exec/hash_table.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace swift {
+
+std::string_view KeyArena::Store(std::string_view bytes) {
+  if (chunks_.empty() || bytes.size() > cap_ - used_) {
+    const std::size_t chunk = std::max(kChunkBytes, bytes.size());
+    chunks_.push_back(std::make_unique<char[]>(chunk));
+    cap_ = chunk;
+    used_ = 0;
+  }
+  char* dst = chunks_.back().get() + used_;
+  if (!bytes.empty()) std::memcpy(dst, bytes.data(), bytes.size());
+  used_ += bytes.size();
+  bytes_used_ += bytes.size();
+  return std::string_view(dst, bytes.size());
+}
+
+namespace {
+
+// Smallest power-of-two capacity whose 7/8 load bound fits `keys`.
+std::size_t CapacityFor(std::size_t keys) {
+  std::size_t cap = 16;
+  while (cap - cap / 8 < keys) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+FlatKeyTable::FlatKeyTable(std::size_t expected_keys) {
+  const std::size_t cap = CapacityFor(expected_keys);
+  ctrl_.assign(cap, kEmptyTag);
+  slots_.resize(cap);
+  mask_ = cap - 1;
+  growth_left_ = cap - cap / 8;
+  if (expected_keys > 0) entries_.reserve(expected_keys);
+}
+
+void FlatKeyTable::Grow() {
+  const std::size_t cap = (mask_ + 1) * 2;
+  ctrl_.assign(cap, kEmptyTag);
+  slots_.resize(cap);
+  mask_ = cap - 1;
+  growth_left_ = cap - cap / 8 - entries_.size();
+  // Re-place every dense entry by its cached hash; keys stay put in the
+  // arena, so growth moves no key bytes and recomputes no hashes.
+  for (uint32_t dense = 0; dense < entries_.size(); ++dense) {
+    std::size_t i = entries_[dense].hash & mask_;
+    while (ctrl_[i] != kEmptyTag) i = (i + 1) & mask_;
+    ctrl_[i] = TagOf(entries_[dense].hash);
+    slots_[i] = dense;
+  }
+}
+
+}  // namespace swift

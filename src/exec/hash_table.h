@@ -1,0 +1,177 @@
+#ifndef SWIFT_EXEC_HASH_TABLE_H_
+#define SWIFT_EXEC_HASH_TABLE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace swift {
+
+/// \brief Bump arena for encoded key bytes: keys live contiguously in
+/// few large chunks instead of one heap node each, and stay pinned for
+/// the table's lifetime (FlatKeyTable stores raw pointers into it).
+class KeyArena {
+ public:
+  /// \brief Copies `bytes` into the arena and returns the stable copy.
+  std::string_view Store(std::string_view bytes);
+
+  /// \brief Total bytes handed out (diagnostics).
+  std::size_t bytes_used() const { return bytes_used_; }
+
+ private:
+  static constexpr std::size_t kChunkBytes = 64 * 1024;
+
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  std::size_t used_ = 0;  // offset into the current (last) chunk
+  std::size_t cap_ = 0;   // size of the current chunk
+  std::size_t bytes_used_ = 0;
+};
+
+/// \brief Flat open-addressing hash table over encoded keys
+/// (swiss-table style: one 8-bit tag per slot holding 7 hash bits,
+/// linear probing, power-of-two capacity, 7/8 max load).
+///
+/// Keys are opaque byte strings (KeyEncoder output) compared by memcmp;
+/// the caller supplies the 64-bit hash (KeyEncoder::HashEncoded) so one
+/// hash computation serves tag, slot index, and growth. Each distinct
+/// key gets a stable dense index in insertion order — callers address
+/// their payloads (aggregate states, duplicate-chain heads, partition
+/// buckets) by that index in plain vectors, which also makes iteration
+/// order deterministic (first-seen order, matching the legacy row-map
+/// operators' output order).
+///
+/// Probing reads one tag byte per slot; full key memcmp runs only on a
+/// 7-bit tag match, so misses touch no key memory at all in the common
+/// case.
+class FlatKeyTable {
+ public:
+  /// \brief `expected_keys` pre-sizes the table to avoid growth churn
+  /// (0 is fine: the table starts small and doubles).
+  explicit FlatKeyTable(std::size_t expected_keys = 0);
+
+  struct FindResult {
+    uint32_t index;  // dense insertion-order index of the key
+    bool inserted;   // true when this call created the entry
+  };
+
+  /// \brief Finds `key` or inserts a copy of it (into the arena).
+  /// Header-inline: the probe loop is the hot path of every join build,
+  /// aggregate update, and window grouping.
+  FindResult FindOrInsert(std::string_view key, uint64_t hash) {
+    const uint8_t tag = TagOf(hash);
+    std::size_t i = hash & mask_;
+    for (;;) {
+      const uint8_t c = ctrl_[i];
+      if (c == tag) {
+        const Entry& e = entries_[slots_[i]];
+        if (e.hash == hash && e.len == key.size() &&
+            KeysEqual(e.ptr, key.data(), key.size())) {
+          return FindResult{slots_[i], false};
+        }
+      } else if (c == kEmptyTag) {
+        if (growth_left_ == 0) {
+          Grow();
+          i = hash & mask_;
+          continue;  // re-probe in the grown table
+        }
+        const std::string_view stored = arena_.Store(key);
+        const uint32_t dense = static_cast<uint32_t>(entries_.size());
+        entries_.push_back(
+            Entry{stored.data(), static_cast<uint32_t>(stored.size()), hash});
+        ctrl_[i] = tag;
+        slots_[i] = dense;
+        --growth_left_;
+        return FindResult{dense, true};
+      }
+      i = (i + 1) & mask_;
+      ++probe_steps_;
+    }
+  }
+
+  /// \brief Dense index of `key`, or -1 when absent.
+  int64_t Find(std::string_view key, uint64_t hash) const {
+    const uint8_t tag = TagOf(hash);
+    std::size_t i = hash & mask_;
+    for (;;) {
+      const uint8_t c = ctrl_[i];
+      if (c == tag) {
+        const Entry& e = entries_[slots_[i]];
+        if (e.hash == hash && e.len == key.size() &&
+            KeysEqual(e.ptr, key.data(), key.size())) {
+          return slots_[i];
+        }
+      } else if (c == kEmptyTag) {
+        return -1;
+      }
+      i = (i + 1) & mask_;
+      ++probe_steps_;
+    }
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// \brief The stored key bytes for dense index `i` (i < size()).
+  std::string_view key(uint32_t i) const {
+    const Entry& e = entries_[i];
+    return std::string_view(e.ptr, e.len);
+  }
+
+  /// \brief Slots scanned beyond the first per probe (diagnostics: 0 on
+  /// a collision-free workload).
+  std::size_t probe_steps() const { return probe_steps_; }
+
+ private:
+  struct Entry {
+    const char* ptr;  // into arena_
+    uint32_t len;
+    uint64_t hash;  // cached full hash: growth never re-hashes keys
+  };
+
+  static constexpr uint8_t kEmptyTag = 0x80;
+
+  static uint8_t TagOf(uint64_t hash) {
+    return static_cast<uint8_t>(hash >> 57);  // top 7 bits, always < 0x80
+  }
+
+  static uint64_t Load64(const char* p) {
+    uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+  }
+
+  /// Content compare, reached only after full-hash and length equality.
+  /// Short keys (fixed-width key rows up to ~three int64 columns)
+  /// compare as a few overlapping word loads instead of a libc memcmp
+  /// call.
+  static bool KeysEqual(const char* a, const char* b, std::size_t n) {
+    if (n >= 8) {
+      if (n > 32) return std::memcmp(a, b, n) == 0;
+      std::size_t i = 0;
+      do {
+        if (Load64(a + i) != Load64(b + i)) return false;
+        i += 8;
+      } while (i + 8 <= n);
+      return Load64(a + n - 8) == Load64(b + n - 8);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+
+  void Grow();
+
+  std::vector<uint8_t> ctrl_;    // per slot: kEmptyTag or TagOf(hash)
+  std::vector<uint32_t> slots_;  // per slot: dense index into entries_
+  std::vector<Entry> entries_;   // dense, insertion order
+  KeyArena arena_;
+  std::size_t mask_ = 0;         // capacity - 1 (capacity is a power of two)
+  std::size_t growth_left_ = 0;  // inserts remaining before Grow()
+  mutable std::size_t probe_steps_ = 0;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_EXEC_HASH_TABLE_H_

@@ -1,11 +1,14 @@
 #include "exec/operators.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <numeric>
 
+#include "common/hash64.h"
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "exec/bound_expr.h"
+#include "exec/hash_table.h"
+#include "exec/key_encoder.h"
 
 namespace swift {
 
@@ -234,13 +237,6 @@ bool KeyHasNull(const Row& k) {
   return false;
 }
 
-struct RowHash {
-  std::size_t operator()(const Row& r) const { return HashRow(r); }
-};
-struct RowEq {
-  bool operator()(const Row& a, const Row& b) const { return RowsEqual(a, b); }
-};
-
 class HashJoinOp final : public MaterializedOperator {
  public:
   HashJoinOp(OperatorPtr left, OperatorPtr right, std::vector<ExprPtr> lk,
@@ -263,33 +259,80 @@ class HashJoinOp final : public MaterializedOperator {
     SWIFT_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> bound_right,
                            BindAll(right_keys_, right_->output_schema()));
 
-    std::unordered_multimap<Row, Row, RowHash, RowEq> build;
-    {
-      std::vector<Row> rows;
-      SWIFT_RETURN_NOT_OK(Drain(right_.get(), &rows));
-      for (Row& r : rows) {
-        SWIFT_ASSIGN_OR_RETURN(Row key, EvalKeys(bound_right, r));
-        if (KeyHasNull(key)) continue;
-        build.emplace(std::move(key), std::move(r));
+    // Build: rows stay in one vector (the arena for payloads), encoded
+    // keys go into the flat table, and duplicate keys chain through
+    // next_row in build order — no per-row map nodes.
+    std::vector<Row> build_rows;
+    SWIFT_RETURN_NOT_OK(Drain(right_.get(), &build_rows));
+    FlatKeyTable table(build_rows.size());
+    std::vector<int32_t> chain_head;  // per dense key: first build row
+    std::vector<int32_t> chain_tail;  // per dense key: last build row
+    std::vector<int32_t> next_row(build_rows.size(), -1);
+    KeyEncoder enc;
+    Row key;
+    // Plain-column keys (the common case) encode straight from the row;
+    // computed keys fall back to boxed evaluation.
+    std::vector<uint32_t> rcols, lcols;
+    const bool r_fast = KeyEncoder::ColumnOrdinals(bound_right, &rcols);
+    const bool l_fast = KeyEncoder::ColumnOrdinals(bound_left, &lcols);
+    for (std::size_t i = 0; i < build_rows.size(); ++i) {
+      bool has_null = false;
+      std::string_view bytes;
+      if (r_fast) {
+        if (!enc.EncodeColumns(build_rows[i], rcols, &bytes, &has_null)) {
+          return Status::Internal("build row narrower than join key schema");
+        }
+      } else {
+        SWIFT_RETURN_NOT_OK(EvalBoundKeys(bound_right, build_rows[i], &key));
+        bytes = enc.Encode(key, &has_null);
+      }
+      if (has_null) continue;  // NULL keys never match
+      const FlatKeyTable::FindResult r =
+          table.FindOrInsert(bytes, KeyEncoder::HashEncoded(bytes));
+      const int32_t row = static_cast<int32_t>(i);
+      if (r.inserted) {
+        chain_head.push_back(row);
+        chain_tail.push_back(row);
+      } else {
+        next_row[chain_tail[r.index]] = row;
+        chain_tail[r.index] = row;
       }
     }
     const std::size_t right_width = right_->output_schema().num_fields();
     std::vector<Row> probe;
     SWIFT_RETURN_NOT_OK(Drain(left_.get(), &probe));
     for (const Row& l : probe) {
-      SWIFT_ASSIGN_OR_RETURN(Row key, EvalKeys(bound_left, l));
+      bool has_null = false;
+      std::string_view bytes;
+      if (l_fast) {
+        if (!enc.EncodeColumns(l, lcols, &bytes, &has_null)) {
+          return Status::Internal("probe row narrower than join key schema");
+        }
+      } else {
+        SWIFT_RETURN_NOT_OK(EvalBoundKeys(bound_left, l, &key));
+        bytes = enc.Encode(key, &has_null);
+      }
       bool matched = false;
-      if (!KeyHasNull(key)) {
-        auto [lo, hi] = build.equal_range(key);
-        for (auto it = lo; it != hi; ++it) {
-          Row out = l;
-          out.insert(out.end(), it->second.begin(), it->second.end());
-          out_rows_.push_back(std::move(out));
+      if (!has_null) {
+        const int64_t dense =
+            table.Find(bytes, KeyEncoder::HashEncoded(bytes));
+        if (dense >= 0) {
+          for (int32_t r = chain_head[static_cast<std::size_t>(dense)];
+               r >= 0; r = next_row[r]) {
+            const Row& b = build_rows[r];
+            Row out;
+            out.reserve(l.size() + b.size());  // one allocation per output row
+            out.insert(out.end(), l.begin(), l.end());
+            out.insert(out.end(), b.begin(), b.end());
+            out_rows_.push_back(std::move(out));
+          }
           matched = true;
         }
       }
       if (!matched && join_type_ == JoinType::kLeftOuter) {
-        Row out = l;
+        Row out;
+        out.reserve(l.size() + right_width);
+        out.insert(out.end(), l.begin(), l.end());
         out.resize(out.size() + right_width, Value::Null());
         out_rows_.push_back(std::move(out));
       }
@@ -577,35 +620,62 @@ class HashAggregateOp final : public MaterializedOperator {
     SWIFT_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> bound_args,
                            BindAggArgs(aggs_, in));
 
-    std::unordered_map<Row, std::vector<AggState>, RowHash, RowEq> table;
-    std::vector<Row> key_order;  // first-seen order for determinism
+    // Group lookup goes through the flat table; AggState slots live in
+    // one dense-major vector addressed by the key's table index, and
+    // dense order IS first-seen order, so output determinism is free.
+    FlatKeyTable table;
+    const std::size_t naggs = aggs_.size();
+    std::vector<AggState> states;  // table.size() * naggs, dense-major
+    std::vector<Row> group_keys;   // dense index -> group key values
     std::vector<Row> rows;
     SWIFT_RETURN_NOT_OK(Drain(child_.get(), &rows));
+    KeyEncoder enc;
     Row key;
+    std::vector<uint32_t> gcols;
+    const bool g_fast = KeyEncoder::ColumnOrdinals(bound_groups, &gcols);
     for (const Row& r : rows) {
-      SWIFT_RETURN_NOT_OK(EvalBoundKeys(bound_groups, r, &key));
-      auto it = table.find(key);
-      if (it == table.end()) {
-        it = table.emplace(key, std::vector<AggState>(aggs_.size())).first;
-        key_order.push_back(key);
+      bool has_null = false;  // NULL group keys form real groups
+      std::string_view bytes;
+      if (g_fast) {
+        if (!enc.EncodeColumns(r, gcols, &bytes, &has_null)) {
+          return Status::Internal("row narrower than group key schema");
+        }
+      } else {
+        SWIFT_RETURN_NOT_OK(EvalBoundKeys(bound_groups, r, &key));
+        bytes = enc.Encode(key, &has_null);
       }
-      for (std::size_t a = 0; a < aggs_.size(); ++a) {
+      const FlatKeyTable::FindResult fr =
+          table.FindOrInsert(bytes, KeyEncoder::HashEncoded(bytes));
+      if (fr.inserted) {
+        states.resize(states.size() + naggs);
+        if (g_fast) {
+          // The boxed group key is only materialized once per group.
+          Row gk;
+          gk.reserve(gcols.size());
+          for (const uint32_t c : gcols) gk.push_back(r[c]);
+          group_keys.push_back(std::move(gk));
+        } else {
+          group_keys.push_back(key);
+        }
+      }
+      AggState* slot = states.data() + std::size_t{fr.index} * naggs;
+      for (std::size_t a = 0; a < naggs; ++a) {
         SWIFT_ASSIGN_OR_RETURN(
             Value v, AggInput(aggs_[a].kind, bound_args[a].get(), r));
         if (aggs_[a].kind == AggKind::kCount && v.is_null()) continue;
-        it->second[a].Update(aggs_[a].kind, v);
+        slot[a].Update(aggs_[a].kind, v);
       }
     }
-    if (groups_.empty() && table.empty()) {
+    if (groups_.empty() && group_keys.empty()) {
       // Global aggregate over empty input: one all-default row.
-      table.emplace(Row{}, std::vector<AggState>(aggs_.size()));
-      key_order.push_back(Row{});
+      states.resize(naggs);
+      group_keys.push_back(Row{});
     }
-    for (const Row& key : key_order) {
-      const auto& states = table[key];
-      Row out = key;
-      for (std::size_t a = 0; a < aggs_.size(); ++a) {
-        out.push_back(states[a].Finish(aggs_[a].kind));
+    out_rows_.reserve(group_keys.size());
+    for (std::size_t g = 0; g < group_keys.size(); ++g) {
+      Row out = std::move(group_keys[g]);
+      for (std::size_t a = 0; a < naggs; ++a) {
+        out.push_back(states[g * naggs + a].Finish(aggs_[a].kind));
       }
       out_rows_.push_back(std::move(out));
     }
@@ -730,45 +800,61 @@ class WindowOp final : public MaterializedOperator {
 
     SWIFT_RETURN_NOT_OK(Drain(child_.get(), &out_rows_));
 
-    struct Decorated {
-      Row key;
-      Row order;
-      std::size_t idx;
-    };
-    std::vector<Decorated> dec;
-    dec.reserve(out_rows_.size());
+    // Group rows per partition through the flat table (one hash lookup
+    // per row instead of partition-key comparisons inside a global
+    // sort), then order the groups by key and sort only within each
+    // group — output order matches the legacy global stable_sort.
+    FlatKeyTable table;
+    std::vector<std::vector<std::size_t>> groups;  // dense -> row idxs
+    std::vector<Row> part_keys;                    // dense -> key values
+    std::vector<Row> order_rows(out_rows_.size());
+    KeyEncoder enc;
+    Row key;
     for (std::size_t i = 0; i < out_rows_.size(); ++i) {
-      SWIFT_ASSIGN_OR_RETURN(Row k, EvalKeys(bound_partition, out_rows_[i]));
+      SWIFT_RETURN_NOT_OK(EvalBoundKeys(bound_partition, out_rows_[i], &key));
       SWIFT_ASSIGN_OR_RETURN(Row o, EvalKeys(bound_order, out_rows_[i]));
-      dec.push_back(Decorated{std::move(k), std::move(o), i});
-    }
-    std::stable_sort(dec.begin(), dec.end(), [&](const Decorated& a,
-                                                 const Decorated& b) {
-      const int c = CompareKeyRows(a.key, b.key);
-      if (c != 0) return c < 0;
-      for (std::size_t k = 0; k < order_by_.size(); ++k) {
-        int oc = a.order[k].Compare(b.order[k]);
-        if (!order_by_[k].ascending) oc = -oc;
-        if (oc != 0) return oc < 0;
+      order_rows[i] = std::move(o);
+      bool has_null = false;  // NULL partition keys form real partitions
+      const std::string_view bytes = enc.Encode(key, &has_null);
+      const FlatKeyTable::FindResult fr =
+          table.FindOrInsert(bytes, KeyEncoder::HashEncoded(bytes));
+      if (fr.inserted) {
+        groups.emplace_back();
+        part_keys.push_back(key);
       }
-      return false;
+      groups[fr.index].push_back(i);
+    }
+    std::vector<uint32_t> gorder(groups.size());
+    std::iota(gorder.begin(), gorder.end(), 0u);
+    std::sort(gorder.begin(), gorder.end(), [&](uint32_t a, uint32_t b) {
+      const int c = CompareKeyRows(part_keys[a], part_keys[b]);
+      if (c != 0) return c < 0;
+      return a < b;  // tie across distinct encodings: first-seen order
     });
 
     std::vector<Row> result;
     result.reserve(out_rows_.size());
-    std::size_t i = 0;
-    while (i < dec.size()) {
-      std::size_t end = i;
-      while (end < dec.size() && CompareKeyRows(dec[end].key, dec[i].key) == 0) {
-        ++end;
-      }
+    for (const uint32_t g : gorder) {
+      std::vector<std::size_t>& idxs = groups[g];
+      // Stable: rows with equal order keys keep input order, like the
+      // legacy stable_sort.
+      std::stable_sort(idxs.begin(), idxs.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         for (std::size_t k = 0; k < order_by_.size(); ++k) {
+                           int oc = order_rows[a][k].Compare(order_rows[b][k]);
+                           if (!order_by_[k].ascending) oc = -oc;
+                           if (oc != 0) return oc < 0;
+                         }
+                         return false;
+                       });
       int64_t row_number = 0;
       int64_t rank = 0;
       double running_sum = 0.0;
-      for (std::size_t j = i; j < end; ++j) {
-        Row r = std::move(out_rows_[dec[j].idx]);
+      for (std::size_t j = 0; j < idxs.size(); ++j) {
+        Row r = std::move(out_rows_[idxs[j]]);
         ++row_number;
-        if (j == i || CompareKeyRows(dec[j].order, dec[j - 1].order) != 0) {
+        if (j == 0 || CompareKeyRows(order_rows[idxs[j]],
+                                     order_rows[idxs[j - 1]]) != 0) {
           rank = row_number;
         }
         Value v;
@@ -792,7 +878,6 @@ class WindowOp final : public MaterializedOperator {
         r.push_back(std::move(v));
         result.push_back(std::move(r));
       }
-      i = end;
     }
     out_rows_ = std::move(result);
     return Status::OK();
@@ -892,13 +977,32 @@ Result<std::vector<Batch>> HashPartitionImpl(const Batch& batch,
   SWIFT_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> bound,
                          BindAll(keys, batch.schema));
   const std::size_t n = static_cast<std::size_t>(num_partitions);
+  const uint32_t n32 = static_cast<uint32_t>(num_partitions);
   std::vector<std::size_t> dest(batch.rows.size(), 0);
   std::vector<std::size_t> counts(n, 0);
   Row key;
+  std::vector<uint32_t> cols;
+  const bool fast = KeyEncoder::ColumnOrdinals(bound, &cols);
   for (std::size_t i = 0; i < batch.rows.size(); ++i) {
-    SWIFT_RETURN_NOT_OK(EvalBoundKeys(bound, batch.rows[i], &key));
-    const std::size_t p =
-        (bound.empty() || KeyHasNull(key)) ? 0 : HashRow(key) % n;
+    // Normalized hashing + multiply-shift range reduction: strided and
+    // sequential keys spread uniformly where the old identity-hash
+    // `HashRow % n` striped (NULL keys still go to 0). The hash is
+    // computed without byte materialization — partitioning never stores
+    // the key — and plain-column keys read straight from the row.
+    std::size_t p = 0;
+    if (!bound.empty()) {
+      bool has_null = false;
+      uint64_t h = 0;
+      if (fast) {
+        if (!KeyEncoder::HashColumns(batch.rows[i], cols, &h, &has_null)) {
+          return Status::Internal("row narrower than partition key schema");
+        }
+      } else {
+        SWIFT_RETURN_NOT_OK(EvalBoundKeys(bound, batch.rows[i], &key));
+        h = KeyEncoder::HashNormalized(key, &has_null);
+      }
+      if (!has_null) p = RangeReduce(h, n32);
+    }
     dest[i] = p;
     ++counts[p];
   }
