@@ -858,6 +858,217 @@ void BM_HashAggregateOperator(benchmark::State& state) {
 }
 BENCHMARK(BM_HashAggregateOperator)->Arg(1000)->Arg(20000);
 
+// ---- Columnar-vs-row kernel pairs -----------------------------------
+// Each BM_Vec* pair runs the same logical work through the row operator
+// and through its vectorized twin (typed ColumnVectors + selection
+// vectors); the speedup columns in EXPERIMENTS.md come from these.
+
+Batch MakeVecBatch(int rows) {
+  Batch b;
+  b.schema = Schema({{"k", DataType::kInt64},
+                     {"v", DataType::kFloat64},
+                     {"s", DataType::kString}});
+  b.rows.reserve(static_cast<std::size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    b.rows.push_back({Value(static_cast<int64_t>((i * 7919) % 1000)),
+                      Value(i * 0.125),
+                      Value("s" + std::to_string(i % 32))});
+  }
+  return b;
+}
+
+ExprPtr VecPredicate() {
+  return Expr::Binary(BinaryOp::kGt, Expr::Column("k"),
+                      Expr::Literal(Value(int64_t{500})));
+}
+
+void BM_VecFilterRow(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const Batch base = MakeVecBatch(rows);
+  ExprPtr pred = VecPredicate();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Batch> batches;
+    batches.push_back(base);
+    state.ResumeTiming();
+    auto op = MakeFilter(MakeBatchSource(base.schema, std::move(batches)),
+                         pred);
+    auto out = CollectAll(op.get());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
+}
+BENCHMARK(BM_VecFilterRow)->Arg(4096)->Arg(65536);
+
+void BM_VecFilterColumnar(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const Batch base = MakeVecBatch(rows);
+  const ColumnBatch cbase = *ToColumnBatch(base);
+  ExprPtr pred = VecPredicate();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<ColumnBatch> batches;
+    batches.push_back(cbase);
+    state.ResumeTiming();
+    auto op = MakeFilter(
+        MakeColumnBatchSource(cbase.schema, std::move(batches)), pred);
+    // The columnar filter emits a selection vector over the input's
+    // storage — no survivor rows are copied anywhere.
+    std::size_t kept = 0;
+    (void)op->Open();
+    while (true) {
+      auto nxt = op->NextColumnar();
+      if (!nxt.ok() || !nxt->has_value()) break;
+      kept += (*nxt)->num_rows();
+    }
+    benchmark::DoNotOptimize(kept);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
+}
+BENCHMARK(BM_VecFilterColumnar)->Arg(4096)->Arg(65536);
+
+void BM_VecProjectRow(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const Batch base = MakeVecBatch(rows);
+  std::vector<ExprPtr> exprs = {
+      Expr::Binary(BinaryOp::kAdd, Expr::Column("k"),
+                   Expr::Literal(Value(int64_t{1}))),
+      Expr::Binary(BinaryOp::kMul, Expr::Column("v"), Expr::Column("v"))};
+  std::vector<std::string> names = {"k1", "v2"};
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Batch> batches;
+    batches.push_back(base);
+    state.ResumeTiming();
+    auto op = MakeProject(MakeBatchSource(base.schema, std::move(batches)),
+                          exprs, names);
+    auto out = CollectAll(op.get());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
+}
+BENCHMARK(BM_VecProjectRow)->Arg(4096)->Arg(65536);
+
+void BM_VecProjectColumnar(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const Batch base = MakeVecBatch(rows);
+  const ColumnBatch cbase = *ToColumnBatch(base);
+  std::vector<ExprPtr> exprs = {
+      Expr::Binary(BinaryOp::kAdd, Expr::Column("k"),
+                   Expr::Literal(Value(int64_t{1}))),
+      Expr::Binary(BinaryOp::kMul, Expr::Column("v"), Expr::Column("v"))};
+  std::vector<std::string> names = {"k1", "v2"};
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<ColumnBatch> batches;
+    batches.push_back(cbase);
+    state.ResumeTiming();
+    auto op = MakeProject(
+        MakeColumnBatchSource(cbase.schema, std::move(batches)), exprs,
+        names);
+    (void)op->Open();
+    while (true) {
+      auto nxt = op->NextColumnar();
+      if (!nxt.ok() || !nxt->has_value()) break;
+      benchmark::DoNotOptimize(*nxt);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
+}
+BENCHMARK(BM_VecProjectColumnar)->Arg(4096)->Arg(65536);
+
+void BM_VecHashAggregateRow(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const Batch base = MakeVecBatch(rows);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Batch> batches;
+    batches.push_back(base);
+    state.ResumeTiming();
+    auto op = MakeHashAggregate(
+        MakeBatchSource(base.schema, std::move(batches)),
+        {Expr::Column("s")}, {"s"},
+        {AggSpec{AggKind::kSum, Expr::Column("k"), "sum_k"},
+         AggSpec{AggKind::kCount, nullptr, "cnt"}});
+    auto out = CollectAll(op.get());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
+}
+BENCHMARK(BM_VecHashAggregateRow)->Arg(4096)->Arg(65536);
+
+void BM_VecHashAggregateColumnar(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const Batch base = MakeVecBatch(rows);
+  const ColumnBatch cbase = *ToColumnBatch(base);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<ColumnBatch> batches;
+    batches.push_back(cbase);
+    state.ResumeTiming();
+    auto op = MakeHashAggregate(
+        MakeColumnBatchSource(cbase.schema, std::move(batches)),
+        {Expr::Column("s")}, {"s"},
+        {AggSpec{AggKind::kSum, Expr::Column("k"), "sum_k"},
+         AggSpec{AggKind::kCount, nullptr, "cnt"}});
+    auto out = CollectAll(op.get());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
+}
+BENCHMARK(BM_VecHashAggregateColumnar)->Arg(4096)->Arg(65536);
+
+void BM_VecHashPartitionRow(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const Batch base = MakeVecBatch(rows);
+  std::vector<ExprPtr> keys = {Expr::Column("k")};
+  for (auto _ : state) {
+    auto parts = HashPartition(base, keys, 16);
+    benchmark::DoNotOptimize(parts);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
+}
+BENCHMARK(BM_VecHashPartitionRow)->Arg(4096)->Arg(65536);
+
+void BM_VecHashPartitionColumnar(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const ColumnBatch cbase = *ToColumnBatch(MakeVecBatch(rows));
+  std::vector<ExprPtr> keys = {Expr::Column("k")};
+  for (auto _ : state) {
+    auto parts = HashPartitionColumnar(cbase, keys, 16);
+    benchmark::DoNotOptimize(parts);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
+}
+BENCHMARK(BM_VecHashPartitionColumnar)->Arg(4096)->Arg(65536);
+
+// The shuffle-read boundary: wire-format v2 decoded into boxed rows vs
+// straight into typed columns (near-memcpy for the int-heavy shape).
+void BM_VecDeserializeIntsColumnar(benchmark::State& state) {
+  std::string bytes =
+      SerializeBatch(MakeIntBatch(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto b = DeserializeColumnBatch(bytes);
+    benchmark::DoNotOptimize(b);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_VecDeserializeIntsColumnar)->Arg(10000);
+
+void BM_VecSerializeIntsColumnar(benchmark::State& state) {
+  const ColumnBatch cb =
+      *ToColumnBatch(MakeIntBatch(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    std::string bytes = SerializeColumnBatch(cb);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(SerializeColumnBatch(cb).size()));
+}
+BENCHMARK(BM_VecSerializeIntsColumnar)->Arg(10000);
+
 }  // namespace
 }  // namespace swift
 

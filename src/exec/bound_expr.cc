@@ -5,6 +5,7 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "exec/column_batch.h"
 #include "exec/expr_eval.h"
 
 namespace swift {
@@ -19,6 +20,112 @@ using expr_eval::Truth;
 
 bool IsNumericType(DataType t) {
   return t == DataType::kInt64 || t == DataType::kFloat64;
+}
+
+// ---- Scalar kernels shared by Evaluate and EvaluateVector -----------
+// The row and columnar evaluators must agree bit-for-bit, so the
+// non-null scalar tails live here and both paths call them.
+
+Result<Value> NumericArithScalar(BinaryOp op, const Value& lv,
+                                 const Value& rv) {
+  if (lv.is_float64() && rv.is_float64()) {
+    const double a = lv.float64_unchecked();
+    const double b = rv.float64_unchecked();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value(a + b);
+      case BinaryOp::kSub:
+        return Value(a - b);
+      case BinaryOp::kMul:
+        return Value(a * b);
+      case BinaryOp::kDiv:
+        if (b == 0.0) return Status::Application("division by zero");
+        return Value(a / b);
+      default:
+        break;
+    }
+  } else if (lv.is_int64() && rv.is_int64()) {
+    const int64_t a = lv.int64_unchecked();
+    const int64_t b = rv.int64_unchecked();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value(a + b);
+      case BinaryOp::kSub:
+        return Value(a - b);
+      case BinaryOp::kMul:
+        return Value(a * b);
+      case BinaryOp::kDiv:
+        if (b == 0) return Status::Application("division by zero");
+        return Value(static_cast<double>(a) / static_cast<double>(b));
+      default:
+        break;
+    }
+  }
+  return Arith(op, lv, rv);
+}
+
+Result<Value> NumericCompareScalar(BinaryOp op, const Value& lv,
+                                   const Value& rv) {
+  if (lv.is_numeric() && rv.is_numeric()) {
+    int c;
+    if (lv.is_int64() && rv.is_int64()) {
+      const int64_t a = lv.int64_unchecked();
+      const int64_t b = rv.int64_unchecked();
+      c = a < b ? -1 : (a > b ? 1 : 0);
+    } else {
+      const double a = lv.AsDouble();
+      const double b = rv.AsDouble();
+      c = a < b ? -1 : (a > b ? 1 : 0);
+    }
+    bool out = false;
+    switch (op) {
+      case BinaryOp::kEq:
+        out = c == 0;
+        break;
+      case BinaryOp::kNe:
+        out = c != 0;
+        break;
+      case BinaryOp::kLt:
+        out = c < 0;
+        break;
+      case BinaryOp::kLe:
+        out = c <= 0;
+        break;
+      case BinaryOp::kGt:
+        out = c > 0;
+        break;
+      default:
+        out = c >= 0;
+        break;
+    }
+    return Value(static_cast<int64_t>(out ? 1 : 0));
+  }
+  return Compare(op, lv, rv);
+}
+
+Result<Value> NegateScalar(const Value& v) {
+  if (!v.is_numeric()) {
+    return Status::Application("negation of non-numeric value");
+  }
+  if (v.is_int64()) return Value(-v.int64_unchecked());
+  return Value(-v.float64_unchecked());
+}
+
+// Truth() over a column cell without boxing: -1 NULL, 0 false, 1 true.
+int TruthAt(const ColumnVector& c, std::size_t i) {
+  switch (c.rep()) {
+    case ColumnRep::kNull:
+      return -1;
+    case ColumnRep::kInt64:
+      return c.IsNull(i) ? -1 : (c.Int64At(i) != 0 ? 1 : 0);
+    case ColumnRep::kFloat64:
+      return c.IsNull(i) ? -1 : (c.Float64At(i) != 0.0 ? 1 : 0);
+    case ColumnRep::kString:
+      return c.IsNull(i) ? -1 : (!c.StrAt(i).empty() ? 1 : 0);
+    case ColumnRep::kBoxed:
+      return Truth(c.BoxedAt(i));
+  }
+  return -1;
 }
 
 bool IsArithOp(BinaryOp op) {
@@ -67,6 +174,24 @@ class BoundColumn final : public BoundExpr {
     return Status::OK();
   }
 
+  Status EvaluateVector(const ColumnBatch& in,
+                        ColumnVector* out) const override {
+    if (idx_ >= in.columns.size()) {
+      return Status::Internal(
+          StrFormat("row narrower than schema at column '%s'", name_.c_str()));
+    }
+    const ColumnVector& src = in.columns[idx_];
+    if (!in.selection) {
+      *out = src;  // dense batch: contiguous storage copy, no boxing
+      return Status::OK();
+    }
+    *out = ColumnVector::OfRep(src.rep());
+    const std::vector<uint32_t>& sel = *in.selection;
+    out->Reserve(sel.size());
+    for (const uint32_t phys : sel) out->AppendFrom(src, phys);
+    return Status::OK();
+  }
+
   int64_t column_ordinal() const override {
     return static_cast<int64_t>(idx_);
   }
@@ -88,6 +213,15 @@ class BoundLiteral final : public BoundExpr {
     return Status::OK();
   }
 
+  Status EvaluateVector(const ColumnBatch& in,
+                        ColumnVector* out) const override {
+    *out = ColumnVector::OfType(v_.type());
+    const std::size_t n = in.num_rows();
+    out->Reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out->Append(v_);
+    return Status::OK();
+  }
+
   const Value* literal() const override { return &v_; }
 
  private:
@@ -102,6 +236,17 @@ class BoundError final : public BoundExpr {
       : BoundExpr(DataType::kNull), st_(std::move(st)) {}
 
   Result<Value> Evaluate(const Row&) const override { return st_; }
+
+  Status EvaluateVector(const ColumnBatch& in,
+                        ColumnVector* out) const override {
+    (void)out;
+    // A constant error errors on any non-empty batch, like the row path.
+    if (in.num_rows() == 0) {
+      *out = ColumnVector();
+      return Status::OK();
+    }
+    return st_;
+  }
 
  private:
   Status st_;
@@ -129,6 +274,38 @@ class BoundAndOr final : public BoundExpr {
     }
     if (rt == 1) return Value(int64_t{1});
     return FromTruth((lt == 0 && rt == 0) ? 0 : -1);
+  }
+
+  Status EvaluateVector(const ColumnBatch& in,
+                        ColumnVector* out) const override {
+    ColumnVector lv;
+    ColumnVector rv;
+    // Both operands are evaluated whole-column; if either fails, the
+    // batch is re-run row-at-a-time so short-circuiting can suppress
+    // errors in dominated positions exactly as the row path does.
+    if (!lhs_->EvaluateVector(in, &lv).ok() ||
+        !rhs_->EvaluateVector(in, &rv).ok()) {
+      return BoundExpr::EvaluateVector(in, out);
+    }
+    const std::size_t n = in.num_rows();
+    *out = ColumnVector::OfType(DataType::kInt64);
+    out->Reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int lt = TruthAt(lv, i);
+      const int rt = TruthAt(rv, i);
+      int res;  // Kleene three-valued AND/OR
+      if (is_and_) {
+        res = (lt == 0 || rt == 0) ? 0 : ((lt == 1 && rt == 1) ? 1 : -1);
+      } else {
+        res = (lt == 1 || rt == 1) ? 1 : ((lt == 0 && rt == 0) ? 0 : -1);
+      }
+      if (res < 0) {
+        out->AppendNull();
+      } else {
+        out->AppendInt64(res);
+      }
+    }
+    return Status::OK();
   }
 
  private:
@@ -179,40 +356,90 @@ class BoundNumericArith final : public BoundExpr {
     SWIFT_ASSIGN_OR_RETURN(Value lv, lhs_->Evaluate(row));
     SWIFT_ASSIGN_OR_RETURN(Value rv, rhs_->Evaluate(row));
     if (lv.is_null() || rv.is_null()) return Value::Null();
-    if (lv.is_float64() && rv.is_float64()) {
-      const double a = lv.float64();
-      const double b = rv.float64();
-      switch (op_) {
-        case BinaryOp::kAdd:
-          return Value(a + b);
-        case BinaryOp::kSub:
-          return Value(a - b);
-        case BinaryOp::kMul:
-          return Value(a * b);
-        case BinaryOp::kDiv:
-          if (b == 0.0) return Status::Application("division by zero");
-          return Value(a / b);
-        default:
-          break;
+    return NumericArithScalar(op_, lv, rv);
+  }
+
+  Status EvaluateVector(const ColumnBatch& in,
+                        ColumnVector* out) const override {
+    ColumnVector lv;
+    ColumnVector rv;
+    SWIFT_RETURN_NOT_OK(lhs_->EvaluateVector(in, &lv));
+    SWIFT_RETURN_NOT_OK(rhs_->EvaluateVector(in, &rv));
+    const std::size_t n = in.num_rows();
+    // Matched-type typed loops; everything else goes cell-by-cell
+    // through the shared scalar kernel (identical results and errors).
+    if (lv.rep() == ColumnRep::kInt64 && rv.rep() == ColumnRep::kInt64 &&
+        op_ != BinaryOp::kDiv) {
+      *out = ColumnVector::OfType(DataType::kInt64);
+      out->Reserve(n);
+      const int64_t* a = lv.Int64Data();
+      const int64_t* b = rv.Int64Data();
+      const bool no_nulls = !lv.has_nulls() && !rv.has_nulls();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!no_nulls && (lv.IsNull(i) || rv.IsNull(i))) {
+          out->AppendNull();
+          continue;
+        }
+        int64_t r = 0;
+        switch (op_) {
+          case BinaryOp::kAdd:
+            r = a[i] + b[i];
+            break;
+          case BinaryOp::kSub:
+            r = a[i] - b[i];
+            break;
+          default:
+            r = a[i] * b[i];
+            break;
+        }
+        out->AppendInt64(r);
       }
-    } else if (lv.is_int64() && rv.is_int64()) {
-      const int64_t a = lv.int64();
-      const int64_t b = rv.int64();
-      switch (op_) {
-        case BinaryOp::kAdd:
-          return Value(a + b);
-        case BinaryOp::kSub:
-          return Value(a - b);
-        case BinaryOp::kMul:
-          return Value(a * b);
-        case BinaryOp::kDiv:
-          if (b == 0) return Status::Application("division by zero");
-          return Value(static_cast<double>(a) / static_cast<double>(b));
-        default:
-          break;
-      }
+      return Status::OK();
     }
-    return Arith(op_, lv, rv);
+    if (lv.rep() == ColumnRep::kFloat64 && rv.rep() == ColumnRep::kFloat64) {
+      *out = ColumnVector::OfType(DataType::kFloat64);
+      out->Reserve(n);
+      const double* a = lv.Float64Data();
+      const double* b = rv.Float64Data();
+      const bool no_nulls = !lv.has_nulls() && !rv.has_nulls();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!no_nulls && (lv.IsNull(i) || rv.IsNull(i))) {
+          out->AppendNull();
+          continue;
+        }
+        double r = 0;
+        switch (op_) {
+          case BinaryOp::kAdd:
+            r = a[i] + b[i];
+            break;
+          case BinaryOp::kSub:
+            r = a[i] - b[i];
+            break;
+          case BinaryOp::kMul:
+            r = a[i] * b[i];
+            break;
+          default:
+            if (b[i] == 0.0) return Status::Application("division by zero");
+            r = a[i] / b[i];
+            break;
+        }
+        out->AppendFloat64(r);
+      }
+      return Status::OK();
+    }
+    *out = ColumnVector::OfType(static_type_);
+    out->Reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Value a = lv.GetValue(i);
+      const Value b = rv.GetValue(i);
+      if (a.is_null() || b.is_null()) {
+        out->AppendNull();
+        continue;
+      }
+      SWIFT_ASSIGN_OR_RETURN(Value v, NumericArithScalar(op_, a, b));
+      out->Append(v);
+    }
+    return Status::OK();
   }
 
  private:
@@ -234,41 +461,83 @@ class BoundNumericCompare final : public BoundExpr {
     SWIFT_ASSIGN_OR_RETURN(Value lv, lhs_->Evaluate(row));
     SWIFT_ASSIGN_OR_RETURN(Value rv, rhs_->Evaluate(row));
     if (lv.is_null() || rv.is_null()) return Value::Null();
-    if (lv.is_numeric() && rv.is_numeric()) {
-      int c;
-      if (lv.is_int64() && rv.is_int64()) {
-        const int64_t a = lv.int64();
-        const int64_t b = rv.int64();
-        c = a < b ? -1 : (a > b ? 1 : 0);
-      } else {
-        const double a = lv.AsDouble();
-        const double b = rv.AsDouble();
-        c = a < b ? -1 : (a > b ? 1 : 0);
+    return NumericCompareScalar(op_, lv, rv);
+  }
+
+  Status EvaluateVector(const ColumnBatch& in,
+                        ColumnVector* out) const override {
+    ColumnVector lv;
+    ColumnVector rv;
+    SWIFT_RETURN_NOT_OK(lhs_->EvaluateVector(in, &lv));
+    SWIFT_RETURN_NOT_OK(rhs_->EvaluateVector(in, &rv));
+    const std::size_t n = in.num_rows();
+    const bool l_num = lv.rep() == ColumnRep::kInt64 ||
+                       lv.rep() == ColumnRep::kFloat64;
+    const bool r_num = rv.rep() == ColumnRep::kInt64 ||
+                       rv.rep() == ColumnRep::kFloat64;
+    if (l_num && r_num) {
+      *out = ColumnVector::OfType(DataType::kInt64);
+      out->Reserve(n);
+      const bool both_int = lv.rep() == ColumnRep::kInt64 &&
+                            rv.rep() == ColumnRep::kInt64;
+      const bool no_nulls = !lv.has_nulls() && !rv.has_nulls();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!no_nulls && (lv.IsNull(i) || rv.IsNull(i))) {
+          out->AppendNull();
+          continue;
+        }
+        int c;
+        if (both_int) {
+          const int64_t a = lv.Int64At(i);
+          const int64_t b = rv.Int64At(i);
+          c = a < b ? -1 : (a > b ? 1 : 0);
+        } else {
+          const double a = lv.rep() == ColumnRep::kInt64
+                               ? static_cast<double>(lv.Int64At(i))
+                               : lv.Float64At(i);
+          const double b = rv.rep() == ColumnRep::kInt64
+                               ? static_cast<double>(rv.Int64At(i))
+                               : rv.Float64At(i);
+          c = a < b ? -1 : (a > b ? 1 : 0);
+        }
+        bool t = false;
+        switch (op_) {
+          case BinaryOp::kEq:
+            t = c == 0;
+            break;
+          case BinaryOp::kNe:
+            t = c != 0;
+            break;
+          case BinaryOp::kLt:
+            t = c < 0;
+            break;
+          case BinaryOp::kLe:
+            t = c <= 0;
+            break;
+          case BinaryOp::kGt:
+            t = c > 0;
+            break;
+          default:
+            t = c >= 0;
+            break;
+        }
+        out->AppendInt64(t ? 1 : 0);
       }
-      bool out = false;
-      switch (op_) {
-        case BinaryOp::kEq:
-          out = c == 0;
-          break;
-        case BinaryOp::kNe:
-          out = c != 0;
-          break;
-        case BinaryOp::kLt:
-          out = c < 0;
-          break;
-        case BinaryOp::kLe:
-          out = c <= 0;
-          break;
-        case BinaryOp::kGt:
-          out = c > 0;
-          break;
-        default:
-          out = c >= 0;
-          break;
-      }
-      return Value(static_cast<int64_t>(out ? 1 : 0));
+      return Status::OK();
     }
-    return Compare(op_, lv, rv);
+    *out = ColumnVector::OfType(DataType::kInt64);
+    out->Reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Value a = lv.GetValue(i);
+      const Value b = rv.GetValue(i);
+      if (a.is_null() || b.is_null()) {
+        out->AppendNull();
+        continue;
+      }
+      SWIFT_ASSIGN_OR_RETURN(Value v, NumericCompareScalar(op_, a, b));
+      out->Append(v);
+    }
+    return Status::OK();
   }
 
  private:
@@ -288,11 +557,63 @@ class BoundUnary final : public BoundExpr {
     if (op_ == UnaryOp::kNot) {
       return FromTruth(Truth(v) == 1 ? 0 : 1);
     }
-    if (!v.is_numeric()) {
-      return Status::Application("negation of non-numeric value");
+    return NegateScalar(v);
+  }
+
+  Status EvaluateVector(const ColumnBatch& in,
+                        ColumnVector* out) const override {
+    ColumnVector v;
+    SWIFT_RETURN_NOT_OK(operand_->EvaluateVector(in, &v));
+    const std::size_t n = in.num_rows();
+    if (op_ == UnaryOp::kNot) {
+      *out = ColumnVector::OfType(DataType::kInt64);
+      out->Reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const int t = TruthAt(v, i);
+        if (t < 0) {
+          out->AppendNull();
+        } else {
+          out->AppendInt64(t == 1 ? 0 : 1);
+        }
+      }
+      return Status::OK();
     }
-    if (v.is_int64()) return Value(-v.int64());
-    return Value(-v.float64());
+    if (v.rep() == ColumnRep::kInt64) {
+      *out = ColumnVector::OfType(DataType::kInt64);
+      out->Reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (v.IsNull(i)) {
+          out->AppendNull();
+        } else {
+          out->AppendInt64(-v.Int64At(i));
+        }
+      }
+      return Status::OK();
+    }
+    if (v.rep() == ColumnRep::kFloat64) {
+      *out = ColumnVector::OfType(DataType::kFloat64);
+      out->Reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (v.IsNull(i)) {
+          out->AppendNull();
+        } else {
+          out->AppendFloat64(-v.Float64At(i));
+        }
+      }
+      return Status::OK();
+    }
+    *out = ColumnVector::OfType(static_type_);
+    out->Reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Value a = v.GetValue(i);
+      if (a.is_null()) {
+        out->AppendNull();
+        continue;
+      }
+      SWIFT_ASSIGN_OR_RETURN(Value r, NegateScalar(a));
+      out->Append(r);
+    }
+    return Status::OK();
   }
 
  private:
@@ -464,6 +785,23 @@ Status BoundExpr::EvaluateColumn(const std::vector<Row>& rows,
   for (const Row& r : rows) {
     SWIFT_ASSIGN_OR_RETURN(Value v, Evaluate(r));
     out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+Status BoundExpr::EvaluateVector(const ColumnBatch& in,
+                                 ColumnVector* out) const {
+  // Generic fallback: box each logical row and evaluate row-at-a-time.
+  // Semantics (including short-circuiting and error order) are exactly
+  // the row path's; only the layout differs.
+  *out = ColumnVector::OfType(static_type_);
+  const std::size_t n = in.num_rows();
+  out->Reserve(n);
+  Row row;
+  for (std::size_t i = 0; i < n; ++i) {
+    in.MaterializeRow(i, &row);
+    SWIFT_ASSIGN_OR_RETURN(Value v, Evaluate(row));
+    out->Append(v);
   }
   return Status::OK();
 }

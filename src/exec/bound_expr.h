@@ -11,6 +11,9 @@
 
 namespace swift {
 
+class ColumnVector;
+struct ColumnBatch;
+
 /// \brief A compiled (bound) expression: the compile-once-execute-many
 /// form of Expr used by every per-row loop in the executor.
 ///
@@ -44,6 +47,25 @@ class BoundExpr {
   /// this to skip per-row virtual dispatch entirely.
   virtual Status EvaluateColumn(const std::vector<Row>& rows,
                                 std::vector<Value>* out) const;
+
+  /// \brief Columnar evaluation: resets `*out` and fills it with one
+  /// value per LOGICAL row of `in` (gathering through the selection
+  /// vector, so the output column is always dense). The base
+  /// implementation materializes each row and calls Evaluate() —
+  /// identical semantics for every node; column references, literals,
+  /// numeric arithmetic/comparisons, NOT and AND/OR override it with
+  /// typed column-at-a-time kernels that skip per-row boxing entirely.
+  ///
+  /// Error parity caveat: on batches where evaluation fails, the row
+  /// path reports the error of the first failing ROW while the
+  /// vectorized path may surface the error of a failing SUBTREE first
+  /// (operands are evaluated whole-column before combination). Both
+  /// paths agree on whether a batch errors — AND/OR re-run the batch
+  /// row-at-a-time when an operand column fails so short-circuit error
+  /// suppression is preserved — but the reported Status may name a
+  /// different row's error.
+  virtual Status EvaluateVector(const ColumnBatch& in,
+                                ColumnVector* out) const;
 
   /// \brief Best-effort static result type (kNull when data dependent).
   DataType static_type() const { return static_type_; }

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
+
+#include "exec/column_batch.h"
 
 namespace swift {
 
@@ -78,6 +81,25 @@ inline TagBits NormalizeScalar(const Value& v) {
 inline char* StoreRaw64(uint64_t bits, char* p) {
   for (int i = 0; i < 8; ++i) p[i] = static_cast<char>(bits >> (8 * i));
   return p + 8;
+}
+
+inline char* StoreRaw32(uint32_t bits, char* p) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<char>(bits >> (8 * i));
+  return p + 4;
+}
+
+// NormalizeScalar's float64 branch for unboxed doubles (columnar path).
+inline TagBits NormalizeDouble(double d) {
+  if (std::isnan(d)) return {KeyEncoder::kTagFloat64, kCanonicalNaNBits};
+  if (d >= kInt64Lo && d < kInt64Hi) {
+    const int64_t i = static_cast<int64_t>(d);
+    if (static_cast<double>(i) == d) {
+      return {KeyEncoder::kTagInt64, static_cast<uint64_t>(i)};
+    }
+  }
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return {KeyEncoder::kTagFloat64, bits};
 }
 
 }  // namespace
@@ -198,6 +220,230 @@ bool KeyEncoder::HashColumns(const Row& row, const std::vector<uint32_t>& cols,
   }
   *hash = h;
   *has_null = null_seen;
+  return true;
+}
+
+bool KeyEncoder::EncodeBatchColumns(const ColumnBatch& batch,
+                                    const std::vector<uint32_t>& cols,
+                                    BatchKeys* out) {
+  const std::size_t n = batch.num_rows();
+  for (const uint32_t c : cols) {
+    if (c >= batch.columns.size()) return false;
+  }
+  const uint32_t* sel =
+      batch.selection ? batch.selection->data() : nullptr;
+  out->offsets.assign(n + 1, 0);
+  out->null_key.assign(n, 0);
+  // Pass 1: per-key encoded length, column at a time (offsets[i+1]
+  // accumulates key i's length; prefix-summed below). Scalars are 9
+  // bytes (tag + payload) or 1 (NULL tag); strings 5 + len.
+  for (const uint32_t c : cols) {
+    const ColumnVector& col = batch.columns[c];
+    switch (col.rep()) {
+      case ColumnRep::kNull:
+        for (std::size_t i = 0; i < n; ++i) {
+          out->offsets[i + 1] += 1;
+          out->null_key[i] = 1;
+        }
+        break;
+      case ColumnRep::kInt64:
+      case ColumnRep::kFloat64:
+        if (!col.has_nulls()) {
+          for (std::size_t i = 0; i < n; ++i) out->offsets[i + 1] += 9;
+        } else {
+          for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t phys = sel ? sel[i] : i;
+            if (col.IsNull(phys)) {
+              out->offsets[i + 1] += 1;
+              out->null_key[i] = 1;
+            } else {
+              out->offsets[i + 1] += 9;
+            }
+          }
+        }
+        break;
+      case ColumnRep::kString:
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t phys = sel ? sel[i] : i;
+          if (col.IsNull(phys)) {
+            out->offsets[i + 1] += 1;
+            out->null_key[i] = 1;
+          } else {
+            out->offsets[i + 1] +=
+                5 + static_cast<uint32_t>(col.StrAt(phys).size());
+          }
+        }
+        break;
+      case ColumnRep::kBoxed:
+        for (std::size_t i = 0; i < n; ++i) {
+          const Value& v = col.BoxedAt(sel ? sel[i] : i);
+          if (v.is_null()) {
+            out->offsets[i + 1] += 1;
+            out->null_key[i] = 1;
+          } else if (v.is_string()) {
+            out->offsets[i + 1] +=
+                5 + static_cast<uint32_t>(v.str_unchecked().size());
+          } else {
+            out->offsets[i + 1] += 9;
+          }
+        }
+        break;
+    }
+  }
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += out->offsets[i + 1];
+    if (total > std::numeric_limits<uint32_t>::max()) return false;
+    out->offsets[i + 1] = static_cast<uint32_t>(total);
+  }
+  out->bytes.resize(total);
+  // Pass 2: write each column's encoding at every key's running cursor.
+  std::vector<uint32_t> cur(out->offsets.begin(), out->offsets.end() - 1);
+  char* base = out->bytes.data();
+  for (const uint32_t c : cols) {
+    const ColumnVector& col = batch.columns[c];
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t phys = sel ? sel[i] : i;
+      char* p = base + cur[i];
+      switch (col.rep()) {
+        case ColumnRep::kNull:
+          *p++ = static_cast<char>(kTagNull);
+          break;
+        case ColumnRep::kInt64:
+          if (col.IsNull(phys)) {
+            *p++ = static_cast<char>(kTagNull);
+          } else {
+            *p++ = static_cast<char>(kTagInt64);
+            p = StoreRaw64(static_cast<uint64_t>(col.Int64At(phys)), p);
+          }
+          break;
+        case ColumnRep::kFloat64:
+          if (col.IsNull(phys)) {
+            *p++ = static_cast<char>(kTagNull);
+          } else {
+            const TagBits tb = NormalizeDouble(col.Float64At(phys));
+            *p++ = static_cast<char>(tb.tag);
+            p = StoreRaw64(tb.bits, p);
+          }
+          break;
+        case ColumnRep::kString:
+          if (col.IsNull(phys)) {
+            *p++ = static_cast<char>(kTagNull);
+          } else {
+            const std::string_view s = col.StrAt(phys);
+            *p++ = static_cast<char>(kTagString);
+            p = StoreRaw32(static_cast<uint32_t>(s.size()), p);
+            std::memcpy(p, s.data(), s.size());
+            p += s.size();
+          }
+          break;
+        case ColumnRep::kBoxed: {
+          const Value& v = col.BoxedAt(phys);
+          if (v.is_string()) {
+            const std::string& s = v.str_unchecked();
+            *p++ = static_cast<char>(kTagString);
+            p = StoreRaw32(static_cast<uint32_t>(s.size()), p);
+            std::memcpy(p, s.data(), s.size());
+            p += s.size();
+          } else {
+            const TagBits tb = NormalizeScalar(v);
+            *p++ = static_cast<char>(tb.tag);
+            if (tb.tag != kTagNull) p = StoreRaw64(tb.bits, p);
+          }
+          break;
+        }
+      }
+      cur[i] = static_cast<uint32_t>(p - base);
+    }
+  }
+  // Pass 3: hash the finished encodings.
+  out->hashes.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out->hashes[i] = Hash64(base + out->offsets[i],
+                            out->offsets[i + 1] - out->offsets[i]);
+  }
+  return true;
+}
+
+bool KeyEncoder::HashBatchColumns(const ColumnBatch& batch,
+                                  const std::vector<uint32_t>& cols,
+                                  std::vector<uint64_t>* hashes,
+                                  std::vector<uint8_t>* has_null) {
+  using hash_internal::Mum;
+  using hash_internal::kSecret2;
+  const std::size_t n = batch.num_rows();
+  for (const uint32_t c : cols) {
+    if (c >= batch.columns.size()) return false;
+  }
+  const uint32_t* sel =
+      batch.selection ? batch.selection->data() : nullptr;
+  hashes->assign(n, 0x58a3b1c96f0d2e47ULL);  // same seed as HashNormalized
+  has_null->assign(n, 0);
+  uint64_t* h = hashes->data();
+  uint8_t* nil = has_null->data();
+  constexpr uint64_t kTagMul = 0x9E3779B97F4A7C15ULL;
+  for (const uint32_t c : cols) {
+    const ColumnVector& col = batch.columns[c];
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t phys = sel ? sel[i] : i;
+      uint64_t tag;
+      uint64_t bits;
+      switch (col.rep()) {
+        case ColumnRep::kNull:
+          tag = kTagNull;
+          bits = 0;
+          nil[i] = 1;
+          break;
+        case ColumnRep::kInt64:
+          if (col.IsNull(phys)) {
+            tag = kTagNull;
+            bits = 0;
+            nil[i] = 1;
+          } else {
+            tag = kTagInt64;
+            bits = static_cast<uint64_t>(col.Int64At(phys));
+          }
+          break;
+        case ColumnRep::kFloat64:
+          if (col.IsNull(phys)) {
+            tag = kTagNull;
+            bits = 0;
+            nil[i] = 1;
+          } else {
+            const TagBits tb = NormalizeDouble(col.Float64At(phys));
+            tag = tb.tag;
+            bits = tb.bits;
+          }
+          break;
+        case ColumnRep::kString:
+          if (col.IsNull(phys)) {
+            tag = kTagNull;
+            bits = 0;
+            nil[i] = 1;
+          } else {
+            const std::string_view s = col.StrAt(phys);
+            tag = kTagString;
+            bits = Hash64(s.data(), s.size());
+          }
+          break;
+        default: {  // kBoxed
+          const Value& v = col.BoxedAt(phys);
+          if (v.is_string()) {
+            const std::string& s = v.str_unchecked();
+            tag = kTagString;
+            bits = Hash64(s.data(), s.size());
+          } else {
+            const TagBits tb = NormalizeScalar(v);
+            if (tb.tag == kTagNull) nil[i] = 1;
+            tag = tb.tag;
+            bits = tb.bits;
+          }
+          break;
+        }
+      }
+      h[i] = Mum(h[i] ^ (bits + tag * kTagMul), kSecret2);
+    }
+  }
   return true;
 }
 

@@ -66,6 +66,39 @@ class KeyEncoder {
   static bool HashColumns(const Row& row, const std::vector<uint32_t>& cols,
                           uint64_t* hash, bool* has_null);
 
+  /// \brief Every logical row's encoded key + hash, produced by one
+  /// vectorized pass over a ColumnBatch (EncodeBatchColumns).
+  struct BatchKeys {
+    std::string bytes;              // concatenated per-key encodings
+    std::vector<uint32_t> offsets;  // n + 1 entries into `bytes`
+    std::vector<uint64_t> hashes;   // HashEncoded(key(i))
+    std::vector<uint8_t> null_key;  // 1 when key i contains a NULL
+
+    std::size_t size() const { return hashes.size(); }
+    std::string_view key(std::size_t i) const {
+      return std::string_view(bytes.data() + offsets[i],
+                              offsets[i + 1] - offsets[i]);
+    }
+  };
+
+  /// \brief Columnar twin of EncodeColumns + HashEncoded: encodes the
+  /// key columns of every logical row of `batch` (selection-aware) in
+  /// column-at-a-time passes — byte- and hash-identical to the row
+  /// path. Returns false when an ordinal is out of range or the
+  /// concatenated keys would overflow the uint32 offsets (callers fall
+  /// back to the row path).
+  static bool EncodeBatchColumns(const ColumnBatch& batch,
+                                 const std::vector<uint32_t>& cols,
+                                 BatchKeys* out);
+
+  /// \brief Columnar twin of HashColumns: HashNormalized of every
+  /// logical row's key, plus its NULL flag, without materializing key
+  /// bytes (shuffle partitioning). Returns false on a bad ordinal.
+  static bool HashBatchColumns(const ColumnBatch& batch,
+                               const std::vector<uint32_t>& cols,
+                               std::vector<uint64_t>* hashes,
+                               std::vector<uint8_t>* has_null);
+
   /// \brief Resolves bound key expressions that are all plain column
   /// references into their row ordinals. Returns false (leaving `*cols`
   /// unspecified) when any key is a computed expression — callers fall

@@ -12,9 +12,42 @@
 
 namespace swift {
 
+Result<std::optional<ColumnBatch>> PhysicalOperator::NextColumnar() {
+  SWIFT_ASSIGN_OR_RETURN(std::optional<Batch> b, Next());
+  if (!b.has_value()) return std::optional<ColumnBatch>();
+  SWIFT_ASSIGN_OR_RETURN(ColumnBatch cb, ToColumnBatch(*b));
+  return std::optional<ColumnBatch>(std::move(cb));
+}
+
 namespace {
 
 constexpr std::size_t kBatchRows = 1024;
+
+// Predicate truthiness of an evaluated value (EvaluatePredicate
+// semantics: NULL is false, numeric nonzero / non-empty string true).
+bool IsTruthy(const Value& v) {
+  if (v.is_null()) return false;
+  if (v.is_int64()) return v.int64() != 0;
+  if (v.is_float64()) return v.float64() != 0.0;
+  return !v.str().empty();
+}
+
+// Truthiness of a dense predicate column's cell without boxing.
+bool TruthyAt(const ColumnVector& col, std::size_t i) {
+  switch (col.rep()) {
+    case ColumnRep::kNull:
+      return false;
+    case ColumnRep::kInt64:
+      return !col.IsNull(i) && col.Int64At(i) != 0;
+    case ColumnRep::kFloat64:
+      return !col.IsNull(i) && col.Float64At(i) != 0.0;
+    case ColumnRep::kString:
+      return !col.IsNull(i) && !col.StrAt(i).empty();
+    case ColumnRep::kBoxed:
+      return IsTruthy(col.BoxedAt(i));
+  }
+  return false;
+}
 
 std::string_view KindName(AggKind k) {
   switch (k) {
@@ -82,6 +115,32 @@ class BatchSource final : public PhysicalOperator {
   std::size_t idx_ = 0;
 };
 
+class ColumnBatchSource final : public PhysicalOperator {
+ public:
+  ColumnBatchSource(Schema schema, std::vector<ColumnBatch> batches)
+      : batches_(std::move(batches)) {
+    output_schema_ = std::move(schema);
+  }
+  Status Open() override { return Status::OK(); }
+  bool columnar() const override { return true; }
+  Result<std::optional<ColumnBatch>> NextColumnar() override {
+    if (idx_ >= batches_.size()) return std::optional<ColumnBatch>();
+    ColumnBatch b = std::move(batches_[idx_++]);
+    b.schema = output_schema_;
+    return std::optional<ColumnBatch>(std::move(b));
+  }
+  Result<std::optional<Batch>> Next() override {
+    if (idx_ >= batches_.size()) return std::optional<Batch>();
+    Batch b = ToRowBatch(batches_[idx_++]);
+    b.schema = output_schema_;
+    return std::optional<Batch>(std::move(b));
+  }
+
+ private:
+  std::vector<ColumnBatch> batches_;
+  std::size_t idx_ = 0;
+};
+
 class FilterOp final : public PhysicalOperator {
  public:
   FilterOp(OperatorPtr child, ExprPtr predicate)
@@ -110,21 +169,40 @@ class FilterOp final : public PhysicalOperator {
       // Fully-filtered batch: keep pulling.
     }
   }
-
- private:
-  // Predicate truthiness of an evaluated value (EvaluatePredicate
-  // semantics: NULL is false, numeric nonzero / non-empty string true).
-  static bool IsTruthy(const Value& v) {
-    if (v.is_null()) return false;
-    if (v.is_int64()) return v.int64() != 0;
-    if (v.is_float64()) return v.float64() != 0.0;
-    return !v.str().empty();
+  bool columnar() const override { return child_->columnar(); }
+  // Vectorized filter: the predicate evaluates column-at-a-time and
+  // survivors become a selection vector over the input's physical
+  // storage — no row copies, no column gathers.
+  Result<std::optional<ColumnBatch>> NextColumnar() override {
+    for (;;) {
+      SWIFT_ASSIGN_OR_RETURN(std::optional<ColumnBatch> in,
+                             child_->NextColumnar());
+      if (!in.has_value()) return std::optional<ColumnBatch>();
+      SWIFT_RETURN_NOT_OK(bound_predicate_->EvaluateVector(*in, &pred_col_));
+      const std::size_t n = in->num_rows();
+      std::vector<uint32_t> sel;
+      sel.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (TruthyAt(pred_col_, i)) {
+          sel.push_back(static_cast<uint32_t>(in->PhysicalIndex(i)));
+        }
+      }
+      if (!sel.empty()) {
+        ColumnBatch out = std::move(*in);
+        out.schema = output_schema_;
+        out.selection = std::move(sel);
+        return std::optional<ColumnBatch>(std::move(out));
+      }
+      // Fully-filtered batch: keep pulling.
+    }
   }
 
+ private:
   OperatorPtr child_;
   ExprPtr predicate_;
   BoundExprPtr bound_predicate_;
   std::vector<Value> pred_values_;
+  ColumnVector pred_col_;
 };
 
 class ProjectOp final : public PhysicalOperator {
@@ -167,6 +245,24 @@ class ProjectOp final : public PhysicalOperator {
     }
     return std::optional<Batch>(std::move(out));
   }
+  bool columnar() const override { return child_->columnar(); }
+  // Vectorized project: each output column is one EvaluateVector call
+  // (typed loops for the numeric kernels); output is dense.
+  Result<std::optional<ColumnBatch>> NextColumnar() override {
+    SWIFT_ASSIGN_OR_RETURN(std::optional<ColumnBatch> in,
+                           child_->NextColumnar());
+    if (!in.has_value()) return std::optional<ColumnBatch>();
+    ColumnBatch out;
+    out.schema = output_schema_;
+    out.physical_rows = in->num_rows();
+    out.columns.reserve(bound_exprs_.size());
+    for (const BoundExprPtr& e : bound_exprs_) {
+      ColumnVector col;
+      SWIFT_RETURN_NOT_OK(e->EvaluateVector(*in, &col));
+      out.columns.push_back(std::move(col));
+    }
+    return std::optional<ColumnBatch>(std::move(out));
+  }
 
  private:
   OperatorPtr child_;
@@ -196,6 +292,20 @@ class LimitOp final : public PhysicalOperator {
       in->rows.resize(static_cast<std::size_t>(remaining_));
     }
     remaining_ -= static_cast<int64_t>(in->rows.size());
+    return in;
+  }
+  bool columnar() const override { return child_->columnar(); }
+  Result<std::optional<ColumnBatch>> NextColumnar() override {
+    if (remaining_ == 0) return std::optional<ColumnBatch>();
+    SWIFT_ASSIGN_OR_RETURN(std::optional<ColumnBatch> in,
+                           child_->NextColumnar());
+    if (!in.has_value()) return std::optional<ColumnBatch>();
+    // Counts are LOGICAL rows — a filtered batch's selection, not its
+    // physical storage extent.
+    if (static_cast<int64_t>(in->num_rows()) > remaining_) {
+      in->TruncateLogical(static_cast<std::size_t>(remaining_));
+    }
+    remaining_ -= static_cast<int64_t>(in->num_rows());
     return in;
   }
 
@@ -259,6 +369,15 @@ class HashJoinOp final : public MaterializedOperator {
     SWIFT_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> bound_right,
                            BindAll(right_keys_, right_->output_schema()));
 
+    // Plain-column keys (the common case) encode straight from the row;
+    // computed keys fall back to boxed evaluation.
+    std::vector<uint32_t> rcols, lcols;
+    const bool r_fast = KeyEncoder::ColumnOrdinals(bound_right, &rcols);
+    const bool l_fast = KeyEncoder::ColumnOrdinals(bound_left, &lcols);
+    if (r_fast && l_fast && right_->columnar() && left_->columnar()) {
+      return JoinColumnar(rcols, lcols);
+    }
+
     // Build: rows stay in one vector (the arena for payloads), encoded
     // keys go into the flat table, and duplicate keys chain through
     // next_row in build order — no per-row map nodes.
@@ -270,11 +389,6 @@ class HashJoinOp final : public MaterializedOperator {
     std::vector<int32_t> next_row(build_rows.size(), -1);
     KeyEncoder enc;
     Row key;
-    // Plain-column keys (the common case) encode straight from the row;
-    // computed keys fall back to boxed evaluation.
-    std::vector<uint32_t> rcols, lcols;
-    const bool r_fast = KeyEncoder::ColumnOrdinals(bound_right, &rcols);
-    const bool l_fast = KeyEncoder::ColumnOrdinals(bound_left, &lcols);
     for (std::size_t i = 0; i < build_rows.size(); ++i) {
       bool has_null = false;
       std::string_view bytes;
@@ -341,6 +455,134 @@ class HashJoinOp final : public MaterializedOperator {
   }
 
  private:
+  // Vectorized build + probe: the build side concatenates into one
+  // dense columnar arena and both sides' keys encode batch-at-a-time
+  // (EncodeBatchColumns); only the table probe and output emission stay
+  // scalar. Output rows, order, and NULL-key semantics are identical to
+  // the row path.
+  Status JoinColumnar(const std::vector<uint32_t>& rcols,
+                      const std::vector<uint32_t>& lcols) {
+    ColumnBatch build;
+    build.schema = right_->output_schema();
+    build.columns.reserve(build.schema.num_fields());
+    for (const Field& f : build.schema.fields()) {
+      build.columns.push_back(ColumnVector::OfType(f.type));
+    }
+    for (;;) {
+      SWIFT_ASSIGN_OR_RETURN(std::optional<ColumnBatch> b,
+                             right_->NextColumnar());
+      if (!b.has_value()) break;
+      AppendColumnBatch(*b, &build);
+    }
+    for (const uint32_t c : rcols) {
+      if (c >= build.columns.size()) {
+        return Status::Internal("build row narrower than join key schema");
+      }
+    }
+    const std::size_t build_n = build.physical_rows;
+    FlatKeyTable table(build_n);
+    std::vector<int32_t> chain_head;  // per dense key: first build row
+    std::vector<int32_t> chain_tail;  // per dense key: last build row
+    std::vector<int32_t> next_row(build_n, -1);
+    const auto insert = [&](std::size_t i, std::string_view bytes,
+                            uint64_t hash, bool has_null) {
+      if (has_null) return;  // NULL keys never match
+      const FlatKeyTable::FindResult r = table.FindOrInsert(bytes, hash);
+      const int32_t row = static_cast<int32_t>(i);
+      if (r.inserted) {
+        chain_head.push_back(row);
+        chain_tail.push_back(row);
+      } else {
+        next_row[chain_tail[r.index]] = row;
+        chain_tail[r.index] = row;
+      }
+    };
+    KeyEncoder::BatchKeys bk;
+    if (KeyEncoder::EncodeBatchColumns(build, rcols, &bk)) {
+      for (std::size_t i = 0; i < build_n; ++i) {
+        insert(i, bk.key(i), bk.hashes[i], bk.null_key[i] != 0);
+      }
+    } else {
+      // > 4 GiB of key bytes on the build side: encode row-at-a-time.
+      KeyEncoder enc;
+      Row row;
+      for (std::size_t i = 0; i < build_n; ++i) {
+        build.MaterializeRow(i, &row);
+        bool has_null = false;
+        std::string_view bytes;
+        if (!enc.EncodeColumns(row, rcols, &bytes, &has_null)) {
+          return Status::Internal("build row narrower than join key schema");
+        }
+        insert(i, bytes, KeyEncoder::HashEncoded(bytes), has_null);
+      }
+    }
+
+    const std::size_t right_width = right_->output_schema().num_fields();
+    const auto emit = [&](const ColumnBatch& pb, std::size_t i,
+                          std::string_view bytes, uint64_t hash,
+                          bool has_null) {
+      const std::size_t phys = pb.PhysicalIndex(i);
+      bool matched = false;
+      if (!has_null) {
+        const int64_t dense = table.Find(bytes, hash);
+        if (dense >= 0) {
+          for (int32_t r = chain_head[static_cast<std::size_t>(dense)];
+               r >= 0; r = next_row[r]) {
+            Row out;
+            out.reserve(pb.columns.size() + right_width);
+            for (const ColumnVector& col : pb.columns) {
+              out.push_back(col.GetValue(phys));
+            }
+            for (const ColumnVector& col : build.columns) {
+              out.push_back(col.GetValue(static_cast<std::size_t>(r)));
+            }
+            out_rows_.push_back(std::move(out));
+          }
+          matched = true;
+        }
+      }
+      if (!matched && join_type_ == JoinType::kLeftOuter) {
+        Row out;
+        out.reserve(pb.columns.size() + right_width);
+        for (const ColumnVector& col : pb.columns) {
+          out.push_back(col.GetValue(phys));
+        }
+        out.resize(out.size() + right_width, Value::Null());
+        out_rows_.push_back(std::move(out));
+      }
+    };
+    for (;;) {
+      SWIFT_ASSIGN_OR_RETURN(std::optional<ColumnBatch> b,
+                             left_->NextColumnar());
+      if (!b.has_value()) break;
+      const std::size_t n = b->num_rows();
+      if (n == 0) continue;
+      for (const uint32_t c : lcols) {
+        if (c >= b->columns.size()) {
+          return Status::Internal("probe row narrower than join key schema");
+        }
+      }
+      if (KeyEncoder::EncodeBatchColumns(*b, lcols, &bk)) {
+        for (std::size_t i = 0; i < n; ++i) {
+          emit(*b, i, bk.key(i), bk.hashes[i], bk.null_key[i] != 0);
+        }
+      } else {
+        KeyEncoder enc;
+        Row row;
+        for (std::size_t i = 0; i < n; ++i) {
+          b->MaterializeRow(i, &row);
+          bool has_null = false;
+          std::string_view bytes;
+          if (!enc.EncodeColumns(row, lcols, &bytes, &has_null)) {
+            return Status::Internal("probe row narrower than join key schema");
+          }
+          emit(*b, i, bytes, KeyEncoder::HashEncoded(bytes), has_null);
+        }
+      }
+    }
+    return Status::OK();
+  }
+
   OperatorPtr left_;
   OperatorPtr right_;
   std::vector<ExprPtr> left_keys_;
@@ -627,44 +869,15 @@ class HashAggregateOp final : public MaterializedOperator {
     const std::size_t naggs = aggs_.size();
     std::vector<AggState> states;  // table.size() * naggs, dense-major
     std::vector<Row> group_keys;   // dense index -> group key values
-    std::vector<Row> rows;
-    SWIFT_RETURN_NOT_OK(Drain(child_.get(), &rows));
-    KeyEncoder enc;
-    Row key;
     std::vector<uint32_t> gcols;
     const bool g_fast = KeyEncoder::ColumnOrdinals(bound_groups, &gcols);
-    for (const Row& r : rows) {
-      bool has_null = false;  // NULL group keys form real groups
-      std::string_view bytes;
-      if (g_fast) {
-        if (!enc.EncodeColumns(r, gcols, &bytes, &has_null)) {
-          return Status::Internal("row narrower than group key schema");
-        }
-      } else {
-        SWIFT_RETURN_NOT_OK(EvalBoundKeys(bound_groups, r, &key));
-        bytes = enc.Encode(key, &has_null);
-      }
-      const FlatKeyTable::FindResult fr =
-          table.FindOrInsert(bytes, KeyEncoder::HashEncoded(bytes));
-      if (fr.inserted) {
-        states.resize(states.size() + naggs);
-        if (g_fast) {
-          // The boxed group key is only materialized once per group.
-          Row gk;
-          gk.reserve(gcols.size());
-          for (const uint32_t c : gcols) gk.push_back(r[c]);
-          group_keys.push_back(std::move(gk));
-        } else {
-          group_keys.push_back(key);
-        }
-      }
-      AggState* slot = states.data() + std::size_t{fr.index} * naggs;
-      for (std::size_t a = 0; a < naggs; ++a) {
-        SWIFT_ASSIGN_OR_RETURN(
-            Value v, AggInput(aggs_[a].kind, bound_args[a].get(), r));
-        if (aggs_[a].kind == AggKind::kCount && v.is_null()) continue;
-        slot[a].Update(aggs_[a].kind, v);
-      }
+    if (child_->columnar() && g_fast) {
+      SWIFT_RETURN_NOT_OK(AccumulateColumnar(bound_args, gcols, &table,
+                                             &states, &group_keys));
+    } else {
+      SWIFT_RETURN_NOT_OK(AccumulateRows(bound_groups, bound_args, gcols,
+                                         g_fast, &table, &states,
+                                         &group_keys));
     }
     if (groups_.empty() && group_keys.empty()) {
       // Global aggregate over empty input: one all-default row.
@@ -683,6 +896,122 @@ class HashAggregateOp final : public MaterializedOperator {
   }
 
  private:
+  // Legacy row-at-a-time accumulation (computed group keys, or a child
+  // with no native columnar path).
+  Status AccumulateRows(const std::vector<BoundExprPtr>& bound_groups,
+                        const std::vector<BoundExprPtr>& bound_args,
+                        const std::vector<uint32_t>& gcols, bool g_fast,
+                        FlatKeyTable* table, std::vector<AggState>* states,
+                        std::vector<Row>* group_keys) {
+    const std::size_t naggs = aggs_.size();
+    std::vector<Row> rows;
+    SWIFT_RETURN_NOT_OK(Drain(child_.get(), &rows));
+    KeyEncoder enc;
+    Row key;
+    for (const Row& r : rows) {
+      bool has_null = false;  // NULL group keys form real groups
+      std::string_view bytes;
+      if (g_fast) {
+        if (!enc.EncodeColumns(r, gcols, &bytes, &has_null)) {
+          return Status::Internal("row narrower than group key schema");
+        }
+      } else {
+        SWIFT_RETURN_NOT_OK(EvalBoundKeys(bound_groups, r, &key));
+        bytes = enc.Encode(key, &has_null);
+      }
+      const FlatKeyTable::FindResult fr =
+          table->FindOrInsert(bytes, KeyEncoder::HashEncoded(bytes));
+      if (fr.inserted) {
+        states->resize(states->size() + naggs);
+        if (g_fast) {
+          // The boxed group key is only materialized once per group.
+          Row gk;
+          gk.reserve(gcols.size());
+          for (const uint32_t c : gcols) gk.push_back(r[c]);
+          group_keys->push_back(std::move(gk));
+        } else {
+          group_keys->push_back(key);
+        }
+      }
+      AggState* slot = states->data() + std::size_t{fr.index} * naggs;
+      for (std::size_t a = 0; a < naggs; ++a) {
+        SWIFT_ASSIGN_OR_RETURN(
+            Value v, AggInput(aggs_[a].kind, bound_args[a].get(), r));
+        if (aggs_[a].kind == AggKind::kCount && v.is_null()) continue;
+        slot[a].Update(aggs_[a].kind, v);
+      }
+    }
+    return Status::OK();
+  }
+
+  // Vectorized accumulation: group keys encode + hash in
+  // column-at-a-time passes (KeyEncoder::EncodeBatchColumns) and agg
+  // arguments evaluate once per batch via EvaluateVector; only the
+  // per-row table probe and state update stay scalar. Row-for-row
+  // identical groups, values, and first-seen order to AccumulateRows.
+  Status AccumulateColumnar(const std::vector<BoundExprPtr>& bound_args,
+                            const std::vector<uint32_t>& gcols,
+                            FlatKeyTable* table, std::vector<AggState>* states,
+                            std::vector<Row>* group_keys) {
+    const std::size_t naggs = aggs_.size();
+    KeyEncoder::BatchKeys bk;
+    std::vector<ColumnVector> arg_cols(naggs);
+    const auto update = [&](const ColumnBatch& b, std::size_t i,
+                            std::string_view bytes, uint64_t hash) {
+      const FlatKeyTable::FindResult fr = table->FindOrInsert(bytes, hash);
+      if (fr.inserted) {
+        states->resize(states->size() + naggs);
+        const std::size_t phys = b.PhysicalIndex(i);
+        Row gk;
+        gk.reserve(gcols.size());
+        for (const uint32_t c : gcols) gk.push_back(b.columns[c].GetValue(phys));
+        group_keys->push_back(std::move(gk));
+      }
+      AggState* slot = states->data() + std::size_t{fr.index} * naggs;
+      for (std::size_t a = 0; a < naggs; ++a) {
+        Value v = bound_args[a] == nullptr ? Value(int64_t{1})
+                                           : arg_cols[a].GetValue(i);
+        if (aggs_[a].kind == AggKind::kCount && v.is_null()) continue;
+        slot[a].Update(aggs_[a].kind, v);
+      }
+    };
+    for (;;) {
+      SWIFT_ASSIGN_OR_RETURN(std::optional<ColumnBatch> b,
+                             child_->NextColumnar());
+      if (!b.has_value()) return Status::OK();
+      const std::size_t n = b->num_rows();
+      if (n == 0) continue;
+      for (const uint32_t c : gcols) {
+        if (c >= b->columns.size()) {
+          return Status::Internal("row narrower than group key schema");
+        }
+      }
+      for (std::size_t a = 0; a < naggs; ++a) {
+        if (bound_args[a] != nullptr) {
+          SWIFT_RETURN_NOT_OK(bound_args[a]->EvaluateVector(*b, &arg_cols[a]));
+        }
+      }
+      if (KeyEncoder::EncodeBatchColumns(*b, gcols, &bk)) {
+        for (std::size_t i = 0; i < n; ++i) {
+          update(*b, i, bk.key(i), bk.hashes[i]);
+        }
+      } else {
+        // > 4 GiB of key bytes in one batch: encode row-at-a-time.
+        KeyEncoder enc;
+        Row row;
+        for (std::size_t i = 0; i < n; ++i) {
+          b->MaterializeRow(i, &row);
+          bool has_null = false;
+          std::string_view bytes;
+          if (!enc.EncodeColumns(row, gcols, &bytes, &has_null)) {
+            return Status::Internal("row narrower than group key schema");
+          }
+          update(*b, i, bytes, KeyEncoder::HashEncoded(bytes));
+        }
+      }
+    }
+  }
+
   OperatorPtr child_;
   std::vector<ExprPtr> groups_;
   std::vector<std::string> group_names_;
@@ -899,6 +1228,11 @@ std::string_view AggKindToString(AggKind kind) { return KindName(kind); }
 OperatorPtr MakeBatchSource(Schema schema, std::vector<Batch> batches) {
   return std::make_unique<BatchSource>(std::move(schema), std::move(batches));
 }
+OperatorPtr MakeColumnBatchSource(Schema schema,
+                                  std::vector<ColumnBatch> batches) {
+  return std::make_unique<ColumnBatchSource>(std::move(schema),
+                                             std::move(batches));
+}
 OperatorPtr MakeFilter(OperatorPtr child, ExprPtr predicate) {
   return std::make_unique<FilterOp>(std::move(child), std::move(predicate));
 }
@@ -957,6 +1291,24 @@ Result<Batch> CollectAll(PhysicalOperator* op) {
   Batch out;
   out.schema = op->output_schema();
   SWIFT_RETURN_NOT_OK(Drain(op, &out.rows));
+  return out;
+}
+
+Result<ColumnBatch> CollectAllColumnar(PhysicalOperator* op) {
+  SWIFT_RETURN_NOT_OK(op->Open());
+  ColumnBatch out;
+  out.schema = op->output_schema();
+  // Seed schema-typed columns so the collected result conforms (and an
+  // empty stream still carries its column structure).
+  out.columns.reserve(out.schema.num_fields());
+  for (const Field& f : out.schema.fields()) {
+    out.columns.push_back(ColumnVector::OfType(f.type));
+  }
+  for (;;) {
+    SWIFT_ASSIGN_OR_RETURN(std::optional<ColumnBatch> b, op->NextColumnar());
+    if (!b.has_value()) break;
+    AppendColumnBatch(*b, &out);
+  }
   return out;
 }
 
@@ -1032,6 +1384,64 @@ Result<std::vector<Batch>> HashPartition(Batch&& batch,
   return HashPartitionImpl(
       batch, keys, num_partitions,
       [&](std::size_t i) -> Row { return std::move(batch.rows[i]); });
+}
+
+Result<std::vector<ColumnBatch>> HashPartitionColumnar(
+    const ColumnBatch& batch, const std::vector<ExprPtr>& keys,
+    int num_partitions) {
+  if (num_partitions <= 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  SWIFT_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> bound,
+                         BindAll(keys, batch.schema));
+  const std::size_t nparts = static_cast<std::size_t>(num_partitions);
+  const uint32_t n32 = static_cast<uint32_t>(num_partitions);
+  const std::size_t n = batch.num_rows();
+  std::vector<std::size_t> dest(n, 0);
+  if (!bound.empty()) {
+    std::vector<uint32_t> cols;
+    std::vector<uint64_t> hashes;
+    std::vector<uint8_t> nulls;
+    if (KeyEncoder::ColumnOrdinals(bound, &cols) &&
+        KeyEncoder::HashBatchColumns(batch, cols, &hashes, &nulls)) {
+      // One vectorized hash pass; NULL keys stay at partition 0.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (nulls[i] == 0) dest[i] = RangeReduce(hashes[i], n32);
+      }
+    } else {
+      // Computed key expressions: hash row-at-a-time like HashPartition.
+      Row row, key;
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.MaterializeRow(i, &row);
+        SWIFT_RETURN_NOT_OK(EvalBoundKeys(bound, row, &key));
+        bool has_null = false;
+        const uint64_t h = KeyEncoder::HashNormalized(key, &has_null);
+        if (!has_null) dest[i] = RangeReduce(h, n32);
+      }
+    }
+  }
+  std::vector<std::size_t> counts(nparts, 0);
+  for (std::size_t i = 0; i < n; ++i) ++counts[dest[i]];
+  std::vector<ColumnBatch> out(nparts);
+  const std::size_t ncols = batch.columns.size();
+  for (std::size_t p = 0; p < nparts; ++p) {
+    out[p].schema = batch.schema;
+    out[p].physical_rows = counts[p];
+    out[p].columns.reserve(ncols);
+    for (const ColumnVector& col : batch.columns) {
+      ColumnVector c = ColumnVector::OfRep(col.rep());
+      c.Reserve(counts[p]);
+      out[p].columns.push_back(std::move(c));
+    }
+  }
+  // Column-at-a-time scatter: each source column streams once.
+  for (std::size_t c = 0; c < ncols; ++c) {
+    const ColumnVector& src = batch.columns[c];
+    for (std::size_t i = 0; i < n; ++i) {
+      out[dest[i]].columns[c].AppendFrom(src, batch.PhysicalIndex(i));
+    }
+  }
+  return out;
 }
 
 Result<bool> IsSorted(const Schema& schema, const std::vector<Row>& rows,

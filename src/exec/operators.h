@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/column_batch.h"
 #include "exec/expression.h"
 #include "exec/schema.h"
 
@@ -14,6 +15,15 @@ namespace swift {
 
 /// \brief Pull-based physical operator: Open() then Next() until
 /// std::nullopt. Output schema is valid after Open().
+///
+/// Operators expose two pull interfaces over the same stream: the row
+/// API (Next) and the columnar API (NextColumnar). A tree must be
+/// drained through exactly one of them. columnar() reports whether this
+/// operator produces ColumnBatches natively; the default NextColumnar
+/// adapts Next() through ToColumnBatch so any tree can be consumed
+/// columnar, and row consumers of native-columnar operators get
+/// ToRowBatch conversions — both directions produce identical logical
+/// rows.
 class PhysicalOperator {
  public:
   virtual ~PhysicalOperator() = default;
@@ -21,6 +31,16 @@ class PhysicalOperator {
   virtual Status Open() = 0;
   /// \brief Next output batch, or nullopt at end of stream.
   virtual Result<std::optional<Batch>> Next() = 0;
+
+  /// \brief Next output batch in columnar form, or nullopt at end of
+  /// stream. Batches may carry selection vectors; consumers must go
+  /// through num_rows()/PhysicalIndex(), never a column's size().
+  virtual Result<std::optional<ColumnBatch>> NextColumnar();
+
+  /// \brief True when NextColumnar is the native (vectorized) path for
+  /// this operator and its inputs — the runtime picks the execution
+  /// mode per task tree from the root's answer.
+  virtual bool columnar() const { return false; }
 
   const Schema& output_schema() const { return output_schema_; }
 
@@ -53,6 +73,12 @@ struct AggSpec {
 
 /// \brief Emits pre-materialized batches (table slices, shuffle input).
 OperatorPtr MakeBatchSource(Schema schema, std::vector<Batch> batches);
+
+/// \brief Emits pre-converted columnar batches (columnar scan slices,
+/// shuffle input decoded by DeserializeColumnBatch). Row consumers get
+/// ToRowBatch conversions.
+OperatorPtr MakeColumnBatchSource(Schema schema,
+                                  std::vector<ColumnBatch> batches);
 
 // ---- Row-at-a-time transforms ---------------------------------------
 
@@ -124,6 +150,11 @@ OperatorPtr MakeWindow(OperatorPtr child, std::vector<ExprPtr> partition_by,
 /// \brief Drains an operator tree into one materialized batch.
 Result<Batch> CollectAll(PhysicalOperator* op);
 
+/// \brief Drains an operator tree through the columnar API into one
+/// dense ColumnBatch (columns pre-typed from the output schema, so the
+/// result always conforms for SerializeColumnBatch's fast path).
+Result<ColumnBatch> CollectAllColumnar(PhysicalOperator* op);
+
 /// \brief Hash-partitions `batch` into `num_partitions` by key columns
 /// (shuffle-write partitioning). NULL keys go to partition 0. Key
 /// expressions are bound once per call; output partitions are reserved
@@ -137,6 +168,16 @@ Result<std::vector<Batch>> HashPartition(const Batch& batch,
 Result<std::vector<Batch>> HashPartition(Batch&& batch,
                                          const std::vector<ExprPtr>& keys,
                                          int num_partitions);
+
+/// \brief Columnar twin of HashPartition: one vectorized hash pass over
+/// the key columns (KeyEncoder::HashBatchColumns), exact per-partition
+/// counts, then a column-at-a-time scatter into dense output batches.
+/// Same destinations as HashPartition row-for-row (NULL keys go to
+/// partition 0); computed key expressions fall back to row-at-a-time
+/// hashing internally.
+Result<std::vector<ColumnBatch>> HashPartitionColumnar(
+    const ColumnBatch& batch, const std::vector<ExprPtr>& keys,
+    int num_partitions);
 
 /// \brief True when `rows` is non-descending under `keys`.
 Result<bool> IsSorted(const Schema& schema, const std::vector<Row>& rows,

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/hash64.h"
 #include "common/string_util.h"
 
 namespace swift {
@@ -15,18 +16,75 @@ bool HasUpperAscii(const std::string& s) {
   return false;
 }
 
+std::size_t Pow2AtLeast(std::size_t n) {
+  std::size_t cap = 8;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
 }  // namespace
 
+void Schema::NameIndex::Insert(std::string_view pool, uint64_t hash,
+                               uint32_t off, uint32_t len, uint32_t field) {
+  const std::size_t mask = slots.size() - 1;
+  const std::string_view key = pool.substr(off, len);
+  for (std::size_t i = hash & mask;; i = (i + 1) & mask) {
+    NameSlot& s = slots[i];
+    if (s.count == 0) {
+      s = NameSlot{hash, off, len, field, 1};
+      return;
+    }
+    if (s.hash == hash && pool.substr(s.off, s.len) == key) {
+      ++s.count;  // duplicate key; `first` keeps the earliest ordinal
+      return;
+    }
+  }
+}
+
+const Schema::NameSlot* Schema::NameIndex::Find(std::string_view pool,
+                                                uint64_t hash,
+                                                std::string_view key) const {
+  if (slots.empty()) return nullptr;
+  const std::size_t mask = slots.size() - 1;
+  for (std::size_t i = hash & mask;; i = (i + 1) & mask) {
+    const NameSlot& s = slots[i];
+    if (s.count == 0) return nullptr;
+    if (s.hash == hash && pool.substr(s.off, s.len) == key) return &s;
+  }
+}
+
 Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  if (fields_.empty()) return;
+  // Pass 1: pool the lowercased names so the index slots can reference
+  // them as (offset, len) views. A qualified name's unqualified suffix
+  // ("l_suppkey" in "l.l_suppkey") shares the same pooled bytes.
+  std::vector<uint32_t> offs(fields_.size());
+  std::vector<uint32_t> lens(fields_.size());
+  std::size_t total = 0;
+  for (const Field& f : fields_) total += f.name.size();
+  name_pool_.reserve(total);
   for (std::size_t i = 0; i < fields_.size(); ++i) {
     std::string lower = ToLower(fields_[i].name);
-    // Qualified names ("l.l_suppkey") are additionally indexed by their
-    // unqualified suffix so IndexOf never has to scan the name map.
-    const std::size_t dot = lower.rfind('.');
-    if (dot != std::string::npos) {
-      by_suffix_[lower.substr(dot + 1)].push_back(i);
+    offs[i] = static_cast<uint32_t>(name_pool_.size());
+    lens[i] = static_cast<uint32_t>(lower.size());
+    name_pool_ += lower;
+  }
+  // Pass 2: insert into fixed-capacity tables (load factor <= 0.5).
+  const std::size_t cap = Pow2AtLeast(2 * fields_.size());
+  by_name_.slots.assign(cap, NameSlot{});
+  by_suffix_.slots.assign(cap, NameSlot{});
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    const std::string_view key(name_pool_.data() + offs[i], lens[i]);
+    by_name_.Insert(name_pool_, Hash64(key.data(), key.size()), offs[i],
+                    lens[i], static_cast<uint32_t>(i));
+    const std::size_t dot = key.rfind('.');
+    if (dot != std::string_view::npos) {
+      const uint32_t soff = offs[i] + static_cast<uint32_t>(dot) + 1;
+      const uint32_t slen = lens[i] - static_cast<uint32_t>(dot) - 1;
+      const std::string_view suffix(name_pool_.data() + soff, slen);
+      by_suffix_.Insert(name_pool_, Hash64(suffix.data(), suffix.size()),
+                        soff, slen, static_cast<uint32_t>(i));
     }
-    by_name_[std::move(lower)].push_back(i);
   }
 }
 
@@ -39,22 +97,21 @@ Result<std::size_t> Schema::IndexOf(const std::string& name) const {
 
 Result<std::size_t> Schema::Lookup(const std::string& key,
                                    const std::string& name) const {
-  auto it = by_name_.find(key);
-  if (it != by_name_.end()) {
-    if (it->second.size() > 1) {
+  const uint64_t hash = Hash64(key.data(), key.size());
+  if (const NameSlot* s = by_name_.Find(name_pool_, hash, key)) {
+    if (s->count > 1) {
       return Status::InvalidArgument(
           StrFormat("ambiguous column reference '%s'", name.c_str()));
     }
-    return it->second[0];
+    return static_cast<std::size_t>(s->first);
   }
   // Unqualified lookup against qualified names: match suffix ".<key>".
-  auto sit = by_suffix_.find(key);
-  if (sit != by_suffix_.end()) {
-    if (sit->second.size() > 1) {
+  if (const NameSlot* s = by_suffix_.Find(name_pool_, hash, key)) {
+    if (s->count > 1) {
       return Status::InvalidArgument(
           StrFormat("ambiguous column reference '%s'", name.c_str()));
     }
-    return sit->second[0];
+    return static_cast<std::size_t>(s->first);
   }
   return Status::NotFound(StrFormat("no column named '%s'", name.c_str()));
 }

@@ -1,8 +1,9 @@
 #ifndef SWIFT_EXEC_SCHEMA_H_
 #define SWIFT_EXEC_SCHEMA_H_
 
-#include <map>
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -51,14 +52,39 @@ class Schema {
   std::string ToString() const;
 
  private:
+  /// One entry of the flat name table: the key is a (offset, len) view
+  /// into the shared lowercased-name pool, so Schema stays a plain
+  /// value type (copies re-point into their own pool). `count` tracks
+  /// duplicate keys for the ambiguity error; `first` is only read when
+  /// count == 1.
+  struct NameSlot {
+    uint64_t hash = 0;
+    uint32_t off = 0;
+    uint32_t len = 0;
+    uint32_t first = 0;
+    uint32_t count = 0;  // 0 = empty slot
+  };
+
+  /// Open-addressed hash table over common/hash64.h with linear
+  /// probing; sized once at construction (power of two, load <= 0.5).
+  struct NameIndex {
+    std::vector<NameSlot> slots;
+
+    void Insert(std::string_view pool, uint64_t hash, uint32_t off,
+                uint32_t len, uint32_t field);
+    const NameSlot* Find(std::string_view pool, uint64_t hash,
+                         std::string_view key) const;
+  };
+
   /// Resolves an already-lowercased `key` (`name` only for error text).
   Result<std::size_t> Lookup(const std::string& key,
                              const std::string& name) const;
 
   std::vector<Field> fields_;
-  std::map<std::string, std::vector<std::size_t>> by_name_;  // lower-cased
-  // Unqualified suffix ("x" for "t.x") -> field indices, lower-cased.
-  std::map<std::string, std::vector<std::size_t>> by_suffix_;
+  std::string name_pool_;  // lowercased field names, concatenated
+  NameIndex by_name_;
+  // Unqualified suffix ("x" for "t.x") -> field index, lower-cased.
+  NameIndex by_suffix_;
 };
 
 /// \brief A schema plus its rows: the unit operators exchange.

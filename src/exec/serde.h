@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/column_batch.h"
 #include "exec/schema.h"
 
 namespace swift {
@@ -29,6 +30,24 @@ std::string SerializeBatchV1(const Batch& batch);
 /// magic and rejects truncated/corrupt buffers (v2 verifies its CRC32
 /// footer before trusting any decoded count).
 Result<Batch> DeserializeBatch(std::string_view bytes);
+
+/// \brief Decodes a shuffle buffer straight into columnar form. For v2
+/// typed columns this is the near-memcpy path: fixed-width no-null
+/// columns land with a single memcpy into contiguous typed storage and
+/// no per-value Value boxing anywhere (columns with nulls scatter
+/// through the validity bitmap; tagged/mixed columns decode to kBoxed).
+/// v1 buffers decode through the row path and convert — ragged v1
+/// batches (which cannot be columnar) return the conversion error.
+/// Verifies the same CRC/bounds as DeserializeBatch.
+Result<ColumnBatch> DeserializeColumnBatch(std::string_view bytes);
+
+/// \brief Encodes a ColumnBatch, gathering through its selection
+/// vector. Byte-identical to SerializeBatch(ToRowBatch(batch)) — the
+/// shuffle wire format does not change — but writes typed columns
+/// straight from their contiguous storage. Columns whose representation
+/// deviates from the schema (kBoxed, retyped) fall back through the row
+/// serializer.
+std::string SerializeColumnBatch(const ColumnBatch& batch);
 
 /// \brief Serialized size of SerializeBatch without building the buffer
 /// (exact-size preallocation and Cache Worker memory accounting).

@@ -759,16 +759,34 @@ Result<OperatorPtr> LocalRuntime::BuildTaskTree(JobContext* ctx,
                            catalog_.Lookup(program.scan_table));
     Batch slice = table->TaskSlice(task.task, program.task_count);
     slice.schema = program.scan_schema;
-    std::vector<Batch> batches;
-    batches.push_back(std::move(slice));
-    sources.push_back(
-        MakeBatchSource(program.scan_schema, std::move(batches)));
+    bool pushed = false;
+    if (config_.columnar_exec) {
+      // Scan slices enter the tree columnar so filter/project/aggregate
+      // roots run their vectorized kernels; ragged slices (rows not
+      // matching the schema width) stay on the row path.
+      Result<ColumnBatch> cb = ToColumnBatch(slice);
+      if (cb.ok()) {
+        std::vector<ColumnBatch> batches;
+        batches.push_back(*std::move(cb));
+        sources.push_back(
+            MakeColumnBatchSource(program.scan_schema, std::move(batches)));
+        pushed = true;
+      }
+    }
+    if (!pushed) {
+      std::vector<Batch> batches;
+      batches.push_back(std::move(slice));
+      sources.push_back(
+          MakeBatchSource(program.scan_schema, std::move(batches)));
+    }
   } else {
     for (StageId src : program.inputs) {
       const StageProgram& producer = ctx->plan->program(src);
       const ShuffleKind kind =
           shuffle_->KindFor(dag.ShuffleEdgeSize(src, task.stage));
       std::vector<Batch> batches;
+      std::vector<ColumnBatch> cbatches;
+      bool use_columnar = config_.columnar_exec;
       for (int st = 0; st < producer.task_count; ++st) {
         ShuffleSlotKey key{ctx->job, src, st, task.stage, task.task};
         int writer = 0;
@@ -782,18 +800,41 @@ Result<OperatorPtr> LocalRuntime::BuildTaskTree(JobContext* ctx,
           }
           writer = it->second;
         }
-        SWIFT_ASSIGN_OR_RETURN(
-            Batch b, FetchShuffleInput(ctx, kind, key, machine, writer));
+        if (use_columnar) {
+          SWIFT_ASSIGN_OR_RETURN(
+              ShuffleInput in,
+              FetchShuffleInputColumnar(ctx, kind, key, machine, writer));
+          if (in.columnar.has_value()) {
+            cbatches.push_back(*std::move(in.columnar));
+          } else {
+            // A ragged v1 payload cannot be columnar: demote this whole
+            // source to rows, preserving payload order.
+            use_columnar = false;
+            for (ColumnBatch& cb : cbatches) {
+              batches.push_back(ToRowBatch(cb));
+            }
+            cbatches.clear();
+            batches.push_back(*std::move(in.rows));
+          }
+        } else {
+          SWIFT_ASSIGN_OR_RETURN(
+              Batch b, FetchShuffleInput(ctx, kind, key, machine, writer));
+          batches.push_back(std::move(b));
+        }
         {
           // This task now holds the producer's output — the planner's
           // received_output set for any later failure of that producer.
           std::lock_guard<std::mutex> lock(ctx->mu);
           ctx->received_by[TaskRef{src, st}].insert(task);
         }
-        batches.push_back(std::move(b));
       }
-      sources.push_back(
-          MakeBatchSource(producer.output_schema, std::move(batches)));
+      if (use_columnar) {
+        sources.push_back(MakeColumnBatchSource(producer.output_schema,
+                                                std::move(cbatches)));
+      } else {
+        sources.push_back(
+            MakeBatchSource(producer.output_schema, std::move(batches)));
+      }
     }
   }
 
@@ -897,6 +938,48 @@ Result<Batch> LocalRuntime::FetchShuffleInput(JobContext* ctx,
   }
 }
 
+Result<LocalRuntime::ShuffleInput> LocalRuntime::FetchShuffleInputColumnar(
+    JobContext* ctx, ShuffleKind kind, const ShuffleSlotKey& key, int reader,
+    int writer) {
+  for (int refetch = 0;; ++refetch) {
+    Result<ShuffleBuffer> buffer =
+        shuffle_->ReadPartition(kind, key, reader, writer);
+    if (!buffer.ok()) {
+      if (buffer.status().code() == StatusCode::kNotFound) {
+        // Same machine-loss mapping as FetchShuffleInput.
+        return Status::MachineUnhealthy(
+            std::string(buffer.status().message()));
+      }
+      return buffer.status();  // timeout budget exhausted etc.
+    }
+    Result<ColumnBatch> batch = DeserializeColumnBatch(buffer->view());
+    if (batch.ok()) {
+      ShuffleInput in;
+      in.columnar = *std::move(batch);
+      return in;
+    }
+    // A payload the columnar decoder rejects but the row decoder accepts
+    // is valid-but-ragged (v1), not corrupt: hand the rows back so the
+    // caller demotes the source instead of burning reread budget.
+    Result<Batch> rows = DeserializeBatch(buffer->view());
+    if (rows.ok()) {
+      ShuffleInput in;
+      in.rows = *std::move(rows);
+      return in;
+    }
+    if (refetch >= config_.max_corrupt_rereads) {
+      return rows.status().WithContext(StrFormat(
+          "payload %s rejected %d times", key.ToString().c_str(),
+          refetch + 1));
+    }
+    // The CRC-32C footer rejected the payload (bit flip in flight):
+    // drop this copy and re-fetch from the shuffle fabric.
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    ctx->stats.corrupt_read_retries += 1;
+    obs::Add(metrics_.corrupt_read_retries);
+  }
+}
+
 Status LocalRuntime::RunTask(JobContext* ctx, const TaskRef& task,
                              int machine) {
   int attempt;
@@ -949,7 +1032,18 @@ Status LocalRuntime::RunTask(JobContext* ctx, const TaskRef& task,
   const StageProgram& program = ctx->plan->program(task.stage);
   SWIFT_ASSIGN_OR_RETURN(OperatorPtr tree,
                          BuildTaskTree(ctx, program, task, machine));
-  SWIFT_ASSIGN_OR_RETURN(Batch out, CollectAll(tree.get()));
+  // The execution mode is decided per task tree: roots that report
+  // columnar() drain through the vectorized path end to end (selection
+  // vectors never materialize row copies); everything else uses the row
+  // path. Shuffle wire bytes are identical either way.
+  const bool columnar = config_.columnar_exec && tree->columnar();
+  Batch out;
+  ColumnBatch col_out;
+  if (columnar) {
+    SWIFT_ASSIGN_OR_RETURN(col_out, CollectAllColumnar(tree.get()));
+  } else {
+    SWIFT_ASSIGN_OR_RETURN(out, CollectAll(tree.get()));
+  }
   {
     // A machine killed mid-run takes its in-flight task results along.
     std::lock_guard<std::mutex> lock(mu_);
@@ -964,7 +1058,7 @@ Status LocalRuntime::RunTask(JobContext* ctx, const TaskRef& task,
   const StageId consumer = ctx->plan->ConsumerOf(task.stage);
   if (consumer < 0) {
     std::lock_guard<std::mutex> lock(ctx->mu);
-    ctx->final_result = std::move(out);
+    ctx->final_result = columnar ? ToRowBatch(col_out) : std::move(out);
     ctx->has_result = true;
     ctx->writer_machine[task] = machine;
     return Status::OK();
@@ -976,7 +1070,19 @@ Status LocalRuntime::RunTask(JobContext* ctx, const TaskRef& task,
       dag.EdgeKindOf(task.stage, consumer) == EdgeKind::kPipeline;
 
   std::vector<Batch> parts;
-  if (program.output_partition_keys.empty()) {
+  std::vector<ColumnBatch> col_parts;
+  if (columnar) {
+    if (program.output_partition_keys.empty()) {
+      col_parts.resize(static_cast<std::size_t>(consumer_prog.task_count));
+      for (auto& p : col_parts) p.schema = col_out.schema;
+      col_parts[0] = std::move(col_out);
+    } else {
+      SWIFT_ASSIGN_OR_RETURN(
+          col_parts,
+          HashPartitionColumnar(col_out, program.output_partition_keys,
+                                consumer_prog.task_count));
+    }
+  } else if (program.output_partition_keys.empty()) {
     parts.assign(static_cast<std::size_t>(consumer_prog.task_count), Batch{});
     for (auto& p : parts) p.schema = out.schema;
     parts[0].rows = std::move(out.rows);
@@ -990,10 +1096,13 @@ Status LocalRuntime::RunTask(JobContext* ctx, const TaskRef& task,
     ShuffleSlotKey key{ctx->job, task.stage, task.task, consumer, dst};
     // One allocation per partition: the shuffle plane (direct slot,
     // workers, retained recovery slots, re-sends) shares this buffer.
+    // SerializeColumnBatch emits the same bytes SerializeBatch would for
+    // the equivalent row batch, so readers never see the difference.
+    const std::size_t d = static_cast<std::size_t>(dst);
+    std::string payload = columnar ? SerializeColumnBatch(col_parts[d])
+                                   : SerializeBatch(parts[d]);
     SWIFT_RETURN_NOT_OK(shuffle_->WritePartition(
-        kind, key,
-        ShuffleBuffer(SerializeBatch(parts[static_cast<std::size_t>(dst)])),
-        machine, pipelined));
+        kind, key, ShuffleBuffer(std::move(payload)), machine, pipelined));
   }
   {
     std::lock_guard<std::mutex> lock(ctx->mu);

@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "exec/column_batch.h"
 #include "exec/table.h"
 #include "fault/failure.h"
 #include "fault/fault_injector.h"
@@ -50,6 +51,14 @@ struct LocalRuntimeConfig {
   int health_failure_threshold = 3;
   double health_window_seconds = 60.0;
   double health_probation_seconds = 120.0;
+  /// Vectorized task execution: scan slices and shuffle inputs enter
+  /// the operator tree as ColumnBatches, trees whose root reports
+  /// columnar() are drained through NextColumnar, and shuffle writes go
+  /// through HashPartitionColumnar + SerializeColumnBatch (wire bytes
+  /// are identical either way, so mixed fleets interoperate). Trees
+  /// with row-only roots, ragged scan slices, and non-conforming
+  /// batches all fall back to the row path automatically.
+  bool columnar_exec = true;
   /// Seeded chaos engine driving injected faults (nullopt = none).
   std::optional<FaultSchedule> fault_schedule;
   /// Optional observability sinks (not owned). The registry feeds the
@@ -145,6 +154,21 @@ class LocalRuntime {
   Result<Batch> FetchShuffleInput(JobContext* ctx, ShuffleKind kind,
                                   const ShuffleSlotKey& key, int reader,
                                   int writer);
+  /// One decoded shuffle payload. `columnar` is engaged for every v2
+  /// payload (and convertible v1); `rows` is engaged when only the row
+  /// decoder accepts the bytes (ragged v1 payloads, which cannot be
+  /// columnar) — the caller then demotes that source to the row path.
+  struct ShuffleInput {
+    std::optional<ColumnBatch> columnar;
+    std::optional<Batch> rows;
+  };
+  /// Columnar twin of FetchShuffleInput: same NotFound → MachineUnhealthy
+  /// mapping and corrupt-reread loop, but decodes straight into a
+  /// ColumnBatch (the near-memcpy path for v2 typed columns).
+  Result<ShuffleInput> FetchShuffleInputColumnar(JobContext* ctx,
+                                                 ShuffleKind kind,
+                                                 const ShuffleSlotKey& key,
+                                                 int reader, int writer);
   /// Advance the logical cluster clock one heartbeat interval, run
   /// detection, and handle newly detected machine losses and probation
   /// expirations. Called between stage waves.

@@ -1,0 +1,392 @@
+// Vectorized-execution parity suite (ctest label vec_smoke).
+//
+// Two families of guarantees are pinned here:
+//  1. Batch <-> ColumnBatch conversion is lossless for every Value shape
+//     the engine can hold — all four types, NULLs, NaN and -0.0, empty
+//     and multi-KB strings — including when columns degrade to kBoxed.
+//  2. Every vectorized kernel agrees with its row-at-a-time twin, using
+//     the row operators as oracles: filter, project, limit, hash
+//     aggregate, hash join, hash partition, and the shuffle serde
+//     (SerializeColumnBatch must emit the row serializer's exact bytes).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/rng.h"
+#include "exec/column_batch.h"
+#include "exec/operators.h"
+#include "exec/serde.h"
+
+namespace swift {
+namespace {
+
+// Bit-exact Value equality: NaN == NaN, and -0.0 != +0.0 — stricter
+// than Value::Compare, which is what round-tripping must preserve.
+bool ValueBitEq(const Value& a, const Value& b) {
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case DataType::kNull:
+      return true;
+    case DataType::kInt64:
+      return a.int64() == b.int64();
+    case DataType::kFloat64: {
+      uint64_t ba = 0, bb = 0;
+      const double da = a.float64(), db = b.float64();
+      std::memcpy(&ba, &da, sizeof(ba));
+      std::memcpy(&bb, &db, sizeof(bb));
+      return ba == bb;
+    }
+    case DataType::kString:
+      return a.str() == b.str();
+  }
+  return false;
+}
+
+void ExpectBatchesBitEq(const Batch& got, const Batch& want) {
+  ASSERT_EQ(got.schema, want.schema);
+  ASSERT_EQ(got.num_rows(), want.num_rows());
+  for (std::size_t r = 0; r < want.rows.size(); ++r) {
+    ASSERT_EQ(got.rows[r].size(), want.rows[r].size()) << "row " << r;
+    for (std::size_t c = 0; c < want.rows[r].size(); ++c) {
+      EXPECT_TRUE(ValueBitEq(got.rows[r][c], want.rows[r][c]))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+// A uniform-width random batch. Cells usually match their field type
+// (with NULLs mixed in); with `deviant`, a slice of cells carries the
+// wrong type so conversion exercises the kBoxed escape hatch.
+Batch RandomUniformBatch(uint64_t seed, bool deviant) {
+  Rng rng(seed);
+  const int ncols = static_cast<int>(rng.UniformInt(1, 5));
+  std::vector<Field> fields;
+  for (int c = 0; c < ncols; ++c) {
+    fields.push_back(Field{"c" + std::to_string(c),
+                           static_cast<DataType>(rng.UniformInt(0, 3))});
+  }
+  Batch b;
+  b.schema = Schema(std::move(fields));
+  const int nrows = static_cast<int>(rng.UniformInt(0, 300));
+  for (int r = 0; r < nrows; ++r) {
+    Row row;
+    for (int c = 0; c < ncols; ++c) {
+      DataType t = b.schema.fields()[static_cast<std::size_t>(c)].type;
+      if (rng.UniformInt(0, 9) == 0) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      if (deviant && rng.UniformInt(0, 19) == 0) {
+        t = static_cast<DataType>(rng.UniformInt(1, 3));
+      }
+      switch (t) {
+        case DataType::kNull:
+          row.push_back(Value::Null());
+          break;
+        case DataType::kInt64:
+          row.push_back(Value(static_cast<int64_t>(rng.Next())));
+          break;
+        case DataType::kFloat64:
+          switch (rng.UniformInt(0, 9)) {
+            case 0:
+              row.push_back(Value(std::numeric_limits<double>::quiet_NaN()));
+              break;
+            case 1:
+              row.push_back(Value(-0.0));
+              break;
+            default:
+              row.push_back(Value(rng.Uniform(-1e9, 1e9)));
+          }
+          break;
+        case DataType::kString: {
+          // Mostly short, occasionally multi-KB.
+          const std::size_t len = static_cast<std::size_t>(
+              rng.UniformInt(0, 9) == 0 ? rng.UniformInt(2048, 8192)
+                                        : rng.UniformInt(0, 24));
+          std::string s(len, 'x');
+          for (char& ch : s) ch = static_cast<char>(rng.UniformInt(0, 255));
+          row.push_back(Value(std::move(s)));
+          break;
+        }
+      }
+    }
+    b.rows.push_back(std::move(row));
+  }
+  return b;
+}
+
+OperatorPtr RowSourceOf(const Batch& b) {
+  std::vector<Batch> batches;
+  batches.push_back(b);
+  return MakeBatchSource(b.schema, std::move(batches));
+}
+
+OperatorPtr ColSourceOf(const Batch& b) {
+  Result<ColumnBatch> cb = ToColumnBatch(b);
+  EXPECT_TRUE(cb.ok()) << cb.status().ToString();
+  std::vector<ColumnBatch> batches;
+  batches.push_back(*std::move(cb));
+  return MakeColumnBatchSource(b.schema, std::move(batches));
+}
+
+Batch CollectRows(OperatorPtr op) {
+  Result<Batch> r = CollectAll(op.get());
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *std::move(r) : Batch{};
+}
+
+Batch CollectColumnar(OperatorPtr op) {
+  Result<ColumnBatch> r = CollectAllColumnar(op.get());
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? ToRowBatch(*r) : Batch{};
+}
+
+class ColumnarPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ColumnarPropertyTest, RoundTripBitExact) {
+  for (const bool deviant : {false, true}) {
+    Batch b = RandomUniformBatch(GetParam(), deviant);
+    Result<ColumnBatch> cb = ToColumnBatch(b);
+    ASSERT_TRUE(cb.ok()) << cb.status().ToString();
+    EXPECT_EQ(cb->num_rows(), b.num_rows());
+    ExpectBatchesBitEq(ToRowBatch(*cb), b);
+  }
+}
+
+TEST_P(ColumnarPropertyTest, SerializeColumnBatchMatchesRowSerializer) {
+  for (const bool deviant : {false, true}) {
+    Batch b = RandomUniformBatch(GetParam(), deviant);
+    Result<ColumnBatch> cb = ToColumnBatch(b);
+    ASSERT_TRUE(cb.ok()) << cb.status().ToString();
+    // Byte identity is the wire-compat contract: mixed row/columnar
+    // fleets must produce indistinguishable shuffle payloads.
+    EXPECT_EQ(SerializeColumnBatch(*cb), SerializeBatch(b));
+  }
+}
+
+TEST_P(ColumnarPropertyTest, DeserializeColumnBatchMatchesRowDecoder) {
+  Batch b = RandomUniformBatch(GetParam(), /*deviant=*/true);
+  const std::string bytes = SerializeBatch(b);
+  Result<ColumnBatch> cb = DeserializeColumnBatch(bytes);
+  ASSERT_TRUE(cb.ok()) << cb.status().ToString();
+  Result<Batch> rows = DeserializeBatch(bytes);
+  ASSERT_TRUE(rows.ok());
+  ExpectBatchesBitEq(ToRowBatch(*cb), *rows);
+  // And re-encoding the columnar decode reproduces the buffer.
+  EXPECT_EQ(SerializeColumnBatch(*cb), bytes);
+}
+
+TEST_P(ColumnarPropertyTest, SelectionAwareSerialization) {
+  Batch b = RandomUniformBatch(GetParam(), /*deviant=*/false);
+  Result<ColumnBatch> cb = ToColumnBatch(b);
+  ASSERT_TRUE(cb.ok()) << cb.status().ToString();
+  // Keep every other physical row, in order.
+  std::vector<uint32_t> sel;
+  for (std::size_t i = 0; i < cb->physical_rows; i += 2) {
+    sel.push_back(static_cast<uint32_t>(i));
+  }
+  cb->selection = std::move(sel);
+  Batch gathered = ToRowBatch(*cb);
+  EXPECT_EQ(gathered.num_rows(), cb->num_rows());
+  EXPECT_EQ(SerializeColumnBatch(*cb), SerializeBatch(gathered));
+  // Flatten() drops the selection without changing logical contents.
+  ColumnBatch flat = *cb;
+  flat.Flatten();
+  EXPECT_FALSE(flat.selection.has_value());
+  ExpectBatchesBitEq(ToRowBatch(flat), gathered);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColumnarPropertyTest,
+                         ::testing::Range<uint64_t>(1, 33));
+
+TEST(ColumnarEdgeTest, SpecialFloatsAndStringsRoundTrip) {
+  Schema s({{"f", DataType::kFloat64}, {"s", DataType::kString}});
+  Batch b;
+  b.schema = s;
+  b.rows.push_back({Value(std::numeric_limits<double>::quiet_NaN()),
+                    Value(std::string())});
+  b.rows.push_back({Value(-0.0), Value(std::string(4096, '\0'))});
+  b.rows.push_back({Value(std::numeric_limits<double>::infinity()),
+                    Value(std::string(64 << 10, 'q'))});
+  b.rows.push_back({Value::Null(), Value::Null()});
+  Result<ColumnBatch> cb = ToColumnBatch(b);
+  ASSERT_TRUE(cb.ok());
+  ExpectBatchesBitEq(ToRowBatch(*cb), b);
+  EXPECT_EQ(SerializeColumnBatch(*cb), SerializeBatch(b));
+  Result<ColumnBatch> back = DeserializeColumnBatch(SerializeBatch(b));
+  ASSERT_TRUE(back.ok());
+  ExpectBatchesBitEq(ToRowBatch(*back), b);
+}
+
+TEST(ColumnarEdgeTest, NearMemcpyDecodeProducesTypedColumns) {
+  Schema s({{"i", DataType::kInt64}, {"f", DataType::kFloat64}});
+  Batch b;
+  b.schema = s;
+  for (int64_t r = 0; r < 100; ++r) {
+    b.rows.push_back({Value(r), Value(static_cast<double>(r) * 0.5)});
+  }
+  Result<ColumnBatch> cb = DeserializeColumnBatch(SerializeBatch(b));
+  ASSERT_TRUE(cb.ok());
+  // No nulls: decode must land in contiguous typed storage, not boxes.
+  ASSERT_EQ(cb->columns.size(), 2u);
+  EXPECT_EQ(cb->columns[0].rep(), ColumnRep::kInt64);
+  EXPECT_EQ(cb->columns[1].rep(), ColumnRep::kFloat64);
+  EXPECT_FALSE(cb->columns[0].has_nulls());
+  EXPECT_EQ(cb->columns[0].Int64At(99), 99);
+  EXPECT_EQ(cb->columns[1].Float64At(99), 49.5);
+}
+
+// ---- Operator parity: row operators are the oracles ------------------
+
+Schema Wide() {
+  return Schema({{"k", DataType::kInt64},
+                 {"v", DataType::kFloat64},
+                 {"s", DataType::kString}});
+}
+
+Batch RandomWideBatch(uint64_t seed, int nrows) {
+  Rng rng(seed);
+  Batch b;
+  b.schema = Wide();
+  for (int r = 0; r < nrows; ++r) {
+    Row row;
+    row.push_back(rng.UniformInt(0, 19) == 0
+                      ? Value::Null()
+                      : Value(rng.UniformInt(-50, 50)));
+    row.push_back(rng.UniformInt(0, 19) == 0 ? Value::Null()
+                                             : Value(rng.Uniform(-1.0, 1.0)));
+    row.push_back(Value("s" + std::to_string(rng.UniformInt(0, 9))));
+    b.rows.push_back(std::move(row));
+  }
+  return b;
+}
+
+class OperatorParityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OperatorParityTest, FilterParity) {
+  Batch b = RandomWideBatch(GetParam(), 500);
+  auto pred = Expr::Binary(
+      BinaryOp::kOr,
+      Expr::Binary(BinaryOp::kGt, Expr::Column("k"),
+                   Expr::Literal(Value(int64_t{10}))),
+      Expr::Binary(BinaryOp::kLt, Expr::Column("v"),
+                   Expr::Literal(Value(-0.5))));
+  Batch want = CollectRows(MakeFilter(RowSourceOf(b), pred));
+  OperatorPtr vec = MakeFilter(ColSourceOf(b), pred);
+  EXPECT_TRUE(vec->columnar());
+  ExpectBatchesBitEq(CollectColumnar(std::move(vec)), want);
+}
+
+TEST_P(OperatorParityTest, ProjectParity) {
+  Batch b = RandomWideBatch(GetParam(), 500);
+  std::vector<ExprPtr> exprs = {
+      Expr::Binary(BinaryOp::kAdd, Expr::Column("k"),
+                   Expr::Literal(Value(int64_t{7}))),
+      Expr::Binary(BinaryOp::kMul, Expr::Column("v"),
+                   Expr::Column("v")),
+      Expr::Column("s"),
+  };
+  std::vector<std::string> names = {"k7", "v2", "s"};
+  Batch want = CollectRows(MakeProject(RowSourceOf(b), exprs, names));
+  OperatorPtr vec = MakeProject(ColSourceOf(b), exprs, names);
+  EXPECT_TRUE(vec->columnar());
+  ExpectBatchesBitEq(CollectColumnar(std::move(vec)), want);
+}
+
+TEST_P(OperatorParityTest, LimitUnderSelectionIsLogical) {
+  // LIMIT over a filtered columnar stream must count surviving
+  // (logical) rows, not physical storage rows.
+  Batch b = RandomWideBatch(GetParam(), 500);
+  auto pred = Expr::Binary(BinaryOp::kGt, Expr::Column("k"),
+                           Expr::Literal(Value(int64_t{0})));
+  Batch want =
+      CollectRows(MakeLimit(MakeFilter(RowSourceOf(b), pred), 37));
+  Batch got =
+      CollectColumnar(MakeLimit(MakeFilter(ColSourceOf(b), pred), 37));
+  ExpectBatchesBitEq(got, want);
+}
+
+TEST_P(OperatorParityTest, HashAggregateParity) {
+  Batch b = RandomWideBatch(GetParam(), 700);
+  std::vector<ExprPtr> groups = {Expr::Column("s")};
+  std::vector<std::string> names = {"s"};
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kSum, Expr::Column("k"), "sum_k"});
+  aggs.push_back({AggKind::kCount, nullptr, "cnt"});
+  aggs.push_back({AggKind::kMin, Expr::Column("v"), "min_v"});
+  aggs.push_back({AggKind::kMax, Expr::Column("k"), "max_k"});
+  aggs.push_back({AggKind::kAvg, Expr::Column("v"), "avg_v"});
+  Batch want = CollectRows(
+      MakeHashAggregate(RowSourceOf(b), groups, names, aggs));
+  // Aggregation materializes, so the root is not columnar, but a
+  // columnar child routes it through the vectorized accumulation path.
+  Batch got = CollectRows(
+      MakeHashAggregate(ColSourceOf(b), groups, names, aggs));
+  ExpectBatchesBitEq(got, want);
+}
+
+TEST_P(OperatorParityTest, HashJoinParity) {
+  Batch probe = RandomWideBatch(GetParam(), 400);
+  Batch build = RandomWideBatch(GetParam() ^ 0xBEEF, 80);
+  for (const JoinType jt : {JoinType::kInner, JoinType::kLeftOuter}) {
+    std::vector<ExprPtr> lk = {Expr::Column("k")};
+    std::vector<ExprPtr> rk = {Expr::Column("k")};
+    Batch want = CollectRows(MakeHashJoin(RowSourceOf(probe),
+                                          RowSourceOf(build), lk, rk, jt));
+    Batch got = CollectRows(MakeHashJoin(ColSourceOf(probe),
+                                         ColSourceOf(build), lk, rk, jt));
+    ExpectBatchesBitEq(got, want);
+  }
+}
+
+TEST_P(OperatorParityTest, HashPartitionParity) {
+  Batch b = RandomWideBatch(GetParam(), 600);
+  std::vector<ExprPtr> keys = {Expr::Column("k"), Expr::Column("s")};
+  const int nparts = 7;
+  Result<std::vector<Batch>> want = HashPartition(b, keys, nparts);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  Result<ColumnBatch> cb = ToColumnBatch(b);
+  ASSERT_TRUE(cb.ok());
+  Result<std::vector<ColumnBatch>> got =
+      HashPartitionColumnar(*cb, keys, nparts);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got->size(), want->size());
+  for (int p = 0; p < nparts; ++p) {
+    ExpectBatchesBitEq(ToRowBatch((*got)[static_cast<std::size_t>(p)]),
+                       (*want)[static_cast<std::size_t>(p)]);
+  }
+}
+
+TEST_P(OperatorParityTest, FilteredPartitionParity) {
+  // Partitioning a batch that still carries a selection vector must
+  // route exactly the surviving rows.
+  Batch b = RandomWideBatch(GetParam(), 600);
+  auto pred = Expr::Binary(BinaryOp::kGe, Expr::Column("k"),
+                           Expr::Literal(Value(int64_t{0})));
+  Batch wantrows = CollectRows(MakeFilter(RowSourceOf(b), pred));
+  std::vector<ExprPtr> keys = {Expr::Column("k")};
+  Result<std::vector<Batch>> want = HashPartition(wantrows, keys, 5);
+  ASSERT_TRUE(want.ok());
+  OperatorPtr vec = MakeFilter(ColSourceOf(b), pred);
+  ASSERT_TRUE(vec->Open().ok());
+  Result<std::optional<ColumnBatch>> filtered = vec->NextColumnar();
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  ASSERT_TRUE(filtered->has_value());
+  ASSERT_TRUE((*filtered)->selection.has_value());  // no row copies made
+  Result<std::vector<ColumnBatch>> got =
+      HashPartitionColumnar(**filtered, keys, 5);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got->size(), want->size());
+  for (std::size_t p = 0; p < want->size(); ++p) {
+    ExpectBatchesBitEq(ToRowBatch((*got)[p]), (*want)[p]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OperatorParityTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace swift

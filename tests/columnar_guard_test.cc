@@ -1,0 +1,180 @@
+// Bench regression guard (ctest label vec_smoke): the vectorized
+// kernels must never be slower than their row-at-a-time twins. Each
+// guard times best-of-N for both paths on the same data and fails if
+// the columnar kernel loses (with a small tolerance for timer noise).
+// Skipped under sanitizers — instrumentation overhead distorts the
+// relative cost of the two paths.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/column_batch.h"
+#include "exec/operators.h"
+#include "exec/serde.h"
+
+namespace swift {
+namespace {
+
+#if defined(SWIFT_SANITIZED)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+
+// The columnar path may be up to this factor of the row path before the
+// guard fires; everything beyond is a real regression, not noise.
+constexpr double kSlack = 1.10;
+constexpr int kTrials = 5;
+
+template <typename Fn>
+double BestSeconds(Fn&& fn) {
+  double best = 1e300;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+Batch GuardBatch(int nrows) {
+  Rng rng(0x5EED);
+  Batch b;
+  b.schema = Schema({{"k", DataType::kInt64},
+                     {"v", DataType::kFloat64},
+                     {"s", DataType::kString}});
+  for (int r = 0; r < nrows; ++r) {
+    b.rows.push_back({Value(rng.UniformInt(0, 999)),
+                      Value(rng.Uniform(0.0, 1.0)),
+                      Value("s" + std::to_string(rng.UniformInt(0, 31)))});
+  }
+  return b;
+}
+
+OperatorPtr RowSrc(const Batch& b) {
+  std::vector<Batch> v;
+  v.push_back(b);
+  return MakeBatchSource(b.schema, std::move(v));
+}
+
+OperatorPtr ColSrc(const ColumnBatch& cb) {
+  std::vector<ColumnBatch> v;
+  v.push_back(cb);
+  return MakeColumnBatchSource(cb.schema, std::move(v));
+}
+
+void ExpectNotSlower(const char* what, double row_s, double col_s) {
+  EXPECT_LE(col_s, row_s * kSlack)
+      << what << ": columnar " << col_s * 1e3 << " ms vs row "
+      << row_s * 1e3 << " ms";
+}
+
+class ColumnarGuardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (kSanitized) {
+      GTEST_SKIP() << "timing guard skipped under sanitizers";
+    }
+  }
+};
+
+TEST_F(ColumnarGuardTest, FilterNotSlowerThanRowTwin) {
+  const Batch b = GuardBatch(200000);
+  const ColumnBatch cb = *ToColumnBatch(b);
+  auto pred = Expr::Binary(BinaryOp::kGt, Expr::Column("k"),
+                           Expr::Literal(Value(int64_t{500})));
+  std::size_t rows_row = 0, rows_col = 0;
+  const double row_s = BestSeconds([&] {
+    auto op = MakeFilter(RowSrc(b), pred);
+    rows_row = CollectAll(op.get())->num_rows();
+  });
+  const double col_s = BestSeconds([&] {
+    auto op = MakeFilter(ColSrc(cb), pred);
+    ASSERT_TRUE(op->Open().ok());
+    rows_col = 0;
+    while (true) {
+      auto nxt = op->NextColumnar();
+      ASSERT_TRUE(nxt.ok());
+      if (!nxt->has_value()) break;
+      rows_col += (*nxt)->num_rows();
+    }
+  });
+  ASSERT_EQ(rows_col, rows_row);
+  ExpectNotSlower("filter", row_s, col_s);
+}
+
+TEST_F(ColumnarGuardTest, ProjectNotSlowerThanRowTwin) {
+  const Batch b = GuardBatch(200000);
+  const ColumnBatch cb = *ToColumnBatch(b);
+  std::vector<ExprPtr> exprs = {
+      Expr::Binary(BinaryOp::kAdd, Expr::Column("k"),
+                   Expr::Literal(Value(int64_t{1}))),
+      Expr::Binary(BinaryOp::kMul, Expr::Column("v"), Expr::Column("v"))};
+  std::vector<std::string> names = {"k1", "v2"};
+  const double row_s = BestSeconds([&] {
+    auto op = MakeProject(RowSrc(b), exprs, names);
+    ASSERT_TRUE(CollectAll(op.get()).ok());
+  });
+  const double col_s = BestSeconds([&] {
+    auto op = MakeProject(ColSrc(cb), exprs, names);
+    ASSERT_TRUE(op->Open().ok());
+    while (true) {
+      auto nxt = op->NextColumnar();
+      ASSERT_TRUE(nxt.ok());
+      if (!nxt->has_value()) break;
+    }
+  });
+  ExpectNotSlower("project", row_s, col_s);
+}
+
+TEST_F(ColumnarGuardTest, HashAggregateInputNotSlowerThanRowTwin) {
+  const Batch b = GuardBatch(200000);
+  const ColumnBatch cb = *ToColumnBatch(b);
+  std::vector<ExprPtr> groups = {Expr::Column("s")};
+  std::vector<std::string> names = {"s"};
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggKind::kSum, Expr::Column("k"), "sum_k"});
+  aggs.push_back({AggKind::kCount, nullptr, "cnt"});
+  const double row_s = BestSeconds([&] {
+    auto op = MakeHashAggregate(RowSrc(b), groups, names, aggs);
+    ASSERT_TRUE(CollectAll(op.get()).ok());
+  });
+  const double col_s = BestSeconds([&] {
+    auto op = MakeHashAggregate(ColSrc(cb), groups, names, aggs);
+    ASSERT_TRUE(CollectAll(op.get()).ok());
+  });
+  ExpectNotSlower("hash aggregate", row_s, col_s);
+}
+
+TEST_F(ColumnarGuardTest, HashPartitionNotSlowerThanRowTwin) {
+  const Batch b = GuardBatch(200000);
+  const ColumnBatch cb = *ToColumnBatch(b);
+  std::vector<ExprPtr> keys = {Expr::Column("k")};
+  const double row_s = BestSeconds([&] {
+    ASSERT_TRUE(HashPartition(b, keys, 8).ok());
+  });
+  const double col_s = BestSeconds([&] {
+    ASSERT_TRUE(HashPartitionColumnar(cb, keys, 8).ok());
+  });
+  ExpectNotSlower("hash partition", row_s, col_s);
+}
+
+TEST_F(ColumnarGuardTest, ColumnarDecodeNotSlowerThanRowDecode) {
+  const Batch b = GuardBatch(200000);
+  const std::string bytes = SerializeBatch(b);
+  const double row_s = BestSeconds([&] {
+    ASSERT_TRUE(DeserializeBatch(bytes).ok());
+  });
+  const double col_s = BestSeconds([&] {
+    ASSERT_TRUE(DeserializeColumnBatch(bytes).ok());
+  });
+  ExpectNotSlower("v2 decode", row_s, col_s);
+}
+
+}  // namespace
+}  // namespace swift
