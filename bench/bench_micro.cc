@@ -9,8 +9,10 @@
 #include <unordered_map>
 
 #include "common/hash64.h"
+#include "common/thread_pool.h"
 #include "dag/dag_builder.h"
 #include "exec/bound_expr.h"
+#include "exec/morsel.h"
 #include "exec/hash_table.h"
 #include "exec/key_encoder.h"
 #include "exec/operators.h"
@@ -1068,6 +1070,252 @@ void BM_VecSerializeIntsColumnar(benchmark::State& state) {
       static_cast<int64_t>(SerializeColumnBatch(cb).size()));
 }
 BENCHMARK(BM_VecSerializeIntsColumnar)->Arg(10000);
+
+// ---------------------------------------------------------------------
+// PR 7: morsel-driven streaming. Each BM_Morsel* pair runs the same
+// logical work row-at-a-time and through the native columnar build
+// (sort / window / merge join), plus the whole-slice vs morselized
+// pipeline shapes; the peak_rows counter reports resident rows at the
+// source boundary (slice size vs one morsel).
+
+void BM_MorselSortRow(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const Batch base = MakeVecBatch(rows);
+  std::vector<SortKey> keys;
+  keys.push_back({Expr::Column("s"), true});
+  keys.push_back({Expr::Column("k"), false});
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Batch> batches;
+    batches.push_back(base);
+    state.ResumeTiming();
+    auto op = MakeSort(MakeBatchSource(base.schema, std::move(batches)), keys);
+    auto out = CollectAll(op.get());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
+}
+BENCHMARK(BM_MorselSortRow)->Arg(4096)->Arg(65536);
+
+void BM_MorselSortColumnar(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const ColumnBatch cbase = *ToColumnBatch(MakeVecBatch(rows));
+  std::vector<SortKey> keys;
+  keys.push_back({Expr::Column("s"), true});
+  keys.push_back({Expr::Column("k"), false});
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<ColumnBatch> batches;
+    batches.push_back(cbase);
+    state.ResumeTiming();
+    // The columnar sort emits a permutation selection over the input
+    // storage — rows are never gathered.
+    auto op = MakeSort(
+        MakeColumnBatchSource(cbase.schema, std::move(batches)), keys);
+    (void)op->Open();
+    auto out = op->NextColumnar();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
+}
+BENCHMARK(BM_MorselSortColumnar)->Arg(4096)->Arg(65536);
+
+void BM_MorselWindowRow(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const Batch base = MakeVecBatch(rows);
+  std::vector<ExprPtr> part = {Expr::Column("s")};
+  std::vector<SortKey> order;
+  order.push_back({Expr::Column("k"), true});
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Batch> batches;
+    batches.push_back(base);
+    state.ResumeTiming();
+    auto op = MakeWindow(MakeBatchSource(base.schema, std::move(batches)),
+                         part, order, WindowFunc::kSum, Expr::Column("v"),
+                         "w");
+    auto out = CollectAll(op.get());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
+}
+BENCHMARK(BM_MorselWindowRow)->Arg(4096)->Arg(65536);
+
+void BM_MorselWindowColumnar(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const ColumnBatch cbase = *ToColumnBatch(MakeVecBatch(rows));
+  std::vector<ExprPtr> part = {Expr::Column("s")};
+  std::vector<SortKey> order;
+  order.push_back({Expr::Column("k"), true});
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<ColumnBatch> batches;
+    batches.push_back(cbase);
+    state.ResumeTiming();
+    auto op = MakeWindow(
+        MakeColumnBatchSource(cbase.schema, std::move(batches)), part, order,
+        WindowFunc::kSum, Expr::Column("v"), "w");
+    (void)op->Open();
+    auto out = op->NextColumnar();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
+}
+BENCHMARK(BM_MorselWindowColumnar)->Arg(4096)->Arg(65536);
+
+// Sorted-key inputs for the merge join (dup keys + gaps).
+Batch MakeMorselSortedBatch(int rows, const char* prefix) {
+  Batch b;
+  b.schema = Schema({{"k", DataType::kInt64}, {"p", DataType::kString}});
+  int64_t k = 0;
+  for (int i = 0; i < rows; ++i) {
+    k += (i * 2654435761u >> 13) % 3 == 0 ? 1 : 0;
+    b.rows.push_back({Value(k), Value(prefix + std::to_string(i % 64))});
+  }
+  return b;
+}
+
+void BM_MorselMergeJoinRow(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const Batch left = MakeMorselSortedBatch(rows, "L");
+  const Batch right = MakeMorselSortedBatch(rows / 2, "R");
+  std::vector<ExprPtr> lk = {Expr::Column("k")};
+  std::vector<ExprPtr> rk = {Expr::Column("k")};
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Batch> lb, rb;
+    lb.push_back(left);
+    rb.push_back(right);
+    state.ResumeTiming();
+    auto op = MakeMergeJoin(MakeBatchSource(left.schema, std::move(lb)),
+                            MakeBatchSource(right.schema, std::move(rb)), lk,
+                            rk);
+    auto out = CollectAll(op.get());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
+}
+BENCHMARK(BM_MorselMergeJoinRow)->Arg(4096)->Arg(65536);
+
+void BM_MorselMergeJoinColumnar(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const ColumnBatch left = *ToColumnBatch(MakeMorselSortedBatch(rows, "L"));
+  const ColumnBatch right =
+      *ToColumnBatch(MakeMorselSortedBatch(rows / 2, "R"));
+  std::vector<ExprPtr> lk = {Expr::Column("k")};
+  std::vector<ExprPtr> rk = {Expr::Column("k")};
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<ColumnBatch> lb, rb;
+    lb.push_back(left);
+    rb.push_back(right);
+    state.ResumeTiming();
+    auto op = MakeMergeJoin(
+        MakeColumnBatchSource(left.schema, std::move(lb)),
+        MakeColumnBatchSource(right.schema, std::move(rb)), lk, rk);
+    (void)op->Open();
+    auto out = op->NextColumnar();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
+}
+BENCHMARK(BM_MorselMergeJoinColumnar)->Arg(4096)->Arg(65536);
+
+// The scan-task pipeline shapes: whole-slice (Table::TaskSlice +
+// ToColumnBatch + filter/project over one big batch) vs morselized
+// (TableMorselSource streaming 1K-row morsels through the same steps).
+// peak_rows is the resident-row footprint at the source boundary.
+std::shared_ptr<Table> MakeMorselTable(int rows) {
+  auto t = std::make_shared<Table>();
+  t->name = "bench";
+  t->schema = Schema({{"k", DataType::kInt64},
+                      {"v", DataType::kFloat64},
+                      {"s", DataType::kString}});
+  Batch b = MakeVecBatch(rows);
+  t->rows = std::move(b.rows);
+  return t;
+}
+
+std::vector<MorselStep> MorselBenchSteps() {
+  std::vector<MorselStep> steps;
+  MorselStep f;
+  f.kind = MorselStep::Kind::kFilter;
+  f.predicate = VecPredicate();
+  steps.push_back(std::move(f));
+  MorselStep p;
+  p.kind = MorselStep::Kind::kProject;
+  p.exprs = {Expr::Binary(BinaryOp::kAdd, Expr::Column("k"),
+                          Expr::Literal(Value(int64_t{7}))),
+             Expr::Binary(BinaryOp::kMul, Expr::Column("v"),
+                          Expr::Column("v"))};
+  p.names = {"k7", "v2"};
+  steps.push_back(std::move(p));
+  return steps;
+}
+
+std::size_t DrainMorselBench(PhysicalOperator* op) {
+  (void)op->Open();
+  std::size_t kept = 0;
+  while (true) {
+    auto nxt = op->NextColumnar();
+    if (!nxt.ok() || !nxt->has_value()) break;
+    kept += (*nxt)->num_rows();
+  }
+  return kept;
+}
+
+void BM_MorselPipelineWholeSlice(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  auto table = MakeMorselTable(rows);
+  const auto steps = MorselBenchSteps();
+  for (auto _ : state) {
+    Batch slice = table->TaskSlice(0, 1);
+    auto cb = ToColumnBatch(slice);
+    std::vector<ColumnBatch> batches;
+    batches.push_back(*std::move(cb));
+    auto op = MakeProject(
+        MakeFilter(MakeColumnBatchSource(table->schema, std::move(batches)),
+                   steps[0].predicate),
+        steps[1].exprs, steps[1].names);
+    benchmark::DoNotOptimize(DrainMorselBench(op.get()));
+  }
+  state.counters["peak_rows"] = static_cast<double>(rows);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
+}
+BENCHMARK(BM_MorselPipelineWholeSlice)->Arg(65536)->Arg(262144);
+
+void BM_MorselPipelineStreamed(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  auto table = MakeMorselTable(rows);
+  for (auto _ : state) {
+    auto op = MakeParallelMorselPipeline(
+        MakeTableMorselSource(table, 0, 1, table->schema, kDefaultMorselRows),
+        MorselBenchSteps(), nullptr, 1);
+    benchmark::DoNotOptimize(DrainMorselBench(op.get()));
+  }
+  state.counters["peak_rows"] = static_cast<double>(kDefaultMorselRows);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
+}
+BENCHMARK(BM_MorselPipelineStreamed)->Arg(65536)->Arg(262144);
+
+void BM_MorselPipelineParallel(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const int lanes = static_cast<int>(state.range(1));
+  auto table = MakeMorselTable(rows);
+  ThreadPool pool(static_cast<std::size_t>(lanes));
+  for (auto _ : state) {
+    auto op = MakeParallelMorselPipeline(
+        MakeTableMorselSource(table, 0, 1, table->schema, kDefaultMorselRows),
+        MorselBenchSteps(), &pool, lanes);
+    benchmark::DoNotOptimize(DrainMorselBench(op.get()));
+  }
+  state.counters["peak_rows"] =
+      static_cast<double>(kDefaultMorselRows) * 2 * lanes;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
+}
+BENCHMARK(BM_MorselPipelineParallel)
+    ->Args({262144, 2})
+    ->Args({262144, 4});
 
 }  // namespace
 }  // namespace swift

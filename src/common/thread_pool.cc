@@ -12,11 +12,33 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
+void ThreadPool::InstallMetrics(MetricsHooks hooks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hooks_ = std::move(hooks);
+}
+
+std::size_t ThreadPool::free_slots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t idle = threads_.size() - active_;
+  return idle > queue_.size() ? idle - queue_.size() : 0;
+}
+
+void ThreadPool::ReportIdleLocked() {
+  if (hooks_.idle_ratio && !threads_.empty()) {
+    hooks_.idle_ratio(static_cast<double>(threads_.size() - active_) /
+                      static_cast<double>(threads_.size()));
+  }
+}
+
 bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) return false;
     queue_.push_back(std::move(task));
+    if (hooks_.on_submit) hooks_.on_submit();
+    if (hooks_.queue_depth) {
+      hooks_.queue_depth(static_cast<double>(queue_.size()));
+    }
   }
   cv_.notify_one();
   return true;
@@ -52,11 +74,17 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      if (hooks_.queue_depth) {
+        hooks_.queue_depth(static_cast<double>(queue_.size()));
+      }
+      ReportIdleLocked();
     }
     task();
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;
+      if (hooks_.on_complete) hooks_.on_complete();
+      ReportIdleLocked();
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
   }

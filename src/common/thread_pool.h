@@ -22,6 +22,29 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// \brief Instrumentation hooks, all optional. The pool invokes them
+  /// under its mutex so readings are mutually consistent; hooks must be
+  /// cheap (atomic writes) and must NOT call back into the pool. The
+  /// obs layer adapts these onto MetricsRegistry instruments (gauge +
+  /// histogram) without common/ depending on obs/.
+  struct MetricsHooks {
+    std::function<void()> on_submit;          ///< per accepted Submit()
+    std::function<void()> on_complete;        ///< per finished task
+    std::function<void(double)> queue_depth;  ///< after every queue change
+    std::function<void(double)> idle_ratio;   ///< idle workers / workers
+  };
+
+  /// \brief Installs (replaces) the instrumentation hooks. Call before
+  /// the pool is shared across threads; not synchronized against
+  /// concurrent Submit().
+  void InstallMetrics(MetricsHooks hooks);
+
+  /// \brief Workers currently idle beyond the queued backlog — the
+  /// number of extra jobs that would start running immediately. A
+  /// scheduling hint (racy by nature): morsel pipelines use it to
+  /// decide how many helper lanes are worth spawning.
+  std::size_t free_slots() const;
+
   /// \brief Enqueues a task; returns false after Shutdown().
   bool Submit(std::function<void()> task);
 
@@ -37,7 +60,11 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  // Called with mu_ held.
+  void ReportIdleLocked();
+
+  MetricsHooks hooks_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::deque<std::function<void()>> queue_;

@@ -322,6 +322,85 @@ void ColumnVector::AppendFrom(const ColumnVector& src, std::size_t i) {
   Append(src.GetValue(i));
 }
 
+void ColumnVector::AppendRangeFrom(const ColumnVector& src, std::size_t begin,
+                                   std::size_t len) {
+  if (len == 0) return;
+  if (rep_ == ColumnRep::kNull && size_ == 0 &&
+      src.rep_ != ColumnRep::kNull) {
+    RetypeFromNull(src.rep_);
+  }
+  if (rep_ != src.rep_) {
+    for (std::size_t i = 0; i < len; ++i) AppendFrom(src, begin + i);
+    return;
+  }
+  switch (rep_) {
+    case ColumnRep::kNull:
+      size_ += len;
+      null_count_ += len;
+      return;
+    case ColumnRep::kBoxed:
+      boxed_.insert(boxed_.end(),
+                    src.boxed_.begin() + static_cast<std::ptrdiff_t>(begin),
+                    src.boxed_.begin() +
+                        static_cast<std::ptrdiff_t>(begin + len));
+      for (std::size_t i = 0; i < len; ++i) {
+        if (src.boxed_[begin + i].is_null()) ++null_count_;
+      }
+      size_ += len;
+      return;
+    case ColumnRep::kInt64:
+      i64_.insert(i64_.end(),
+                  src.i64_.begin() + static_cast<std::ptrdiff_t>(begin),
+                  src.i64_.begin() + static_cast<std::ptrdiff_t>(begin + len));
+      break;
+    case ColumnRep::kFloat64:
+      f64_.insert(f64_.end(),
+                  src.f64_.begin() + static_cast<std::ptrdiff_t>(begin),
+                  src.f64_.begin() + static_cast<std::ptrdiff_t>(begin + len));
+      break;
+    case ColumnRep::kString: {
+      const uint32_t s0 = src.offsets_[begin];
+      const uint32_t s1 = src.offsets_[begin + len];
+      if (heap_.size() + (s1 - s0) >
+          static_cast<std::size_t>(std::numeric_limits<uint32_t>::max())) {
+        // Offsets would overflow: fall back to the adaptive path, which
+        // boxifies when it hits the same wall.
+        for (std::size_t i = 0; i < len; ++i) AppendFrom(src, begin + i);
+        return;
+      }
+      const uint32_t base = static_cast<uint32_t>(heap_.size());
+      heap_.append(src.heap_.data() + s0, s1 - s0);
+      for (std::size_t i = 1; i <= len; ++i) {
+        offsets_.push_back(base + (src.offsets_[begin + i] - s0));
+      }
+      break;
+    }
+  }
+  // Validity for the typed reps: an empty bitmap means all-valid, so
+  // bits are only materialized when either side already tracks nulls.
+  const auto put_bit = [this](std::size_t i, bool valid) {
+    const std::size_t byte = i >> 3;
+    if (byte >= valid_.size()) valid_.resize(byte + 1, 0);
+    if (valid) {
+      valid_[byte] = static_cast<uint8_t>(valid_[byte] | (1u << (i & 7)));
+    } else {
+      valid_[byte] = static_cast<uint8_t>(valid_[byte] & ~(1u << (i & 7)));
+    }
+  };
+  if (!src.valid_.empty()) {
+    EnsureValidity();
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::size_t s = begin + i;
+      const bool valid = (src.valid_[s >> 3] & (1u << (s & 7))) != 0;
+      put_bit(size_ + i, valid);
+      if (!valid) ++null_count_;
+    }
+  } else if (!valid_.empty()) {
+    for (std::size_t i = 0; i < len; ++i) put_bit(size_ + i, true);
+  }
+  size_ += len;
+}
+
 void ColumnVector::ResizeFixedWidth(ColumnRep rep, std::size_t n) {
   rep_ = rep;
   size_ = n;
@@ -372,6 +451,29 @@ void ColumnBatch::TruncateLogical(std::size_t k) {
   std::vector<uint32_t> sel(k);
   for (std::size_t i = 0; i < k; ++i) sel[i] = static_cast<uint32_t>(i);
   selection = std::move(sel);
+}
+
+ColumnBatch ColumnBatch::SliceRows(std::size_t begin, std::size_t len) const {
+  ColumnBatch out;
+  out.schema = schema;
+  const std::size_t n = num_rows();
+  if (begin > n) begin = n;
+  len = std::min(len, n - begin);
+  out.physical_rows = len;
+  out.columns.reserve(columns.size());
+  for (const ColumnVector& col : columns) {
+    ColumnVector c = ColumnVector::OfRep(col.rep());
+    if (selection) {
+      c.Reserve(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        c.AppendFrom(col, (*selection)[begin + i]);
+      }
+    } else {
+      c.AppendRangeFrom(col, begin, len);
+    }
+    out.columns.push_back(std::move(c));
+  }
+  return out;
 }
 
 Result<ColumnBatch> ToColumnBatch(const Batch& batch) {

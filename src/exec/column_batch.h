@@ -112,6 +112,13 @@ class ColumnVector {
   /// \brief Appends src[i]; typed copy when reps match, boxed otherwise.
   void AppendFrom(const ColumnVector& src, std::size_t i);
 
+  /// \brief Bulk-appends the physical subrange src[begin, begin+len):
+  /// one memcpy for matching fixed-width reps, one heap substring copy
+  /// (plus rebased offsets) for strings, element-wise otherwise. Used by
+  /// the morsel cursor to carve ~1K-row slices out of decoded batches.
+  void AppendRangeFrom(const ColumnVector& src, std::size_t begin,
+                       std::size_t len);
+
   // Bulk construction for serde's fixed-width decode: sizes the data
   // array (callers then memcpy into MutableInt64Data()/...) with an
   // all-valid bitmap; SetValidity installs a decoded bitmap afterwards.
@@ -175,6 +182,13 @@ struct ColumnBatch {
 
   /// \brief Truncates to the first k logical rows (LIMIT).
   void TruncateLogical(std::size_t k);
+
+  /// \brief Dense copy of the logical row subrange [begin, begin+len):
+  /// the morsel splitter for decoded shuffle batches. Fixed-width
+  /// columns slice with one memcpy per column; a selection vector (even
+  /// one straddling the requested range) is gathered away, so the
+  /// result never aliases and never carries a selection.
+  ColumnBatch SliceRows(std::size_t begin, std::size_t len) const;
 };
 
 /// \brief Converts a row batch. Errors (InvalidArgument) on ragged rows

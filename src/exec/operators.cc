@@ -347,6 +347,82 @@ bool KeyHasNull(const Row& k) {
   return false;
 }
 
+// Cell-level comparison with Value::Compare semantics exactly — NULLs
+// first (and equal to each other), int64/int64 exact, mixed numerics by
+// double value, strings lexicographic, numbers before strings — but
+// reading typed storage directly, so the sort/merge-join/window
+// comparators never box the common reps.
+int CompareCells(const ColumnVector& a, std::size_t i, const ColumnVector& b,
+                 std::size_t j) {
+  const bool ln = a.IsNull(i);
+  const bool rn = b.IsNull(j);
+  if (ln || rn) return ln == rn ? 0 : (ln ? -1 : 1);
+  const ColumnRep ra = a.rep();
+  const ColumnRep rb = b.rep();
+  if (ra == ColumnRep::kInt64 && rb == ColumnRep::kInt64) {
+    const int64_t x = a.Int64At(i);
+    const int64_t y = b.Int64At(j);
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  const bool na = ra == ColumnRep::kInt64 || ra == ColumnRep::kFloat64;
+  const bool nb = rb == ColumnRep::kInt64 || rb == ColumnRep::kFloat64;
+  if (na && nb) {
+    const double x =
+        ra == ColumnRep::kInt64 ? static_cast<double>(a.Int64At(i))
+                                : a.Float64At(i);
+    const double y =
+        rb == ColumnRep::kInt64 ? static_cast<double>(b.Int64At(j))
+                                : b.Float64At(j);
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (ra == ColumnRep::kString && rb == ColumnRep::kString) {
+    const int c = a.StrAt(i).compare(b.StrAt(j));
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  // Boxed or mixed-rep cells: defer to the boxed comparison.
+  return a.GetValue(i).Compare(b.GetValue(j));
+}
+
+// Drains `child` through the columnar API into one dense batch seeded
+// from its output schema (selections are gathered away by the appends).
+Status DrainColumnar(PhysicalOperator* child, ColumnBatch* out) {
+  out->schema = child->output_schema();
+  out->columns.clear();
+  out->columns.reserve(out->schema.num_fields());
+  for (const Field& f : out->schema.fields()) {
+    out->columns.push_back(ColumnVector::OfType(f.type));
+  }
+  out->physical_rows = 0;
+  out->selection.reset();
+  for (;;) {
+    SWIFT_ASSIGN_OR_RETURN(std::optional<ColumnBatch> b,
+                           child->NextColumnar());
+    if (!b.has_value()) return Status::OK();
+    AppendColumnBatch(*b, out);
+  }
+}
+
+// Evaluates each bound key expression over the (dense) batch into one
+// dense column per key.
+Status EvalKeyColumns(const std::vector<BoundExprPtr>& keys,
+                      const ColumnBatch& in, std::vector<ColumnVector>* out) {
+  out->clear();
+  out->reserve(keys.size());
+  for (const BoundExprPtr& e : keys) {
+    ColumnVector c;
+    SWIFT_RETURN_NOT_OK(e->EvaluateVector(in, &c));
+    out->push_back(std::move(c));
+  }
+  return Status::OK();
+}
+
+bool KeyColsHaveNull(const std::vector<ColumnVector>& keys, std::size_t i) {
+  for (const ColumnVector& c : keys) {
+    if (c.IsNull(i)) return true;
+  }
+  return false;
+}
+
 class HashJoinOp final : public MaterializedOperator {
  public:
   HashJoinOp(OperatorPtr left, OperatorPtr right, std::vector<ExprPtr> lk,
@@ -607,11 +683,43 @@ class MergeJoinOp final : public MaterializedOperator {
     SWIFT_RETURN_NOT_OK(left_->Open());
     SWIFT_RETURN_NOT_OK(right_->Open());
     output_schema_ = left_->output_schema().Concat(right_->output_schema());
-
-    SWIFT_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> bound_left,
+    SWIFT_ASSIGN_OR_RETURN(bound_left_,
                            BindAll(left_keys_, left_->output_schema()));
-    SWIFT_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> bound_right,
+    SWIFT_ASSIGN_OR_RETURN(bound_right_,
                            BindAll(right_keys_, right_->output_schema()));
+    return Status::OK();
+  }
+
+  Result<std::optional<Batch>> Next() override {
+    if (!built_) {
+      built_ = true;
+      SWIFT_RETURN_NOT_OK(BuildRows());
+    }
+    return MaterializedOperator::Next();
+  }
+
+  bool columnar() const override {
+    return left_->columnar() && right_->columnar();
+  }
+
+  // Native columnar merge join: both inputs drain into dense batches,
+  // the keys evaluate column-at-a-time, the merge walk emits (left,
+  // right) index pairs, and the output materializes with one gather per
+  // column instead of per-row concatenation.
+  Result<std::optional<ColumnBatch>> NextColumnar() override {
+    if (!built_) {
+      built_ = true;
+      SWIFT_RETURN_NOT_OK(BuildColumnar());
+    }
+    if (col_emitted_ || col_out_.num_rows() == 0) {
+      return std::optional<ColumnBatch>();
+    }
+    col_emitted_ = true;
+    return std::optional<ColumnBatch>(std::move(col_out_));
+  }
+
+ private:
+  Status BuildRows() {
     std::vector<Row> lrows, rrows;
     SWIFT_RETURN_NOT_OK(Drain(left_.get(), &lrows));
     SWIFT_RETURN_NOT_OK(Drain(right_.get(), &rrows));
@@ -619,11 +727,11 @@ class MergeJoinOp final : public MaterializedOperator {
     lkeys.reserve(lrows.size());
     rkeys.reserve(rrows.size());
     for (const Row& r : lrows) {
-      SWIFT_ASSIGN_OR_RETURN(Row k, EvalKeys(bound_left, r));
+      SWIFT_ASSIGN_OR_RETURN(Row k, EvalKeys(bound_left_, r));
       lkeys.push_back(std::move(k));
     }
     for (const Row& r : rrows) {
-      SWIFT_ASSIGN_OR_RETURN(Row k, EvalKeys(bound_right, r));
+      SWIFT_ASSIGN_OR_RETURN(Row k, EvalKeys(bound_right_, r));
       rkeys.push_back(std::move(k));
     }
     for (std::size_t i = 1; i < lkeys.size(); ++i) {
@@ -687,12 +795,120 @@ class MergeJoinOp final : public MaterializedOperator {
     return Status::OK();
   }
 
- private:
+  Status BuildColumnar() {
+    ColumnBatch l, r;
+    SWIFT_RETURN_NOT_OK(DrainColumnar(left_.get(), &l));
+    SWIFT_RETURN_NOT_OK(DrainColumnar(right_.get(), &r));
+    std::vector<ColumnVector> lk, rk;
+    SWIFT_RETURN_NOT_OK(EvalKeyColumns(bound_left_, l, &lk));
+    SWIFT_RETURN_NOT_OK(EvalKeyColumns(bound_right_, r, &rk));
+    const std::size_t ln = l.physical_rows;
+    const std::size_t rn = r.physical_rows;
+    auto cmp_within = [&](const std::vector<ColumnVector>& keys,
+                          std::size_t i, std::size_t j) {
+      for (const ColumnVector& c : keys) {
+        const int cc = CompareCells(c, i, c, j);
+        if (cc != 0) return cc;
+      }
+      return 0;
+    };
+    for (std::size_t i = 1; i < ln; ++i) {
+      if (cmp_within(lk, i - 1, i) > 0) {
+        return Status::Internal("MergeJoin left input not sorted");
+      }
+    }
+    for (std::size_t i = 1; i < rn; ++i) {
+      if (cmp_within(rk, i - 1, i) > 0) {
+        return Status::Internal("MergeJoin right input not sorted");
+      }
+    }
+    auto cmp_cross = [&](std::size_t i, std::size_t j) {
+      for (std::size_t k = 0; k < lk.size(); ++k) {
+        const int cc = CompareCells(lk[k], i, rk[k], j);
+        if (cc != 0) return cc;
+      }
+      return 0;
+    };
+
+    // Merge walk identical to the row path, but emitting index pairs;
+    // kPad marks a NULL-padded right side (left outer).
+    constexpr uint32_t kPad = UINT32_MAX;
+    std::vector<uint32_t> lidx, ridx;
+    auto emit_padded = [&](std::size_t i) {
+      lidx.push_back(static_cast<uint32_t>(i));
+      ridx.push_back(kPad);
+    };
+    std::size_t li = 0, ri = 0;
+    while (li < ln && ri < rn) {
+      if (KeyColsHaveNull(lk, li)) {
+        if (join_type_ == JoinType::kLeftOuter) emit_padded(li);
+        ++li;
+        continue;
+      }
+      if (KeyColsHaveNull(rk, ri)) {
+        ++ri;
+        continue;
+      }
+      const int c = cmp_cross(li, ri);
+      if (c < 0) {
+        if (join_type_ == JoinType::kLeftOuter) emit_padded(li);
+        ++li;
+      } else if (c > 0) {
+        ++ri;
+      } else {
+        // Emit the cross product of the equal-key runs.
+        std::size_t lend = li;
+        while (lend < ln && cmp_within(lk, lend, li) == 0) ++lend;
+        std::size_t rend = ri;
+        while (rend < rn && cmp_within(rk, rend, ri) == 0) ++rend;
+        for (std::size_t i = li; i < lend; ++i) {
+          for (std::size_t j = ri; j < rend; ++j) {
+            lidx.push_back(static_cast<uint32_t>(i));
+            ridx.push_back(static_cast<uint32_t>(j));
+          }
+        }
+        li = lend;
+        ri = rend;
+      }
+    }
+    if (join_type_ == JoinType::kLeftOuter) {
+      for (; li < ln; ++li) emit_padded(li);
+    }
+
+    col_out_.schema = output_schema_;
+    col_out_.physical_rows = lidx.size();
+    col_out_.columns.reserve(l.columns.size() + r.columns.size());
+    for (const ColumnVector& src : l.columns) {
+      ColumnVector v = ColumnVector::OfRep(src.rep());
+      v.Reserve(lidx.size());
+      for (const uint32_t i : lidx) v.AppendFrom(src, i);
+      col_out_.columns.push_back(std::move(v));
+    }
+    for (const ColumnVector& src : r.columns) {
+      ColumnVector v = ColumnVector::OfRep(src.rep());
+      v.Reserve(ridx.size());
+      for (const uint32_t j : ridx) {
+        if (j == kPad) {
+          v.AppendNull();
+        } else {
+          v.AppendFrom(src, j);
+        }
+      }
+      col_out_.columns.push_back(std::move(v));
+    }
+    return Status::OK();
+  }
+
   OperatorPtr left_;
   OperatorPtr right_;
   std::vector<ExprPtr> left_keys_;
   std::vector<ExprPtr> right_keys_;
   JoinType join_type_;
+  std::vector<BoundExprPtr> bound_left_;
+  std::vector<BoundExprPtr> bound_right_;
+  bool built_ = false;
+  bool col_emitted_ = false;
+  ColumnBatch col_out_;
 };
 
 class SortOp final : public MaterializedOperator {
@@ -709,6 +925,37 @@ class SortOp final : public MaterializedOperator {
       SWIFT_ASSIGN_OR_RETURN(BoundExprPtr b, Bind(key.expr, output_schema_));
       bound_keys_.push_back(std::move(b));
     }
+    return Status::OK();
+  }
+
+  Result<std::optional<Batch>> Next() override {
+    if (!built_) {
+      built_ = true;
+      SWIFT_RETURN_NOT_OK(BuildRows());
+    }
+    return MaterializedOperator::Next();
+  }
+
+  bool columnar() const override { return child_->columnar(); }
+
+  // Native columnar sort: drain dense, evaluate the key columns once,
+  // stable-sort an index permutation with typed cell comparisons, and
+  // emit the input storage UNCHANGED under a selection vector — the
+  // sorted batch is a permutation view, zero gathers.
+  Result<std::optional<ColumnBatch>> NextColumnar() override {
+    if (!built_) {
+      built_ = true;
+      SWIFT_RETURN_NOT_OK(BuildColumnar());
+    }
+    if (col_emitted_ || col_out_.num_rows() == 0) {
+      return std::optional<ColumnBatch>();
+    }
+    col_emitted_ = true;
+    return std::optional<ColumnBatch>(std::move(col_out_));
+  }
+
+ private:
+  Status BuildRows() {
     SWIFT_RETURN_NOT_OK(Drain(child_.get(), &out_rows_));
     // Precompute key tuples, then stable-sort an index permutation so
     // expression evaluation is O(n), not O(n log n).
@@ -736,12 +983,36 @@ class SortOp final : public MaterializedOperator {
     return Status::OK();
   }
 
- private:
+  Status BuildColumnar() {
+    ColumnBatch in;
+    SWIFT_RETURN_NOT_OK(DrainColumnar(child_.get(), &in));
+    std::vector<ColumnVector> keycols;
+    SWIFT_RETURN_NOT_OK(EvalKeyColumns(bound_keys_, in, &keycols));
+    std::vector<uint32_t> perm(in.physical_rows);
+    std::iota(perm.begin(), perm.end(), 0u);
+    std::stable_sort(perm.begin(), perm.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       for (std::size_t k = 0; k < keys_.size(); ++k) {
+                         int c = CompareCells(keycols[k], a, keycols[k], b);
+                         if (!keys_[k].ascending) c = -c;
+                         if (c != 0) return c < 0;
+                       }
+                       return false;
+                     });
+    col_out_ = std::move(in);
+    col_out_.schema = output_schema_;
+    col_out_.selection = std::move(perm);
+    return Status::OK();
+  }
+
   Result<Row> EvalKeysOf(const Row& r) { return EvalKeys(bound_keys_, r); }
 
   OperatorPtr child_;
   std::vector<SortKey> keys_;
   std::vector<BoundExprPtr> bound_keys_;
+  bool built_ = false;
+  bool col_emitted_ = false;
+  ColumnBatch col_out_;
 };
 
 // Incremental aggregate state shared by hash and streamed variants.
@@ -1114,19 +1385,49 @@ class WindowOp final : public MaterializedOperator {
                                              : DataType::kInt64});
     output_schema_ = Schema(std::move(fields));
 
-    SWIFT_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> bound_partition,
-                           BindAll(partition_by_, in));
-    std::vector<BoundExprPtr> bound_order;
-    bound_order.reserve(order_by_.size());
+    SWIFT_ASSIGN_OR_RETURN(bound_partition_, BindAll(partition_by_, in));
+    bound_order_.clear();
+    bound_order_.reserve(order_by_.size());
     for (const SortKey& sk : order_by_) {
       SWIFT_ASSIGN_OR_RETURN(BoundExprPtr b, Bind(sk.expr, in));
-      bound_order.push_back(std::move(b));
+      bound_order_.push_back(std::move(b));
     }
-    BoundExprPtr bound_arg;
     if (arg_ != nullptr) {
-      SWIFT_ASSIGN_OR_RETURN(bound_arg, Bind(arg_, in));
+      SWIFT_ASSIGN_OR_RETURN(bound_arg_, Bind(arg_, in));
     }
+    return Status::OK();
+  }
 
+  Result<std::optional<Batch>> Next() override {
+    if (!built_) {
+      built_ = true;
+      SWIFT_RETURN_NOT_OK(BuildRows());
+    }
+    return MaterializedOperator::Next();
+  }
+
+  bool columnar() const override { return child_->columnar(); }
+
+  // Native columnar window: the frame evaluation (partition grouping,
+  // per-group ordering, running function state) runs over key columns
+  // with typed cell comparisons; the output reuses the drained input
+  // storage under an emission-order selection vector, plus one dense
+  // window column scattered back to physical positions — no input
+  // gathers at all.
+  Result<std::optional<ColumnBatch>> NextColumnar() override {
+    if (!built_) {
+      built_ = true;
+      SWIFT_RETURN_NOT_OK(BuildColumnar());
+    }
+    if (col_emitted_ || col_out_.num_rows() == 0) {
+      return std::optional<ColumnBatch>();
+    }
+    col_emitted_ = true;
+    return std::optional<ColumnBatch>(std::move(col_out_));
+  }
+
+ private:
+  Status BuildRows() {
     SWIFT_RETURN_NOT_OK(Drain(child_.get(), &out_rows_));
 
     // Group rows per partition through the flat table (one hash lookup
@@ -1140,8 +1441,8 @@ class WindowOp final : public MaterializedOperator {
     KeyEncoder enc;
     Row key;
     for (std::size_t i = 0; i < out_rows_.size(); ++i) {
-      SWIFT_RETURN_NOT_OK(EvalBoundKeys(bound_partition, out_rows_[i], &key));
-      SWIFT_ASSIGN_OR_RETURN(Row o, EvalKeys(bound_order, out_rows_[i]));
+      SWIFT_RETURN_NOT_OK(EvalBoundKeys(bound_partition_, out_rows_[i], &key));
+      SWIFT_ASSIGN_OR_RETURN(Row o, EvalKeys(bound_order_, out_rows_[i]));
       order_rows[i] = std::move(o);
       bool has_null = false;  // NULL partition keys form real partitions
       const std::string_view bytes = enc.Encode(key, &has_null);
@@ -1195,10 +1496,10 @@ class WindowOp final : public MaterializedOperator {
             v = Value(rank);
             break;
           case WindowFunc::kSum: {
-            if (bound_arg == nullptr) {
+            if (bound_arg_ == nullptr) {
               return Status::InvalidArgument("window sum requires an argument");
             }
-            SWIFT_ASSIGN_OR_RETURN(Value a, bound_arg->Evaluate(r));
+            SWIFT_ASSIGN_OR_RETURN(Value a, bound_arg_->Evaluate(r));
             if (!a.is_null()) running_sum += a.AsDouble();
             v = Value(running_sum);
             break;
@@ -1212,13 +1513,173 @@ class WindowOp final : public MaterializedOperator {
     return Status::OK();
   }
 
- private:
+  Status BuildColumnar() {
+    ColumnBatch in;
+    SWIFT_RETURN_NOT_OK(DrainColumnar(child_.get(), &in));
+    const std::size_t n = in.physical_rows;
+    if (n == 0) return Status::OK();
+
+    std::vector<ColumnVector> part_cols, order_cols;
+    SWIFT_RETURN_NOT_OK(EvalKeyColumns(bound_partition_, in, &part_cols));
+    SWIFT_RETURN_NOT_OK(EvalKeyColumns(bound_order_, in, &order_cols));
+    ColumnVector arg_col;
+    if (func_ == WindowFunc::kSum) {
+      if (bound_arg_ == nullptr) {
+        return Status::InvalidArgument("window sum requires an argument");
+      }
+      SWIFT_RETURN_NOT_OK(bound_arg_->EvaluateVector(in, &arg_col));
+    }
+
+    // Partition grouping mirrors the row path exactly: the same key
+    // encoding feeds the same flat table, so dense group ids come out
+    // in the same first-seen order.
+    ColumnBatch key_batch;
+    key_batch.physical_rows = n;
+    key_batch.columns = std::move(part_cols);
+    std::vector<uint32_t> ords(key_batch.columns.size());
+    std::iota(ords.begin(), ords.end(), 0u);
+    FlatKeyTable table;
+    std::vector<std::vector<std::size_t>> groups;  // dense -> row idxs
+    std::vector<std::size_t> group_first;          // dense -> first row
+    KeyEncoder::BatchKeys bk;
+    if (KeyEncoder::EncodeBatchColumns(key_batch, ords, &bk)) {
+      for (std::size_t i = 0; i < n; ++i) {
+        // NULL partition keys form real partitions (null_key ignored).
+        const FlatKeyTable::FindResult fr =
+            table.FindOrInsert(bk.key(i), bk.hashes[i]);
+        if (fr.inserted) {
+          groups.emplace_back();
+          group_first.push_back(i);
+        }
+        groups[fr.index].push_back(i);
+      }
+    } else {
+      // Key material over 4GiB: encode row-at-a-time.
+      KeyEncoder enc;
+      Row key;
+      for (std::size_t i = 0; i < n; ++i) {
+        key.clear();
+        for (const ColumnVector& c : key_batch.columns) {
+          key.push_back(c.GetValue(i));
+        }
+        bool has_null = false;
+        const std::string_view bytes = enc.Encode(key, &has_null);
+        const FlatKeyTable::FindResult fr =
+            table.FindOrInsert(bytes, KeyEncoder::HashEncoded(bytes));
+        if (fr.inserted) {
+          groups.emplace_back();
+          group_first.push_back(i);
+        }
+        groups[fr.index].push_back(i);
+      }
+    }
+    std::vector<uint32_t> gorder(groups.size());
+    std::iota(gorder.begin(), gorder.end(), 0u);
+    std::sort(gorder.begin(), gorder.end(), [&](uint32_t a, uint32_t b) {
+      for (const ColumnVector& c : key_batch.columns) {
+        const int cc = CompareCells(c, group_first[a], c, group_first[b]);
+        if (cc != 0) return cc < 0;
+      }
+      return a < b;  // tie across distinct encodings: first-seen order
+    });
+
+    auto cmp_order = [&](std::size_t a, std::size_t b) {
+      for (std::size_t k = 0; k < order_by_.size(); ++k) {
+        int oc = CompareCells(order_cols[k], a, order_cols[k], b);
+        if (!order_by_[k].ascending) oc = -oc;
+        if (oc != 0) return oc;
+      }
+      return 0;
+    };
+    auto order_equal = [&](std::size_t a, std::size_t b) {
+      for (std::size_t k = 0; k < order_by_.size(); ++k) {
+        if (CompareCells(order_cols[k], a, order_cols[k], b) != 0) {
+          return false;
+        }
+      }
+      return true;
+    };
+
+    std::vector<uint32_t> emit_order;
+    emit_order.reserve(n);
+    std::vector<int64_t> win_i64;
+    std::vector<double> win_f64;
+    if (func_ == WindowFunc::kSum) {
+      win_f64.resize(n);
+    } else {
+      win_i64.resize(n);
+    }
+    for (const uint32_t g : gorder) {
+      std::vector<std::size_t>& idxs = groups[g];
+      // Stable: rows with equal order keys keep input order, like the
+      // legacy stable_sort.
+      std::stable_sort(idxs.begin(), idxs.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return cmp_order(a, b) < 0;
+                       });
+      int64_t row_number = 0;
+      int64_t rank = 0;
+      double running_sum = 0.0;
+      for (std::size_t j = 0; j < idxs.size(); ++j) {
+        const std::size_t row = idxs[j];
+        ++row_number;
+        if (j == 0 || !order_equal(row, idxs[j - 1])) rank = row_number;
+        switch (func_) {
+          case WindowFunc::kRowNumber:
+            win_i64[row] = row_number;
+            break;
+          case WindowFunc::kRank:
+            win_i64[row] = rank;
+            break;
+          case WindowFunc::kSum: {
+            if (!arg_col.IsNull(row)) {
+              switch (arg_col.rep()) {
+                case ColumnRep::kInt64:
+                  running_sum += static_cast<double>(arg_col.Int64At(row));
+                  break;
+                case ColumnRep::kFloat64:
+                  running_sum += arg_col.Float64At(row);
+                  break;
+                default:
+                  running_sum += arg_col.GetValue(row).AsDouble();
+                  break;
+              }
+            }
+            win_f64[row] = running_sum;
+            break;
+          }
+        }
+        emit_order.push_back(static_cast<uint32_t>(row));
+      }
+    }
+
+    ColumnVector win = ColumnVector::OfType(
+        func_ == WindowFunc::kSum ? DataType::kFloat64 : DataType::kInt64);
+    win.Reserve(n);
+    if (func_ == WindowFunc::kSum) {
+      for (std::size_t i = 0; i < n; ++i) win.AppendFloat64(win_f64[i]);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) win.AppendInt64(win_i64[i]);
+    }
+    col_out_ = std::move(in);
+    col_out_.columns.push_back(std::move(win));
+    col_out_.schema = output_schema_;
+    col_out_.selection = std::move(emit_order);
+    return Status::OK();
+  }
+
   OperatorPtr child_;
   std::vector<ExprPtr> partition_by_;
   std::vector<SortKey> order_by_;
   WindowFunc func_;
   ExprPtr arg_;
   std::string output_name_;
+  std::vector<BoundExprPtr> bound_partition_;
+  std::vector<BoundExprPtr> bound_order_;
+  BoundExprPtr bound_arg_;
+  bool built_ = false;
+  bool col_emitted_ = false;
+  ColumnBatch col_out_;
 };
 
 }  // namespace

@@ -6,11 +6,10 @@
 
 namespace swift {
 
-Batch Table::TaskSlice(int task_index, int task_count) const {
-  Batch out;
-  out.schema = schema;
+std::pair<std::size_t, std::size_t> Table::TaskSliceBounds(
+    int task_index, int task_count) const {
   if (task_count <= 0 || task_index < 0 || task_index >= task_count) {
-    return out;
+    return {0, 0};
   }
   const std::size_t n = rows.size();
   const std::size_t per = (n + static_cast<std::size_t>(task_count) - 1) /
@@ -18,6 +17,13 @@ Batch Table::TaskSlice(int task_index, int task_count) const {
   const std::size_t begin =
       std::min(n, per * static_cast<std::size_t>(task_index));
   const std::size_t end = std::min(n, begin + per);
+  return {begin, end};
+}
+
+Batch Table::TaskSlice(int task_index, int task_count) const {
+  Batch out;
+  out.schema = schema;
+  const auto [begin, end] = TaskSliceBounds(task_index, task_count);
   out.rows.assign(rows.begin() + static_cast<std::ptrdiff_t>(begin),
                   rows.begin() + static_cast<std::ptrdiff_t>(end));
   return out;

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -18,8 +19,17 @@ struct Table {
   Schema schema;
   std::vector<Row> rows;
 
-  /// \brief Rows assigned to scan task `task_index` of `task_count`
-  /// (contiguous range partitioning, the paper's input split model).
+  /// \brief Row-index bounds [first, second) of scan task `task_index`
+  /// of `task_count` (contiguous range partitioning, the paper's input
+  /// split model). This is the zero-copy form of a task slice: the
+  /// morsel cursor (exec/morsel.h) reads `rows` through these bounds
+  /// directly, so the slice is never materialized as a separate batch.
+  std::pair<std::size_t, std::size_t> TaskSliceBounds(int task_index,
+                                                      int task_count) const;
+
+  /// \brief Rows assigned to scan task `task_index` of `task_count`,
+  /// copied into a fresh pre-reserved Batch (the row-path fallback and
+  /// test helper; hot paths use TaskSliceBounds + the morsel cursor).
   Batch TaskSlice(int task_index, int task_count) const;
 };
 

@@ -1,0 +1,47 @@
+#ifndef SWIFT_OBS_POOL_METRICS_H_
+#define SWIFT_OBS_POOL_METRICS_H_
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace swift {
+namespace obs {
+
+/// \brief Wires a ThreadPool's instrumentation hooks onto `registry`:
+///   - threadpool.tasks.submitted / threadpool.tasks.completed counters
+///     (the obs invariant suite asserts submitted == completed once the
+///     pool is quiescent — no task is ever lost or double-run);
+///   - threadpool.queue_depth gauge (instantaneous) + histogram
+///     (distribution over every queue transition);
+///   - threadpool.worker_idle_ratio gauge + histogram in [0, 1].
+/// Handles are cached here once; each pool event is then a few relaxed
+/// atomic writes. Call before the pool is shared across threads.
+inline void InstallThreadPoolMetrics(ThreadPool* pool,
+                                     MetricsRegistry* registry) {
+  if (pool == nullptr || registry == nullptr) return;
+  Counter* submitted = registry->counter("threadpool.tasks.submitted");
+  Counter* completed = registry->counter("threadpool.tasks.completed");
+  Gauge* depth_g = registry->gauge("threadpool.queue_depth");
+  HistogramMetric* depth_h =
+      registry->histogram("threadpool.queue_depth", 0.0, 256.0, 32);
+  Gauge* idle_g = registry->gauge("threadpool.worker_idle_ratio");
+  HistogramMetric* idle_h =
+      registry->histogram("threadpool.worker_idle_ratio", 0.0, 1.0, 20);
+  ThreadPool::MetricsHooks hooks;
+  hooks.on_submit = [submitted] { submitted->Add(); };
+  hooks.on_complete = [completed] { completed->Add(); };
+  hooks.queue_depth = [depth_g, depth_h](double d) {
+    depth_g->Set(d);
+    depth_h->Record(d);
+  };
+  hooks.idle_ratio = [idle_g, idle_h](double r) {
+    idle_g->Set(r);
+    idle_h->Record(r);
+  };
+  pool->InstallMetrics(std::move(hooks));
+}
+
+}  // namespace obs
+}  // namespace swift
+
+#endif  // SWIFT_OBS_POOL_METRICS_H_

@@ -8,7 +8,9 @@
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "common/wait_group.h"
+#include "exec/morsel.h"
 #include "exec/serde.h"
+#include "obs/pool_metrics.h"
 #include "scheduler/graphlet_tracker.h"
 #include "scheduler/task_tracker.h"
 
@@ -135,6 +137,7 @@ LocalRuntime::LocalRuntime(LocalRuntimeConfig config)
   }
   pool_ = std::make_unique<ThreadPool>(
       static_cast<std::size_t>(config_.worker_threads));
+  obs::InstallThreadPoolMetrics(pool_.get(), config_.metrics);
   for (int m = 0; m < config_.machines; ++m) {
     heartbeat_.ReportHeartbeat(m, clock_);
   }
@@ -753,17 +756,48 @@ Result<OperatorPtr> LocalRuntime::BuildTaskTree(JobContext* ctx,
                                                 const TaskRef& task,
                                                 int machine) {
   const JobDag& dag = ctx->plan->dag;
+  const std::size_t morsel_rows =
+      config_.morsel_rows <= 0 ? kDefaultMorselRows
+                               : static_cast<std::size_t>(config_.morsel_rows);
+  // Set when the (single) source streams morsels — the precondition for
+  // wrapping the leading filter/project chain in a parallel segment.
+  bool morselized = false;
   std::vector<OperatorPtr> sources;
   if (!program.scan_table.empty()) {
     SWIFT_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
                            catalog_.Lookup(program.scan_table));
-    Batch slice = table->TaskSlice(task.task, program.task_count);
-    slice.schema = program.scan_schema;
     bool pushed = false;
-    if (config_.columnar_exec) {
+    if (config_.columnar_exec && config_.morsel_exec) {
+      // Uniform slices stream straight out of the table as
+      // ~morsel_rows-row morsels — the task slice is never materialized
+      // whole. The uniformity pre-check is exactly ToColumnBatch's
+      // ragged-row condition, so the fallbacks below cover the same
+      // inputs they always did.
+      const auto [begin, end] =
+          table->TaskSliceBounds(task.task, program.task_count);
+      const std::size_t width = program.scan_schema.num_fields();
+      bool uniform = true;
+      for (std::size_t r = begin; r < end; ++r) {
+        if (table->rows[r].size() != width) {
+          uniform = false;
+          break;
+        }
+      }
+      if (uniform) {
+        sources.push_back(MakeTableMorselSource(table, task.task,
+                                                program.task_count,
+                                                program.scan_schema,
+                                                morsel_rows));
+        pushed = true;
+        morselized = true;
+      }
+    }
+    if (!pushed && config_.columnar_exec) {
       // Scan slices enter the tree columnar so filter/project/aggregate
       // roots run their vectorized kernels; ragged slices (rows not
       // matching the schema width) stay on the row path.
+      Batch slice = table->TaskSlice(task.task, program.task_count);
+      slice.schema = program.scan_schema;
       Result<ColumnBatch> cb = ToColumnBatch(slice);
       if (cb.ok()) {
         std::vector<ColumnBatch> batches;
@@ -774,6 +808,8 @@ Result<OperatorPtr> LocalRuntime::BuildTaskTree(JobContext* ctx,
       }
     }
     if (!pushed) {
+      Batch slice = table->TaskSlice(task.task, program.task_count);
+      slice.schema = program.scan_schema;
       std::vector<Batch> batches;
       batches.push_back(std::move(slice));
       sources.push_back(
@@ -828,7 +864,13 @@ Result<OperatorPtr> LocalRuntime::BuildTaskTree(JobContext* ctx,
           ctx->received_by[TaskRef{src, st}].insert(task);
         }
       }
-      if (use_columnar) {
+      if (use_columnar && config_.morsel_exec) {
+        // Decoded shuffle batches re-enter the tree as morsels so
+        // downstream pipelines stay O(morsel)-resident here too.
+        sources.push_back(MakeMorselSource(producer.output_schema,
+                                           std::move(cbatches), morsel_rows));
+        morselized = true;
+      } else if (use_columnar) {
         sources.push_back(MakeColumnBatchSource(producer.output_schema,
                                                 std::move(cbatches)));
       } else {
@@ -870,7 +912,48 @@ Result<OperatorPtr> LocalRuntime::BuildTaskTree(JobContext* ctx,
     tree = std::move(sources[0]);
   }
 
-  for (std::size_t i = first_op; i < program.ops.size(); ++i) {
+  std::size_t first_chain_op = first_op;
+  if (morselized && first_op == 0) {
+    // Intra-task morsel parallelism: the leading filter/project chain
+    // has no pipeline breakers, so independent morsels fan out across
+    // idle pool workers with an order-restoring merge — results stay
+    // byte-identical to serial execution. Breakers (sort, aggregate,
+    // window, limit) and everything after them run on the merged stream
+    // as before.
+    std::vector<MorselStep> steps;
+    while (first_chain_op < program.ops.size()) {
+      const LocalOpDesc& op = program.ops[first_chain_op];
+      if (op.kind == LocalOpDesc::Kind::kFilter) {
+        MorselStep st;
+        st.kind = MorselStep::Kind::kFilter;
+        st.predicate = op.predicate;
+        steps.push_back(std::move(st));
+      } else if (op.kind == LocalOpDesc::Kind::kProject) {
+        MorselStep st;
+        st.kind = MorselStep::Kind::kProject;
+        st.exprs = op.exprs;
+        st.names = op.names;
+        steps.push_back(std::move(st));
+      } else {
+        break;
+      }
+      ++first_chain_op;
+    }
+    const int lanes = config_.morsel_lanes <= 0 ? config_.worker_threads
+                                                : config_.morsel_lanes;
+    if (!steps.empty() && lanes > 1) {
+      MorselObs mobs;
+      mobs.metrics = config_.metrics;
+      mobs.tracer = config_.tracer;
+      tree = MakeParallelMorselPipeline(std::move(tree), std::move(steps),
+                                        pool_.get(), lanes,
+                                        MorselMerge::kOrdered, mobs);
+    } else {
+      first_chain_op = first_op;  // serial: keep the plain operator chain
+    }
+  }
+
+  for (std::size_t i = first_chain_op; i < program.ops.size(); ++i) {
     const LocalOpDesc& op = program.ops[i];
     switch (op.kind) {
       case LocalOpDesc::Kind::kFilter:

@@ -59,6 +59,21 @@ struct LocalRuntimeConfig {
   /// with row-only roots, ragged scan slices, and non-conforming
   /// batches all fall back to the row path automatically.
   bool columnar_exec = true;
+  /// Morsel-driven streaming (DESIGN.md Sec. 14), active only under
+  /// columnar_exec: scan slices and decoded shuffle inputs enter the
+  /// tree as ~morsel_rows-row ColumnBatches instead of one batch per
+  /// task slice, so pipeline-only trees keep O(morsel) rows resident,
+  /// and leading filter/project chains fan independent morsels across
+  /// idle worker threads (order-restoring merge — results stay
+  /// byte-identical to serial execution). Ragged scan slices and
+  /// non-columnar inputs fall back exactly like columnar_exec does.
+  bool morsel_exec = true;
+  /// Logical rows per morsel (<= 0 picks kDefaultMorselRows).
+  int morsel_rows = 1024;
+  /// Max threads cooperating on one task's morsel pipeline, including
+  /// the task's own thread; helpers only spawn onto currently-idle pool
+  /// workers. 0 = auto (worker_threads); 1 = serial morsels.
+  int morsel_lanes = 0;
   /// Seeded chaos engine driving injected faults (nullopt = none).
   std::optional<FaultSchedule> fault_schedule;
   /// Optional observability sinks (not owned). The registry feeds the

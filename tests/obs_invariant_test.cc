@@ -211,5 +211,32 @@ TEST(ObsInvariant, ConnectionCountsMatchPaperFormulas) {
   }
 }
 
+// Thread-pool task conservation: every job accepted by Submit() runs to
+// completion exactly once — after the runtime (whose destructor joins
+// the pool) is gone, submitted == completed and the queue gauge reads
+// empty. Catches lost wakeups, dropped queue entries, and double-runs
+// in the pool instrumentation itself.
+TEST(ObsInvariant, ThreadPoolTasksSubmittedEqualsCompleted) {
+  obs::MetricsRegistry reg;
+  {
+    LocalRuntimeConfig cfg;
+    cfg.metrics = &reg;
+    auto rt = MakeRuntime(cfg);
+    RunSuite(rt.get());
+  }  // runtime destroyed: pool joined, no task can still be in flight
+
+  const int64_t submitted = reg.CounterValue("threadpool.tasks.submitted");
+  const int64_t completed = reg.CounterValue("threadpool.tasks.completed");
+  EXPECT_GT(submitted, 0) << "suite ran without using the pool";
+  EXPECT_EQ(submitted, completed);
+  EXPECT_EQ(reg.GaugeValue("threadpool.queue_depth"), 0.0);
+  // The idle-ratio instrument only ever reports values in [0, 1].
+  const obs::HistogramSnapshot idle =
+      reg.HistogramValue("threadpool.worker_idle_ratio");
+  EXPECT_GT(idle.count, 0);
+  EXPECT_GE(idle.min, 0.0);
+  EXPECT_LE(idle.max, 1.0);
+}
+
 }  // namespace
 }  // namespace swift

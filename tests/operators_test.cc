@@ -162,8 +162,15 @@ TEST(OperatorsTest, MergeJoinMatchesHashJoin) {
 TEST(OperatorsTest, MergeJoinRejectsUnsortedInput) {
   auto op = MakeMergeJoin(LeftTable(), RightTable(), {Expr::Column("lk")},
                           {Expr::Column("rk")});
-  // LeftTable has NULL last, which sorts first -> not sorted.
-  EXPECT_FALSE(op->Open().ok());
+  // LeftTable has NULL last, which sorts first -> not sorted. The check
+  // runs when the (lazily built) join first drains its inputs.
+  ASSERT_TRUE(op->Open().ok());
+  EXPECT_FALSE(op->Next().ok());
+
+  auto cop = MakeMergeJoin(LeftTable(), RightTable(), {Expr::Column("lk")},
+                           {Expr::Column("rk")});
+  ASSERT_TRUE(cop->Open().ok());
+  EXPECT_FALSE(cop->NextColumnar().ok());
 }
 
 TEST(OperatorsTest, JoinKeyArityMismatchRejected) {
