@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +23,11 @@ namespace {
 struct Schedule {
   std::string name;
   std::optional<FaultSchedule> fs;
+  /// Spill-IO schedules squeeze the Cache Worker budget and enable a
+  /// spill dir so there are spill files to fault; Remote shuffle is
+  /// forced because sf-0.001 edges would otherwise go Direct.
+  int64_t cache_budget = 0;  ///< 0 = default
+  bool spill = false;
 };
 
 std::vector<Schedule> Matrix() {
@@ -69,6 +75,37 @@ std::vector<Schedule> Matrix() {
     fs.kill_after_task_starts = 7;
     out.push_back({"combined", fs});
   }
+  {
+    FaultSchedule fs;
+    fs.seed = 17;
+    fs.spill_write_fail_p = 0.5;
+    fs.spill_write_fails_per_victim = 1;
+    fs.max_spill_write_faults = 1 << 10;
+    out.push_back(
+        {"spill-write-faults", fs, /*cache_budget=*/2 << 10, /*spill=*/true});
+  }
+  {
+    FaultSchedule fs;
+    fs.seed = 18;
+    fs.spill_read_fail_p = 0.5;
+    fs.spill_read_fails_per_victim = 2;
+    fs.max_spill_read_faults = 1 << 10;
+    out.push_back(
+        {"spill-read-faults", fs, /*cache_budget=*/2 << 10, /*spill=*/true});
+  }
+  {
+    // Permanent spill losses (capped so recovery converges) on top of a
+    // mid-wave machine loss.
+    FaultSchedule fs;
+    fs.seed = 19;
+    fs.spill_read_fail_p = 0.5;
+    fs.spill_read_fails_per_victim = 1 << 10;
+    fs.max_spill_read_faults = 6;
+    fs.kill_machine = 1;
+    fs.kill_after_task_starts = 5;
+    out.push_back(
+        {"spill+machine-loss", fs, /*cache_budget=*/2 << 10, /*spill=*/true});
+  }
   return out;
 }
 
@@ -80,7 +117,7 @@ int Run() {
   const std::vector<int> queries = RunnableTpchQueries();
 
   bench::Row({"schedule", "tasks", "reruns", "recover", "mach.fail",
-              "restart-eq", "resends", "wall-ms"});
+              "restart-eq", "spill.io", "lost", "wall-ms"});
   double clean_ms = 0.0;
   for (const Schedule& sched : Matrix()) {
     // One registry per schedule: the table below reads the runtime's
@@ -90,6 +127,13 @@ int Run() {
     LocalRuntimeConfig cfg;
     cfg.fault_schedule = sched.fs;
     cfg.metrics = &reg;
+    if (sched.cache_budget > 0) cfg.cache_memory_per_worker = sched.cache_budget;
+    if (sched.spill) {
+      cfg.spill_root = (std::filesystem::temp_directory_path() /
+                        ("swift_bench_chaos_" + sched.name))
+                           .string();
+      cfg.force_shuffle_kind = ShuffleKind::kRemote;
+    }
     LocalRuntime rt(cfg);
     TpchConfig tpch;
     tpch.scale_factor = 0.001;
@@ -120,8 +164,8 @@ int Run() {
                 std::to_string(reg.CounterValue("runtime.machine_failures")),
                 std::to_string(
                     reg.CounterValue("runtime.restart_equivalent_tasks")),
-                std::to_string(
-                    reg.CounterValue("runtime.resend_notifications")),
+                std::to_string(reg.CounterValue("shuffle.spill.io_errors")),
+                std::to_string(reg.CounterValue("shuffle.spill.lost_slots")),
                 bench::F(ms, 1)});
   }
   std::printf(

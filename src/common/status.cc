@@ -36,6 +36,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "MachineUnhealthy";
     case StatusCode::kApplication:
       return "Application";
+    case StatusCode::kBackpressure:
+      return "Backpressure";
   }
   return "Unknown";
 }

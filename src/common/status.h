@@ -31,6 +31,7 @@ enum class StatusCode : int {
   kExecutorLost = 13,
   kMachineUnhealthy = 14,
   kApplication = 15,
+  kBackpressure = 16,
 };
 
 /// \brief Returns a stable human-readable name for a StatusCode.
@@ -123,6 +124,12 @@ class Status {
   static Status Application(std::string msg) {
     return Status(StatusCode::kApplication, std::move(msg));
   }
+  /// Retryable admission-control signal: the callee is over its memory
+  /// watermark and the caller should wait for capacity and retry (or, if
+  /// it is the only drainer, force admission). Never indicates data loss.
+  static Status Backpressure(std::string msg) {
+    return Status(StatusCode::kBackpressure, std::move(msg));
+  }
 
   bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
@@ -130,6 +137,7 @@ class Status {
     return code() == StatusCode::kResourceExhausted;
   }
   bool IsApplication() const { return code() == StatusCode::kApplication; }
+  bool IsBackpressure() const { return code() == StatusCode::kBackpressure; }
 
  private:
   struct State {

@@ -38,6 +38,8 @@ uint64_t HashSlot(uint64_t seed, uint64_t salt, const ShuffleSlotKey& k) {
 constexpr uint64_t kCrashSalt = 0xC4A5;
 constexpr uint64_t kTimeoutSalt = 0x7140;
 constexpr uint64_t kCorruptSalt = 0xBADC;
+constexpr uint64_t kSpillWriteSalt = 0x59E1;
+constexpr uint64_t kSpillReadSalt = 0x5D1F;
 
 }  // namespace
 
@@ -85,6 +87,43 @@ ReadFault FaultInjector::OnShuffleRead(const ShuffleSlotKey& key,
     return ReadFault::kCorrupt;
   }
   return ReadFault::kNone;
+}
+
+SpillFault FaultInjector::OnSpillWrite(const ShuffleSlotKey& key, int attempt,
+                                       int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (schedule_.spill_disk_full_after_bytes >= 0 &&
+      modeled_spill_bytes_ + bytes > schedule_.spill_disk_full_after_bytes) {
+    stats_.disk_full_faults += 1;
+    return SpillFault::kDiskFull;
+  }
+  if (schedule_.spill_write_fail_p > 0.0 &&
+      attempt < schedule_.spill_write_fails_per_victim &&
+      stats_.spill_write_faults < schedule_.max_spill_write_faults &&
+      Unit(HashSlot(schedule_.seed, kSpillWriteSalt, key)) <
+          schedule_.spill_write_fail_p) {
+    stats_.spill_write_faults += 1;
+    return SpillFault::kWriteError;
+  }
+  if (schedule_.spill_disk_full_after_bytes >= 0) {
+    modeled_spill_bytes_ += bytes;
+  }
+  return SpillFault::kNone;
+}
+
+SpillFault FaultInjector::OnSpillRead(const ShuffleSlotKey& key, int attempt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (schedule_.spill_read_fail_p > 0.0 &&
+      attempt < schedule_.spill_read_fails_per_victim &&
+      stats_.spill_read_faults < schedule_.max_spill_read_faults) {
+    uint64_t h = HashSlot(schedule_.seed, kSpillReadSalt, key);
+    if (Unit(h) < schedule_.spill_read_fail_p) {
+      stats_.spill_read_faults += 1;
+      // Alternate failure modes per victim so both paths get exercised.
+      return (h & 1) ? SpillFault::kShortRead : SpillFault::kReadError;
+    }
+  }
+  return SpillFault::kNone;
 }
 
 FaultInjectorStats FaultInjector::stats() {

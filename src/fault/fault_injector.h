@@ -43,6 +43,30 @@ struct FaultSchedule {
   /// re-fetched. Fires at most once per slot. 0 disables.
   double corrupt_p = 0.0;
   int max_corruptions = 4;
+
+  /// Probability that spilling a slot to disk fails with a write error
+  /// for its first `spill_write_fails_per_victim` attempts (the Cache
+  /// Worker retries in place, so <= its retry budget means transient).
+  /// 0 disables.
+  double spill_write_fail_p = 0.0;
+  int spill_write_fails_per_victim = 1;
+  int max_spill_write_faults = 16;
+
+  /// Probability that reloading a spilled slot fails for the first
+  /// `spill_read_fails_per_victim` attempts. Victims alternate between
+  /// hard IO errors and short reads; a count beyond the Cache Worker's
+  /// retry budget makes the loss permanent, exercising the recovery
+  /// escalation path. The global cap guarantees convergence: once spent,
+  /// re-produced slots reload cleanly. 0 disables.
+  double spill_read_fail_p = 0.0;
+  int spill_read_fails_per_victim = 1;
+  int max_spill_read_faults = 16;
+
+  /// Models spill-disk quota exhaustion: once the injector has admitted
+  /// this many spilled bytes, every further spill write fails with
+  /// kDiskFull (the Cache Worker then degrades to backpressure).
+  /// -1 disables.
+  int64_t spill_disk_full_after_bytes = -1;
 };
 
 /// \brief What OnTaskStart tells the runtime to do.
@@ -60,6 +84,15 @@ enum class ReadFault {
   kCorrupt,  ///< serve the payload with a flipped bit
 };
 
+/// \brief What OnSpillWrite / OnSpillRead tell the Cache Worker to do.
+enum class SpillFault {
+  kNone = 0,
+  kWriteError,  ///< this spill-write attempt fails with Status::IOError
+  kReadError,   ///< this reload attempt fails with Status::IOError
+  kShortRead,   ///< this reload attempt sees a truncated file
+  kDiskFull,    ///< the spill dir is full: spilling is impossible
+};
+
 /// \brief Counters of faults actually injected.
 struct FaultInjectorStats {
   int64_t task_starts = 0;
@@ -67,6 +100,9 @@ struct FaultInjectorStats {
   int64_t machine_kills = 0;
   int64_t read_timeouts = 0;
   int64_t corruptions = 0;
+  int64_t spill_write_faults = 0;
+  int64_t spill_read_faults = 0;
+  int64_t disk_full_faults = 0;
 };
 
 /// \brief Deterministic, scriptable fault source for the real runtime
@@ -84,6 +120,15 @@ class FaultInjector {
   /// \brief Consulted at every shuffle-read attempt of `key`.
   ReadFault OnShuffleRead(const ShuffleSlotKey& key, int attempt);
 
+  /// \brief Consulted before every spill-write attempt of `key`
+  /// (`bytes` = payload size, counted toward the modeled disk quota
+  /// only when the write is allowed through).
+  SpillFault OnSpillWrite(const ShuffleSlotKey& key, int attempt,
+                          int64_t bytes);
+
+  /// \brief Consulted before every spill-reload attempt of `key`.
+  SpillFault OnSpillRead(const ShuffleSlotKey& key, int attempt);
+
   const FaultSchedule& schedule() const { return schedule_; }
   FaultInjectorStats stats();
 
@@ -93,6 +138,7 @@ class FaultInjector {
   FaultInjectorStats stats_;
   bool kill_fired_ = false;
   std::set<ShuffleSlotKey> corrupted_;  // one corruption per slot
+  int64_t modeled_spill_bytes_ = 0;     // for spill_disk_full_after_bytes
 };
 
 }  // namespace swift

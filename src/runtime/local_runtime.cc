@@ -44,6 +44,11 @@ FailureKind FailureKindOf(const Status& st) {
       return FailureKind::kMachineFailure;
     case StatusCode::kTimeout:
       return FailureKind::kNetworkTimeout;
+    case StatusCode::kBackpressure:
+      // Residual backpressure that escaped the write-side flow control
+      // (it normally never does — WritePartition blocks, then forces).
+      // Transient by construction: rerun the task, don't abort the job.
+      return FailureKind::kNetworkTimeout;
     default:
       return FailureKind::kApplicationError;
   }
@@ -103,6 +108,13 @@ LocalRuntime::LocalRuntime(LocalRuntimeConfig config)
   sc.force_kind = config_.force_shuffle_kind;
   sc.retain_for_recovery = true;
   sc.max_read_attempts = config_.shuffle_read_attempts;
+  sc.cache_soft_watermark = config_.cache_soft_watermark;
+  sc.cache_hard_watermark = config_.cache_hard_watermark;
+  sc.cache_per_job_quota = config_.cache_per_job_quota;
+  sc.spill_disk_budget_bytes = config_.spill_disk_budget_bytes;
+  sc.put_retry_budget = config_.shuffle_put_retry_budget;
+  sc.put_wait_ms = config_.shuffle_put_wait_ms;
+  sc.spill_io_retries = config_.spill_io_retries;
   sc.metrics = config_.metrics;
   shuffle_ = std::make_unique<ShuffleService>(sc);
   tracer_ = config_.tracer;

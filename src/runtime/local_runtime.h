@@ -38,6 +38,26 @@ struct LocalRuntimeConfig {
   std::string spill_root;  ///< "" = no spill
   std::optional<ShuffleKind> force_shuffle_kind;
   ShuffleThresholds shuffle_thresholds;
+  /// Cache Worker flow control (DESIGN.md Sec. 15): LRU spill begins at
+  /// soft_watermark × budget; puts past hard_watermark × budget are
+  /// refused with a retryable kBackpressure that WritePartition absorbs
+  /// by blocking (bounded) until readers drain. Eviction prefers jobs
+  /// holding more than cache_per_job_quota of the budget.
+  double cache_soft_watermark = 0.75;
+  double cache_hard_watermark = 1.0;
+  double cache_per_job_quota = 0.5;
+  /// Cap on live spill-file bytes per Cache Worker (0 = unbounded); a
+  /// full spill disk degrades to backpressure instead of failing jobs.
+  int64_t spill_disk_budget_bytes = 0;
+  /// Backpressured writes block up to shuffle_put_wait_ms and retry up
+  /// to shuffle_put_retry_budget times before forcing admission (the
+  /// deadlock guard for writers that are their job's only drainer).
+  int shuffle_put_retry_budget = 64;
+  double shuffle_put_wait_ms = 2.0;
+  /// Transient spill-file IO errors retried in place per operation;
+  /// beyond this the slot is treated as lost and recovery re-runs the
+  /// producer.
+  int spill_io_retries = 3;
   int max_task_attempts = 3;
   /// Bounded exponential-backoff retry budget for one shuffle read
   /// (transient timeouts retry in place; permanent loss escalates).

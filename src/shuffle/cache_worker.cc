@@ -1,26 +1,64 @@
 #include "shuffle/cache_worker.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
+#include "common/crc32.h"
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "fault/fault_injector.h"
 
 namespace swift {
+
+namespace {
+
+// Spill files end in a 4-byte little-endian CRC-32C of the payload,
+// verified on reload: disk corruption surfaces as data loss (recovery
+// re-runs the producer), never as silently wrong query results.
+constexpr int64_t kSpillFooterBytes = 4;
+
+void EncodeFooter(uint32_t crc, char out[4]) {
+  out[0] = static_cast<char>(crc & 0xFF);
+  out[1] = static_cast<char>((crc >> 8) & 0xFF);
+  out[2] = static_cast<char>((crc >> 16) & 0xFF);
+  out[3] = static_cast<char>((crc >> 24) & 0xFF);
+}
+
+uint32_t DecodeFooter(const char in[4]) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(in[0])) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(in[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(in[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(in[3])) << 24);
+}
+
+int64_t WatermarkBytes(int64_t budget, double fraction) {
+  if (fraction <= 0.0) return 0;
+  return static_cast<int64_t>(static_cast<double>(budget) * fraction);
+}
+
+}  // namespace
 
 std::string ShuffleSlotKey::ToString() const {
   return StrFormat("job%lld.s%d.t%d->s%d.t%d", static_cast<long long>(job),
                    src_stage, src_task, dst_stage, dst_task);
 }
 
-CacheWorker::CacheWorker(int64_t memory_budget_bytes, std::string spill_dir,
-                         obs::MetricsRegistry* metrics)
-    : budget_(memory_budget_bytes), spill_dir_(std::move(spill_dir)) {
-  if (!spill_dir_.empty()) {
+CacheWorker::CacheWorker(CacheWorkerOptions options)
+    : options_(std::move(options)),
+      budget_(options_.memory_budget_bytes),
+      soft_bytes_(std::min(WatermarkBytes(budget_, options_.soft_watermark),
+                           WatermarkBytes(budget_, options_.hard_watermark))),
+      hard_bytes_(WatermarkBytes(budget_, options_.hard_watermark)),
+      job_quota_bytes_(WatermarkBytes(budget_, options_.per_job_quota)) {
+  if (!options_.spill_dir.empty()) {
     std::error_code ec;
-    std::filesystem::create_directories(spill_dir_, ec);
+    std::filesystem::create_directories(options_.spill_dir, ec);
   }
+  obs::MetricsRegistry* metrics = options_.metrics;
   if (metrics != nullptr) {
     metrics_.puts = metrics->counter("cache.puts");
     metrics_.gets = metrics->counter("cache.gets");
@@ -33,8 +71,28 @@ CacheWorker::CacheWorker(int64_t memory_budget_bytes, std::string spill_dir,
     metrics_.spill_bytes = metrics->counter("cache.spill.bytes");
     metrics_.reloads = metrics->counter("cache.reloads");
     metrics_.deletions = metrics->counter("cache.deletions");
+    metrics_.backpressure_rejections =
+        metrics->counter("shuffle.backpressure.rejections");
+    metrics_.backpressure_rejected_bytes =
+        metrics->counter("shuffle.backpressure.rejected_bytes");
+    metrics_.backpressure_forced_admits =
+        metrics->counter("shuffle.backpressure.forced_admits");
+    metrics_.quota_evictions = metrics->counter("shuffle.quota.evictions");
+    metrics_.spill_io_errors = metrics->counter("shuffle.spill.io_errors");
+    metrics_.spill_retries = metrics->counter("shuffle.spill.retries");
+    metrics_.spill_lost_slots = metrics->counter("shuffle.spill.lost_slots");
   }
 }
+
+CacheWorker::CacheWorker(int64_t memory_budget_bytes, std::string spill_dir,
+                         obs::MetricsRegistry* metrics)
+    : CacheWorker([&] {
+        CacheWorkerOptions o;
+        o.memory_budget_bytes = memory_budget_bytes;
+        o.spill_dir = std::move(spill_dir);
+        o.metrics = metrics;
+        return o;
+      }()) {}
 
 CacheWorker::~CacheWorker() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -46,8 +104,13 @@ CacheWorker::~CacheWorker() {
   }
 }
 
+void CacheWorker::set_fault_injector(FaultInjector* injector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  injector_ = injector;
+}
+
 Status CacheWorker::Put(const ShuffleSlotKey& key, ShuffleBuffer buffer,
-                        int expected_reads) {
+                        int expected_reads, bool force) {
   std::lock_guard<std::mutex> lock(mu_);
   const int64_t size = static_cast<int64_t>(buffer.size());
   auto it = slots_.find(key);
@@ -55,7 +118,21 @@ Status CacheWorker::Put(const ShuffleSlotKey& key, ShuffleBuffer buffer,
     // Overwrite (idempotent re-run re-sends the same partition).
     EraseLocked(key);
   }
-  SWIFT_RETURN_NOT_OK(EnsureCapacityLocked(size));
+  Status admit = EnsureCapacityLocked(
+      size, key.job, force ? AdmitMode::kForced : AdmitMode::kPut);
+  if (!admit.ok()) {
+    if (admit.IsBackpressure()) {
+      stats_.backpressure_rejections += 1;
+      stats_.bytes_rejected += size;
+      obs::Add(metrics_.backpressure_rejections);
+      obs::Add(metrics_.backpressure_rejected_bytes, size);
+    }
+    return admit;
+  }
+  if (force && stats_.memory_in_use + size > hard_bytes_) {
+    stats_.forced_admits += 1;
+    obs::Add(metrics_.backpressure_forced_admits);
+  }
   Slot slot;
   slot.buffer = std::move(buffer);
   slot.size = size;
@@ -66,9 +143,20 @@ Status CacheWorker::Put(const ShuffleSlotKey& key, ShuffleBuffer buffer,
   stats_.puts += 1;
   stats_.bytes_written += size;
   stats_.memory_in_use += size;
+  ChargeJobLocked(key.job, size);
+  NoteResidentGrewLocked();
   obs::Add(metrics_.puts);
   obs::Add(metrics_.bytes_written, size);
   return Status::OK();
+}
+
+bool CacheWorker::WaitForCapacity(int64_t bytes, double timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (bytes > hard_bytes_) return false;  // can never fit: don't spin
+  auto fits = [&] { return stats_.memory_in_use + bytes <= hard_bytes_; };
+  if (fits()) return true;
+  return drain_cv_.wait_for(
+      lock, std::chrono::duration<double, std::milli>(timeout_ms), fits);
 }
 
 Result<ShuffleBuffer> CacheWorker::Get(const ShuffleSlotKey& key) {
@@ -77,7 +165,19 @@ Result<ShuffleBuffer> CacheWorker::Get(const ShuffleSlotKey& key) {
   if (it == slots_.end()) {
     return Status::NotFound("shuffle slot " + key.ToString());
   }
-  SWIFT_ASSIGN_OR_RETURN(ShuffleBuffer buffer, LoadLocked(key, &it->second));
+  Result<ShuffleBuffer> loaded = LoadLocked(key, &it->second);
+  if (!loaded.ok()) {
+    if (it->second.spilled) {
+      // Permanently unreadable spill file: the data is gone. Drop the
+      // slot so retries observe NotFound and escalate to replica
+      // failover / producer re-run instead of hammering a dead file.
+      stats_.spill_lost_slots += 1;
+      obs::Add(metrics_.spill_lost_slots);
+      EraseLocked(key);
+    }
+    return loaded.status();
+  }
+  ShuffleBuffer buffer = *std::move(loaded);
   stats_.gets += 1;
   stats_.bytes_read += static_cast<int64_t>(buffer.size());
   obs::Add(metrics_.gets);
@@ -101,7 +201,16 @@ Result<ShuffleBuffer> CacheWorker::Peek(const ShuffleSlotKey& key) {
   if (it == slots_.end()) {
     return Status::NotFound("shuffle slot " + key.ToString());
   }
-  SWIFT_ASSIGN_OR_RETURN(ShuffleBuffer buffer, LoadLocked(key, &it->second));
+  Result<ShuffleBuffer> loaded = LoadLocked(key, &it->second);
+  if (!loaded.ok()) {
+    if (it->second.spilled) {
+      stats_.spill_lost_slots += 1;
+      obs::Add(metrics_.spill_lost_slots);
+      EraseLocked(key);
+    }
+    return loaded.status();
+  }
+  ShuffleBuffer buffer = *std::move(loaded);
   stats_.gets += 1;
   stats_.bytes_read += static_cast<int64_t>(buffer.size());
   obs::Add(metrics_.gets);
@@ -127,6 +236,9 @@ void CacheWorker::RemoveJob(JobId job) {
       ++it;
     }
   }
+  // EraseLocked has already drained the per-slot charges; dropping the
+  // entry reclaims the job's quota in the same critical section.
+  job_resident_.erase(job);
 }
 
 void CacheWorker::RemoveStageOutput(JobId job, StageId stage) {
@@ -149,6 +261,8 @@ void CacheWorker::Clear() {
     EraseLocked(it->first);
     it = next;
   }
+  job_resident_.clear();
+  spill_disk_full_ = false;  // the machine's disk dies (and heals) with it
 }
 
 CacheWorkerStats CacheWorker::stats() {
@@ -156,53 +270,150 @@ CacheWorkerStats CacheWorker::stats() {
   return stats_;
 }
 
-Status CacheWorker::EnsureCapacityLocked(int64_t incoming) {
-  while (stats_.memory_in_use + incoming > budget_ && !lru_.empty()) {
-    const ShuffleSlotKey victim = lru_.front();
-    auto it = slots_.find(victim);
-    if (it == slots_.end()) {
-      lru_.pop_front();
+Status CacheWorker::EnsureCapacityLocked(int64_t incoming, JobId job,
+                                         AdmitMode mode) {
+  (void)job;
+  // Spill LRU victims until resident bytes sit back under the soft
+  // watermark (spill-ahead keeps headroom between soft and hard for
+  // bursts). A victim whose spill hits a transient IO error rotates to
+  // MRU so the next iteration tries a different slot; spilling stops
+  // outright when it cannot help (disabled, disk full).
+  size_t failed_attempts = 0;
+  const size_t max_failed_attempts = lru_.size() + 1;
+  while (stats_.memory_in_use + incoming > soft_bytes_ &&
+         failed_attempts < max_failed_attempts) {
+    ShuffleSlotKey victim_key;
+    bool quota_preferred = false;
+    Slot* victim = PickVictimLocked(&victim_key, &quota_preferred);
+    if (victim == nullptr) break;
+    Status st = SpillLocked(victim_key, victim);
+    if (st.ok()) {
+      if (quota_preferred) {
+        stats_.quota_evictions += 1;
+        obs::Add(metrics_.quota_evictions);
+      }
       continue;
     }
-    SWIFT_RETURN_NOT_OK(SpillLocked(victim, &it->second));
+    failed_attempts += 1;
+    if (st.code() == StatusCode::kIOError) {
+      TouchLocked(victim_key, victim);  // rotate past the sick victim
+      continue;
+    }
+    break;  // spilling disabled or disk full: no victim will do better
   }
-  if (stats_.memory_in_use + incoming > budget_) {
-    if (spill_dir_.empty()) {
+  if (stats_.memory_in_use + incoming <= hard_bytes_) return Status::OK();
+  // Over the hard watermark and spilling could not fix it.
+  if (mode == AdmitMode::kForced || mode == AdmitMode::kReload) {
+    // Forced puts (deadlock guard) and spill reloads (the drain side)
+    // always make progress; the overshoot is bounded by one payload.
+    return Status::OK();
+  }
+  if (!options_.admission_gate) {
+    if (options_.spill_dir.empty()) {
       return Status::ResourceExhausted(
           StrFormat("cache worker over budget (%lld + %lld > %lld)",
                     static_cast<long long>(stats_.memory_in_use),
                     static_cast<long long>(incoming),
                     static_cast<long long>(budget_)));
     }
-    // Everything resident is already spilled; a single oversized slot is
-    // admitted (it will be the next spill victim).
+    // Legacy behavior: a single oversized slot is admitted (it will be
+    // the next spill victim).
+    return Status::OK();
   }
-  return Status::OK();
+  if (lru_.empty() && SpillCapableLocked(incoming)) {
+    // Everything resident is already spilled and the spill path works:
+    // an oversized payload is admitted rather than stalled forever (it
+    // becomes the next spill victim).
+    return Status::OK();
+  }
+  return Status::Backpressure(
+      StrFormat("cache worker over hard watermark (%lld + %lld > %lld)",
+                static_cast<long long>(stats_.memory_in_use),
+                static_cast<long long>(incoming),
+                static_cast<long long>(hard_bytes_)));
+}
+
+CacheWorker::Slot* CacheWorker::PickVictimLocked(ShuffleSlotKey* out_key,
+                                                 bool* quota_preferred) {
+  *quota_preferred = false;
+  if (lru_.empty()) return nullptr;
+  if (job_quota_bytes_ > 0) {
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      if (!OverQuotaLocked(it->job)) continue;
+      auto sit = slots_.find(*it);
+      if (sit == slots_.end()) continue;
+      *quota_preferred = it != lru_.begin();
+      *out_key = *it;
+      return &sit->second;
+    }
+  }
+  auto sit = slots_.find(lru_.front());
+  if (sit == slots_.end()) {
+    lru_.pop_front();
+    return nullptr;
+  }
+  *out_key = lru_.front();
+  return &sit->second;
 }
 
 Status CacheWorker::SpillLocked(const ShuffleSlotKey& key, Slot* slot) {
-  (void)key;
-  if (spill_dir_.empty()) {
+  if (options_.spill_dir.empty()) {
     return Status::ResourceExhausted("cache worker memory over budget and "
                                      "spilling disabled");
   }
   if (slot->spilled) return Status::OK();
+  const int64_t disk_cost = slot->size + kSpillFooterBytes;
+  if (!SpillCapableLocked(slot->size)) {
+    return Status::ResourceExhausted(
+        StrFormat("spill disk budget exhausted (%lld + %lld > %lld)",
+                  static_cast<long long>(stats_.spill_disk_in_use),
+                  static_cast<long long>(disk_cost),
+                  static_cast<long long>(options_.spill_disk_budget_bytes)));
+  }
   const std::string path = StrFormat(
-      "%s/slot_%lld.bin", spill_dir_.c_str(),
+      "%s/slot_%lld.bin", options_.spill_dir.c_str(),
       static_cast<long long>(spill_seq_++));
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.good()) {
-    return Status::IOError("cannot open spill file " + path);
-  }
   const std::string_view bytes = slot->buffer.view();
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.close();
-  if (!out.good()) {
-    return Status::IOError("short write to spill file " + path);
+  char footer[4];
+  EncodeFooter(Crc32(bytes), footer);
+  Status last;
+  bool written = false;
+  for (int attempt = 0; attempt <= options_.spill_io_retries; ++attempt) {
+    SpillFault fault = injector_ != nullptr
+                           ? injector_->OnSpillWrite(key, attempt, slot->size)
+                           : SpillFault::kNone;
+    if (fault == SpillFault::kDiskFull) {
+      spill_disk_full_ = true;
+      return Status::ResourceExhausted("spill dir full: " + path);
+    }
+    if (fault == SpillFault::kWriteError) {
+      last = Status::IOError("injected spill write error: " + path);
+    } else {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      if (out.good()) {
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        out.write(footer, sizeof(footer));
+        out.close();
+      }
+      if (out.good()) {
+        written = true;
+        break;
+      }
+      last = Status::IOError("cannot write spill file " + path);
+    }
+    stats_.spill_io_errors += 1;
+    obs::Add(metrics_.spill_io_errors);
+    if (attempt < options_.spill_io_retries) {
+      stats_.spill_io_retries += 1;
+      obs::Add(metrics_.spill_retries);
+    }
   }
+  if (!written) return last;
   stats_.spilled_slots += 1;
   stats_.spilled_bytes += slot->size;
   stats_.memory_in_use -= slot->size;
+  stats_.spill_disk_in_use += disk_cost;
+  ChargeJobLocked(key.job, -slot->size);
   obs::Add(metrics_.spill_slots);
   obs::Add(metrics_.spill_bytes, slot->size);
   // Drop this worker's reference; the allocation is freed once the last
@@ -215,31 +426,76 @@ Status CacheWorker::SpillLocked(const ShuffleSlotKey& key, Slot* slot) {
     lru_.erase(slot->lru_it);
     slot->in_lru = false;
   }
+  NoteResidentShrankLocked();
   return Status::OK();
 }
 
 Result<ShuffleBuffer> CacheWorker::LoadLocked(const ShuffleSlotKey& key,
                                               Slot* slot) {
   if (!slot->spilled) return slot->buffer;
-  std::ifstream in(slot->spill_path, std::ios::binary);
-  if (!in.good()) {
-    return Status::IOError("cannot open spill file " + slot->spill_path);
+  Status last;
+  std::string bytes;
+  bool loaded = false;
+  for (int attempt = 0; attempt <= options_.spill_io_retries; ++attempt) {
+    SpillFault fault = injector_ != nullptr
+                           ? injector_->OnSpillRead(key, attempt)
+                           : SpillFault::kNone;
+    if (fault == SpillFault::kReadError) {
+      last = Status::IOError("injected spill read error: " + slot->spill_path);
+    } else if (fault == SpillFault::kShortRead) {
+      last = Status::IOError("injected short read: " + slot->spill_path);
+    } else {
+      std::ifstream in(slot->spill_path, std::ios::binary);
+      if (!in.good()) {
+        last = Status::IOError("cannot open spill file " + slot->spill_path);
+      } else {
+        bytes.assign(static_cast<std::size_t>(slot->size), '\0');
+        char footer[4] = {0, 0, 0, 0};
+        in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        const bool payload_ok =
+            in.gcount() == static_cast<std::streamsize>(bytes.size());
+        in.read(footer, sizeof(footer));
+        const bool footer_ok =
+            payload_ok && in.gcount() == static_cast<std::streamsize>(4);
+        if (!footer_ok) {
+          last = Status::IOError("short read from spill file " +
+                                 slot->spill_path);
+        } else if (DecodeFooter(footer) != Crc32(bytes)) {
+          // Re-reading returns the same rotten bytes: permanent.
+          stats_.spill_io_errors += 1;
+          obs::Add(metrics_.spill_io_errors);
+          return Status::IOError("spill file CRC mismatch: " +
+                                 slot->spill_path);
+        } else {
+          loaded = true;
+          break;
+        }
+      }
+    }
+    stats_.spill_io_errors += 1;
+    obs::Add(metrics_.spill_io_errors);
+    if (attempt < options_.spill_io_retries) {
+      stats_.spill_io_retries += 1;
+      obs::Add(metrics_.spill_retries);
+    }
   }
-  std::string bytes(static_cast<std::size_t>(slot->size), '\0');
-  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (in.gcount() != static_cast<std::streamsize>(bytes.size())) {
-    return Status::IOError("short read from spill file " + slot->spill_path);
-  }
+  if (!loaded) return last;
   stats_.reloads += 1;
   obs::Add(metrics_.reloads);
-  // Re-admit into memory (it is being used again).
-  SWIFT_RETURN_NOT_OK(EnsureCapacityLocked(slot->size));
+  // Re-admit into memory (it is being used again). Reload admission
+  // never fails: the reader draining this slot is what relieves
+  // pressure, so it may overshoot the watermark by one payload.
+  Status st = EnsureCapacityLocked(slot->size, key.job, AdmitMode::kReload);
+  (void)st;
   std::error_code ec;
   std::filesystem::remove(slot->spill_path, ec);
+  stats_.spill_disk_in_use -= slot->size + kSpillFooterBytes;
   slot->spilled = false;
   slot->spill_path.clear();
   slot->buffer = ShuffleBuffer(std::move(bytes));
   stats_.memory_in_use += slot->size;
+  ChargeJobLocked(key.job, slot->size);
+  NoteResidentGrewLocked();
   TouchLocked(key, slot);
   return slot->buffer;
 }
@@ -263,8 +519,11 @@ void CacheWorker::EraseLocked(const ShuffleSlotKey& key) {
   if (slot.spilled) {
     std::error_code ec;
     std::filesystem::remove(slot.spill_path, ec);
+    stats_.spill_disk_in_use -= slot.size + kSpillFooterBytes;
   } else {
     stats_.memory_in_use -= slot.size;
+    ChargeJobLocked(key.job, -slot.size);
+    NoteResidentShrankLocked();
   }
   slots_.erase(it);
 }
@@ -276,5 +535,31 @@ void CacheWorker::TouchLocked(const ShuffleSlotKey& key, Slot* slot) {
   slot->lru_it = std::prev(lru_.end());
   slot->in_lru = true;
 }
+
+void CacheWorker::ChargeJobLocked(JobId job, int64_t delta) {
+  int64_t& bytes = job_resident_[job];
+  bytes += delta;
+  if (bytes <= 0) job_resident_.erase(job);
+}
+
+bool CacheWorker::OverQuotaLocked(JobId job) const {
+  if (job_quota_bytes_ <= 0) return false;
+  auto it = job_resident_.find(job);
+  return it != job_resident_.end() && it->second > job_quota_bytes_;
+}
+
+bool CacheWorker::SpillCapableLocked(int64_t bytes) const {
+  if (options_.spill_dir.empty() || spill_disk_full_) return false;
+  if (options_.spill_disk_budget_bytes <= 0) return true;
+  return stats_.spill_disk_in_use + bytes + kSpillFooterBytes <=
+         options_.spill_disk_budget_bytes;
+}
+
+void CacheWorker::NoteResidentGrewLocked() {
+  stats_.peak_memory_in_use =
+      std::max(stats_.peak_memory_in_use, stats_.memory_in_use);
+}
+
+void CacheWorker::NoteResidentShrankLocked() { drain_cv_.notify_all(); }
 
 }  // namespace swift

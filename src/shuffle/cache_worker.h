@@ -1,6 +1,7 @@
 #ifndef SWIFT_SHUFFLE_CACHE_WORKER_H_
 #define SWIFT_SHUFFLE_CACHE_WORKER_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -13,6 +14,8 @@
 #include "shuffle/shuffle_buffer.h"
 
 namespace swift {
+
+class FaultInjector;
 
 /// \brief Identifies one shuffle partition: data produced by task
 /// `src_task` of stage `src_stage` destined for task `dst_task` of stage
@@ -39,13 +42,56 @@ struct CacheWorkerStats {
   int64_t reloads = 0;         ///< reads served from spill files
   int64_t deletions = 0;       ///< slots freed after full consumption
   int64_t memory_in_use = 0;   ///< resident slot bytes charged to the budget
+  int64_t peak_memory_in_use = 0;  ///< high-water mark of memory_in_use
+  int64_t spill_disk_in_use = 0;   ///< live spill-file bytes (incl. footers)
   /// Conservation-law accounting (tests/obs_invariant_test.cc): every
   /// stored byte is eventually either consumed (its slot read at least
   /// once) or evicted unconsumed (its slot dropped before any read), so
   /// after all slots are removed:
   ///   bytes_written == bytes_consumed + bytes_evicted_unconsumed.
+  /// Backpressured puts never enter bytes_written — rejected bytes are
+  /// counted separately and stay outside the conservation law.
   int64_t bytes_consumed = 0;           ///< slot size on its first read
   int64_t bytes_evicted_unconsumed = 0; ///< slot size when dropped unread
+  // Flow control / quota / spill-fault accounting.
+  int64_t backpressure_rejections = 0;  ///< puts refused with kBackpressure
+  int64_t bytes_rejected = 0;           ///< payload bytes of refused puts
+  int64_t forced_admits = 0;       ///< gate bypasses (deadlock guard)
+  int64_t quota_evictions = 0;     ///< victims picked from over-quota jobs
+  int64_t spill_io_errors = 0;     ///< failed spill write/read attempts
+  int64_t spill_io_retries = 0;    ///< transient spill IO errors retried
+  int64_t spill_lost_slots = 0;    ///< slots dropped after permanent IO loss
+};
+
+/// \brief Construction knobs for a Cache Worker.
+struct CacheWorkerOptions {
+  /// In-memory capacity; the hard watermark is a fraction of this.
+  int64_t memory_budget_bytes = 64LL << 20;
+  /// Directory for spill files ("" disables spilling: over-budget puts
+  /// then return kBackpressure instead of storing anything).
+  std::string spill_dir;
+  /// Fraction of the budget at which LRU spill starts running ahead of
+  /// demand; resident bytes are pushed back under soft on every Put.
+  double soft_watermark = 0.75;
+  /// Fraction of the budget that un-forced Puts may not exceed: a Put
+  /// that cannot spill down below hard returns kBackpressure.
+  double hard_watermark = 1.0;
+  /// Fraction of the budget one job may hold resident before eviction
+  /// prefers its slots over other jobs' (LRU within the job).
+  double per_job_quota = 0.5;
+  /// Cap on live spill-file bytes; 0 = unbounded. When the cap is hit
+  /// the worker stops spilling and degrades to backpressure.
+  int64_t spill_disk_budget_bytes = 0;
+  /// Transient spill write/read IO errors are retried in place this many
+  /// times before the error is treated as permanent.
+  int spill_io_retries = 3;
+  /// When false, restores the pre-flow-control behavior: over-budget
+  /// puts with spilling disabled fail hard with ResourceExhausted.
+  /// Kept as the bench baseline ("before" in BENCH_PR8.json).
+  bool admission_gate = true;
+  /// Optional registry (not owned); all workers of one service share the
+  /// same counters, so registry values are cluster-wide aggregates.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// \brief The per-machine shuffle buffer of Sec. III-B.
@@ -58,15 +104,26 @@ struct CacheWorkerStats {
 /// (data "consumed by all successor tasks"). Under memory pressure, the
 /// least-recently-used slots are swapped to spill files in `spill_dir` —
 /// the paper's LRU swap — and transparently reloaded on access.
-/// Thread-safe.
+///
+/// Flow control (FuxiShuffle direction, ROADMAP item 3): admission runs
+/// against soft/hard watermarks over resident bytes. Spill keeps the
+/// worker under soft; when spilling cannot help (disabled, disk full, or
+/// failing), Put returns a retryable kBackpressure instead of growing
+/// without bound — writers block in ShuffleService::WritePartition until
+/// readers drain, with a forced-admission escape hatch so a writer that
+/// is also the job's only drainer always makes progress. Slots are
+/// charged to their job: eviction picks victims from over-quota jobs
+/// first so one heavy job cannot flush another job's hot partitions.
+///
+/// Spill files carry a CRC-32C footer, verified on reload. Transient IO
+/// errors are retried in place; a permanently unreadable spill file
+/// drops the slot (the service's NotFound path then escalates to replica
+/// failover / producer re-run recovery). Thread-safe.
 class CacheWorker {
  public:
-  /// \param memory_budget_bytes in-memory capacity before LRU spill.
-  /// \param spill_dir directory for spill files ("" disables spilling:
-  ///        over-budget puts then fail with ResourceExhausted).
-  /// \param metrics optional registry (not owned); all workers of one
-  ///        service share the same counters, so registry values are
-  ///        cluster-wide aggregates.
+  explicit CacheWorker(CacheWorkerOptions options);
+
+  /// Legacy convenience constructor (budget + spill dir + registry).
   CacheWorker(int64_t memory_budget_bytes, std::string spill_dir,
               obs::MetricsRegistry* metrics = nullptr);
   ~CacheWorker();
@@ -77,14 +134,23 @@ class CacheWorker {
   /// \brief Stores a partition, sharing the caller's allocation (no
   /// bytes are copied). `expected_reads` <= 0 means "retain until
   /// RemoveJob" (barrier data kept for cross-graphlet recovery).
+  /// Returns kBackpressure when admission would exceed the hard
+  /// watermark and spilling cannot make room; `force` bypasses the gate
+  /// (the caller has proven waiting cannot help — deadlock guard).
   Status Put(const ShuffleSlotKey& key, ShuffleBuffer buffer,
-             int expected_reads);
+             int expected_reads, bool force = false);
 
   /// \brief Convenience overload wrapping `bytes` in a fresh buffer.
   Status Put(const ShuffleSlotKey& key, std::string bytes,
-             int expected_reads) {
-    return Put(key, ShuffleBuffer(std::move(bytes)), expected_reads);
+             int expected_reads, bool force = false) {
+    return Put(key, ShuffleBuffer(std::move(bytes)), expected_reads, force);
   }
+
+  /// \brief Blocks until `bytes` more resident bytes would fit under the
+  /// hard watermark, something drains, or `timeout_ms` elapses. Returns
+  /// false immediately when `bytes` can never fit (oversized payload) so
+  /// callers escalate to a forced Put instead of spinning.
+  bool WaitForCapacity(int64_t bytes, double timeout_ms);
 
   /// \brief Reads a partition (counts toward consumption). The returned
   /// buffer shares the slot's allocation. NotFound if the slot was never
@@ -96,7 +162,8 @@ class CacheWorker {
 
   bool Contains(const ShuffleSlotKey& key);
 
-  /// \brief Drops every slot of `job` (job completion / abort).
+  /// \brief Drops every slot of `job` (job completion / abort) and
+  /// reclaims its quota charge atomically.
   void RemoveJob(JobId job);
 
   /// \brief Drops every slot written by `stage` of `job` (non-idempotent
@@ -107,7 +174,11 @@ class CacheWorker {
   /// worker's memory and local disk die with the machine).
   void Clear();
 
+  /// \brief Installs the chaos engine's spill-fault source (not owned).
+  void set_fault_injector(FaultInjector* injector);
+
   CacheWorkerStats stats();
+  const CacheWorkerOptions& options() const { return options_; }
 
  private:
   struct Slot {
@@ -122,21 +193,43 @@ class CacheWorker {
     bool in_lru = false;
   };
 
-  Status EnsureCapacityLocked(int64_t incoming);
+  /// Why capacity is being made: a fresh Put obeys the gate, a forced
+  /// Put and a spill reload admit overshoot (reload is the drain side —
+  /// refusing it would wedge the very readers that relieve pressure).
+  enum class AdmitMode { kPut, kForced, kReload };
+
+  Status EnsureCapacityLocked(int64_t incoming, JobId job, AdmitMode mode);
+  /// Quota-aware victim choice: the LRU slot of an over-quota job if one
+  /// exists, else the global LRU slot. Null when nothing is evictable.
+  /// `*quota_preferred` is set when quota skipped an under-quota job's
+  /// less-recently-used slot.
+  Slot* PickVictimLocked(ShuffleSlotKey* out_key, bool* quota_preferred);
   Status SpillLocked(const ShuffleSlotKey& key, Slot* slot);
   Result<ShuffleBuffer> LoadLocked(const ShuffleSlotKey& key, Slot* slot);
   void EraseLocked(const ShuffleSlotKey& key);
   void TouchLocked(const ShuffleSlotKey& key, Slot* slot);
   /// First read of a slot: flips `touched` and counts its bytes consumed.
   void MarkConsumedLocked(Slot* slot);
+  void ChargeJobLocked(JobId job, int64_t delta);
+  bool OverQuotaLocked(JobId job) const;
+  bool SpillCapableLocked(int64_t bytes) const;
+  void NoteResidentGrewLocked();
+  void NoteResidentShrankLocked();
 
+  const CacheWorkerOptions options_;
   const int64_t budget_;
-  const std::string spill_dir_;
+  const int64_t soft_bytes_;
+  const int64_t hard_bytes_;
+  const int64_t job_quota_bytes_;
   std::mutex mu_;
+  std::condition_variable drain_cv_;  // signaled when resident bytes drop
   std::map<ShuffleSlotKey, Slot> slots_;
   std::list<ShuffleSlotKey> lru_;  // front = least recently used
+  std::map<JobId, int64_t> job_resident_;  // resident bytes charged per job
   CacheWorkerStats stats_;
   int64_t spill_seq_ = 0;
+  bool spill_disk_full_ = false;  // latched on (injected) disk exhaustion
+  FaultInjector* injector_ = nullptr;  // not owned
 
   // Cached registry handles (nullptr when no registry is installed).
   struct {
@@ -150,6 +243,13 @@ class CacheWorker {
     obs::Counter* spill_bytes = nullptr;
     obs::Counter* reloads = nullptr;
     obs::Counter* deletions = nullptr;
+    obs::Counter* backpressure_rejections = nullptr;
+    obs::Counter* backpressure_rejected_bytes = nullptr;
+    obs::Counter* backpressure_forced_admits = nullptr;
+    obs::Counter* quota_evictions = nullptr;
+    obs::Counter* spill_io_errors = nullptr;
+    obs::Counter* spill_retries = nullptr;
+    obs::Counter* spill_lost_slots = nullptr;
   } metrics_;
 };
 

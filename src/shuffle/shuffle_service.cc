@@ -26,12 +26,19 @@ ShuffleService::ShuffleService(Config config) : config_(std::move(config)) {
   if (config_.machines < 1) config_.machines = 1;
   workers_.reserve(static_cast<std::size_t>(config_.machines));
   for (int m = 0; m < config_.machines; ++m) {
-    std::string dir;
+    CacheWorkerOptions wo;
+    wo.memory_budget_bytes = config_.cache_memory_per_worker;
     if (!config_.spill_root.empty()) {
-      dir = StrFormat("%s/cw%d", config_.spill_root.c_str(), m);
+      wo.spill_dir = StrFormat("%s/cw%d", config_.spill_root.c_str(), m);
     }
-    workers_.push_back(std::make_unique<CacheWorker>(
-        config_.cache_memory_per_worker, dir, config_.metrics));
+    wo.soft_watermark = config_.cache_soft_watermark;
+    wo.hard_watermark = config_.cache_hard_watermark;
+    wo.per_job_quota = config_.cache_per_job_quota;
+    wo.spill_disk_budget_bytes = config_.spill_disk_budget_bytes;
+    wo.spill_io_retries = config_.spill_io_retries;
+    wo.admission_gate = config_.admission_gate;
+    wo.metrics = config_.metrics;
+    workers_.push_back(std::make_unique<CacheWorker>(std::move(wo)));
   }
   if (config_.metrics != nullptr) {
     obs::MetricsRegistry* reg = config_.metrics;
@@ -56,7 +63,46 @@ ShuffleService::ShuffleService(Config config) : config_(std::move(config)) {
     metrics_.machine_failures = reg->counter("shuffle.machine_failures");
     metrics_.payload_copies = reg->counter("shuffle.payload_copies");
     metrics_.local_replicas = reg->counter("shuffle.local_replicas");
+    metrics_.backpressure_waits = reg->counter("shuffle.backpressure.waits");
   }
+}
+
+void ShuffleService::set_fault_injector(FaultInjector* injector) {
+  injector_ = injector;
+  for (auto& w : workers_) w->set_fault_injector(injector);
+}
+
+Status ShuffleService::PutWithFlowControl(int machine,
+                                          const ShuffleSlotKey& key,
+                                          ShuffleBuffer buffer,
+                                          int expected_reads) {
+  CacheWorker* w = workers_[static_cast<std::size_t>(machine)].get();
+  const int64_t size = static_cast<int64_t>(buffer.size());
+  const int budget = std::max(0, config_.put_retry_budget);
+  for (int attempt = 0; attempt < budget; ++attempt) {
+    // The handle is copied, not the payload, so retries are free.
+    Status st = w->Put(key, buffer, expected_reads);
+    if (!st.IsBackpressure()) return st;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.put_backpressure_waits += 1;
+      obs::Add(metrics_.backpressure_waits);
+    }
+    if (!w->WaitForCapacity(size, config_.put_wait_ms) && size > 0) {
+      // Either the wait timed out (keep retrying: a reader may drain
+      // between our probe and the next Put) or the payload can never
+      // fit under the hard watermark — detect the latter and escalate.
+      const CacheWorkerOptions& o = w->options();
+      const auto hard = static_cast<int64_t>(
+          static_cast<double>(o.memory_budget_bytes) * o.hard_watermark);
+      if (size > hard) break;
+    }
+  }
+  // Retry budget spent, or waiting provably cannot help. This writer may
+  // be the job's only drainer (retained slots pin until RemoveJob), so
+  // blocking forever would deadlock the job against itself: force the
+  // put through. Overshoot is bounded by one payload per writer.
+  return w->Put(key, std::move(buffer), expected_reads, /*force=*/true);
 }
 
 ShuffleKind ShuffleService::KindFor(int64_t shuffle_edge_size) const {
@@ -176,8 +222,8 @@ Status ShuffleService::WritePartition(ShuffleKind kind,
       // way — the read path replicates the shared allocation onto the
       // reader-side worker, so the bytes still only exist once.
       (void)pipelined;
-      return workers_[static_cast<std::size_t>(writer_machine)]->Put(
-          key, std::move(buffer), expected_reads);
+      return PutWithFlowControl(writer_machine, key, std::move(buffer),
+                                expected_reads);
     }
     case ShuffleKind::kRemote: {
       {
@@ -188,8 +234,8 @@ Status ShuffleService::WritePartition(ShuffleKind kind,
         stats_.modeled_memory_copies += ExtraMemoryCopies(kind);
         obs::Add(metrics_.bytes_written[2], size);
       }
-      return workers_[static_cast<std::size_t>(writer_machine)]->Put(
-          key, std::move(buffer), expected_reads);
+      return PutWithFlowControl(writer_machine, key, std::move(buffer),
+                                expected_reads);
     }
   }
   return Status::Internal("unknown shuffle kind");
@@ -456,6 +502,34 @@ bool ShuffleService::IsMachineDead(int machine) {
 ShuffleServiceStats ShuffleService::stats() {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+CacheWorkerStats ShuffleService::worker_stats() {
+  CacheWorkerStats total;
+  for (auto& w : workers_) {
+    const CacheWorkerStats s = w->stats();
+    total.puts += s.puts;
+    total.gets += s.gets;
+    total.bytes_written += s.bytes_written;
+    total.bytes_read += s.bytes_read;
+    total.spilled_slots += s.spilled_slots;
+    total.spilled_bytes += s.spilled_bytes;
+    total.reloads += s.reloads;
+    total.deletions += s.deletions;
+    total.memory_in_use += s.memory_in_use;
+    total.peak_memory_in_use += s.peak_memory_in_use;
+    total.spill_disk_in_use += s.spill_disk_in_use;
+    total.bytes_consumed += s.bytes_consumed;
+    total.bytes_evicted_unconsumed += s.bytes_evicted_unconsumed;
+    total.backpressure_rejections += s.backpressure_rejections;
+    total.bytes_rejected += s.bytes_rejected;
+    total.forced_admits += s.forced_admits;
+    total.quota_evictions += s.quota_evictions;
+    total.spill_io_errors += s.spill_io_errors;
+    total.spill_io_retries += s.spill_io_retries;
+    total.spill_lost_slots += s.spill_lost_slots;
+  }
+  return total;
 }
 
 }  // namespace swift

@@ -49,6 +49,9 @@ struct ShuffleServiceStats {
   int64_t corrupt_payloads = 0;
   /// FailMachine calls acted on.
   int64_t machine_failures = 0;
+  /// Writer-side flow control: bounded blocking waits taken after a
+  /// Cache Worker refused a put with kBackpressure.
+  int64_t put_backpressure_waits = 0;
 };
 
 /// \brief The cluster-wide shuffle fabric of the local runtime: one
@@ -67,6 +70,29 @@ class ShuffleService {
     int64_t cache_memory_per_worker = 64LL << 20;
     std::string spill_root;  ///< "" disables spill
     ShuffleThresholds thresholds;
+    /// Cache Worker admission control (see CacheWorkerOptions): LRU
+    /// spill starts at soft, un-forced puts are refused with
+    /// kBackpressure past hard, and eviction prefers jobs holding more
+    /// than per_job_quota of the budget.
+    double cache_soft_watermark = 0.75;
+    double cache_hard_watermark = 1.0;
+    double cache_per_job_quota = 0.5;
+    /// Cap on live spill-file bytes per worker; 0 = unbounded.
+    int64_t spill_disk_budget_bytes = 0;
+    /// Transient spill IO errors retried in place per operation.
+    int spill_io_retries = 3;
+    /// false restores the pre-flow-control hard-failure behavior
+    /// (bench baseline).
+    bool admission_gate = true;
+    /// Writer-side flow control: a backpressured put blocks up to
+    /// put_wait_ms waiting for readers to drain, retried up to
+    /// put_retry_budget times; after that the put is forced through
+    /// (deadlock guard — a writer that is also the job's only drainer,
+    /// e.g. under retain_for_recovery where slots pin until RemoveJob,
+    /// must always make progress). Overshoot is bounded by one payload
+    /// per writer.
+    int put_retry_budget = 64;
+    double put_wait_ms = 2.0;
     /// Force one scheme for all edges (Fig. 12 experiments); nullopt =
     /// adaptive selection by edge size.
     std::optional<ShuffleKind> force_kind;
@@ -140,9 +166,10 @@ class ShuffleService {
 
   bool IsMachineDead(int machine);
 
-  /// \brief Chaos-engine hook consulted on every read attempt (not
-  /// owned; nullptr disables injection).
-  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  /// \brief Chaos-engine hook consulted on every read attempt and every
+  /// Cache Worker spill write/reload (not owned; nullptr disables
+  /// injection).
+  void set_fault_injector(FaultInjector* injector);
 
   /// \brief Frees all state of `job` across workers and the direct path.
   void RemoveJob(JobId job);
@@ -155,7 +182,15 @@ class ShuffleService {
 
   ShuffleServiceStats stats();
 
+  /// \brief Sum of all Cache Workers' counters (cluster-wide view of
+  /// backpressure / quota / spill-fault activity).
+  CacheWorkerStats worker_stats();
+
  private:
+  /// Put with writer→reader flow control: bounded blocking on
+  /// kBackpressure, forced admission once the retry budget is spent.
+  Status PutWithFlowControl(int machine, const ShuffleSlotKey& key,
+                            ShuffleBuffer buffer, int expected_reads);
   // Endpoint ids: tasks and cache workers live in one id space so the
   // distinct-connection count follows the paper's formulas.
   int64_t TaskEndpoint(const ShuffleSlotKey& key, bool writer) const;
@@ -207,6 +242,7 @@ class ShuffleService {
     obs::Counter* machine_failures = nullptr;
     obs::Counter* payload_copies = nullptr;
     obs::Counter* local_replicas = nullptr;
+    obs::Counter* backpressure_waits = nullptr;
   } metrics_;
 };
 

@@ -48,7 +48,24 @@ std::unique_ptr<LocalRuntime> MakeRuntime(LocalRuntimeConfig cfg = {}) {
 struct ChaosSchedule {
   const char* name;
   FaultSchedule fs;
+  /// Spill-path schedules shrink the Cache Worker budget and enable a
+  /// spill dir so the injected faults have spill files to hit; Remote
+  /// shuffle is forced because sf-0.001 edges are otherwise Direct.
+  int64_t cache_budget = 0;  ///< 0 = default
+  bool spill = false;
 };
+
+LocalRuntimeConfig ApplySchedule(const ChaosSchedule& sched) {
+  LocalRuntimeConfig cfg;
+  cfg.fault_schedule = sched.fs;
+  if (sched.cache_budget > 0) cfg.cache_memory_per_worker = sched.cache_budget;
+  if (sched.spill) {
+    cfg.spill_root =
+        ::testing::TempDir() + "/swift_chaos_spill_" + sched.name;
+    cfg.force_shuffle_kind = ShuffleKind::kRemote;
+  }
+  return cfg;
+}
 
 std::vector<ChaosSchedule> Schedules() {
   std::vector<ChaosSchedule> out;
@@ -102,6 +119,41 @@ std::vector<ChaosSchedule> Schedules() {
     fs.kill_after_task_starts = 7;
     out.push_back({"combined", fs});
   }
+  {
+    // Transient spill-write errors: each victim's first write attempt
+    // fails, the in-place retry lands it.
+    FaultSchedule fs;
+    fs.seed = 17;
+    fs.spill_write_fail_p = 0.5;
+    fs.spill_write_fails_per_victim = 1;
+    fs.max_spill_write_faults = 1 << 10;
+    out.push_back({"spill-write-faults", fs, /*cache_budget=*/2 << 10,
+                   /*spill=*/true});
+  }
+  {
+    // Transient spill-read errors/short reads, under the retry budget.
+    FaultSchedule fs;
+    fs.seed = 18;
+    fs.spill_read_fail_p = 0.5;
+    fs.spill_read_fails_per_victim = 2;
+    fs.max_spill_read_faults = 1 << 10;
+    out.push_back({"spill-read-faults", fs, /*cache_budget=*/2 << 10,
+                   /*spill=*/true});
+  }
+  {
+    // Permanent spill loss (victims never read back) combined with a
+    // mid-wave machine loss: both escalation paths at once. The global
+    // fault cap bounds the chaos so recovery converges.
+    FaultSchedule fs;
+    fs.seed = 19;
+    fs.spill_read_fail_p = 0.5;
+    fs.spill_read_fails_per_victim = 1 << 10;
+    fs.max_spill_read_faults = 6;
+    fs.kill_machine = 1;
+    fs.kill_after_task_starts = 5;
+    out.push_back({"spill-loss+machine-loss", fs, /*cache_budget=*/2 << 10,
+                   /*spill=*/true});
+  }
   return out;
 }
 
@@ -130,12 +182,13 @@ TEST(ChaosSoak, TpchSuiteByteIdenticalUnderFaultMatrix) {
   int64_t corrupt_retries = 0;
   int64_t read_retries = 0;
   int64_t read_timeouts = 0;
+  int64_t spill_io_errors = 0;
+  int64_t spill_io_retries = 0;
+  int64_t spill_lost_slots = 0;
 
   for (const ChaosSchedule& sched : Schedules()) {
     SCOPED_TRACE(sched.name);
-    LocalRuntimeConfig cfg;
-    cfg.fault_schedule = sched.fs;
-    auto rt = MakeRuntime(cfg);
+    auto rt = MakeRuntime(ApplySchedule(sched));
     for (int q : queries) {
       SCOPED_TRACE("Q" + std::to_string(q));
       auto sql = TpchQuerySql(q);
@@ -159,6 +212,10 @@ TEST(ChaosSoak, TpchSuiteByteIdenticalUnderFaultMatrix) {
     const ShuffleServiceStats ss = rt->shuffle_service()->stats();
     read_retries += ss.read_retries;
     read_timeouts += ss.read_timeouts;
+    const CacheWorkerStats ws = rt->shuffle_service()->worker_stats();
+    spill_io_errors += ws.spill_io_errors;
+    spill_io_retries += ws.spill_io_retries;
+    spill_lost_slots += ws.spill_lost_slots;
     ASSERT_NE(rt->fault_injector(), nullptr);
     task_crashes += rt->fault_injector()->stats().task_crashes;
   }
@@ -171,6 +228,10 @@ TEST(ChaosSoak, TpchSuiteByteIdenticalUnderFaultMatrix) {
   EXPECT_GE(read_timeouts, 1);
   EXPECT_GE(read_retries, 1) << "no transient read was retried in place";
   EXPECT_GE(corrupt_retries, 1) << "no CRC-rejected payload was re-fetched";
+  EXPECT_GE(spill_io_errors, 1) << "no spill-path fault was exercised";
+  EXPECT_GE(spill_io_retries, 1) << "no transient spill fault was retried";
+  EXPECT_GE(spill_lost_slots, 1)
+      << "no permanent spill loss escalated to recovery";
 }
 
 // The metrics registry must stay in lockstep with the per-report
@@ -185,8 +246,7 @@ TEST(ChaosSoak, RegistryMatchesInjectorAndRunStats) {
   for (const ChaosSchedule& sched : Schedules()) {
     SCOPED_TRACE(sched.name);
     obs::MetricsRegistry reg;
-    LocalRuntimeConfig cfg;
-    cfg.fault_schedule = sched.fs;
+    LocalRuntimeConfig cfg = ApplySchedule(sched);
     cfg.metrics = &reg;
     auto rt = MakeRuntime(cfg);
 
@@ -245,6 +305,21 @@ TEST(ChaosSoak, RegistryMatchesInjectorAndRunStats) {
     EXPECT_EQ(reg.CounterValue("shuffle.failover_reads"), ss.failover_reads);
     EXPECT_EQ(reg.CounterValue("shuffle.corrupt_payloads"),
               ss.corrupt_payloads);
+    // Pressure/quota/spill-fault counters stay in lockstep too.
+    const CacheWorkerStats ws = rt->shuffle_service()->worker_stats();
+    EXPECT_EQ(reg.CounterValue("shuffle.backpressure.rejections"),
+              ws.backpressure_rejections);
+    EXPECT_EQ(reg.CounterValue("shuffle.backpressure.rejected_bytes"),
+              ws.bytes_rejected);
+    EXPECT_EQ(reg.CounterValue("shuffle.backpressure.forced_admits"),
+              ws.forced_admits);
+    EXPECT_EQ(reg.CounterValue("shuffle.backpressure.waits"),
+              ss.put_backpressure_waits);
+    EXPECT_EQ(reg.CounterValue("shuffle.quota.evictions"), ws.quota_evictions);
+    EXPECT_EQ(reg.CounterValue("shuffle.spill.io_errors"), ws.spill_io_errors);
+    EXPECT_EQ(reg.CounterValue("shuffle.spill.retries"), ws.spill_io_retries);
+    EXPECT_EQ(reg.CounterValue("shuffle.spill.lost_slots"),
+              ws.spill_lost_slots);
     ASSERT_NE(rt->fault_injector(), nullptr);
     const FaultInjectorStats fi = rt->fault_injector()->stats();
     EXPECT_EQ(reg.CounterValue("shuffle.read_timeouts"), fi.read_timeouts);

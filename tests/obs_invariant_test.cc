@@ -59,6 +59,50 @@ TEST(ObsInvariant, ShuffleByteConservationOverTpchSuite) {
       << " evicted=" << evicted;
 }
 
+// The conservation law must also survive memory pressure: with the
+// budget squeezed and spilling disabled, puts are refused and later
+// forced through, and eviction runs quota-first — yet a rejected put
+// never enters bytes_written (it is counted separately), so the books
+// still balance exactly once the retained slots are swept.
+TEST(ObsInvariant, ByteConservationHoldsUnderBackpressure) {
+  obs::MetricsRegistry reg;
+  LocalRuntimeConfig cfg;
+  cfg.metrics = &reg;
+  cfg.force_shuffle_kind = ShuffleKind::kRemote;
+  cfg.cache_memory_per_worker = 4 << 10;  // tight: suite shuffles far more
+  cfg.shuffle_put_retry_budget = 2;       // escalate to forced admits fast
+  cfg.shuffle_put_wait_ms = 0.1;
+  auto rt = MakeRuntime(cfg);
+  RunSuite(rt.get());
+
+  EXPECT_GT(reg.CounterValue("shuffle.backpressure.rejections"), 0)
+      << "budget was never under pressure";
+  EXPECT_GT(reg.CounterValue("shuffle.backpressure.forced_admits"), 0)
+      << "retained-slot pressure never hit the deadlock guard";
+  const int64_t written = reg.CounterValue("shuffle.bytes_written");
+  const int64_t consumed = reg.CounterValue("shuffle.bytes_consumed");
+  const int64_t evicted = reg.CounterValue("shuffle.bytes_evicted_unconsumed");
+  const int64_t rejected =
+      reg.CounterValue("shuffle.backpressure.rejected_bytes");
+  EXPECT_GT(written, 0);
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(written, consumed + evicted)
+      << "written=" << written << " consumed=" << consumed
+      << " evicted=" << evicted << " (rejected=" << rejected
+      << " must stay outside the law)";
+  // Registry counters mirror the workers' own books.
+  const CacheWorkerStats ws = rt->shuffle_service()->worker_stats();
+  EXPECT_EQ(reg.CounterValue("shuffle.backpressure.rejections"),
+            ws.backpressure_rejections);
+  EXPECT_EQ(reg.CounterValue("shuffle.backpressure.rejected_bytes"),
+            ws.bytes_rejected);
+  EXPECT_EQ(reg.CounterValue("shuffle.backpressure.forced_admits"),
+            ws.forced_admits);
+  EXPECT_EQ(reg.CounterValue("shuffle.quota.evictions"), ws.quota_evictions);
+  EXPECT_EQ(reg.CounterValue("shuffle.backpressure.waits"),
+            rt->shuffle_service()->stats().put_backpressure_waits);
+}
+
 // Dispatch accounting: every task counted at dispatch shows up exactly
 // once as completed or failed, even when a wave is cut short.
 TEST(ObsInvariant, TaskSpansStartedEqualsCompletedPlusFailed) {

@@ -98,10 +98,94 @@ TEST(CacheWorkerTest, OverwriteReplacesSlot) {
   EXPECT_EQ(r->view(), "new");
 }
 
-TEST(CacheWorkerTest, OverBudgetWithoutSpillFails) {
+TEST(CacheWorkerTest, OverBudgetWithoutSpillBackpressuresNotFails) {
+  // Regression for the pre-flow-control sharp edge: an over-budget Put
+  // with spilling disabled used to fail hard with ResourceExhausted.
+  // It now returns the retryable kBackpressure signal, nothing is
+  // stored, and a forced put (the deadlock guard) still goes through.
   CacheWorker cw(10, "");
+  Status st = cw.Put(Key(0, 0), "0123456789ABCDEF", 1);
+  EXPECT_TRUE(st.IsBackpressure()) << st.ToString();
+  EXPECT_NE(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(cw.Contains(Key(0, 0)));
+  auto stats = cw.stats();
+  EXPECT_EQ(stats.backpressure_rejections, 1);
+  EXPECT_EQ(stats.bytes_rejected, 16);
+  EXPECT_EQ(stats.bytes_written, 0);  // rejected bytes stay unaccounted
+  ASSERT_TRUE(cw.Put(Key(0, 0), "0123456789ABCDEF", 1, /*force=*/true).ok());
+  EXPECT_TRUE(cw.Contains(Key(0, 0)));
+  EXPECT_EQ(cw.stats().forced_admits, 1);
+}
+
+TEST(CacheWorkerTest, LegacyGateOffKeepsHardFailure) {
+  // The previous hard-failure behavior stays reachable as the bench
+  // baseline (admission_gate = false).
+  CacheWorkerOptions o;
+  o.memory_budget_bytes = 10;
+  o.admission_gate = false;
+  CacheWorker cw(std::move(o));
   EXPECT_EQ(cw.Put(Key(0, 0), "0123456789ABCDEF", 1).code(),
             StatusCode::kResourceExhausted);
+}
+
+TEST(CacheWorkerTest, WaitForCapacityUnblocksOnDrain) {
+  CacheWorker cw(32, "");
+  ASSERT_TRUE(cw.Put(Key(0, 0), std::string(30, 'x'), 1).ok());
+  EXPECT_TRUE(cw.Put(Key(1, 0), std::string(30, 'y'), 1).IsBackpressure());
+  EXPECT_FALSE(cw.WaitForCapacity(30, 1.0));       // nothing drains: times out
+  EXPECT_FALSE(cw.WaitForCapacity(1000, 1000.0));  // can never fit: immediate
+  std::thread reader([&] { ASSERT_TRUE(cw.Get(Key(0, 0)).ok()); });
+  EXPECT_TRUE(cw.WaitForCapacity(30, 5000.0));
+  reader.join();
+  ASSERT_TRUE(cw.Put(Key(1, 0), std::string(30, 'y'), 1).ok());
+}
+
+TEST(CacheWorkerTest, QuotaEvictionPrefersOverQuotaJobs) {
+  const std::string dir = ::testing::TempDir() + "/swift_quota_test";
+  std::filesystem::remove_all(dir);
+  CacheWorkerOptions o;
+  o.memory_budget_bytes = 100;
+  o.spill_dir = dir;
+  o.soft_watermark = 1.0;  // spill only on demand, to make the test exact
+  o.per_job_quota = 0.5;   // 50 bytes per job
+  CacheWorker cw(std::move(o));
+  // Job 2's slot is the global LRU; job 1 then goes over quota.
+  ASSERT_TRUE(cw.Put(Key(0, 0, /*job=*/2), std::string(20, 'b'), 0).ok());
+  ASSERT_TRUE(cw.Put(Key(0, 0, /*job=*/1), std::string(30, 'a'), 0).ok());
+  ASSERT_TRUE(cw.Put(Key(1, 0, /*job=*/1), std::string(30, 'a'), 0).ok());
+  // 80 resident; +30 exceeds the budget. Plain LRU would spill job 2's
+  // slot, but job 1 is over its 50-byte quota and job 2 is not: the
+  // victim must come from job 1 (LRU within the job).
+  ASSERT_TRUE(cw.Put(Key(2, 0, /*job=*/1), std::string(30, 'a'), 0).ok());
+  auto stats = cw.stats();
+  EXPECT_GE(stats.quota_evictions, 1);
+  EXPECT_GE(stats.spilled_slots, 1);
+  // Job 2's hot slot stayed resident (reading it reloads nothing).
+  ASSERT_TRUE(cw.Peek(Key(0, 0, /*job=*/2)).ok());
+  EXPECT_EQ(cw.stats().reloads, 0);
+  // RemoveJob reclaims the heavy job's quota charge atomically.
+  cw.RemoveJob(1);
+  EXPECT_LE(cw.stats().memory_in_use, 20);
+}
+
+TEST(CacheWorkerTest, SpillDiskBudgetExhaustionDegradesToBackpressure) {
+  const std::string dir = ::testing::TempDir() + "/swift_diskfull_test";
+  std::filesystem::remove_all(dir);
+  CacheWorkerOptions o;
+  o.memory_budget_bytes = 64;
+  o.spill_dir = dir;
+  o.spill_disk_budget_bytes = 50;  // room for one 40-byte slot + footer
+  CacheWorker cw(std::move(o));
+  ASSERT_TRUE(cw.Put(Key(0, 0), std::string(40, 'a'), 0).ok());
+  ASSERT_TRUE(cw.Put(Key(1, 0), std::string(40, 'b'), 0).ok());  // spills a
+  // The disk budget is now spent: the next over-watermark put cannot
+  // spill and must backpressure instead of growing or crashing.
+  Status st = cw.Put(Key(2, 0), std::string(40, 'c'), 0);
+  EXPECT_TRUE(st.IsBackpressure()) << st.ToString();
+  EXPECT_LE(cw.stats().spill_disk_in_use, 50);
+  // Both stored slots are still intact.
+  EXPECT_EQ(cw.Peek(Key(0, 0))->view(), std::string(40, 'a'));
+  EXPECT_EQ(cw.Peek(Key(1, 0))->view(), std::string(40, 'b'));
 }
 
 TEST(CacheWorkerTest, LruSpillAndReload) {
