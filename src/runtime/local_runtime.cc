@@ -64,14 +64,12 @@ std::vector<SortKey> AscendingKeys(const std::vector<ExprPtr>& exprs) {
 }  // namespace
 
 struct LocalRuntime::JobContext {
-  JobContext(JobId job_id, const DistributedPlan* p, GraphletPlan g,
-             int machines, int executors_per_machine)
+  JobContext(JobId job_id, const DistributedPlan* p, GraphletPlan g)
       : job(job_id),
         plan(p),
         graphlets(std::move(g)),
         recovery(&p->dag, &graphlets),
         tracker(&p->dag),
-        pool(machines, executors_per_machine),
         gtracker(&graphlets) {}
 
   JobId job;
@@ -79,8 +77,11 @@ struct LocalRuntime::JobContext {
   GraphletPlan graphlets;
   RecoveryPlanner recovery;
   TaskTracker tracker;
-  ResourcePool pool;
   GraphletTracker gtracker;
+  /// Wave-boundary yields taken so far (driver thread only); extends the
+  /// scheduling-round bound so cooperative preemption cannot trip the
+  /// recovery-convergence guard.
+  int yields = 0;
   std::map<TaskRef, ExecutorId> placement;
   std::map<TaskRef, int> writer_machine;
   std::map<TaskRef, int> attempts;
@@ -142,10 +143,18 @@ LocalRuntime::LocalRuntime(LocalRuntimeConfig config)
     metrics_.queue_wait_last = reg->gauge("scheduler.queue_wait_last_s");
     metrics_.executor_idle_ratio = reg->gauge("scheduler.executor_idle_ratio");
     metrics_.graphlet_idle_ratio = reg->series("scheduler.graphlet_idle_ratio");
+    metrics_.gang_yields = reg->counter("scheduler.gang_yields");
   }
   if (config_.fault_schedule.has_value()) {
     injector_ = std::make_unique<FaultInjector>(*config_.fault_schedule);
     shuffle_->set_fault_injector(injector_.get());
+  }
+  if (config_.gang_scheduler != nullptr) {
+    gangs_ = config_.gang_scheduler;
+  } else {
+    owned_gangs_ = std::make_unique<ExclusiveGangScheduler>(
+        config_.machines, config_.executors_per_machine);
+    gangs_ = owned_gangs_.get();
   }
   pool_ = std::make_unique<ThreadPool>(
       static_cast<std::size_t>(config_.worker_threads));
@@ -179,6 +188,7 @@ void LocalRuntime::RestoreMachine(int machine) {
     heartbeat_.ReportHeartbeat(machine, clock_);
   }
   shuffle_->RestoreMachine(machine);
+  gangs_->RestoreMachine(machine);
 }
 
 std::vector<int> LocalRuntime::DownMachines() {
@@ -201,10 +211,15 @@ Result<JobRunReport> LocalRuntime::RunSql(const std::string& sql,
 
 void LocalRuntime::InjectFailureOnce(const TaskRef& task, FailureKind kind) {
   std::lock_guard<std::mutex> lock(mu_);
-  injected_[task] = kind;
+  injected_[task] = PendingInjection{kind, /*claimed_by=*/0};
 }
 
 Result<JobRunReport> LocalRuntime::RunPlan(const DistributedPlan& plan) {
+  return RunPlan(plan, JobRunOptions{});
+}
+
+Result<JobRunReport> LocalRuntime::RunPlan(const DistributedPlan& plan,
+                                           const JobRunOptions& opts) {
   ShuffleModeAwarePartitioner partitioner;
   SWIFT_ASSIGN_OR_RETURN(GraphletPlan graphlets,
                          partitioner.Partition(plan.dag));
@@ -212,9 +227,26 @@ Result<JobRunReport> LocalRuntime::RunPlan(const DistributedPlan& plan) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     job = next_job_id_++;
+    active_jobs_ += 1;
+    // Claim pending one-shot injections: they fire only within this job
+    // and are swept when it ends, so a concurrent job can neither
+    // consume nor clear them.
+    for (auto& [task, inj] : injected_) {
+      if (inj.claimed_by == 0) inj.claimed_by = job;
+    }
   }
-  JobContext ctx(job, &plan, std::move(graphlets), config_.machines,
-                 config_.executors_per_machine);
+  JobContext ctx(job, &plan, std::move(graphlets));
+  gangs_->BeginJob(job, opts);
+  obs::Span job_meta;
+  if (tracer_ != nullptr) {
+    job_meta.name = opts.label.empty()
+                        ? StrFormat("job%lld", static_cast<long long>(job))
+                        : opts.label;
+    job_meta.category = "job";
+    job_meta.job = job;
+  }
+  obs::ScopedSpan job_span(tracer_, std::move(job_meta));
+  ctx.stats.job_id = job;
   ctx.stats.graphlets = static_cast<int>(ctx.graphlets.graphlets.size());
   for (const EdgeDef& e : plan.dag.edges()) {
     ctx.stats.edges_by_kind[shuffle_->KindFor(
@@ -230,7 +262,9 @@ Result<JobRunReport> LocalRuntime::RunPlan(const DistributedPlan& plan) {
   int rounds = 0;
   Status failure = Status::OK();
   while (!ctx.gtracker.AllComplete() && failure.ok()) {
-    if (++rounds > max_rounds) {
+    // Yield rounds extend the bound: a graphlet re-queued by cooperative
+    // preemption made no recovery "attempt".
+    if (++rounds > max_rounds + ctx.yields) {
       failure = Status::Internal("recovery did not converge: graphlet "
                                  "resubmission limit reached");
       break;
@@ -262,10 +296,17 @@ Result<JobRunReport> LocalRuntime::RunPlan(const DistributedPlan& plan) {
   }
 
   shuffle_->RemoveJob(job);
+  gangs_->EndJob(job);
   {
-    // An unconsumed one-shot injection must not leak into the next job.
+    // An unconsumed one-shot injection must not leak into a later job —
+    // but only this job's claims are swept; injections claimed by a
+    // concurrently running job stay pending for it.
     std::lock_guard<std::mutex> lock(mu_);
-    injected_.clear();
+    active_jobs_ -= 1;
+    for (auto it = injected_.begin(); it != injected_.end();) {
+      it = it->second.claimed_by == job ? injected_.erase(it)
+                                        : std::next(it);
+    }
   }
   if (!failure.ok()) return failure;
   if (!ctx.tracker.AllComplete()) {
@@ -274,6 +315,9 @@ Result<JobRunReport> LocalRuntime::RunPlan(const DistributedPlan& plan) {
   JobRunReport report;
   report.result = std::move(ctx.final_result);
   report.stats = ctx.stats;
+  // Service-wide aggregate: under concurrent RunPlan these counters mix
+  // all in-flight jobs (per-job shuffle attribution lives in the obs
+  // layer's byte-conservation counters keyed by the shared registry).
   report.stats.shuffle = shuffle_->stats();
   return report;
 }
@@ -292,17 +336,25 @@ Status LocalRuntime::RunGraphlet(JobContext* ctx, GraphletId gid) {
   const auto graphlet_t0 = std::chrono::steady_clock::now();
   const int64_t busy_before = ctx->busy_ns.load(std::memory_order_relaxed);
 
-  // Cluster state feeds this job's pool: dead machines hold no
-  // executors, drained machines take no new tasks.
+  // Cluster state feeds the arbiter: dead machines hold no executors,
+  // drained machines take no new tasks. Read the health picture under
+  // mu_, push it without the lock held (mu_ -> arbiter mutex is the one
+  // permitted lock order; see GangScheduler's threading contract).
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (int m = 0; m < config_.machines; ++m) {
-      if (down_.count(m) > 0 || detected_.count(m) > 0) {
-        ctx->pool.RevokeMachine(m);
-      } else {
-        ctx->pool.SetReadOnly(m, health_.IsReadOnly(m));
+    std::vector<int> revoked;
+    std::vector<std::pair<int, bool>> read_only;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (int m = 0; m < config_.machines; ++m) {
+        if (down_.count(m) > 0 || detected_.count(m) > 0) {
+          revoked.push_back(m);
+        } else {
+          read_only.emplace_back(m, health_.IsReadOnly(m));
+        }
       }
     }
+    for (int m : revoked) gangs_->RevokeMachine(m);
+    for (auto [m, ro] : read_only) gangs_->SetReadOnly(m, ro);
   }
 
   // Gang allocation: one executor per task of the graphlet, with
@@ -328,7 +380,7 @@ Status LocalRuntime::RunGraphlet(JobContext* ctx, GraphletId gid) {
       gang_meta.job = ctx->job;
     }
     obs::ScopedSpan gang_span(tracer_, std::move(gang_meta));
-    return ctx->pool.AllocateGang(prefs);
+    return gangs_->AcquireGang(ctx->job, prefs);
   }();
   if (!gang.ok()) {
     return gang.status().WithContext(StrFormat(
@@ -373,20 +425,34 @@ Status LocalRuntime::RunGraphlet(JobContext* ctx, GraphletId gid) {
       }
       Status st = RunStageWave(ctx, sid, pending);
       if (!st.ok()) {
-        ctx->pool.ReleaseAll(*gang);
+        gangs_->ReleaseGang(ctx->job, *gang);
         return st;
       }
       progressed = true;
     }
     if (all_done) break;
     if (!progressed) {
-      ctx->pool.ReleaseAll(*gang);
+      gangs_->ReleaseGang(ctx->job, *gang);
       if (blocked_external) return Status::OK();  // suspended
       return Status::Internal(
           StrFormat("graphlet %d stalled: no runnable stage", gid));
     }
+    // Cooperative preemption: the arbiter may ask this job to hand its
+    // gang back at a wave boundary so a higher-class job can run. The
+    // graphlet stays incomplete, which routes it through the same
+    // "suspended -> re-queue" path recovery already exercises.
+    if (gangs_->ShouldYield(ctx->job)) {
+      gangs_->ReleaseGang(ctx->job, *gang);
+      {
+        std::lock_guard<std::mutex> lock(ctx->mu);
+        ctx->stats.gang_yields += 1;
+      }
+      ctx->yields += 1;
+      obs::Add(metrics_.gang_yields, 1);
+      return Status::OK();  // suspended by preemption
+    }
   }
-  ctx->pool.ReleaseAll(*gang);
+  gangs_->ReleaseGang(ctx->job, *gang);
   if (metrics_.graphlet_idle_ratio != nullptr && !members.empty()) {
     // Executor idle ratio over this graphlet's gang (Fig. 3): wall time
     // the gang held its executors minus time actually spent in tasks.
@@ -522,9 +588,8 @@ Status LocalRuntime::HandleFailure(JobContext* ctx, const TaskRef& task,
   }
   if (kind != FailureKind::kApplicationError) {
     auto it = ctx->placement.find(task);
-    RecordMachineFailure(ctx, it != ctx->placement.end()
-                                  ? it->second.machine
-                                  : 0);
+    RecordMachineFailure(it != ctx->placement.end() ? it->second.machine
+                                                     : 0);
   }
 
   RecoveryContext rctx;
@@ -634,9 +699,14 @@ Status LocalRuntime::EnsureInputsAvailable(JobContext* ctx,
 
 Status LocalRuntime::TickClusterHealth(JobContext* ctx) {
   std::vector<int> lost;
+  std::vector<int> restored;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    clock_ += heartbeat_.interval();
+    // The logical heartbeat clock advances one interval per *cluster*
+    // tick. Every running job ticks once per wave, so each job advances
+    // its share; otherwise N concurrent jobs would make failure
+    // detection and probation windows N times faster than configured.
+    clock_ += heartbeat_.interval() / std::max(1, active_jobs_);
     for (int m = 0; m < config_.machines; ++m) {
       if (down_.count(m) == 0) {
         heartbeat_.ReportHeartbeat(m, clock_);
@@ -654,11 +724,12 @@ Status LocalRuntime::TickClusterHealth(JobContext* ctx) {
     }
     // Probation: drained machines with a clean window rejoin.
     for (int m : health_.ClearExpired(clock_)) {
-      ctx->pool.SetReadOnly(m, false);
+      restored.push_back(m);
       SWIFT_LOG(Info) << "machine " << m
                       << " back in rotation after clean probation";
     }
   }
+  for (int m : restored) gangs_->SetReadOnly(m, false);
   for (int m : lost) {
     SWIFT_RETURN_NOT_OK(HandleMachineLoss(ctx, m));
   }
@@ -691,7 +762,7 @@ Status LocalRuntime::DetectDownMachines(JobContext* ctx) {
 Status LocalRuntime::HandleMachineLoss(JobContext* ctx, int machine) {
   SWIFT_LOG(Warn) << "machine " << machine
                   << " loss detected: replanning its retained outputs";
-  ctx->pool.RevokeMachine(machine);
+  gangs_->RevokeMachine(machine);
   {
     std::lock_guard<std::mutex> lock(ctx->mu);
     ctx->stats.machine_failures += 1;
@@ -718,7 +789,7 @@ Status LocalRuntime::HandleMachineLoss(JobContext* ctx, int machine) {
   return Status::OK();
 }
 
-void LocalRuntime::RecordMachineFailure(JobContext* ctx, int machine) {
+void LocalRuntime::RecordMachineFailure(int machine) {
   std::lock_guard<std::mutex> lock(mu_);
   const bool was_read_only = health_.IsReadOnly(machine);
   health_.RecordTaskFailure(machine, clock_);
@@ -736,7 +807,7 @@ void LocalRuntime::RecordMachineFailure(JobContext* ctx, int machine) {
     health_.Clear(machine);
     return;
   }
-  ctx->pool.SetReadOnly(machine, true);
+  gangs_->SetReadOnly(machine, true);
   SWIFT_LOG(Info) << "machine " << machine
                   << " drained read-only after repeated task failures";
 }
@@ -1113,8 +1184,9 @@ Status LocalRuntime::RunTask(JobContext* ctx, const TaskRef& task,
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = injected_.find(task);
-    if (it != injected_.end()) {
-      const FailureKind kind = it->second;
+    if (it != injected_.end() && (it->second.claimed_by == 0 ||
+                                  it->second.claimed_by == ctx->job)) {
+      const FailureKind kind = it->second.kind;
       injected_.erase(it);
       return StatusForFailure(kind, task);
     }

@@ -19,6 +19,7 @@
 #include "obs/metrics.h"
 #include "obs/trace_recorder.h"
 #include "partition/partitioners.h"
+#include "scheduler/gang_scheduler.h"
 #include "scheduler/resource_pool.h"
 #include "shuffle/shuffle_service.h"
 #include "sql/distributed_plan.h"
@@ -96,6 +97,13 @@ struct LocalRuntimeConfig {
   int morsel_lanes = 0;
   /// Seeded chaos engine driving injected faults (nullopt = none).
   std::optional<FaultSchedule> fault_schedule;
+  /// Executor-pool arbitration (not owned). Null keeps the historical
+  /// behavior: every job gets a private full-size pool, so concurrent
+  /// jobs never contend for executors. The multi-tenant job service
+  /// installs its GangArbiter here, which shares ONE pool across all
+  /// in-flight jobs with per-tenant fair-share queueing, priority
+  /// classes, and cooperative gang preemption (DESIGN.md Sec. 16).
+  GangScheduler* gang_scheduler = nullptr;
   /// Optional observability sinks (not owned). The registry feeds the
   /// metric catalog of DESIGN.md Sec. 11 (task/recovery counters,
   /// detection-delay histogram, scheduler gauges, shuffle byte
@@ -107,6 +115,11 @@ struct LocalRuntimeConfig {
 
 /// \brief Outcome counters of one job run.
 struct JobRunStats {
+  /// Runtime-assigned job id (keys shuffle slots and per-job quotas).
+  JobId job_id = 0;
+  /// Wave-boundary gang releases taken because the arbiter asked this
+  /// job to yield to a higher-priority request (cooperative preemption).
+  int gang_yields = 0;
   int graphlets = 0;
   int tasks_executed = 0;   ///< task executions incl. re-runs
   int tasks_rerun = 0;      ///< re-executions triggered by recovery
@@ -152,6 +165,15 @@ class LocalRuntime {
 
   /// \brief Runs an already-planned job.
   Result<JobRunReport> RunPlan(const DistributedPlan& plan);
+
+  /// \brief Runs an already-planned job on behalf of a tenant: the
+  /// options flow into gang arbitration (fair share, priority class)
+  /// and into the job-level trace span. RunPlan is safe to call from
+  /// multiple threads concurrently — jobs share the shuffle fabric,
+  /// worker threads, and (under a service-installed GangScheduler) the
+  /// executor pool, while all per-job state lives in the JobContext.
+  Result<JobRunReport> RunPlan(const DistributedPlan& plan,
+                               const JobRunOptions& opts);
 
   /// \brief Makes the next execution of `task` fail with `kind`
   /// (fires once; recovery then re-runs it successfully).
@@ -226,7 +248,7 @@ class LocalRuntime {
   void ResetTask(JobContext* ctx, const TaskRef& t);
   /// Record a non-application failure against `machine`; drains it
   /// read-only when the sliding window fills (never the last machine).
-  void RecordMachineFailure(JobContext* ctx, int machine);
+  void RecordMachineFailure(int machine);
   /// Feeds the fault.detection_delay_s histogram (requires mu_).
   void RecordDetectionDelayLocked(int machine);
 
@@ -237,8 +259,27 @@ class LocalRuntime {
   std::unique_ptr<FaultInjector> injector_;
   HeartbeatMonitor heartbeat_;
   MachineHealthMonitor health_;
+  /// Gang arbitration: config_.gang_scheduler, or the owned exclusive
+  /// default. Never null after construction.
+  GangScheduler* gangs_ = nullptr;
+  std::unique_ptr<GangScheduler> owned_gangs_;
   std::mutex mu_;
-  std::map<TaskRef, FailureKind> injected_;
+  /// One-shot fault injections. An injection is claimed by the next job
+  /// to enter RunPlan and fires only within that job; the job clears its
+  /// claimed injections (consumed or not) when it ends. Serially that is
+  /// exactly the old "cleared at end of RunPlan" behavior; concurrently
+  /// it stops one job's end from wiping another job's pending injection
+  /// (single-job assumption fixed for the multi-tenant service).
+  struct PendingInjection {
+    FailureKind kind = FailureKind::kProcessCrash;
+    JobId claimed_by = 0;  ///< 0 = unclaimed
+  };
+  std::map<TaskRef, PendingInjection> injected_;
+  /// Jobs currently inside RunPlan; scales the logical heartbeat clock
+  /// so cluster time advances ~one interval per concurrent wave *round*
+  /// instead of one per wave of every job (which would shrink detection
+  /// windows and probation under concurrency).
+  int active_jobs_ = 0;
   std::set<int> down_;      ///< machines killed (heartbeats silent)
   std::set<int> detected_;  ///< down machines already detected + handled
   std::map<int, double> down_since_;  ///< machine -> clock_ at failure
@@ -264,6 +305,7 @@ class LocalRuntime {
     obs::Gauge* queue_wait_last = nullptr;
     obs::Gauge* executor_idle_ratio = nullptr;
     obs::Series* graphlet_idle_ratio = nullptr;
+    obs::Counter* gang_yields = nullptr;
   } metrics_;
 };
 

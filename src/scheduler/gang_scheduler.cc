@@ -1,0 +1,61 @@
+#include "scheduler/gang_scheduler.h"
+
+namespace swift {
+
+ExclusiveGangScheduler::ExclusiveGangScheduler(int machines,
+                                               int executors_per_machine)
+    : machines_(machines), per_machine_(executors_per_machine) {}
+
+void ExclusiveGangScheduler::BeginJob(JobId job, const JobRunOptions&) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto pool = std::make_unique<ResourcePool>(machines_, per_machine_);
+  for (int m : revoked_) pool->RevokeMachine(m);
+  for (int m : read_only_) pool->SetReadOnly(m, true);
+  pools_[job] = std::move(pool);
+}
+
+void ExclusiveGangScheduler::EndJob(JobId job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pools_.erase(job);
+}
+
+Result<std::vector<ExecutorId>> ExclusiveGangScheduler::AcquireGang(
+    JobId job, const std::vector<LocalityPref>& prefs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pools_.find(job);
+  if (it == pools_.end()) {
+    return Status::Internal("AcquireGang for a job without BeginJob");
+  }
+  return it->second->AllocateGang(prefs);
+}
+
+void ExclusiveGangScheduler::ReleaseGang(
+    JobId job, const std::vector<ExecutorId>& gang) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pools_.find(job);
+  if (it != pools_.end()) it->second->ReleaseAll(gang);
+}
+
+void ExclusiveGangScheduler::RevokeMachine(int machine) {
+  std::lock_guard<std::mutex> lock(mu_);
+  revoked_.insert(machine);
+  for (auto& [job, pool] : pools_) pool->RevokeMachine(machine);
+}
+
+void ExclusiveGangScheduler::RestoreMachine(int machine) {
+  std::lock_guard<std::mutex> lock(mu_);
+  revoked_.erase(machine);
+  for (auto& [job, pool] : pools_) pool->RestoreMachine(machine);
+}
+
+void ExclusiveGangScheduler::SetReadOnly(int machine, bool read_only) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (read_only) {
+    read_only_.insert(machine);
+  } else {
+    read_only_.erase(machine);
+  }
+  for (auto& [job, pool] : pools_) pool->SetReadOnly(machine, read_only);
+}
+
+}  // namespace swift

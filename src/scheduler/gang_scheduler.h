@@ -1,0 +1,112 @@
+#ifndef SWIFT_SCHEDULER_GANG_SCHEDULER_H_
+#define SWIFT_SCHEDULER_GANG_SCHEDULER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dag/job_dag.h"
+#include "scheduler/resource_pool.h"
+
+namespace swift {
+
+/// \brief Who a job runs for, as seen by the executor-pool arbiter. The
+/// single-job runtime ignores it; the multi-tenant job service threads
+/// tenant identity and priority class through RunPlan so gang scheduling
+/// can arbitrate the shared pool fairly (DESIGN.md Sec. 16).
+struct JobRunOptions {
+  std::string tenant = "default";
+  /// Priority class, clamped to [0, 8]. Higher classes order first
+  /// within a tenant, are charged less virtual time (a 2x share boost
+  /// per class), and may trigger cooperative preemption of running
+  /// lower-class gangs.
+  int priority = 0;
+  /// Span label for the job-level trace span ("" = "job<id>").
+  std::string label;
+};
+
+/// \brief Arbitration point between jobs and the executor pool.
+///
+/// The runtime historically gave every job a private ResourcePool, so
+/// gang scheduling never contended across jobs. This interface makes the
+/// pool's owner explicit: the default ExclusiveGangScheduler reproduces
+/// the private-pool behavior, while the job service installs a
+/// GangArbiter that shares one pool across concurrent jobs with
+/// fair-share queueing and cooperative preemption.
+///
+/// Threading contract: one job calls BeginJob / AcquireGang /
+/// ReleaseGang / EndJob from its own driver thread and holds at most one
+/// gang at a time (acquire -> run graphlet -> release), which is what
+/// makes blocking acquisition deadlock-free. Machine-state calls
+/// (Revoke/Restore/SetReadOnly) may come from any thread, including
+/// while the runtime holds its own mutex, so implementations must never
+/// call back into the runtime.
+class GangScheduler {
+ public:
+  virtual ~GangScheduler() = default;
+
+  /// \brief A job was admitted to the runtime scheduling loop.
+  virtual void BeginJob(JobId job, const JobRunOptions& opts) = 0;
+
+  /// \brief The job left the scheduling loop (completed or failed); any
+  /// bookkeeping for it must be released.
+  virtual void EndJob(JobId job) = 0;
+
+  /// \brief Gang allocation: all `prefs.size()` executors or an error.
+  /// Implementations may block until capacity frees (service mode);
+  /// a gang that can never fit must fail with ResourceExhausted.
+  virtual Result<std::vector<ExecutorId>> AcquireGang(
+      JobId job, const std::vector<LocalityPref>& prefs) = 0;
+
+  /// \brief Returns a gang to the pool (also clears any pending yield
+  /// request against `job`).
+  virtual void ReleaseGang(JobId job,
+                           const std::vector<ExecutorId>& gang) = 0;
+
+  /// \brief Cooperative preemption poll: true asks `job` to release its
+  /// gang at the next wave boundary and re-queue. The default scheduler
+  /// never preempts.
+  virtual bool ShouldYield(JobId job) = 0;
+
+  /// \brief Machine lifecycle fan-out (machine death / repair / drain).
+  virtual void RevokeMachine(int machine) = 0;
+  virtual void RestoreMachine(int machine) = 0;
+  virtual void SetReadOnly(int machine, bool read_only) = 0;
+};
+
+/// \brief The pre-service behavior: every job gets a private, full-size
+/// ResourcePool, so jobs never contend for executors (they contend for
+/// worker threads instead). Gang exhaustion fails immediately with
+/// ResourceExhausted, exactly as ResourcePool::AllocateGang reports it.
+class ExclusiveGangScheduler : public GangScheduler {
+ public:
+  ExclusiveGangScheduler(int machines, int executors_per_machine);
+
+  void BeginJob(JobId job, const JobRunOptions& opts) override;
+  void EndJob(JobId job) override;
+  Result<std::vector<ExecutorId>> AcquireGang(
+      JobId job, const std::vector<LocalityPref>& prefs) override;
+  void ReleaseGang(JobId job, const std::vector<ExecutorId>& gang) override;
+  bool ShouldYield(JobId /*job*/) override { return false; }
+  void RevokeMachine(int machine) override;
+  void RestoreMachine(int machine) override;
+  void SetReadOnly(int machine, bool read_only) override;
+
+ private:
+  const int machines_;
+  const int per_machine_;
+  std::mutex mu_;
+  /// Cluster state remembered so pools created mid-incident start from
+  /// the current machine picture, not a clean slate.
+  std::set<int> revoked_;
+  std::set<int> read_only_;
+  std::map<JobId, std::unique_ptr<ResourcePool>> pools_;
+};
+
+}  // namespace swift
+
+#endif  // SWIFT_SCHEDULER_GANG_SCHEDULER_H_

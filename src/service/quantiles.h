@@ -1,0 +1,25 @@
+#ifndef SWIFT_SERVICE_QUANTILES_H_
+#define SWIFT_SERVICE_QUANTILES_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace swift {
+
+/// \brief Nearest-rank percentile of a sample list (q in [0, 1]); 0 for
+/// an empty list. Copies and sorts — meant for end-of-run reporting
+/// (p50/p99/p999 over obs::Series samples), not hot paths.
+inline double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(samples.size())));
+  return samples[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace swift
+
+#endif  // SWIFT_SERVICE_QUANTILES_H_

@@ -11,6 +11,8 @@
 #include "obs/metrics.h"
 #include "obs/trace_recorder.h"
 #include "runtime/local_runtime.h"
+#include "service/job_service.h"
+#include "service/trace_replay.h"
 #include "shuffle/shuffle_service.h"
 #include "sql/tpch_queries.h"
 
@@ -280,6 +282,118 @@ TEST(ObsInvariant, ThreadPoolTasksSubmittedEqualsCompleted) {
   EXPECT_GT(idle.count, 0);
   EXPECT_GE(idle.min, 0.0);
   EXPECT_LE(idle.max, 1.0);
+}
+
+// Trace-replay soak: 240 Fig. 8 trace jobs over 4 tenants through the
+// multi-tenant job service, open loop. The metric books must balance
+// across the whole run: every submission is accounted for exactly once
+// (completed, failed, or rejected), shuffle byte conservation holds
+// across hundreds of interleaved jobs, task dispatch accounting stays
+// exact, and the thread pool ends the run with nothing in flight.
+TEST(ObsInvariant, ServiceTraceReplaySoakKeepsBooksBalanced) {
+  obs::MetricsRegistry reg;
+  obs::TraceRecorder tracer;
+  TraceReplayReport replay;
+  constexpr int kJobs = 240;
+  {
+    JobServiceConfig cfg;
+    cfg.max_concurrent_jobs = 4;
+    cfg.admission_queue_capacity = kJobs;  // open loop, nothing shed
+    cfg.runtime.machines = 2;
+    cfg.runtime.executors_per_machine = 16;
+    cfg.runtime.worker_threads = 4;
+    cfg.runtime.metrics = &reg;
+    cfg.runtime.tracer = &tracer;
+    JobService service(cfg);
+    TpchConfig tpch;
+    tpch.scale_factor = 0.001;
+    ASSERT_TRUE(GenerateTpch(tpch, service.catalog()).ok());
+
+    TraceReplayConfig rc;
+    rc.trace.num_jobs = kJobs;
+    rc.seed = 20210419;
+    rc.tenants = {"analytics", "reporting", "etl", "adhoc"};
+    for (int q : RunnableTpchQueries()) {
+      auto sql = TpchQuerySql(q);
+      ASSERT_TRUE(sql.ok());
+      rc.sql_pool.push_back(*sql);
+    }
+    auto got = ReplayTrace(&service, rc);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    replay = *got;
+
+    // Overload coda: flood far past the queue bound so the rejection
+    // path is part of the same books.
+    auto sql = TpchQuerySql(1);
+    ASSERT_TRUE(sql.ok());
+    std::vector<std::shared_ptr<JobTicket>> flood;
+    int flood_rejected = 0;
+    for (int i = 0; i < 2 * kJobs; ++i) {
+      JobRequest req;
+      req.sql = *sql;
+      req.tenant = "adhoc";
+      auto ticket = service.Submit(std::move(req));
+      if (ticket.ok()) {
+        flood.push_back(std::move(*ticket));
+      } else {
+        ASSERT_TRUE(ticket.status().IsBackpressure())
+            << ticket.status().ToString();
+        flood_rejected += 1;
+      }
+    }
+    EXPECT_GT(flood_rejected, 0) << "flood never hit admission control";
+    for (const auto& t : flood) t->Wait();
+    service.Drain();
+  }  // service destroyed: drivers joined, runtime pool joined
+
+  // The replay itself: every trace job ran, across all four tenants.
+  EXPECT_EQ(replay.submitted, kJobs);
+  EXPECT_EQ(replay.submitted,
+            replay.completed + replay.failed + replay.rejected);
+  EXPECT_EQ(replay.failed, 0);
+  EXPECT_GE(replay.completed, 200);
+  EXPECT_EQ(replay.completed_by_tenant.size(), 4u)
+      << "a tenant got zero jobs through";
+  EXPECT_GT(replay.latency_p50, 0.0);
+  EXPECT_GE(replay.latency_p99, replay.latency_p50);
+  EXPECT_GE(replay.latency_p999, replay.latency_p99);
+
+  // Service books: submitted == admitted-and-resolved + rejected.
+  const int64_t submitted = reg.CounterValue("service.jobs.submitted");
+  const int64_t completed = reg.CounterValue("service.jobs.completed");
+  const int64_t failed = reg.CounterValue("service.jobs.failed");
+  const int64_t rejected = reg.CounterValue("service.jobs.rejected");
+  EXPECT_EQ(submitted, completed + failed + rejected);
+  EXPECT_EQ(reg.CounterValue("service.jobs.admitted"), completed + failed);
+  EXPECT_EQ(reg.GaugeValue("service.queue.depth"), 0.0);
+  EXPECT_EQ(reg.GaugeValue("service.running"), 0.0);
+  // Latency series carries one exact sample per admitted job.
+  EXPECT_EQ(static_cast<int64_t>(
+                reg.SeriesValue("service.job.latency_s").size()),
+            completed + failed);
+
+  // Runtime and shuffle conservation laws survive hundreds of
+  // interleaved jobs.
+  EXPECT_EQ(reg.CounterValue("shuffle.bytes_written"),
+            reg.CounterValue("shuffle.bytes_consumed") +
+                reg.CounterValue("shuffle.bytes_evicted_unconsumed"));
+  EXPECT_EQ(reg.CounterValue("runtime.tasks.started"),
+            reg.CounterValue("runtime.tasks.completed") +
+                reg.CounterValue("runtime.tasks.failed"));
+  EXPECT_EQ(reg.CounterValue("threadpool.tasks.submitted"),
+            reg.CounterValue("threadpool.tasks.completed"));
+
+  // Executor accounting: one job-level span per job the runtime ran,
+  // tagged with a unique job id.
+  std::set<int64_t> span_jobs;
+  int64_t job_spans = 0;
+  for (const obs::Span& s : tracer.Spans()) {
+    if (s.category != "job") continue;
+    job_spans += 1;
+    EXPECT_TRUE(span_jobs.insert(s.job).second)
+        << "job id " << s.job << " recorded two job spans";
+  }
+  EXPECT_EQ(job_spans, completed + failed);
 }
 
 }  // namespace
