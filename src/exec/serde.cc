@@ -4,6 +4,7 @@
 #include <cstring>
 #include <optional>
 
+#include "common/compress.h"
 #include "common/crc32.h"
 #include "common/macros.h"
 #include "common/string_util.h"
@@ -931,6 +932,18 @@ bool ColumnsConform(const ColumnBatch& batch) {
 }  // namespace
 
 Result<Batch> DeserializeBatch(std::string_view bytes) {
+  if (IsCompressedFrame(bytes)) {
+    // Lazy decompression: the compressed bytes are the shared zero-copy
+    // buffer all the way from the writer; this decode is the one
+    // accounted copy. The inner payload must be a plain v1/v2 batch —
+    // a nested frame is rejected below (bad batch magic), so corrupt
+    // input cannot recurse.
+    SWIFT_ASSIGN_OR_RETURN(std::string raw, DecompressFrame(bytes));
+    if (IsCompressedFrame(raw)) {
+      return Status::IOError("nested compressed frame");
+    }
+    return DeserializeBatch(raw);
+  }
   Reader rd(bytes);
   SWIFT_ASSIGN_OR_RETURN(uint32_t magic, rd.U32());
   if (magic == kMagicV1) return DeserializeV1(rd);
@@ -939,6 +952,13 @@ Result<Batch> DeserializeBatch(std::string_view bytes) {
 }
 
 Result<ColumnBatch> DeserializeColumnBatch(std::string_view bytes) {
+  if (IsCompressedFrame(bytes)) {
+    SWIFT_ASSIGN_OR_RETURN(std::string raw, DecompressFrame(bytes));
+    if (IsCompressedFrame(raw)) {
+      return Status::IOError("nested compressed frame");
+    }
+    return DeserializeColumnBatch(raw);
+  }
   Reader rd(bytes);
   SWIFT_ASSIGN_OR_RETURN(uint32_t magic, rd.U32());
   if (magic == kMagicV2) return DeserializeV2Columnar(bytes);

@@ -28,7 +28,13 @@ std::string SerializeBatchV1(const Batch& batch);
 
 /// \brief Inverse of SerializeBatch{,V1}; dispatches on the version
 /// magic and rejects truncated/corrupt buffers (v2 verifies its CRC32
-/// footer before trusting any decoded count).
+/// footer before trusting any decoded count). Buffers wrapped in a
+/// compressed frame (common/compress.h, "SWZ1" magic — produced by the
+/// shuffle writer for large Remote/barrier edges) are CRC-checked and
+/// decompressed here first, then decoded as the v1/v2 payload they
+/// carry; nested frames are rejected. Uncompressed v1/v2 buffers pass
+/// through untouched, so readers never need to know what the writer
+/// negotiated.
 Result<Batch> DeserializeBatch(std::string_view bytes);
 
 /// \brief Decodes a shuffle buffer straight into columnar form. For v2

@@ -38,6 +38,7 @@ uint64_t HashSlot(uint64_t seed, uint64_t salt, const ShuffleSlotKey& k) {
 constexpr uint64_t kCrashSalt = 0xC4A5;
 constexpr uint64_t kTimeoutSalt = 0x7140;
 constexpr uint64_t kCorruptSalt = 0xBADC;
+constexpr uint64_t kFrameCorruptSalt = 0xF4A3;
 constexpr uint64_t kSpillWriteSalt = 0x59E1;
 constexpr uint64_t kSpillReadSalt = 0x5D1F;
 
@@ -85,6 +86,15 @@ ReadFault FaultInjector::OnShuffleRead(const ShuffleSlotKey& key,
     corrupted_.insert(key);
     stats_.corruptions += 1;
     return ReadFault::kCorrupt;
+  }
+  if (schedule_.frame_corrupt_p > 0.0 && attempt == 0 &&
+      stats_.frame_corruptions < schedule_.max_frame_corruptions &&
+      frame_corrupted_.count(key) == 0 &&
+      Unit(HashSlot(schedule_.seed, kFrameCorruptSalt, key)) <
+          schedule_.frame_corrupt_p) {
+    frame_corrupted_.insert(key);
+    stats_.frame_corruptions += 1;
+    return ReadFault::kFrameCorrupt;
   }
   return ReadFault::kNone;
 }

@@ -44,6 +44,15 @@ struct FaultSchedule {
   double corrupt_p = 0.0;
   int max_corruptions = 4;
 
+  /// Probability that a compressed shuffle payload ("SWZ1" frame,
+  /// common/compress.h) is served with a mangled frame header — caught
+  /// by the frame's own magic/CRC checks inside DeserializeBatch and
+  /// re-fetched through the same corrupt-reread path. Payloads the
+  /// writer shipped raw are bit-flipped instead (the fault still
+  /// fires). Fires at most once per slot. 0 disables.
+  double frame_corrupt_p = 0.0;
+  int max_frame_corruptions = 4;
+
   /// Probability that spilling a slot to disk fails with a write error
   /// for its first `spill_write_fails_per_victim` attempts (the Cache
   /// Worker retries in place, so <= its retry budget means transient).
@@ -80,8 +89,9 @@ struct TaskFault {
 /// \brief What OnShuffleRead tells the shuffle service to do.
 enum class ReadFault {
   kNone = 0,
-  kTimeout,  ///< transient: fail this attempt with Status::Timeout
-  kCorrupt,  ///< serve the payload with a flipped bit
+  kTimeout,       ///< transient: fail this attempt with Status::Timeout
+  kCorrupt,       ///< serve the payload with a flipped bit
+  kFrameCorrupt,  ///< serve a compressed frame with a mangled header
 };
 
 /// \brief What OnSpillWrite / OnSpillRead tell the Cache Worker to do.
@@ -100,6 +110,7 @@ struct FaultInjectorStats {
   int64_t machine_kills = 0;
   int64_t read_timeouts = 0;
   int64_t corruptions = 0;
+  int64_t frame_corruptions = 0;
   int64_t spill_write_faults = 0;
   int64_t spill_read_faults = 0;
   int64_t disk_full_faults = 0;
@@ -137,7 +148,8 @@ class FaultInjector {
   std::mutex mu_;
   FaultInjectorStats stats_;
   bool kill_fired_ = false;
-  std::set<ShuffleSlotKey> corrupted_;  // one corruption per slot
+  std::set<ShuffleSlotKey> corrupted_;        // one corruption per slot
+  std::set<ShuffleSlotKey> frame_corrupted_;  // one frame mangle per slot
   int64_t modeled_spill_bytes_ = 0;     // for spill_disk_full_after_bytes
 };
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 
+#include "common/compress.h"
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/string_util.h"
@@ -116,6 +117,12 @@ LocalRuntime::LocalRuntime(LocalRuntimeConfig config)
   sc.put_retry_budget = config_.shuffle_put_retry_budget;
   sc.put_wait_ms = config_.shuffle_put_wait_ms;
   sc.spill_io_retries = config_.spill_io_retries;
+  sc.compression = config_.shuffle_compression;
+  sc.compress_min_bytes = config_.shuffle_compress_min_bytes;
+  sc.spill_compression = config_.shuffle_compression;
+  sc.spill_compress_min_bytes = config_.shuffle_compress_min_bytes;
+  sc.replica_fanout = config_.shuffle_replica_fanout;
+  sc.load_aware_placement = config_.shuffle_load_aware_placement;
   sc.metrics = config_.metrics;
   shuffle_ = std::make_unique<ShuffleService>(sc);
   tracer_ = config_.tracer;
@@ -136,6 +143,8 @@ LocalRuntime::LocalRuntime(LocalRuntimeConfig config)
         reg->counter("runtime.restart_equivalent_tasks");
     metrics_.machine_failures = reg->counter("runtime.machine_failures");
     metrics_.corrupt_read_retries = reg->counter("runtime.corrupt_read_retries");
+    metrics_.decompress_frames = reg->counter("shuffle.decompress.frames");
+    metrics_.decompress_bytes = reg->counter("shuffle.decompress.bytes");
     metrics_.heartbeat_misses = reg->counter("fault.heartbeat.misses");
     metrics_.detection_delay =
         reg->histogram("fault.detection_delay_s", 0.0, 60.0, 60);
@@ -1072,6 +1081,19 @@ Result<OperatorPtr> LocalRuntime::BuildTaskTree(JobContext* ctx,
   return tree;
 }
 
+void LocalRuntime::NoteDecompressed(JobContext* ctx, std::string_view wire) {
+  if (!IsCompressedFrame(wire)) return;
+  Result<uint64_t> raw = CompressedFrameRawLength(wire);
+  const int64_t raw_len = raw.ok() ? static_cast<int64_t>(*raw) : 0;
+  {
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    ctx->stats.decompressed_frames += 1;
+    ctx->stats.decompressed_bytes += raw_len;
+  }
+  obs::Add(metrics_.decompress_frames);
+  obs::Add(metrics_.decompress_bytes, raw_len);
+}
+
 Result<Batch> LocalRuntime::FetchShuffleInput(JobContext* ctx,
                                               ShuffleKind kind,
                                               const ShuffleSlotKey& key,
@@ -1090,7 +1112,10 @@ Result<Batch> LocalRuntime::FetchShuffleInput(JobContext* ctx,
       return buffer.status();  // timeout budget exhausted etc.
     }
     Result<Batch> batch = DeserializeBatch(buffer->view());
-    if (batch.ok()) return batch;
+    if (batch.ok()) {
+      NoteDecompressed(ctx, buffer->view());
+      return batch;
+    }
     if (refetch >= config_.max_corrupt_rereads) {
       return batch.status().WithContext(StrFormat(
           "payload %s rejected %d times", key.ToString().c_str(),
@@ -1120,6 +1145,7 @@ Result<LocalRuntime::ShuffleInput> LocalRuntime::FetchShuffleInputColumnar(
     }
     Result<ColumnBatch> batch = DeserializeColumnBatch(buffer->view());
     if (batch.ok()) {
+      NoteDecompressed(ctx, buffer->view());
       ShuffleInput in;
       in.columnar = *std::move(batch);
       return in;
@@ -1129,6 +1155,7 @@ Result<LocalRuntime::ShuffleInput> LocalRuntime::FetchShuffleInputColumnar(
     // caller demotes the source instead of burning reread budget.
     Result<Batch> rows = DeserializeBatch(buffer->view());
     if (rows.ok()) {
+      NoteDecompressed(ctx, buffer->view());
       ShuffleInput in;
       in.rows = *std::move(rows);
       return in;

@@ -55,6 +55,21 @@ struct LocalRuntimeConfig {
   /// deadlock guard for writers that are their job's only drainer).
   int shuffle_put_retry_budget = 64;
   double shuffle_put_wait_ms = 2.0;
+  /// Compressed shuffle plane (DESIGN.md Sec. 17). Barrier edges
+  /// (Remote, and Local when not pipelined) at least
+  /// shuffle_compress_min_bytes long ship as CRC-framed SWZ1 frames
+  /// when that shrinks them; readers auto-detect the frame magic, so
+  /// the knob is writer-side only. Spill files compress under the same
+  /// rule and charge the disk budget at stored (compressed) size.
+  bool shuffle_compression = true;
+  int64_t shuffle_compress_min_bytes = 4096;
+  /// Write-side replica fan-out for worker-held partitions: each write
+  /// also lands on replica_fanout - 1 other live workers (least-loaded
+  /// when load-aware, else round-robin), so single-machine failure
+  /// costs no shuffle data. 1 = off (paper-exact byte/connection
+  /// accounting).
+  int shuffle_replica_fanout = 1;
+  bool shuffle_load_aware_placement = true;
   /// Transient spill-file IO errors retried in place per operation;
   /// beyond this the slot is treated as lost and recovery re-runs the
   /// producer.
@@ -128,6 +143,10 @@ struct JobRunStats {
   int machine_failures = 0;      ///< machine losses detected and handled
   /// Shuffle payloads re-fetched after the CRC-32C footer rejected them.
   int corrupt_read_retries = 0;
+  /// Compressed shuffle frames decoded on the read side, and the raw
+  /// (post-decode) bytes they carried.
+  int decompressed_frames = 0;
+  int64_t decompressed_bytes = 0;
   /// Recovery decisions by Sec. IV-B scenario.
   std::map<RecoveryCase, int> recoveries_by_case;
   /// What the job-restart baseline would have re-executed instead: the
@@ -208,6 +227,9 @@ class LocalRuntime {
   Result<OperatorPtr> BuildTaskTree(JobContext* ctx,
                                     const StageProgram& program,
                                     const TaskRef& task, int machine);
+  /// Books a successfully decoded compressed frame into the job stats
+  /// and the shuffle.decompress.* counters (no-op for raw payloads).
+  void NoteDecompressed(JobContext* ctx, std::string_view wire);
   Result<Batch> FetchShuffleInput(JobContext* ctx, ShuffleKind kind,
                                   const ShuffleSlotKey& key, int reader,
                                   int writer);
@@ -299,6 +321,8 @@ class LocalRuntime {
     obs::Counter* restart_equivalent_tasks = nullptr;
     obs::Counter* machine_failures = nullptr;
     obs::Counter* corrupt_read_retries = nullptr;
+    obs::Counter* decompress_frames = nullptr;
+    obs::Counter* decompress_bytes = nullptr;  // decoded (raw) bytes
     obs::Counter* heartbeat_misses = nullptr;
     obs::HistogramMetric* detection_delay = nullptr;
     obs::HistogramMetric* queue_wait = nullptr;

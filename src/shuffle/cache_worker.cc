@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/compress.h"
 #include "common/crc32.h"
 #include "common/macros.h"
 #include "common/string_util.h"
@@ -69,6 +70,7 @@ CacheWorker::CacheWorker(CacheWorkerOptions options)
         metrics->counter("shuffle.bytes_evicted_unconsumed");
     metrics_.spill_slots = metrics->counter("cache.spill.slots");
     metrics_.spill_bytes = metrics->counter("cache.spill.bytes");
+    metrics_.spill_stored_bytes = metrics->counter("cache.spill.stored_bytes");
     metrics_.reloads = metrics->counter("cache.reloads");
     metrics_.deletions = metrics->counter("cache.deletions");
     metrics_.backpressure_rejections =
@@ -362,8 +364,23 @@ Status CacheWorker::SpillLocked(const ShuffleSlotKey& key, Slot* slot) {
                                      "spilling disabled");
   }
   if (slot->spilled) return Status::OK();
-  const int64_t disk_cost = slot->size + kSpillFooterBytes;
-  if (!SpillCapableLocked(slot->size)) {
+  // Compress before the budget check so the disk charge is the stored
+  // (compressed) size — compression effectively stretches the spill
+  // budget. Payloads already framed by the shuffle writer stay as-is.
+  std::string compressed;
+  bool spill_compressed = false;
+  if (options_.spill_compression &&
+      slot->size >= options_.spill_compress_min_bytes &&
+      !IsCompressedFrame(slot->buffer.view())) {
+    compressed = CompressFrame(slot->buffer.view());
+    spill_compressed =
+        compressed.size() < static_cast<std::size_t>(slot->size);
+  }
+  const std::string_view bytes =
+      spill_compressed ? std::string_view(compressed) : slot->buffer.view();
+  const auto stored_size = static_cast<int64_t>(bytes.size());
+  const int64_t disk_cost = stored_size + kSpillFooterBytes;
+  if (!SpillCapableLocked(stored_size)) {
     return Status::ResourceExhausted(
         StrFormat("spill disk budget exhausted (%lld + %lld > %lld)",
                   static_cast<long long>(stats_.spill_disk_in_use),
@@ -373,7 +390,6 @@ Status CacheWorker::SpillLocked(const ShuffleSlotKey& key, Slot* slot) {
   const std::string path = StrFormat(
       "%s/slot_%lld.bin", options_.spill_dir.c_str(),
       static_cast<long long>(spill_seq_++));
-  const std::string_view bytes = slot->buffer.view();
   char footer[4];
   EncodeFooter(Crc32(bytes), footer);
   Status last;
@@ -411,17 +427,22 @@ Status CacheWorker::SpillLocked(const ShuffleSlotKey& key, Slot* slot) {
   if (!written) return last;
   stats_.spilled_slots += 1;
   stats_.spilled_bytes += slot->size;
+  stats_.spill_stored_bytes += stored_size;
+  if (spill_compressed) stats_.spill_compressed_slots += 1;
   stats_.memory_in_use -= slot->size;
   stats_.spill_disk_in_use += disk_cost;
   ChargeJobLocked(key.job, -slot->size);
   obs::Add(metrics_.spill_slots);
   obs::Add(metrics_.spill_bytes, slot->size);
+  obs::Add(metrics_.spill_stored_bytes, stored_size);
   // Drop this worker's reference; the allocation is freed once the last
   // sharer (an in-flight reader, another worker's replica) lets go —
   // budget accounting charges resident slots, not shared lifetimes.
   slot->buffer = ShuffleBuffer();
   slot->spilled = true;
   slot->spill_path = path;
+  slot->stored_size = stored_size;
+  slot->spill_compressed = spill_compressed;
   if (slot->in_lru) {
     lru_.erase(slot->lru_it);
     slot->in_lru = false;
@@ -449,7 +470,7 @@ Result<ShuffleBuffer> CacheWorker::LoadLocked(const ShuffleSlotKey& key,
       if (!in.good()) {
         last = Status::IOError("cannot open spill file " + slot->spill_path);
       } else {
-        bytes.assign(static_cast<std::size_t>(slot->size), '\0');
+        bytes.assign(static_cast<std::size_t>(slot->stored_size), '\0');
         char footer[4] = {0, 0, 0, 0};
         in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
         const bool payload_ok =
@@ -466,6 +487,21 @@ Result<ShuffleBuffer> CacheWorker::LoadLocked(const ShuffleSlotKey& key,
           obs::Add(metrics_.spill_io_errors);
           return Status::IOError("spill file CRC mismatch: " +
                                  slot->spill_path);
+        } else if (slot->spill_compressed) {
+          // The footer CRC (over the stored frame) already passed, so a
+          // decode failure here cannot be disk rot — but fail closed and
+          // permanently either way rather than hand out wrong bytes.
+          Result<std::string> raw = DecompressFrame(bytes);
+          if (!raw.ok() ||
+              raw->size() != static_cast<std::size_t>(slot->size)) {
+            stats_.spill_io_errors += 1;
+            obs::Add(metrics_.spill_io_errors);
+            return Status::IOError("spill frame decode failed: " +
+                                   slot->spill_path);
+          }
+          bytes = std::move(*raw);
+          loaded = true;
+          break;
         } else {
           loaded = true;
           break;
@@ -489,9 +525,11 @@ Result<ShuffleBuffer> CacheWorker::LoadLocked(const ShuffleSlotKey& key,
   (void)st;
   std::error_code ec;
   std::filesystem::remove(slot->spill_path, ec);
-  stats_.spill_disk_in_use -= slot->size + kSpillFooterBytes;
+  stats_.spill_disk_in_use -= slot->stored_size + kSpillFooterBytes;
   slot->spilled = false;
   slot->spill_path.clear();
+  slot->stored_size = 0;
+  slot->spill_compressed = false;
   slot->buffer = ShuffleBuffer(std::move(bytes));
   stats_.memory_in_use += slot->size;
   ChargeJobLocked(key.job, slot->size);
@@ -519,7 +557,7 @@ void CacheWorker::EraseLocked(const ShuffleSlotKey& key) {
   if (slot.spilled) {
     std::error_code ec;
     std::filesystem::remove(slot.spill_path, ec);
-    stats_.spill_disk_in_use -= slot.size + kSpillFooterBytes;
+    stats_.spill_disk_in_use -= slot.stored_size + kSpillFooterBytes;
   } else {
     stats_.memory_in_use -= slot.size;
     ChargeJobLocked(key.job, -slot.size);

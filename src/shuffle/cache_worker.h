@@ -61,6 +61,12 @@ struct CacheWorkerStats {
   int64_t spill_io_errors = 0;     ///< failed spill write/read attempts
   int64_t spill_io_retries = 0;    ///< transient spill IO errors retried
   int64_t spill_lost_slots = 0;    ///< slots dropped after permanent IO loss
+  // Spill-time compression accounting. spilled_bytes above counts the
+  // *logical* slot bytes leaving memory; spill_stored_bytes counts what
+  // actually hit the disk (the compressed frame when it won), which is
+  // also what spill_disk_in_use and the disk budget charge.
+  int64_t spill_compressed_slots = 0;  ///< spills written as a frame
+  int64_t spill_stored_bytes = 0;      ///< payload bytes written to disk
 };
 
 /// \brief Construction knobs for a Cache Worker.
@@ -89,6 +95,14 @@ struct CacheWorkerOptions {
   /// puts with spilling disabled fail hard with ResourceExhausted.
   /// Kept as the bench baseline ("before" in BENCH_PR8.json).
   bool admission_gate = true;
+  /// Spill-time compression: slots at least spill_compress_min_bytes
+  /// whose payload is not already a compressed frame go to disk as one
+  /// (common/compress.h) when the frame shrinks the payload. The disk
+  /// budget and spill_disk_in_use charge the stored (compressed) size;
+  /// reload CRC-verifies the file, decompresses, and re-admits the
+  /// original bytes — callers always see the bytes they stored.
+  bool spill_compression = true;
+  int64_t spill_compress_min_bytes = 4096;
   /// Optional registry (not owned); all workers of one service share the
   /// same counters, so registry values are cluster-wide aggregates.
   obs::MetricsRegistry* metrics = nullptr;
@@ -189,6 +203,10 @@ class CacheWorker {
     bool touched = false;     // read at least once (Get or Peek)
     bool spilled = false;
     std::string spill_path;
+    /// Bytes on disk excluding the CRC footer; < size when the spill
+    /// file holds a compressed frame. Meaningful only while spilled.
+    int64_t stored_size = 0;
+    bool spill_compressed = false;
     std::list<ShuffleSlotKey>::iterator lru_it;
     bool in_lru = false;
   };
@@ -241,6 +259,7 @@ class CacheWorker {
     obs::Counter* bytes_evicted_unconsumed = nullptr;
     obs::Counter* spill_slots = nullptr;
     obs::Counter* spill_bytes = nullptr;
+    obs::Counter* spill_stored_bytes = nullptr;
     obs::Counter* reloads = nullptr;
     obs::Counter* deletions = nullptr;
     obs::Counter* backpressure_rejections = nullptr;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/compress.h"
 #include "common/macros.h"
 #include "common/string_util.h"
 
@@ -17,6 +18,21 @@ namespace {
 ShuffleBuffer CorruptCopy(const ShuffleBuffer& buffer) {
   std::string bytes(buffer.view());
   if (!bytes.empty()) bytes[bytes.size() / 2] ^= 0x01;
+  return ShuffleBuffer(std::move(bytes));
+}
+
+// Frame-targeted corruption: mangle the compressed frame's codec tag
+// (byte 4) so the reader's DecompressFrame rejects the envelope itself
+// rather than the inner serde CRC. Raw payloads (the writer negotiated
+// no compression for this edge) degrade to the plain bit flip — the
+// fault still fires and still fails closed.
+ShuffleBuffer FrameCorruptCopy(const ShuffleBuffer& buffer) {
+  std::string bytes(buffer.view());
+  if (IsCompressedFrame(bytes) && bytes.size() > 4) {
+    bytes[4] ^= 0x7F;
+  } else if (!bytes.empty()) {
+    bytes[bytes.size() / 2] ^= 0x01;
+  }
   return ShuffleBuffer(std::move(bytes));
 }
 
@@ -36,6 +52,8 @@ ShuffleService::ShuffleService(Config config) : config_(std::move(config)) {
     wo.per_job_quota = config_.cache_per_job_quota;
     wo.spill_disk_budget_bytes = config_.spill_disk_budget_bytes;
     wo.spill_io_retries = config_.spill_io_retries;
+    wo.spill_compression = config_.spill_compression;
+    wo.spill_compress_min_bytes = config_.spill_compress_min_bytes;
     wo.admission_gate = config_.admission_gate;
     wo.metrics = config_.metrics;
     workers_.push_back(std::make_unique<CacheWorker>(std::move(wo)));
@@ -64,6 +82,19 @@ ShuffleService::ShuffleService(Config config) : config_(std::move(config)) {
     metrics_.payload_copies = reg->counter("shuffle.payload_copies");
     metrics_.local_replicas = reg->counter("shuffle.local_replicas");
     metrics_.backpressure_waits = reg->counter("shuffle.backpressure.waits");
+    metrics_.compressed_writes = reg->counter("shuffle.compress.writes");
+    metrics_.compress_bytes_in = reg->counter("shuffle.compress.bytes_in");
+    metrics_.compress_bytes_out = reg->counter("shuffle.compress.bytes_out");
+    metrics_.compress_skipped = reg->counter("shuffle.compress.skipped");
+    metrics_.replica_writes = reg->counter("shuffle.replica_writes");
+    metrics_.worker_resident.resize(workers_.size());
+    metrics_.worker_spill_disk.resize(workers_.size());
+    for (std::size_t m = 0; m < workers_.size(); ++m) {
+      metrics_.worker_resident[m] = reg->gauge(
+          StrFormat("shuffle.worker.%d.resident_bytes", static_cast<int>(m)));
+      metrics_.worker_spill_disk[m] = reg->gauge(
+          StrFormat("shuffle.worker.%d.spill_disk_bytes", static_cast<int>(m)));
+    }
   }
 }
 
@@ -172,11 +203,92 @@ Result<ShuffleBuffer> ShuffleService::CountRead(ShuffleKind kind,
   return buffer;
 }
 
+ShuffleBuffer ShuffleService::MaybeCompress(ShuffleKind kind, bool pipelined,
+                                            ShuffleBuffer buffer) {
+  // Per-edge negotiation: compression pays on barrier edges (Remote
+  // always; Local when the reader pulls later), never on Direct hops or
+  // pipeline pushes where the bytes are consumed immediately, and never
+  // on payloads too small to amortize the frame. Payloads that are
+  // already framed (a task re-writing fetched bytes) pass through.
+  const bool barrier_edge =
+      kind == ShuffleKind::kRemote ||
+      (kind == ShuffleKind::kLocal && !pipelined);
+  if (!config_.compression || !barrier_edge ||
+      static_cast<int64_t>(buffer.size()) < config_.compress_min_bytes ||
+      IsCompressedFrame(buffer.view())) {
+    return buffer;
+  }
+  std::string frame = CompressFrame(buffer.view());
+  if (frame.size() >= buffer.size()) {
+    // Incompressible: ship the plain payload, not a bigger frame.
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.compress_skipped += 1;
+    obs::Add(metrics_.compress_skipped);
+    return buffer;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.compressed_writes += 1;
+  stats_.compress_bytes_in += static_cast<int64_t>(buffer.size());
+  stats_.compress_bytes_out += static_cast<int64_t>(frame.size());
+  obs::Add(metrics_.compressed_writes);
+  obs::Add(metrics_.compress_bytes_in, static_cast<int64_t>(buffer.size()));
+  obs::Add(metrics_.compress_bytes_out, static_cast<int64_t>(frame.size()));
+  return ShuffleBuffer(std::move(frame));
+}
+
+void ShuffleService::PlaceReplicas(const ShuffleSlotKey& key,
+                                   const ShuffleBuffer& buffer,
+                                   int writer_machine) {
+  if (config_.replica_fanout <= 1 || !config_.retain_for_recovery) return;
+  const int want = std::min(config_.replica_fanout - 1, machines() - 1);
+  if (want <= 0) return;
+  std::vector<int> targets;
+  if (config_.load_aware_placement) {
+    // Least-loaded live workers first: a hot worker (resident bytes +
+    // spill backlog) is both slower to admit the replica and the most
+    // likely to evict it, so fan out to where the capacity actually is.
+    std::vector<ShuffleWorkerLoad> load = per_worker_load();
+    std::stable_sort(load.begin(), load.end(),
+                     [](const ShuffleWorkerLoad& a, const ShuffleWorkerLoad& b) {
+                       return a.resident_bytes + a.spill_disk_bytes <
+                              b.resident_bytes + b.spill_disk_bytes;
+                     });
+    for (const ShuffleWorkerLoad& l : load) {
+      if (static_cast<int>(targets.size()) >= want) break;
+      if (l.machine == writer_machine || l.dead) continue;
+      targets.push_back(l.machine);
+    }
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int probe = 0;
+         probe < machines() && static_cast<int>(targets.size()) < want;
+         ++probe) {
+      const int m = replica_rr_;
+      replica_rr_ = (replica_rr_ + 1) % machines();
+      if (m == writer_machine || IsMachineDeadLocked(m)) continue;
+      targets.push_back(m);
+    }
+  }
+  for (int m : targets) {
+    // Best-effort and un-forced: a worker over its watermark simply
+    // skips the replica (same admission discipline as the reader-side
+    // Local replicas); the shared allocation means no bytes are copied.
+    if (workers_[static_cast<std::size_t>(m)]
+            ->Put(key, buffer, /*expected_reads=*/0)
+            .ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.replica_writes += 1;
+      obs::Add(metrics_.replica_writes);
+    }
+  }
+}
+
 Status ShuffleService::WritePartition(ShuffleKind kind,
                                       const ShuffleSlotKey& key,
                                       ShuffleBuffer buffer,
                                       int writer_machine, bool pipelined) {
   const int expected_reads = config_.retain_for_recovery ? 0 : 1;
+  buffer = MaybeCompress(kind, pipelined, std::move(buffer));
   const int64_t size = static_cast<int64_t>(buffer.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -222,8 +334,10 @@ Status ShuffleService::WritePartition(ShuffleKind kind,
       // way — the read path replicates the shared allocation onto the
       // reader-side worker, so the bytes still only exist once.
       (void)pipelined;
-      return PutWithFlowControl(writer_machine, key, std::move(buffer),
-                                expected_reads);
+      Status st =
+          PutWithFlowControl(writer_machine, key, buffer, expected_reads);
+      if (st.ok()) PlaceReplicas(key, buffer, writer_machine);
+      return st;
     }
     case ShuffleKind::kRemote: {
       {
@@ -234,8 +348,10 @@ Status ShuffleService::WritePartition(ShuffleKind kind,
         stats_.modeled_memory_copies += ExtraMemoryCopies(kind);
         obs::Add(metrics_.bytes_written[2], size);
       }
-      return PutWithFlowControl(writer_machine, key, std::move(buffer),
-                                expected_reads);
+      Status st =
+          PutWithFlowControl(writer_machine, key, buffer, expected_reads);
+      if (st.ok()) PlaceReplicas(key, buffer, writer_machine);
+      return st;
     }
   }
   return Status::Internal("unknown shuffle kind");
@@ -270,6 +386,17 @@ Result<ShuffleBuffer> ShuffleService::ReadPartition(ShuffleKind kind,
             stats_.corrupt_payloads += 1;
             obs::Add(metrics_.corrupt_payloads);
             return CorruptCopy(*buffer);
+          }
+          return buffer;
+        }
+        case ReadFault::kFrameCorrupt: {
+          Result<ShuffleBuffer> buffer =
+              ReadPartitionOnce(kind, key, reader_machine, writer_machine);
+          if (buffer.ok()) {
+            std::lock_guard<std::mutex> lock(mu_);
+            stats_.corrupt_payloads += 1;
+            obs::Add(metrics_.corrupt_payloads);
+            return FrameCorruptCopy(*buffer);
           }
           return buffer;
         }
@@ -530,6 +657,27 @@ CacheWorkerStats ShuffleService::worker_stats() {
     total.spill_lost_slots += s.spill_lost_slots;
   }
   return total;
+}
+
+std::vector<ShuffleWorkerLoad> ShuffleService::per_worker_load() {
+  std::vector<ShuffleWorkerLoad> load;
+  load.reserve(workers_.size());
+  for (int m = 0; m < machines(); ++m) {
+    const CacheWorkerStats s = workers_[static_cast<std::size_t>(m)]->stats();
+    ShuffleWorkerLoad l;
+    l.machine = m;
+    l.dead = IsMachineDead(m);
+    l.resident_bytes = s.memory_in_use;
+    l.spill_disk_bytes = s.spill_disk_in_use;
+    if (!metrics_.worker_resident.empty()) {
+      obs::Set(metrics_.worker_resident[static_cast<std::size_t>(m)],
+               l.resident_bytes);
+      obs::Set(metrics_.worker_spill_disk[static_cast<std::size_t>(m)],
+               l.spill_disk_bytes);
+    }
+    load.push_back(l);
+  }
+  return load;
 }
 
 }  // namespace swift

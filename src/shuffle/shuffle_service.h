@@ -52,6 +52,28 @@ struct ShuffleServiceStats {
   /// Writer-side flow control: bounded blocking waits taken after a
   /// Cache Worker refused a put with kBackpressure.
   int64_t put_backpressure_waits = 0;
+  /// Writes whose payload went out as a compressed frame (negotiated
+  /// per edge; see Config::compression).
+  int64_t compressed_writes = 0;
+  /// Pre-compression payload bytes of those writes.
+  int64_t compress_bytes_in = 0;
+  /// Framed bytes actually shipped for them; bytes_transferred and the
+  /// per-mode byte counters account these (the wire carries the frame).
+  int64_t compress_bytes_out = 0;
+  /// Eligible writes whose frame did not shrink the payload (sent raw).
+  int64_t compress_skipped = 0;
+  /// Extra write-side replicas placed by Config::replica_fanout.
+  int64_t replica_writes = 0;
+};
+
+/// \brief One Cache Worker's load as seen by replica placement and the
+/// obs dashboards: resident cache bytes plus live spill-file bytes (the
+/// two components of how "full" a worker is).
+struct ShuffleWorkerLoad {
+  int machine = 0;
+  bool dead = false;
+  int64_t resident_bytes = 0;
+  int64_t spill_disk_bytes = 0;
 };
 
 /// \brief The cluster-wide shuffle fabric of the local runtime: one
@@ -103,6 +125,34 @@ class ShuffleService {
     /// reinstates the legacy deep-copy-per-hop plane, counted in
     /// ShuffleServiceStats::payload_copies (A/B benchmarks).
     bool zero_copy = true;
+    /// Compressed shuffle plane (DESIGN.md Sec. 17). Barrier edges —
+    /// Remote, and Local when not pipelined — whose payload is at least
+    /// compress_min_bytes go out as a CompressFrame (common/compress.h)
+    /// when the frame actually shrinks the payload; Direct edges,
+    /// pipeline pushes, and small payloads ship raw. Readers need no
+    /// negotiation: serde dispatches on the frame magic. All byte
+    /// accounting (bytes_transferred, per-mode counters, Cache Worker
+    /// budgets, conservation laws) sees the framed size — compressed
+    /// bytes ARE the wire/resident bytes.
+    bool compression = true;
+    int64_t compress_min_bytes = 4096;
+    /// Cache Workers spill compressed (same codec/frame) when the slot
+    /// payload is at least spill_compress_min_bytes and is not already
+    /// a frame; the disk budget and spill gauges charge the stored
+    /// (compressed) bytes. Reload verifies the footer CRC over the
+    /// stored bytes, then decodes back to the original payload.
+    bool spill_compression = true;
+    int64_t spill_compress_min_bytes = 4096;
+    /// Extra write-side replicas for worker-held (Local/Remote)
+    /// partitions: each write lands on the writer's worker plus up to
+    /// replica_fanout - 1 other live workers, so FailMachine costs no
+    /// data even before any reader replicated it. 1 (default) disables —
+    /// the paper's connection formulas and byte accounting are
+    /// unchanged. Replicas require retain_for_recovery.
+    int replica_fanout = 1;
+    /// Replica targets are the least-loaded live workers (resident +
+    /// spill-disk bytes, see per_worker_load()) instead of round-robin.
+    bool load_aware_placement = true;
     /// Bounded exponential-backoff retry of transient read errors
     /// (timeouts, spill IO races). Permanent loss — NotFound with no
     /// surviving replica — is never retried; it escalates to recovery.
@@ -186,6 +236,12 @@ class ShuffleService {
   /// backpressure / quota / spill-fault activity).
   CacheWorkerStats worker_stats();
 
+  /// \brief Per-worker resident and spill-disk bytes — the one source
+  /// of truth shared by load-aware replica placement and the obs
+  /// dashboards. Also refreshes the `shuffle.worker.<m>.resident_bytes`
+  /// and `shuffle.worker.<m>.spill_disk_bytes` gauges.
+  std::vector<ShuffleWorkerLoad> per_worker_load();
+
  private:
   /// Put with writer→reader flow control: bounded blocking on
   /// kBackpressure, forced admission once the retry budget is spent.
@@ -209,6 +265,14 @@ class ShuffleService {
   /// Scans live workers (writer first) for any copy of `key`.
   Result<ShuffleBuffer> PeekAnyReplica(const ShuffleSlotKey& key,
                                        int writer_machine);
+  /// Compresses an eligible barrier-edge payload in place; returns the
+  /// original buffer untouched when framing does not win.
+  ShuffleBuffer MaybeCompress(ShuffleKind kind, bool pipelined,
+                              ShuffleBuffer buffer);
+  /// Places best-effort extra replicas of a worker-held partition on
+  /// the replica_fanout - 1 least-loaded (or round-robin) live workers.
+  void PlaceReplicas(const ShuffleSlotKey& key, const ShuffleBuffer& buffer,
+                     int writer_machine);
   bool IsMachineDeadLocked(int machine) const {
     return dead_.count(machine) > 0;
   }
@@ -226,6 +290,8 @@ class ShuffleService {
   std::set<int> dead_;
   std::set<std::pair<int64_t, int64_t>> connections_;
   ShuffleServiceStats stats_;
+  /// Next round-robin replica target (load_aware_placement = false).
+  int replica_rr_ = 0;
 
   // Cached registry handles (nullptr when Config::metrics is null).
   struct Instruments {
@@ -243,6 +309,14 @@ class ShuffleService {
     obs::Counter* payload_copies = nullptr;
     obs::Counter* local_replicas = nullptr;
     obs::Counter* backpressure_waits = nullptr;
+    obs::Counter* compressed_writes = nullptr;
+    obs::Counter* compress_bytes_in = nullptr;
+    obs::Counter* compress_bytes_out = nullptr;
+    obs::Counter* compress_skipped = nullptr;
+    obs::Counter* replica_writes = nullptr;
+    /// Per-worker load gauges, refreshed by per_worker_load().
+    std::vector<obs::Gauge*> worker_resident;
+    std::vector<obs::Gauge*> worker_spill_disk;
   } metrics_;
 };
 

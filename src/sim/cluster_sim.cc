@@ -208,8 +208,11 @@ double ClusterSim::ShuffleWriteCost(const JobDag& dag, StageId src,
       total += config_.disk.WriteTime(bytes, m * n, y);
     } else {
       const ShuffleKind kind = EdgeShuffleKind(dag, src, dst);
+      const double parts = static_cast<double>(m) * static_cast<double>(n);
+      const double wire = config_.compress.WireBytes(kind, bytes, parts);
       total += config_.net.ConnectionSetupTime(kind, m, n, y) +
-               0.5 * config_.net.TransferTime(kind, bytes, m, n, y);
+               0.5 * config_.net.TransferTime(kind, wire, m, n, y) +
+               config_.compress.CompressTime(kind, bytes, parts, y);
     }
   }
   if (ph != nullptr) ph->shuffle_write += total;
@@ -230,7 +233,10 @@ double ClusterSim::ShuffleReadCost(const JobDag& dag, StageId src,
            bytes / (config_.net.bw_per_machine * static_cast<double>(y));
   } else {
     const ShuffleKind kind = EdgeShuffleKind(dag, src, dst);
-    cost = 0.5 * config_.net.TransferTime(kind, bytes, m, n, y);
+    const double parts = static_cast<double>(m) * static_cast<double>(n);
+    const double wire = config_.compress.WireBytes(kind, bytes, parts);
+    cost = 0.5 * config_.net.TransferTime(kind, wire, m, n, y) +
+           config_.compress.DecompressTime(kind, bytes, parts, y);
   }
   if (ph != nullptr) ph->shuffle_read += cost;
   return cost;

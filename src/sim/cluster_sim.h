@@ -67,6 +67,10 @@ struct SimConfig {
   NetworkModel net;
   DiskModel disk;
   TaskModel task;
+  /// Compressed shuffle plane (off by default; see models.h). When
+  /// enabled, qualifying Local/Remote edges move WireBytes over the
+  /// fabric and add codec CPU to both shuffle phases.
+  CompressionModel compress;
   ShuffleThresholds thresholds;
   double sample_interval = 1.0;
   uint64_t seed = 42;

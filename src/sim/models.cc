@@ -115,4 +115,32 @@ double TaskModel::ProcessTime(double input_bytes_per_task,
          input_bytes_per_task * cpu_cost_factor / process_rate;
 }
 
+bool CompressionModel::Applies(ShuffleKind kind, double bytes,
+                               double partitions) const {
+  if (!enabled || kind == ShuffleKind::kDirect) return false;
+  const double per_partition = bytes / std::max(1.0, partitions);
+  return per_partition >= min_edge_bytes;
+}
+
+double CompressionModel::WireBytes(ShuffleKind kind, double bytes,
+                                   double partitions) const {
+  return Applies(kind, bytes, partitions) ? bytes * ratio : bytes;
+}
+
+double CompressionModel::CompressTime(ShuffleKind kind, double bytes,
+                                      double partitions,
+                                      int64_t machines) const {
+  if (!Applies(kind, bytes, partitions)) return 0.0;
+  const double m = std::max<double>(1.0, static_cast<double>(machines));
+  return bytes / (compress_bw * m);
+}
+
+double CompressionModel::DecompressTime(ShuffleKind kind, double bytes,
+                                        double partitions,
+                                        int64_t machines) const {
+  if (!Applies(kind, bytes, partitions)) return 0.0;
+  const double m = std::max<double>(1.0, static_cast<double>(machines));
+  return bytes / (decompress_bw * m);
+}
+
 }  // namespace swift

@@ -83,6 +83,39 @@ struct DiskModel {
   double SinkWriteTime(double bytes, int64_t machines) const;
 };
 
+/// \brief First-order model of the compressed shuffle plane (DESIGN.md
+/// Sec. 17). Barrier edges — Local and Remote; Direct edges stream and
+/// are never framed — whose per-partition payload clears the
+/// negotiation threshold ship `ratio` of their bytes over the fabric,
+/// paying codec CPU at compress_bw on the writers and decompress_bw on
+/// the readers (machines work in parallel, like TransferTime). Off by
+/// default so every existing calibration is bit-identical.
+struct CompressionModel {
+  bool enabled = false;
+  /// Wire bytes out / payload bytes in. TPC-H columnar shuffle payloads
+  /// measure well under 0.5 with the in-tree SWZ1 codec (EXPERIMENTS.md
+  /// compression table); 0.5 is a conservative cross-workload default.
+  double ratio = 0.5;
+  /// Mirror of ShuffleService::Config::compress_min_bytes: edges whose
+  /// mean per-partition payload is below this ship raw.
+  double min_edge_bytes = 4096.0;
+  /// Codec throughput per machine (bytes/s of uncompressed payload),
+  /// calibrated by bench_compress.
+  double compress_bw = 300.0e6;
+  double decompress_bw = 1.0e9;
+
+  /// \brief Whether this edge's payloads get framed.
+  bool Applies(ShuffleKind kind, double bytes, double partitions) const;
+  /// \brief Bytes that actually cross the fabric for this edge.
+  double WireBytes(ShuffleKind kind, double bytes, double partitions) const;
+  /// \brief Writer-side codec wall time (y machines compress in parallel).
+  double CompressTime(ShuffleKind kind, double bytes, double partitions,
+                      int64_t machines) const;
+  /// \brief Reader-side codec wall time.
+  double DecompressTime(ShuffleKind kind, double bytes, double partitions,
+                        int64_t machines) const;
+};
+
 /// \brief Task launch & compute model. Swift executors are pre-launched
 /// (warm); the Spark baseline pays package download + executor start
 /// per stage (Sec. V-C1 attributes >71 s of Q9 to launching).

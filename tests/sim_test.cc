@@ -424,5 +424,51 @@ TEST(ClusterSimTest, MachineFailureDetectionUsesHeartbeat) {
             run(FailureKind::kProcessCrash));
 }
 
+TEST(CompressionModelTest, MirrorsShufflePlaneNegotiation) {
+  CompressionModel cm;
+  // Off by default: wire bytes are payload bytes, codec time is free.
+  EXPECT_FALSE(cm.Applies(ShuffleKind::kRemote, 1e8, 16));
+  EXPECT_DOUBLE_EQ(cm.WireBytes(ShuffleKind::kRemote, 1e8, 16), 1e8);
+  EXPECT_DOUBLE_EQ(cm.CompressTime(ShuffleKind::kRemote, 1e8, 16, 4), 0.0);
+
+  cm.enabled = true;
+  // Barrier edges above the per-partition floor compress at `ratio`.
+  EXPECT_TRUE(cm.Applies(ShuffleKind::kRemote, 1e8, 16));
+  EXPECT_TRUE(cm.Applies(ShuffleKind::kLocal, 1e8, 16));
+  EXPECT_DOUBLE_EQ(cm.WireBytes(ShuffleKind::kRemote, 1e8, 16),
+                   1e8 * cm.ratio);
+  // Direct edges never compress (pipelined, latency-bound).
+  EXPECT_FALSE(cm.Applies(ShuffleKind::kDirect, 1e8, 16));
+  EXPECT_DOUBLE_EQ(cm.WireBytes(ShuffleKind::kDirect, 1e8, 16), 1e8);
+  // Mean per-partition payload below min_edge_bytes ships raw.
+  EXPECT_FALSE(cm.Applies(ShuffleKind::kRemote, 1e4, 16));
+  // Codec wall time scales with payload and splits across machines.
+  EXPECT_DOUBLE_EQ(cm.CompressTime(ShuffleKind::kRemote, 1e8, 16, 4),
+                   1e8 / (cm.compress_bw * 4));
+  EXPECT_DOUBLE_EQ(cm.DecompressTime(ShuffleKind::kRemote, 1e8, 16, 4),
+                   1e8 / (cm.decompress_bw * 4));
+  EXPECT_GT(cm.CompressTime(ShuffleKind::kRemote, 1e8, 16, 4),
+            cm.DecompressTime(ShuffleKind::kRemote, 1e8, 16, 4));
+}
+
+TEST(CompressionModelTest, CompressedRemoteJobFinishesFasterOnSlowWire) {
+  // On a wire where transfer dominates, halving the bytes must beat the
+  // codec CPU it costs (the regime the compressed plane targets).
+  auto run = [](bool enabled) {
+    SimConfig cfg = MakeSwiftSimConfig(4, 8);
+    cfg.medium = ShuffleMedium::kMemoryForcedKind;
+    cfg.forced_kind = ShuffleKind::kRemote;
+    cfg.net.bw_per_machine = 5.0e7;  // slow fabric: bytes dominate
+    cfg.compress.enabled = enabled;
+    ClusterSim sim(cfg);
+    EXPECT_TRUE(sim.SubmitJob(TwoStageJob("z", 16, 8, 300)).ok());
+    auto report = sim.Run();
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->jobs[0].completed);
+    return report->jobs[0].finish_time;
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
 }  // namespace
 }  // namespace swift
